@@ -1,0 +1,14 @@
+"""Helpers shared by all bench files."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    The experiment payloads are deterministic sweeps, so repeating them
+    only wastes wall-clock; pedantic mode records a single round.
+    """
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

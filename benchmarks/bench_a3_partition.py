@@ -1,0 +1,81 @@
+"""A3 — parallel domain decomposition quality across curves.
+
+The parallel-computing motivation of Section I, made measurable: cut
+each curve into p contiguous segments and count the grid-NN pairs that
+cross segment boundaries (communication volume).  Sweep p.
+"""
+
+from repro import Universe
+from repro.apps.partition import partition_quality
+from repro.curves.registry import curves_for_universe
+from repro.viz.tables import format_table
+
+from _bench_utils import run_once
+
+PARTS = (4, 16, 64)
+
+
+def partition_experiment():
+    from repro.apps.halo import halo_exchange
+
+    universe = Universe.power_of_two(d=3, k=4)  # 32^3
+    zoo = curves_for_universe(
+        universe, names=["hilbert", "z", "gray", "snake", "simple", "random"]
+    )
+    rows = []
+    for name, curve in zoo.items():
+        for parts in PARTS:
+            q = partition_quality(curve, parts)
+            halo = halo_exchange(curve, parts)
+            rows.append(
+                {
+                    "curve": name,
+                    "parts": parts,
+                    "imbalance": q.imbalance,
+                    "edge_cut": q.edge_cut,
+                    "cut_frac": q.cut_fraction,
+                    "ghosts": halo.ghost_cells,
+                    "max_partners": halo.max_partners,
+                }
+            )
+    return rows
+
+
+def test_a3_partition_quality(benchmark, results_writer):
+    rows = run_once(benchmark, partition_experiment)
+    rows.sort(key=lambda r: (r["parts"], r["cut_frac"]))
+    table = format_table(rows)
+    results_writer(
+        "a3_partition",
+        "A3 — SFC domain decomposition on 32^3, p in {4,16,64}\n\n"
+        + table,
+    )
+    print("\n" + table)
+
+    for parts in PARTS:
+        here = {r["curve"]: r for r in rows if r["parts"] == parts}
+        # Equal-count cuts: perfect balance for every curve.
+        for row in here.values():
+            assert row["imbalance"] == 1.0
+        # Locality curves cut a small fraction; a random bijection cuts
+        # the independence fraction 1 - 1/p of all NN pairs.
+        assert here["hilbert"]["cut_frac"] < 0.5
+        expected_random = 1.0 - 1.0 / parts
+        assert abs(here["random"]["cut_frac"] - expected_random) < 0.05
+        assert here["hilbert"]["edge_cut"] < here["random"]["edge_cut"] / 2
+        # Halo view: compact parts talk to few partners; random talks
+        # to everyone once parts hold enough cells.
+        assert here["hilbert"]["max_partners"] <= parts - 1
+        assert here["random"]["max_partners"] == parts - 1
+        assert here["hilbert"]["ghosts"] < here["random"]["ghosts"] / 2
+    # More parts -> more cut, monotonically, for every curve.
+    for name in {r["curve"] for r in rows}:
+        cuts = [r["edge_cut"] for r in rows if r["curve"] == name]
+        ordered = [
+            r["edge_cut"]
+            for r in sorted(
+                (x for x in rows if x["curve"] == name),
+                key=lambda r: r["parts"],
+            )
+        ]
+        assert ordered == sorted(ordered)

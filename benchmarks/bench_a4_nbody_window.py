@@ -1,0 +1,61 @@
+"""A4 — N-body window search: recall vs curve window.
+
+The N-body motivation quantified: the window (in curve order) needed
+to capture 90/99/100% of nearest-neighbor interactions, per curve —
+a direct functional of the NN-stretch distribution.
+"""
+
+from repro import Universe
+from repro.analysis.distribution import nn_distance_ccdf, window_for_recall
+from repro.curves.registry import curves_for_universe
+from repro.viz.tables import format_table
+
+from _bench_utils import run_once
+
+WINDOWS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def nbody_experiment():
+    universe = Universe.power_of_two(d=2, k=5)
+    zoo = curves_for_universe(
+        universe, names=["hilbert", "z", "gray", "snake", "simple", "random"]
+    )
+    rows = []
+    for name, curve in zoo.items():
+        ccdf = nn_distance_ccdf(curve, WINDOWS)
+        rows.append(
+            {
+                "curve": name,
+                "w(90%)": window_for_recall(curve, 0.90),
+                "w(99%)": window_for_recall(curve, 0.99),
+                "w(100%)": window_for_recall(curve, 1.00),
+                **{f"miss@{w}": ccdf[w] for w in (4, 16, 64)},
+            }
+        )
+    return rows
+
+
+def test_a4_nbody_window(benchmark, results_writer):
+    rows = run_once(benchmark, nbody_experiment)
+    rows.sort(key=lambda r: r["w(99%)"])
+    table = format_table(rows)
+    results_writer(
+        "a4_nbody",
+        "A4 — window needed per recall target (32x32 grid)\n\n" + table,
+    )
+    print("\n" + table)
+
+    by_name = {r["curve"]: r for r in rows}
+    # Theorem 1 says windows of order n^{1-1/d} = side are unavoidable
+    # on average; structured curves achieve 90% within O(side) while a
+    # random bijection needs a window of order n.
+    side = 32
+    assert by_name["hilbert"]["w(90%)"] <= 2 * side
+    assert by_name["z"]["w(90%)"] <= 2 * side
+    assert by_name["random"]["w(90%)"] > 10 * side
+    # Windows are monotone in the recall target.
+    for row in rows:
+        assert row["w(90%)"] <= row["w(99%)"] <= row["w(100%)"]
+    # Full recall for the simple curve needs exactly side^{d-1}
+    # (Proposition 2's structure: the vertical-neighbor distance).
+    assert by_name["simple"]["w(100%)"] == 32

@@ -1,0 +1,59 @@
+"""A5 — range-query I/O cost across curves (database motivation).
+
+Seek+scan cost model over uniformly placed boxes: runs = clustering
+number, scan volume = box volume.  Curves with better clustering pay
+fewer seeks; the scan term is curve-independent.
+"""
+
+from repro import Universe
+from repro.apps.rangequery import SFCIndex
+from repro.curves.registry import curves_for_universe
+from repro.viz.tables import format_table
+
+from _bench_utils import run_once
+
+BOXES = [(4, 4), (8, 8)]
+SEEK, SCAN = 10.0, 1.0
+
+
+def rangequery_experiment():
+    universe = Universe.power_of_two(d=2, k=5)
+    zoo = curves_for_universe(
+        universe, names=["hilbert", "z", "gray", "snake", "simple", "random"]
+    )
+    rows = []
+    for name, curve in zoo.items():
+        index = SFCIndex(curve, seek_cost=SEEK, scan_cost=SCAN)
+        row = {"curve": name}
+        for box in BOXES:
+            row[f"cost{box}"] = index.average_query_cost(
+                box, n_samples=120, seed=17
+            )
+        rows.append(row)
+    return rows
+
+
+def test_a5_rangequery_cost(benchmark, results_writer):
+    rows = run_once(benchmark, rangequery_experiment)
+    rows.sort(key=lambda r: r["cost(4, 4)"])
+    table = format_table(rows)
+    results_writer(
+        "a5_rangequery",
+        f"A5 — range-query I/O (seek={SEEK}, scan={SCAN}, 32x32 grid)\n\n"
+        + table,
+    )
+    print("\n" + table)
+
+    by_name = {r["curve"]: r for r in rows}
+    for box in BOXES:
+        volume = box[0] * box[1]
+        key = f"cost{box}"
+        # Scan floor: no curve can read fewer than `volume` cells, plus
+        # at least one seek.
+        for row in rows:
+            assert row[key] >= SCAN * volume + SEEK - 1e-9
+        # Random pays nearly one seek per cell.
+        assert by_name["random"][key] > SCAN * volume + SEEK * volume * 0.5
+        # Hilbert's seek overhead stays a small multiple of the floor.
+        assert by_name["hilbert"][key] < SCAN * volume + SEEK * volume * 0.35
+        assert by_name["hilbert"][key] < by_name["random"][key] / 2

@@ -1,0 +1,98 @@
+"""A7 — how tight is Theorem 1?  Ground truth and adversarial probes.
+
+Section VI's first open question: close the gap between the bound
+(2/3d)·n^{1-1/d} and the best curve (1/d)·n^{1-1/d}.  We measure:
+
+* the TRUE optimum over all n! bijections on tiny universes
+  (exhaustive), against the bound and against Z; and
+* the best bijection found by seeded hill climbing on larger grids —
+  an adversarial attempt to beat the bound (it must fail, and its best
+  value brackets the real optimum from above).
+"""
+
+from repro import Universe
+from repro.core.lower_bounds import davg_lower_bound
+from repro.core.optimal import exhaustive_optimum, local_search
+from repro.core.stretch import average_average_nn_stretch
+from repro.curves.zcurve import ZCurve
+from repro.viz.tables import format_table
+
+from _bench_utils import run_once
+
+EXHAUSTIVE = [
+    Universe(d=1, side=4),
+    Universe(d=2, side=2),
+    Universe(d=3, side=2),
+    Universe(d=2, side=3),
+]
+SEARCH = [
+    Universe.power_of_two(d=2, k=2),
+    Universe.power_of_two(d=2, k=3),
+]
+
+
+def optimal_experiment():
+    rows = []
+    for universe in EXHAUSTIVE:
+        opt = exhaustive_optimum(universe)
+        bound = davg_lower_bound(universe.n, universe.d)
+        rows.append(
+            {
+                "mode": "exhaustive",
+                "d": universe.d,
+                "side": universe.side,
+                "n": universe.n,
+                "best Davg": opt.davg,
+                "LB": bound,
+                "best/LB": opt.davg / bound,
+                "evaluated": opt.n_evaluated,
+            }
+        )
+    for universe in SEARCH:
+        z = ZCurve(universe)
+        z_keys = z.key_grid().reshape(-1, order="F")
+        result = local_search(
+            universe, start_keys=z_keys, iterations=30_000, seed=0
+        )
+        bound = davg_lower_bound(universe.n, universe.d)
+        rows.append(
+            {
+                "mode": "hill-climb(Z)",
+                "d": universe.d,
+                "side": universe.side,
+                "n": universe.n,
+                "best Davg": result.davg,
+                "LB": bound,
+                "best/LB": result.davg / bound,
+                "evaluated": result.iterations,
+            }
+        )
+    return rows
+
+
+def test_a7_optimal_search(benchmark, results_writer):
+    rows = run_once(benchmark, optimal_experiment)
+    table = format_table(rows)
+    results_writer(
+        "a7_optimal",
+        "A7 — true optimum (tiny n) and adversarial search vs "
+        "Theorem 1's bound\n\n" + table,
+    )
+    print("\n" + table)
+
+    for row in rows:
+        # Nothing — not even the true optimum — crosses the bound.
+        assert row["best Davg"] >= row["LB"] - 1e-12, row
+    # The true 2x2 optimum is exactly 1.5 (Figure 1's π1).
+    tiny = next(
+        r for r in rows if (r["d"], r["side"]) == (2, 2)
+    )
+    assert tiny["best Davg"] == 1.5
+    # Hill climbing starting from Z improves at most marginally — Z is
+    # already near-optimal (its ratio stays within the [1, 1.5] band).
+    for row in rows:
+        if row["mode"] == "hill-climb(Z)":
+            universe = Universe(d=row["d"], side=row["side"])
+            z_val = average_average_nn_stretch(ZCurve(universe))
+            assert row["best Davg"] <= z_val + 1e-12
+            assert row["best Davg"] >= z_val * 0.8

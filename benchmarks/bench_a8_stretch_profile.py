@@ -1,0 +1,56 @@
+"""A8 — stretch profile by grid distance (probabilistic-model question).
+
+profile(r) = E[∆π/∆ | ∆ = r] over uniform pairs.  Findings: structured
+curves hold a flat Θ(n^{1-1/d}) profile across all ranges; a random
+bijection starts at Θ(n) and decays like 1/r — the structured
+advantage is a short-range phenomenon, which is the paper's rationale
+for the NN-stretch metric.
+"""
+
+from repro import Universe
+from repro.analysis.profile import stretch_profile_exact
+from repro.curves.registry import curves_for_universe
+from repro.viz.tables import format_table
+
+from _bench_utils import run_once
+
+RS = (1, 2, 4, 8, 16, 30)
+
+
+def profile_experiment():
+    universe = Universe.power_of_two(d=2, k=4)  # 16x16, diameter 30
+    zoo = curves_for_universe(
+        universe, names=["hilbert", "z", "simple", "gray", "random"]
+    )
+    rows = []
+    for name, curve in zoo.items():
+        profile = stretch_profile_exact(curve)
+        rows.append(
+            {"curve": name, **{f"r={r}": profile[r] for r in RS}}
+        )
+    return rows
+
+
+def test_a8_stretch_profile(benchmark, results_writer):
+    rows = run_once(benchmark, profile_experiment)
+    table = format_table(rows)
+    results_writer(
+        "a8_profile",
+        "A8 — stretch profile E[dpi/d | d=r] on 16x16\n\n" + table,
+    )
+    print("\n" + table)
+
+    by_name = {r["curve"]: r for r in rows}
+    # Random decays like 1/r from (n+1)/3.
+    n = 256
+    for r in RS:
+        assert abs(
+            by_name["random"][f"r={r}"] * r - (n + 1) / 3
+        ) < 0.2 * (n + 1) / 3
+    # Structured curves: flat profile (within 2x across the range).
+    for name in ("z", "simple", "hilbert"):
+        values = [by_name[name][f"r={r}"] for r in RS]
+        assert max(values) / min(values) < 2.5, name
+    # Short range: structured beats random by ~n^{1/d}.
+    for name in ("z", "simple", "hilbert"):
+        assert by_name[name]["r=1"] < by_name["random"]["r=1"] / 4

@@ -1,0 +1,89 @@
+"""A9 — per-dimension anisotropy and per-cell dispersion of the stretch.
+
+Lemma 5 re-read as a balance statement: the Z curve loads dimension 1
+with a fraction 2^{d-1}/(2^d-1) of the total NN-stretch; the simple
+curve's loads follow side^{i-1}; Hilbert is nearly isotropic.  Plus
+dispersion: who concentrates the stretch on few cells?
+"""
+
+from repro import Universe
+from repro.analysis.anisotropy import (
+    anisotropy_index,
+    axis_fractions,
+    simple_axis_fraction_exact,
+    z_axis_fraction_limit,
+)
+from repro.analysis.dispersion import stretch_dispersion
+from repro.curves.registry import curves_for_universe
+from repro.viz.tables import format_table
+
+from _bench_utils import run_once
+
+
+def anisotropy_experiment():
+    universe = Universe.power_of_two(d=3, k=4)  # 16^3
+    zoo = curves_for_universe(
+        universe, names=["hilbert", "z", "gray", "snake", "simple", "random"]
+    )
+    rows = []
+    for name, curve in zoo.items():
+        fractions = axis_fractions(curve)
+        rows.append(
+            {
+                "curve": name,
+                "frac_1": fractions[0],
+                "frac_2": fractions[1],
+                "frac_3": fractions[2],
+                "aniso": anisotropy_index(curve),
+            }
+        )
+    disp_rows = []
+    u2 = Universe.power_of_two(d=2, k=5)
+    for name, curve in curves_for_universe(
+        u2, names=["hilbert", "moore", "z", "simple", "random"]
+    ).items():
+        d = stretch_dispersion(curve)
+        disp_rows.append(
+            {
+                "curve": name,
+                "mean": d.mean,
+                "std": d.std,
+                "gini": d.gini,
+                "q99": d.q99,
+            }
+        )
+    return rows, disp_rows
+
+
+def test_a9_anisotropy_dispersion(benchmark, results_writer):
+    rows, disp_rows = run_once(benchmark, anisotropy_experiment)
+    table = (
+        format_table(rows)
+        + "\n\nPer-cell dispersion (32x32):\n"
+        + format_table(disp_rows)
+    )
+    results_writer(
+        "a9_anisotropy",
+        "A9 — axis balance of Lambda_i (16^3) and per-cell dispersion\n\n"
+        + table,
+    )
+    print("\n" + table)
+
+    by_name = {r["curve"]: r for r in rows}
+    # Z's fractions approach the Lemma 5 limits (4/7, 2/7, 1/7).
+    for i in (1, 2, 3):
+        limit = float(z_axis_fraction_limit(3, i))
+        assert abs(by_name["z"][f"frac_{i}"] - limit) < 0.02
+    # Simple's fractions are exact geometric weights.
+    for i in (1, 2, 3):
+        exact = float(simple_axis_fraction_exact(3, 16, i))
+        assert abs(by_name["simple"][f"frac_{i}"] - exact) < 1e-9
+    # Isotropy ranking: hilbert < z < simple.
+    assert by_name["hilbert"]["aniso"] < by_name["z"]["aniso"]
+    assert by_name["z"]["aniso"] < by_name["simple"]["aniso"]
+    # Random is isotropic in expectation.
+    assert by_name["random"]["aniso"] < 1.1
+    # Dispersion: simple concentrates least (interior cells identical).
+    disp = {r["curve"]: r for r in disp_rows}
+    assert disp["simple"]["gini"] < disp["hilbert"]["gini"]
+    assert disp["simple"]["gini"] < disp["z"]["gini"]

@@ -1,0 +1,45 @@
+"""E10 — Figure 4: the simple curve on the 8x8 grid.
+
+Row-major scan (Eq. 8): key = x1 + 8·x2; each row left-to-right,
+bottom-to-top, with a jump between rows.
+"""
+
+import numpy as np
+
+from repro import Universe
+from repro.curves.simple import SimpleCurve
+from repro.viz.ascii_art import render_key_grid, render_path
+
+from _bench_utils import run_once
+
+
+def figure4_experiment():
+    universe = Universe.power_of_two(d=2, k=3)
+    s = SimpleCurve(universe)
+    return s.key_grid(), s.order(), render_key_grid(s), render_path(s)
+
+
+def test_e10_figure4_simple_grid(benchmark, results_writer):
+    grid, order, key_render, path_render = run_once(
+        benchmark, figure4_experiment
+    )
+
+    results_writer(
+        "e10_figure4",
+        "E10 / Figure 4 — simple curve on the 8x8 grid\n\n"
+        + key_render + "\n\nOrder trace:\n" + path_render,
+    )
+    print("\n" + key_render)
+
+    # Eq. 8 oracle over the full grid.
+    for x1 in range(8):
+        for x2 in range(8):
+            assert grid[x1, x2] == x1 + 8 * x2
+
+    # Figure 4's visual: 8 straight rows with 7 wrap jumps.
+    steps = np.diff(order, axis=0)
+    row_steps = int((steps[:, 0] == 1).sum())
+    wraps = int((steps[:, 0] == -7).sum())
+    assert row_steps == 56  # 7 per row x 8 rows
+    assert wraps == 7
+    assert path_render.count("(-7,+1)") == 7

@@ -1,0 +1,70 @@
+"""E11 — the headline: Z is within a factor 1.5 of optimal, in every d.
+
+The asymptotic ratio of D^avg(Z) to the Theorem 1 bound is exactly 3/2;
+this bench measures the finite-n ratio over a (d, k) grid and asserts
+it converges to 1.5 with a d-independent limit — Section I's
+observations 1–3 in one table.
+"""
+
+from repro import Universe
+from repro.core.gap import headline_ratio, optimality_ratio
+from repro.curves.simple import SimpleCurve
+from repro.curves.zcurve import ZCurve
+from repro.viz.tables import format_table
+
+from _bench_utils import run_once
+
+SWEEPS = {2: (3, 4, 5, 6, 7), 3: (2, 3, 4), 4: (2, 3)}
+
+
+def headline_experiment():
+    rows = []
+    for d, ks in SWEEPS.items():
+        for k in ks:
+            universe = Universe.power_of_two(d=d, k=k)
+            rows.append(
+                {
+                    "d": d,
+                    "k": k,
+                    "n": universe.n,
+                    "Z ratio": optimality_ratio(ZCurve(universe)),
+                    "simple ratio": optimality_ratio(SimpleCurve(universe)),
+                    "asymptote": headline_ratio(),
+                }
+            )
+    return rows
+
+
+def test_e11_headline_ratio(benchmark, results_writer):
+    rows = run_once(benchmark, headline_experiment)
+    table = format_table(rows)
+    results_writer(
+        "e11_headline",
+        "E11 — Z (and simple) vs Theorem 1 bound: ratio -> 1.5, "
+        "independent of d\n\n" + table,
+    )
+    print("\n" + table)
+
+    # Observation 1: ratios never dip below 1 (that would refute Thm 1).
+    for row in rows:
+        assert row["Z ratio"] >= 1.0
+        assert row["simple ratio"] >= 1.0
+
+    # Convergence to 1.5 within each d (gaps shrink with k).
+    for d, ks in SWEEPS.items():
+        gaps = [
+            abs(r["Z ratio"] - 1.5) for r in rows if r["d"] == d
+        ]
+        assert gaps == sorted(gaps, reverse=True), f"d={d}"
+
+    # d-independence: the finest case per d lands in a common band.
+    finest = {
+        d: next(
+            r for r in rows if r["d"] == d and r["k"] == max(SWEEPS[d])
+        )
+        for d in SWEEPS
+    }
+    values = [r["Z ratio"] for r in finest.values()]
+    assert max(values) - min(values) < 0.2
+    for value in values:
+        assert abs(value - 1.5) < 0.2

@@ -1,0 +1,91 @@
+"""E12 — the proof machinery, executed: Lemmas 1–4 + invariance remark.
+
+* Lemma 1: generalized triangle inequality on random waypoint chains.
+* Lemma 2: Σ_{A'} ∆π measured == (n-1)n(n+1)/3 for every curve.
+* Lemma 3: the sandwich around D^avg.
+* Lemma 4: brute-force edge multiplicities vs the closed form & bound.
+* Section IV-B remark: axis permutations/reflections leave D^avg fixed.
+"""
+
+import numpy as np
+
+from repro import Universe
+from repro.core.allpairs import lemma2_sum_exact, lemma2_sum_measured
+from repro.core.decomposition import (
+    edge_multiplicity_bruteforce,
+    lemma3_sandwich,
+    theorem1_certificate,
+)
+from repro.core.stretch import average_average_nn_stretch
+from repro.curves.registry import curves_for_universe
+from repro.curves.transforms import AxisPermutedCurve, ReflectedCurve
+from repro.grid.paths import edge_multiplicity, lemma4_bound
+from repro.viz.tables import format_table
+
+from _bench_utils import run_once
+
+
+def lemmas_experiment():
+    universe = Universe.power_of_two(d=2, k=3)
+    zoo = curves_for_universe(universe)
+    rows = []
+    for name, curve in zoo.items():
+        lower, davg, upper = lemma3_sandwich(curve)
+        cert = theorem1_certificate(curve)
+        rows.append(
+            {
+                "curve": name,
+                "Lemma2 meas": lemma2_sum_measured(curve),
+                "Lemma2 exact": lemma2_sum_exact(universe.n),
+                "L3 lower": lower,
+                "Davg": davg,
+                "L3 upper": upper,
+                "ineq(4) ok": cert.inequality4_holds,
+                "Thm1 ok": cert.theorem1_holds,
+            }
+        )
+
+    # Lemma 4 on a small 3-D grid: brute force vs closed form.
+    small = Universe.power_of_two(d=3, k=1)
+    brute = edge_multiplicity_bruteforce(small)
+    lemma4_rows = []
+    for (lo, hi), count in sorted(brute.items()):
+        axis = next(i for i in range(small.d) if lo[i] != hi[i])
+        lemma4_rows.append(
+            {
+                "edge": f"{lo}->{hi}",
+                "count": count,
+                "closed form": edge_multiplicity(lo, axis, small),
+                "bound": lemma4_bound(small),
+            }
+        )
+    return rows, lemma4_rows, universe
+
+
+def test_e12_lemmas(benchmark, results_writer):
+    rows, lemma4_rows, universe = run_once(benchmark, lemmas_experiment)
+    table = (
+        format_table(rows)
+        + "\n\nLemma 4 (2^3 grid, all 12 edges):\n"
+        + format_table(lemma4_rows)
+    )
+    results_writer("e12_lemmas", "E12 — Lemmas 1-4 executed\n\n" + table)
+    print("\n" + table)
+
+    for row in rows:
+        assert row["Lemma2 meas"] == row["Lemma2 exact"], row
+        assert row["L3 lower"] <= row["Davg"] <= row["L3 upper"] + 1e-12
+        assert row["ineq(4) ok"] and row["Thm1 ok"], row
+    for row in lemma4_rows:
+        assert row["count"] == row["closed form"], row
+        assert row["count"] <= row["bound"], row
+
+    # Section IV-B invariance remark.
+    z = curves_for_universe(universe)["z"]
+    base = average_average_nn_stretch(z)
+    for variant in (
+        AxisPermutedCurve(z, [1, 0]),
+        ReflectedCurve(z, [0]),
+        ReflectedCurve(z, [0, 1]),
+    ):
+        assert np.isclose(average_average_nn_stretch(variant), base)

@@ -1,0 +1,56 @@
+"""E1 — Figure 1: the worked 2x2 example.
+
+Paper values: D^avg(π1)=1.5, D^avg(π2)=2, D^max(π1)=2, D^max(π2)=2.5,
+and δ^avg_π1 = 1.5 for all four cells.  Reproduced exactly.
+"""
+
+import numpy as np
+
+from repro.core.stretch import (
+    average_average_nn_stretch,
+    average_maximum_nn_stretch,
+    per_cell_avg_stretch,
+)
+from repro.curves.explicit import figure1_pi1, figure1_pi2
+from repro.viz.ascii_art import render_order_labels
+from repro.viz.tables import format_table
+
+from _bench_utils import run_once
+
+
+def figure1_experiment():
+    pi1, pi2 = figure1_pi1(), figure1_pi2()
+    rows = []
+    for curve in (pi1, pi2):
+        rows.append(
+            {
+                "curve": curve.name,
+                "order": render_order_labels(curve, "DBAC"),
+                "Davg": average_average_nn_stretch(curve),
+                "Dmax": average_maximum_nn_stretch(curve),
+            }
+        )
+    return rows, per_cell_avg_stretch(pi1)
+
+
+def test_e1_figure1(benchmark, results_writer):
+    rows, pi1_cells = run_once(benchmark, figure1_experiment)
+
+    table = format_table(rows)
+    results_writer(
+        "e1_figure1",
+        "E1 / Figure 1 — 2x2 worked example (paper: 1.5, 2 / 2, 2.5)\n\n"
+        + table,
+    )
+    print("\n" + table)
+
+    by_name = {r["curve"]: r for r in rows}
+    # Exact paper values.
+    assert by_name["figure1-pi1"]["order"] == "C,A,B,D"
+    assert by_name["figure1-pi2"]["order"] == "A,B,C,D"
+    assert by_name["figure1-pi1"]["Davg"] == 1.5
+    assert by_name["figure1-pi2"]["Davg"] == 2.0
+    assert by_name["figure1-pi1"]["Dmax"] == 2.0
+    assert by_name["figure1-pi2"]["Dmax"] == 2.5
+    # "The values of δ^avg for A, B, C, D are all equal to 1.5."
+    assert np.all(pi1_cells == 1.5)

@@ -1,0 +1,66 @@
+"""E2 — Theorem 1: the universal lower bound on D^avg.
+
+For every registered curve on a sweep of universes, the measured D^avg
+must sit above (2/3d)(n^{1-1/d} - n^{-1-1/d}).  The table reports the
+ratio to the bound per curve — the paper's "inherent limit" made
+visible.
+"""
+
+from repro import Universe
+from repro.core.lower_bounds import davg_lower_bound
+from repro.core.stretch import average_average_nn_stretch
+from repro.curves.registry import curves_for_universe
+from repro.viz.tables import format_table
+
+from _bench_utils import run_once
+
+UNIVERSES = [
+    Universe.power_of_two(d=2, k=3),
+    Universe.power_of_two(d=2, k=5),
+    Universe.power_of_two(d=3, k=2),
+    Universe.power_of_two(d=3, k=3),
+    Universe.power_of_two(d=4, k=2),
+]
+
+
+def theorem1_sweep():
+    rows = []
+    for universe in UNIVERSES:
+        bound = davg_lower_bound(universe.n, universe.d)
+        for name, curve in curves_for_universe(universe).items():
+            davg = average_average_nn_stretch(curve)
+            rows.append(
+                {
+                    "d": universe.d,
+                    "side": universe.side,
+                    "n": universe.n,
+                    "curve": name,
+                    "Davg": davg,
+                    "LB": bound,
+                    "Davg/LB": davg / bound,
+                }
+            )
+    return rows
+
+
+def test_e2_theorem1_lower_bound(benchmark, results_writer):
+    rows = run_once(benchmark, theorem1_sweep)
+    table = format_table(rows)
+    results_writer(
+        "e2_theorem1",
+        "E2 / Theorem 1 — D^avg >= (2/3d)(n^(1-1/d) - n^(-1-1/d)) "
+        "for EVERY curve\n\n" + table,
+    )
+    print("\n" + table)
+
+    # The negative result: no curve anywhere below the bound.
+    for row in rows:
+        assert row["Davg"] >= row["LB"], row
+    # The bound is tight up to a small constant: some curve is < 2x.
+    for universe in UNIVERSES:
+        ratios = [
+            r["Davg/LB"]
+            for r in rows
+            if (r["d"], r["side"]) == (universe.d, universe.side)
+        ]
+        assert min(ratios) < 2.0

@@ -1,0 +1,72 @@
+"""E5 — Theorem 3: the simple curve matches the Z curve.
+
+Three checks: the exact boundary-pattern closed form for D^avg(S)
+equals the measurement; the ratio to n^{1-1/d}/d converges to 1; and
+the simple curve's D^avg tracks the Z curve's within a shrinking gap
+(Section I, observation 2).
+"""
+
+from repro import Universe
+from repro.analysis.convergence import convergence_study, is_converging
+from repro.core.asymptotics import davg_simple_exact, davg_simple_limit
+from repro.core.stretch import average_average_nn_stretch
+from repro.curves.simple import SimpleCurve
+from repro.curves.zcurve import ZCurve
+from repro.viz.tables import format_table
+
+from _bench_utils import run_once
+
+SWEEPS = {2: (2, 3, 4, 5, 6), 3: (1, 2, 3, 4), 4: (1, 2, 3)}
+
+
+def theorem3_experiment():
+    rows = []
+    studies = {}
+    for d, ks in SWEEPS.items():
+        for k in ks:
+            universe = Universe.power_of_two(d=d, k=k)
+            measured = average_average_nn_stretch(SimpleCurve(universe))
+            closed = float(davg_simple_exact(universe))
+            z_val = average_average_nn_stretch(ZCurve(universe))
+            rows.append(
+                {
+                    "d": d,
+                    "k": k,
+                    "n": universe.n,
+                    "Davg(S) meas": measured,
+                    "Davg(S) exact": closed,
+                    "Davg(Z)": z_val,
+                    "S/Z": measured / z_val,
+                    "S/limit": measured / davg_simple_limit(universe.n, d),
+                }
+            )
+        studies[d] = convergence_study(
+            list(ks),
+            measure=lambda k, d=d: float(
+                davg_simple_exact(Universe.power_of_two(d=d, k=k))
+            ),
+            reference=lambda k, d=d: davg_simple_limit(2 ** (k * d), d),
+            n_of=lambda k, d=d: 2 ** (k * d),
+        )
+    return rows, studies
+
+
+def test_e5_theorem3_simple_curve(benchmark, results_writer):
+    rows, studies = run_once(benchmark, theorem3_experiment)
+    table = format_table(rows)
+    results_writer(
+        "e5_theorem3",
+        "E5 / Theorem 3 — Davg(S) ~ n^(1-1/d)/d, matching the Z curve\n\n"
+        + table,
+    )
+    print("\n" + table)
+
+    for row in rows:
+        # Closed form is exact at every size.
+        assert abs(row["Davg(S) meas"] - row["Davg(S) exact"]) < 1e-9, row
+    for d, points in studies.items():
+        assert is_converging(points, final_gap=0.2), f"d={d}"
+    # Observation 2: S/Z -> 1 at the best-resolved sizes.
+    finest = [r for r in rows if r["k"] == max(SWEEPS[r["d"]])]
+    for row in finest:
+        assert abs(row["S/Z"] - 1.0) < 0.1, row

@@ -1,0 +1,77 @@
+"""E6 — Propositions 1 & 2: the average-maximum NN-stretch.
+
+* Prop 1: D^max(π) ≥ the Theorem 1 bound, for every curve.
+* Prop 2: D^max(S) = n^{1-1/d} exactly, hence the simple curve is
+  optimal for D^max up to a factor ≈ (3/2)·d.
+"""
+
+from repro import Universe
+from repro.core.asymptotics import dmax_simple_exact
+from repro.core.lower_bounds import dmax_lower_bound
+from repro.core.stretch import average_maximum_nn_stretch
+from repro.curves.registry import curves_for_universe
+from repro.curves.simple import SimpleCurve
+from repro.viz.tables import format_table
+
+from _bench_utils import run_once
+
+UNIVERSES = [
+    Universe.power_of_two(d=2, k=3),
+    Universe.power_of_two(d=2, k=5),
+    Universe.power_of_two(d=3, k=3),
+    Universe.power_of_two(d=4, k=2),
+]
+
+
+def maxstretch_experiment():
+    rows = []
+    for universe in UNIVERSES:
+        bound = dmax_lower_bound(universe.n, universe.d)
+        for name, curve in curves_for_universe(universe).items():
+            dmax = average_maximum_nn_stretch(curve)
+            rows.append(
+                {
+                    "d": universe.d,
+                    "side": universe.side,
+                    "curve": name,
+                    "Dmax": dmax,
+                    "LB(Prop1)": bound,
+                    "Dmax/LB": dmax / bound,
+                }
+            )
+    simple_rows = []
+    for universe in UNIVERSES:
+        measured = average_maximum_nn_stretch(SimpleCurve(universe))
+        simple_rows.append(
+            {
+                "d": universe.d,
+                "side": universe.side,
+                "Dmax(S) meas": measured,
+                "n^(1-1/d)": dmax_simple_exact(universe),
+            }
+        )
+    return rows, simple_rows
+
+
+def test_e6_prop12_maxstretch(benchmark, results_writer):
+    rows, simple_rows = run_once(benchmark, maxstretch_experiment)
+    table = format_table(rows) + "\n\nProp 2 (exact):\n" + format_table(
+        simple_rows
+    )
+    results_writer(
+        "e6_prop12",
+        "E6 / Props 1-2 — Dmax lower bound and Dmax(S) = n^(1-1/d)\n\n"
+        + table,
+    )
+    print("\n" + table)
+
+    for row in rows:
+        assert row["Dmax"] >= row["LB(Prop1)"], row
+    for row in simple_rows:
+        # Prop 2 is an exact identity.
+        assert row["Dmax(S) meas"] == float(row["n^(1-1/d)"]), row
+    # "Optimal up to a factor equal to the number of dimensions d":
+    # ratio ~ (3/2)d asymptotically; allow the finite-size band.
+    for row in rows:
+        if row["curve"] == "simple":
+            assert row["Dmax/LB"] <= 1.8 * row["d"], row

@@ -1,0 +1,93 @@
+"""E7 — Proposition 3: lower bounds on the all-pairs stretch.
+
+str_{avg,M}(π) ≥ (1/3d)(n+1)/(n^{1/d}-1) and the √d analogue for the
+Euclidean metric — exact evaluation on small universes for every curve,
+sampled (seeded, CI-checked) on a larger one.
+"""
+
+from repro import Universe
+from repro.core.allpairs import (
+    average_allpairs_stretch_exact,
+    average_allpairs_stretch_sampled,
+)
+from repro.core.lower_bounds import (
+    allpairs_euclidean_lower_bound,
+    allpairs_manhattan_lower_bound,
+)
+from repro.curves.registry import curves_for_universe
+from repro.viz.tables import format_table
+
+from _bench_utils import run_once
+
+EXACT_UNIVERSES = [
+    Universe.power_of_two(d=2, k=2),
+    Universe.power_of_two(d=2, k=3),
+    Universe.power_of_two(d=3, k=2),
+]
+SAMPLED_UNIVERSE = Universe.power_of_two(d=2, k=6)  # n = 4096
+
+
+def allpairs_lb_experiment():
+    rows = []
+    for universe in EXACT_UNIVERSES:
+        lb_m = allpairs_manhattan_lower_bound(universe.n, universe.d)
+        lb_e = allpairs_euclidean_lower_bound(universe.n, universe.d)
+        for name, curve in curves_for_universe(universe).items():
+            rows.append(
+                {
+                    "d": universe.d,
+                    "side": universe.side,
+                    "curve": name,
+                    "mode": "exact",
+                    "str_M": average_allpairs_stretch_exact(
+                        curve, "manhattan"
+                    ),
+                    "LB_M": lb_m,
+                    "str_E": average_allpairs_stretch_exact(
+                        curve, "euclidean"
+                    ),
+                    "LB_E": lb_e,
+                }
+            )
+    # Sampled on a larger grid (seeded).
+    universe = SAMPLED_UNIVERSE
+    lb_m = allpairs_manhattan_lower_bound(universe.n, universe.d)
+    lb_e = allpairs_euclidean_lower_bound(universe.n, universe.d)
+    for name, curve in curves_for_universe(
+        universe, names=["z", "simple", "hilbert", "random"]
+    ).items():
+        est_m = average_allpairs_stretch_sampled(
+            curve, n_pairs=60_000, metric="manhattan", seed=11
+        )
+        est_e = average_allpairs_stretch_sampled(
+            curve, n_pairs=60_000, metric="euclidean", seed=12
+        )
+        rows.append(
+            {
+                "d": universe.d,
+                "side": universe.side,
+                "curve": name,
+                "mode": "sampled",
+                "str_M": est_m.mean,
+                "LB_M": lb_m,
+                "str_E": est_e.mean,
+                "LB_E": lb_e,
+            }
+        )
+    return rows
+
+
+def test_e7_prop3_allpairs_lower_bounds(benchmark, results_writer):
+    rows = run_once(benchmark, allpairs_lb_experiment)
+    table = format_table(rows)
+    results_writer(
+        "e7_prop3",
+        "E7 / Prop 3 — all-pairs stretch lower bounds "
+        "(Manhattan & Euclidean)\n\n" + table,
+    )
+    print("\n" + table)
+
+    for row in rows:
+        slack = 1e-9 if row["mode"] == "exact" else 0.05 * row["LB_M"]
+        assert row["str_M"] >= row["LB_M"] - slack, row
+        assert row["str_E"] >= row["LB_E"] - slack, row

@@ -1,0 +1,56 @@
+"""E9 — Figure 3: the 2-D Z curve on the 8x8 grid, cell by cell.
+
+The figure assigns each cell the binary key formed by interleaving the
+coordinate bits (dimension 1's bit first in each group).  We regenerate
+the full 64-cell grid and check it against the interleaving definition
+and the figure's readable landmarks.
+"""
+
+import numpy as np
+
+from repro import Universe
+from repro.curves.zcurve import ZCurve
+from repro.viz.ascii_art import render_key_grid_binary, render_path
+
+from _bench_utils import run_once
+
+
+def figure3_experiment():
+    universe = Universe.power_of_two(d=2, k=3)
+    z = ZCurve(universe)
+    return z.key_grid(), render_key_grid_binary(z), render_path(z)
+
+
+def test_e9_figure3_zcurve_grid(benchmark, results_writer):
+    grid, binary_render, path_render = run_once(benchmark, figure3_experiment)
+
+    results_writer(
+        "e9_figure3",
+        "E9 / Figure 3 — 2-D Z curve on the 8x8 grid (binary keys, "
+        "top row y=7)\n\n" + binary_render + "\n\nOrder trace:\n"
+        + path_render,
+    )
+    print("\n" + binary_render)
+
+    # Full-grid oracle: key = interleave(x1, x2) with x1 bit first.
+    for x1 in range(8):
+        for x2 in range(8):
+            expected = 0
+            for bit in range(3):
+                expected |= ((x1 >> bit) & 1) << (2 * bit + 1)
+                expected |= ((x2 >> bit) & 1) << (2 * bit)
+            assert grid[x1, x2] == expected, (x1, x2)
+
+    # Landmarks readable off the printed figure.
+    assert grid[0, 0] == 0b000000
+    assert grid[1, 0] == 0b000010
+    assert grid[0, 1] == 0b000001
+    assert grid[7, 7] == 0b111111
+    assert grid[4, 0] == 0b100000
+    assert grid[0, 4] == 0b010000
+    # The recursive Z shape: each quadrant holds one contiguous quarter.
+    quadrants = [grid[:4, :4], grid[:4, 4:], grid[4:, :4], grid[4:, 4:]]
+    starts = sorted(int(q.min()) for q in quadrants)
+    assert starts == [0, 16, 32, 48]
+    for q in quadrants:
+        assert int(q.max()) - int(q.min()) == 15

@@ -1,0 +1,52 @@
+"""P1 — encode/decode throughput for every analytic curve.
+
+Timing benchmarks proper (multiple rounds): vectorized key computation
+for batches of one million cells.  Regressions here flag accidental
+de-vectorization of the hot paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.curves.gray import GrayCurve
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.simple import SimpleCurve
+from repro.curves.snake import SnakeCurve
+from repro.curves.zcurve import ZCurve
+
+BATCH = 1_000_000
+UNIVERSE = Universe.power_of_two(d=3, k=8)  # 256^3 cells
+
+CURVES = {
+    "z": ZCurve,
+    "gray": GrayCurve,
+    "hilbert": HilbertCurve,
+    "simple": SimpleCurve,
+    "snake": SnakeCurve,
+}
+
+
+@pytest.fixture(scope="module")
+def batch_coords():
+    rng = np.random.default_rng(0)
+    return rng.integers(
+        0, UNIVERSE.side, size=(BATCH, UNIVERSE.d), dtype=np.int64
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CURVES))
+def test_p1_encode_throughput(benchmark, batch_coords, name):
+    curve = CURVES[name](UNIVERSE)
+    keys = benchmark(curve.index, batch_coords)
+    assert keys.shape == (BATCH,)
+    assert keys.min() >= 0
+    assert keys.max() < UNIVERSE.n
+
+
+@pytest.mark.parametrize("name", sorted(CURVES))
+def test_p1_decode_throughput(benchmark, batch_coords, name):
+    curve = CURVES[name](UNIVERSE)
+    keys = curve.index(batch_coords)
+    coords = benchmark(curve.coords, keys)
+    assert np.array_equal(coords, batch_coords)

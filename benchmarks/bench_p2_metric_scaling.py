@@ -1,0 +1,52 @@
+"""P2 — stretch-metric computation scaling.
+
+Times the exact D^avg/D^max/Λ computation on growing universes; the
+cost must stay O(d·n) (vectorized slice arithmetic, no per-cell
+Python).
+"""
+
+import pytest
+
+from repro import Universe
+from repro.core.stretch import (
+    average_average_nn_stretch,
+    average_maximum_nn_stretch,
+    lambda_sums,
+)
+from repro.curves.zcurve import ZCurve
+
+CASES = {
+    "d2_k8": Universe.power_of_two(d=2, k=8),  # 65k cells
+    "d2_k10": Universe.power_of_two(d=2, k=10),  # 1M cells
+    "d3_k6": Universe.power_of_two(d=3, k=6),  # 262k cells
+}
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_p2_davg_scaling(benchmark, case):
+    universe = CASES[case]
+    curve = ZCurve(universe)
+    curve.key_grid()  # exclude one-time grid construction from timing
+    value = benchmark(average_average_nn_stretch, curve)
+    from repro.core.lower_bounds import davg_lower_bound
+
+    assert value >= davg_lower_bound(universe.n, universe.d)
+
+
+def test_p2_dmax_large(benchmark):
+    universe = CASES["d2_k10"]
+    curve = ZCurve(universe)
+    curve.key_grid()
+    value = benchmark(average_maximum_nn_stretch, curve)
+    assert value > 0
+
+
+def test_p2_lambda_large(benchmark):
+    universe = CASES["d2_k10"]
+    curve = ZCurve(universe)
+    curve.key_grid()
+    from repro.core.asymptotics import lambda_z_exact
+
+    values = benchmark(lambda_sums, curve)
+    for i in (1, 2):
+        assert int(values[i - 1]) == lambda_z_exact(universe, i)

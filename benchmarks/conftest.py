@@ -1,0 +1,34 @@
+"""Shared bench infrastructure.
+
+Every bench regenerates one paper artifact (table/figure/claim), writes
+its table to ``benchmarks/results/<exp>.txt`` and asserts the paper's
+*shape* claim (who wins, by what factor, where limits sit).  Timing is
+reported through pytest-benchmark; experiment payloads run once via
+``benchmark.pedantic`` so the expensive sweeps are not repeated.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture
+def results_writer():
+    """Write a named experiment table under benchmarks/results/."""
+
+    def write(name: str, text: str) -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text if text.endswith("\n") else text + "\n")
+        return path
+
+    return write
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

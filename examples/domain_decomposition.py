@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Parallel domain decomposition with SFCs (the paper's HPC motivation).
+
+A 3-D computational domain (32x32x32 before weighting) is distributed
+over 16 workers by cutting each curve into contiguous, equally weighted
+segments.  We compare curves on:
+
+* load imbalance (max part load / mean), and
+* edge cut — grid-neighbor pairs split across workers, i.e. the
+  communication volume of a halo exchange.
+
+A non-uniform workload (a hot Gaussian blob, as in adaptive mesh codes)
+shows the weighted partitioner in action.
+
+Run:  python examples/domain_decomposition.py
+"""
+
+import numpy as np
+
+from repro import Universe
+from repro.apps.partition import partition_quality
+from repro.curves.registry import curves_for_universe
+from repro.viz.tables import format_table
+
+
+def gaussian_blob_weights(universe: Universe) -> np.ndarray:
+    """Work density peaked at the domain center (e.g. AMR refinement)."""
+    grids = universe.coordinate_grids()
+    center = (universe.side - 1) / 2.0
+    r2 = sum((g - center) ** 2 for g in grids)
+    sigma2 = (universe.side / 4.0) ** 2
+    return 1.0 + 20.0 * np.exp(-r2 / (2 * sigma2))
+
+
+def main() -> None:
+    universe = Universe.power_of_two(d=3, k=4)  # 32^3 = 32768 cells
+    n_workers = 16
+    print(f"Domain {universe}, {n_workers} workers\n")
+
+    zoo = curves_for_universe(
+        universe, names=["hilbert", "z", "gray", "snake", "simple", "random"]
+    )
+
+    print("== Uniform workload ==")
+    rows = []
+    for name, curve in zoo.items():
+        q = partition_quality(curve, n_workers)
+        rows.append(
+            {
+                "curve": name,
+                "imbalance": q.imbalance,
+                "edge_cut": q.edge_cut,
+                "cut_fraction": q.cut_fraction,
+            }
+        )
+    rows.sort(key=lambda r: r["edge_cut"])
+    print(format_table(rows))
+
+    print("\n== Gaussian hot-spot workload (weighted cuts) ==")
+    weights = gaussian_blob_weights(universe)
+    rows = []
+    for name, curve in zoo.items():
+        q = partition_quality(curve, n_workers, weights)
+        rows.append(
+            {
+                "curve": name,
+                "imbalance": q.imbalance,
+                "edge_cut": q.edge_cut,
+                "cut_fraction": q.cut_fraction,
+            }
+        )
+    rows.sort(key=lambda r: r["edge_cut"])
+    print(format_table(rows))
+
+    print(
+        "\nLocality-preserving curves (Hilbert/Z) cut a small fraction of"
+        "\nneighbor pairs; the random bijection cuts nearly all of them —"
+        "\nthe end-to-end payoff of small NN-stretch."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Gallery: the spatial structure of the per-cell stretch.
+
+Renders δ^avg_π as an ASCII heat map for each 2-D curve on a 32x32
+grid.  The pictures explain the numbers: the simple curve's perfectly
+flat interior (Theorem 3's `U_1`), the Z curve's hierarchical seams
+(bright crosses at block boundaries — the G_{i,j} groups of Lemma 5),
+the Hilbert curve's fractal hot spots, and the featureless white noise
+of a random bijection.
+
+Run:  python examples/stretch_heatmaps.py
+"""
+
+from repro import Universe
+from repro.analysis.dispersion import stretch_dispersion
+from repro.curves.registry import curves_for_universe
+from repro.viz.heatmap import stretch_heatmap
+
+
+def main() -> None:
+    universe = Universe.power_of_two(d=2, k=5)
+    zoo = curves_for_universe(
+        universe, names=["simple", "z", "hilbert", "moore", "random"]
+    )
+    for name, curve in zoo.items():
+        disp = stretch_dispersion(curve)
+        print(f"== {name} ==")
+        print(
+            f"mean δ^avg = {disp.mean:.2f}   std = {disp.std:.2f}   "
+            f"gini = {disp.gini:.3f}   q99 = {disp.q99:.1f}"
+        )
+        print(stretch_heatmap(curve))
+        print()
+
+    print(
+        "Reading guide: darker = higher per-cell stretch.  The Z curve's\n"
+        "bright seams sit exactly where coordinate bits carry (Lemma 5's\n"
+        "G_{i,j} groups with large j); the simple curve is flat because\n"
+        "every interior cell pays the same (n-1)/(d(side-1)) (Theorem 3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

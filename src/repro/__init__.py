@@ -1,0 +1,104 @@
+"""repro — reproduction of Xu & Tirthapura (IPDPS 2012),
+"A Lower Bound on Proximity Preservation by Space Filling Curves".
+
+Public API highlights
+---------------------
+* :class:`repro.Universe` — the d-dimensional grid model (Section III).
+* Curves: :class:`repro.ZCurve`, :class:`repro.SimpleCurve`,
+  :class:`repro.HilbertCurve`, :class:`repro.GrayCurve`, … (see
+  :mod:`repro.curves`).
+* Metrics: :func:`repro.average_average_nn_stretch` (``D^avg``),
+  :func:`repro.average_maximum_nn_stretch` (``D^max``),
+  :func:`repro.average_allpairs_stretch_exact` (``str_{avg,M/E}``).
+* Bounds: :func:`repro.davg_lower_bound` (Theorem 1) and the closed
+  forms in :mod:`repro.core.asymptotics`.
+
+Quickstart
+----------
+>>> from repro import Universe, ZCurve, average_average_nn_stretch
+>>> from repro import davg_lower_bound
+>>> u = Universe.power_of_two(d=2, k=4)      # 16x16 grid, n = 256
+>>> z = ZCurve(u)
+>>> davg = average_average_nn_stretch(z)
+>>> davg >= davg_lower_bound(u.n, u.d)       # Theorem 1
+True
+"""
+
+from repro.grid.universe import Universe
+from repro.curves import (
+    DiagonalCurve,
+    GrayCurve,
+    HilbertCurve,
+    PeanoCurve,
+    PermutationCurve,
+    RandomCurve,
+    SimpleCurve,
+    SnakeCurve,
+    SpaceFillingCurve,
+    SpiralCurve,
+    ZCurve,
+    available_curves,
+    curves_for_universe,
+    figure1_pi1,
+    figure1_pi2,
+    make_curve,
+)
+from repro.core import (
+    average_allpairs_stretch_exact,
+    average_allpairs_stretch_sampled,
+    average_average_nn_stretch,
+    average_maximum_nn_stretch,
+    davg_lower_bound,
+    davg_simple_exact,
+    davg_z_limit,
+    dmax_lower_bound,
+    dmax_simple_exact,
+    gap_survey,
+    lambda_sums,
+    lambda_z_exact,
+    lemma2_sum_exact,
+    optimality_ratio,
+    stretch_report,
+    survey,
+    theorem1_certificate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Universe",
+    "SpaceFillingCurve",
+    "PermutationCurve",
+    "ZCurve",
+    "SimpleCurve",
+    "SnakeCurve",
+    "GrayCurve",
+    "HilbertCurve",
+    "PeanoCurve",
+    "DiagonalCurve",
+    "SpiralCurve",
+    "RandomCurve",
+    "figure1_pi1",
+    "figure1_pi2",
+    "available_curves",
+    "curves_for_universe",
+    "make_curve",
+    "average_average_nn_stretch",
+    "average_maximum_nn_stretch",
+    "average_allpairs_stretch_exact",
+    "average_allpairs_stretch_sampled",
+    "lambda_sums",
+    "lambda_z_exact",
+    "lemma2_sum_exact",
+    "davg_lower_bound",
+    "dmax_lower_bound",
+    "davg_z_limit",
+    "davg_simple_exact",
+    "dmax_simple_exact",
+    "optimality_ratio",
+    "gap_survey",
+    "stretch_report",
+    "survey",
+    "theorem1_certificate",
+]

@@ -1,0 +1,57 @@
+"""Surrounding analyses: related-work metrics, estimation, convergence.
+
+These modules implement the *other* locality metrics the paper's related
+work section discusses (clustering, reverse window dilation), the
+convergence tooling used to validate asymptotic (``~``) claims at finite
+n, distribution views of NN curve distances, and shared sampling
+helpers.
+"""
+
+from repro.analysis.anisotropy import (
+    anisotropy_index,
+    axis_fractions,
+    simple_axis_fraction_exact,
+    z_axis_fraction_limit,
+)
+from repro.analysis.clustering import (
+    cluster_count,
+    expected_clusters,
+    rectangle_cells,
+)
+from repro.analysis.dispersion import (
+    StretchDispersion,
+    gini,
+    stretch_dispersion,
+)
+from repro.analysis.profile import (
+    stretch_profile_exact,
+    stretch_profile_sampled,
+)
+from repro.analysis.convergence import ConvergencePoint, convergence_study, is_converging
+from repro.analysis.distribution import nn_distance_ccdf, nn_distance_quantiles
+from repro.analysis.locality import window_dilation, worst_window_pairs
+from repro.analysis.sampling import sample_mean_ci, sample_rectangles
+
+__all__ = [
+    "anisotropy_index",
+    "axis_fractions",
+    "z_axis_fraction_limit",
+    "simple_axis_fraction_exact",
+    "StretchDispersion",
+    "stretch_dispersion",
+    "gini",
+    "stretch_profile_exact",
+    "stretch_profile_sampled",
+    "cluster_count",
+    "expected_clusters",
+    "rectangle_cells",
+    "ConvergencePoint",
+    "convergence_study",
+    "is_converging",
+    "nn_distance_ccdf",
+    "nn_distance_quantiles",
+    "window_dilation",
+    "worst_window_pairs",
+    "sample_mean_ci",
+    "sample_rectangles",
+]

@@ -1,0 +1,71 @@
+"""Per-dimension balance of the NN-stretch (Lemma 5 through a new lens).
+
+Lemma 5 shows the Z curve spends its NN-stretch budget very unevenly
+across dimensions: asymptotically a fraction ``2^{d−i}/(2^d − 1)`` of
+the total on dimension i — dimension 1 carries over half the stretch.
+The simple curve is even more skewed (``side^{i−1}`` weights); the
+Hilbert curve is nearly isotropic.
+
+This module quantifies that with the *anisotropy profile*
+``Λ_i / Σ_j Λ_j`` and a scalar anisotropy index (max/min fraction).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.core.stretch import lambda_sums
+from repro.curves.base import SpaceFillingCurve
+
+__all__ = [
+    "axis_fractions",
+    "anisotropy_index",
+    "z_axis_fraction_limit",
+    "simple_axis_fraction_exact",
+]
+
+
+def axis_fractions(curve: SpaceFillingCurve) -> np.ndarray:
+    """``Λ_i / Σ_j Λ_j`` per dimension (sums to 1)."""
+    lam = lambda_sums(curve).astype(np.float64)
+    total = lam.sum()
+    if total <= 0:
+        raise ValueError("degenerate universe (no NN pairs)")
+    return lam / total
+
+
+def anisotropy_index(curve: SpaceFillingCurve) -> float:
+    """``max_i Λ_i / min_i Λ_i`` — 1.0 means perfectly isotropic."""
+    lam = lambda_sums(curve).astype(np.float64)
+    if lam.min() <= 0:
+        raise ValueError("degenerate universe (axis with no pairs)")
+    return float(lam.max() / lam.min())
+
+
+def z_axis_fraction_limit(d: int, i: int) -> Fraction:
+    """Asymptotic Λ_i fraction of the Z curve: ``2^{d−i}/(2^d − 1)``.
+
+    Direct corollary of Lemma 5: all Λ_i share the scale ``n^{2−1/d}``,
+    so their fractions converge to the limit coefficients (which sum
+    to 1).
+    """
+    if not 1 <= i <= d:
+        raise ValueError(f"dimension index must be in [1, {d}], got {i}")
+    return Fraction(2 ** (d - i), 2**d - 1)
+
+
+def simple_axis_fraction_exact(d: int, side: int, i: int) -> Fraction:
+    """Exact Λ_i fraction of the simple curve: ``side^{i−1}·(side−1)/(side^d−1)``.
+
+    Every axis has the same pair count and constant distance
+    ``side^{i−1}``, so fractions follow the geometric weights exactly
+    at every finite size (no limit needed).
+    """
+    if not 1 <= i <= d:
+        raise ValueError(f"dimension index must be in [1, {d}], got {i}")
+    if side < 2:
+        raise ValueError("need side >= 2")
+    total = sum(side ** (j - 1) for j in range(1, d + 1))
+    return Fraction(side ** (i - 1), total)

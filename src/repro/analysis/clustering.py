@@ -1,0 +1,83 @@
+"""The clustering metric of Moon et al. (2001) — related-work comparison.
+
+Given a rectangular query region, the *cluster count* is the number of
+maximal runs of consecutive curve indices needed to cover the region's
+cells.  Moon et al. analyze this for the Hilbert curve; the paper's
+Section II stresses that clustering and stretch are **different** metrics
+— our A2 bench shows they rank curves differently.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.curves.base import SpaceFillingCurve
+from repro.grid.coords import coords_to_rank
+
+__all__ = ["rectangle_cells", "cluster_count", "expected_clusters"]
+
+
+def rectangle_cells(
+    universe, lo: Sequence[int], hi: Sequence[int]
+) -> np.ndarray:
+    """Coordinates of all cells in the half-open box ``[lo, hi)``.
+
+    Returns shape ``(volume, d)``; raises for empty or out-of-range boxes.
+    """
+    lo_arr = np.asarray(lo, dtype=np.int64)
+    hi_arr = np.asarray(hi, dtype=np.int64)
+    if lo_arr.shape != (universe.d,) or hi_arr.shape != (universe.d,):
+        raise ValueError(f"lo/hi must have shape ({universe.d},)")
+    if np.any(lo_arr < 0) or np.any(hi_arr > universe.side):
+        raise ValueError("box extends outside the universe")
+    if np.any(hi_arr <= lo_arr):
+        raise ValueError("box must be non-empty (hi > lo per axis)")
+    axes = [np.arange(a, b, dtype=np.int64) for a, b in zip(lo_arr, hi_arr)]
+    mesh = np.meshgrid(*axes, indexing="ij")
+    return np.stack([m.reshape(-1) for m in mesh], axis=-1)
+
+
+def cluster_count(
+    curve: SpaceFillingCurve, lo: Sequence[int], hi: Sequence[int]
+) -> int:
+    """Number of maximal consecutive-key runs covering the box ``[lo, hi)``.
+
+    This is Moon et al.'s clustering number: each run corresponds to one
+    contiguous read when the data is laid out in curve order.
+    """
+    cells = rectangle_cells(curve.universe, lo, hi)
+    keys = np.sort(curve.index(cells))
+    if keys.size == 0:
+        return 0
+    breaks = int((np.diff(keys) > 1).sum())
+    return breaks + 1
+
+
+def expected_clusters(
+    curve: SpaceFillingCurve,
+    box_shape: Sequence[int],
+    n_samples: int = 200,
+    seed: int = 0,
+) -> float:
+    """Average cluster count over uniformly placed boxes of a fixed shape.
+
+    Moon et al.'s quantity of interest for query workloads.  Placement is
+    uniform over all in-bounds positions.
+    """
+    universe = curve.universe
+    shape = np.asarray(box_shape, dtype=np.int64)
+    if shape.shape != (universe.d,):
+        raise ValueError(f"box_shape must have {universe.d} entries")
+    if np.any(shape < 1) or np.any(shape > universe.side):
+        raise ValueError("box_shape must fit in the universe")
+    rng = np.random.default_rng(seed)
+    max_lo = universe.side - shape  # inclusive upper bound per axis
+    total = 0
+    for _ in range(n_samples):
+        lo = np.array(
+            [rng.integers(0, m + 1) for m in max_lo], dtype=np.int64
+        )
+        total += cluster_count(curve, lo, lo + shape)
+    return total / n_samples

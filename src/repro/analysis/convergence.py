@@ -1,0 +1,88 @@
+"""Convergence studies for the paper's asymptotic (``f ~ g``) claims.
+
+Theorems 2–3 and Lemma 5 are statements of the form
+``lim_{n→∞} f(n)/g(n) = 1`` (or ``= c``).  At finite n we validate them
+by sweeping ``k`` and checking that the ratio sequence approaches the
+limit monotonically in distance — the numerical signature of the
+asymptotic claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = ["ConvergencePoint", "convergence_study", "is_converging"]
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """One finite-n point of a ratio-to-limit sequence."""
+
+    parameter: int  # typically k (side = 2^k)
+    n: int
+    measured: float
+    reference: float
+
+    @property
+    def ratio(self) -> float:
+        """``measured / reference``; → 1 under the paper's ``~`` claim."""
+        return self.measured / self.reference
+
+    @property
+    def gap(self) -> float:
+        """``|ratio − 1|``; should shrink along the sweep."""
+        return abs(self.ratio - 1.0)
+
+
+def convergence_study(
+    parameters: Sequence[int],
+    measure: Callable[[int], float],
+    reference: Callable[[int], float],
+    n_of: Callable[[int], int],
+) -> list[ConvergencePoint]:
+    """Evaluate ``measure/reference`` along a parameter sweep.
+
+    Parameters
+    ----------
+    parameters:
+        Sweep values (e.g. ``k = 1..8``), in increasing order.
+    measure, reference:
+        Callables mapping a parameter to the measured quantity and its
+        claimed asymptotic leading term.
+    n_of:
+        Maps a parameter to the universe size (for reporting).
+    """
+    points = []
+    for p in parameters:
+        points.append(
+            ConvergencePoint(
+                parameter=p,
+                n=n_of(p),
+                measured=measure(p),
+                reference=reference(p),
+            )
+        )
+    return points
+
+
+def is_converging(
+    points: Sequence[ConvergencePoint],
+    final_gap: float = 0.25,
+    allow_slack: float = 1e-12,
+) -> bool:
+    """Accept a sweep as consistent with ``ratio → 1``.
+
+    Criteria: the last gap is below ``final_gap`` **and** the gap never
+    increases along the sweep (up to ``allow_slack`` for float noise).
+    This is a falsifiable check: a wrong constant or a wrong exponent in
+    the reference fails it immediately.
+    """
+    if not points:
+        raise ValueError("empty convergence study")
+    gaps = [pt.gap for pt in points]
+    monotone = all(
+        later <= earlier + allow_slack
+        for earlier, later in zip(gaps[:-1], gaps[1:])
+    )
+    return monotone and gaps[-1] <= final_gap

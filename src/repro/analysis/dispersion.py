@@ -1,0 +1,77 @@
+"""Dispersion of the per-cell stretch: beyond the paper's means.
+
+``D^avg`` and ``D^max`` are means over cells; fairness-style questions
+("are a few cells pathologically stretched, or is the cost spread
+evenly?") need dispersion statistics of the per-cell ``δ^avg_π``
+field:
+
+* standard deviation and coefficient of variation;
+* the Gini coefficient (0 = perfectly even, → 1 = concentrated);
+* tail quantiles of the per-cell stretch.
+
+The simple curve is the extreme case: interior cells all share one
+value (zero interior dispersion), while recursive curves spread a wide
+range of per-cell values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.stretch import per_cell_avg_stretch
+from repro.curves.base import SpaceFillingCurve
+
+__all__ = ["StretchDispersion", "stretch_dispersion", "gini"]
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative sample (0 = all equal)."""
+    arr = np.sort(np.asarray(values, dtype=np.float64).reshape(-1))
+    if arr.size == 0:
+        raise ValueError("empty sample")
+    if np.any(arr < 0):
+        raise ValueError("Gini requires non-negative values")
+    total = arr.sum()
+    if total == 0:
+        return 0.0
+    n = arr.size
+    index = np.arange(1, n + 1)
+    return float((2 * index - n - 1) @ arr / (n * total))
+
+
+@dataclass(frozen=True)
+class StretchDispersion:
+    """Dispersion summary of the per-cell δ^avg field."""
+
+    curve_name: str
+    mean: float
+    std: float
+    gini: float
+    q50: float
+    q90: float
+    q99: float
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        return self.std / self.mean
+
+
+def stretch_dispersion(
+    curve: SpaceFillingCurve,
+    quantiles: Sequence[float] = (0.5, 0.9, 0.99),
+) -> StretchDispersion:
+    """Compute dispersion statistics of ``δ^avg_π`` over all cells."""
+    field = per_cell_avg_stretch(curve).reshape(-1)
+    q50, q90, q99 = (float(np.quantile(field, q)) for q in quantiles)
+    return StretchDispersion(
+        curve_name=curve.name,
+        mean=float(field.mean()),
+        std=float(field.std()),
+        gini=gini(field),
+        q50=q50,
+        q90=q90,
+        q99=q99,
+    )

@@ -1,0 +1,64 @@
+"""Distribution views of the NN curve-distance values.
+
+``D^avg`` and ``D^max`` are means of the per-cell stretch; applications
+(notably the N-body window search in :mod:`repro.apps.nbody`) need the
+full distribution of ``∆π`` over NN pairs: quantiles and the CCDF
+``P(∆π > w)``, which equals the *miss rate* of a curve-window neighbor
+search with half-width ``w``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.stretch import nn_distance_values
+from repro.curves.base import SpaceFillingCurve
+
+__all__ = [
+    "nn_distance_quantiles",
+    "nn_distance_ccdf",
+    "window_for_recall",
+]
+
+
+def nn_distance_quantiles(
+    curve: SpaceFillingCurve, qs: Sequence[float] = (0.5, 0.9, 0.99, 1.0)
+) -> dict[float, float]:
+    """Quantiles of ``∆π`` over all unordered NN pairs."""
+    values = nn_distance_values(curve)
+    out = {}
+    for q in qs:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0,1], got {q}")
+        out[q] = float(np.quantile(values, q))
+    return out
+
+
+def nn_distance_ccdf(
+    curve: SpaceFillingCurve, windows: Sequence[int]
+) -> dict[int, float]:
+    """``P(∆π > w)`` over NN pairs, for each window ``w``.
+
+    This is exactly the fraction of nearest-neighbor interactions a
+    curve-window search of half-width ``w`` would miss.
+    """
+    values = nn_distance_values(curve)
+    total = values.size
+    return {
+        int(w): float((values > w).sum()) / total for w in windows
+    }
+
+
+def window_for_recall(curve: SpaceFillingCurve, recall: float) -> int:
+    """Smallest window ``w`` with ``P(∆π ≤ w) ≥ recall``.
+
+    The application-level cost of a curve: better NN-stretch ⇒ smaller
+    windows for the same recall.
+    """
+    if not 0.0 < recall <= 1.0:
+        raise ValueError(f"recall must be in (0,1], got {recall}")
+    values = np.sort(nn_distance_values(curve))
+    rank = int(np.ceil(recall * values.size)) - 1
+    return int(values[rank])

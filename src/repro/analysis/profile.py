@@ -1,0 +1,94 @@
+"""Stretch conditioned on grid distance — the probabilistic-model view.
+
+The paper's final open question proposes analyzing proximity
+preservation "using a more general probabilistic model of input".  The
+natural object is the *stretch profile*
+
+    ``profile(r) = E[ ∆π(α,β)/∆(α,β) | ∆(α,β) = r ]``
+
+over uniformly random pairs at each grid distance r: how the stretch
+decays from the NN regime (r = 1, the paper's focus) to the diameter.
+Exact (chunked all-pairs) for small universes; seeded sampling for
+large ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import SpaceFillingCurve
+from repro.grid.metrics import pairwise_manhattan
+
+__all__ = ["stretch_profile_exact", "stretch_profile_sampled"]
+
+
+def stretch_profile_exact(
+    curve: SpaceFillingCurve, chunk: int = 1024
+) -> dict[int, float]:
+    """Exact ``profile(r)`` for every realized Manhattan distance r.
+
+    ``O(n²)`` chunked; intended for universes up to ~10⁴ cells.
+    """
+    universe = curve.universe
+    n = universe.n
+    if n < 2:
+        raise ValueError("need n >= 2")
+    cells = universe.all_coords()
+    keys = curve.index(cells).astype(np.float64)
+    max_r = universe.d * (universe.side - 1)
+    sums = np.zeros(max_r + 1, dtype=np.float64)
+    counts = np.zeros(max_r + 1, dtype=np.int64)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        dist = pairwise_manhattan(cells[start:stop], cells)
+        key_dist = np.abs(keys[start:stop, None] - keys[None, :])
+        flat_r = dist.reshape(-1)
+        ratio = np.divide(
+            key_dist.reshape(-1),
+            flat_r,
+            out=np.zeros(flat_r.size),
+            where=flat_r > 0,
+        )
+        sums += np.bincount(flat_r, weights=ratio, minlength=max_r + 1)
+        counts += np.bincount(flat_r, minlength=max_r + 1)
+    return {
+        r: float(sums[r] / counts[r])
+        for r in range(1, max_r + 1)
+        if counts[r] > 0
+    }
+
+
+def stretch_profile_sampled(
+    curve: SpaceFillingCurve,
+    n_pairs: int = 200_000,
+    seed: int = 0,
+) -> dict[int, float]:
+    """Sampled ``profile(r)`` from uniform random ordered pairs.
+
+    Distances with no sampled pair are absent from the result; rare
+    extreme distances get noisy estimates — use the exact variant for
+    assertions.
+    """
+    universe = curve.universe
+    n = universe.n
+    if n < 2:
+        raise ValueError("need n >= 2")
+    if n_pairs < 1:
+        raise ValueError("need n_pairs >= 1")
+    rng = np.random.default_rng(seed)
+    from repro.grid.coords import rank_to_coords
+
+    first = rng.integers(0, n, size=n_pairs, dtype=np.int64)
+    second = (first + rng.integers(1, n, size=n_pairs, dtype=np.int64)) % n
+    a = rank_to_coords(first, universe)
+    b = rank_to_coords(second, universe)
+    dist = np.abs(a - b).sum(axis=1)
+    ratio = np.abs(curve.index(a) - curve.index(b)) / dist
+    max_r = int(dist.max())
+    sums = np.bincount(dist, weights=ratio, minlength=max_r + 1)
+    counts = np.bincount(dist, minlength=max_r + 1)
+    return {
+        r: float(sums[r] / counts[r])
+        for r in range(1, max_r + 1)
+        if counts[r] > 0
+    }

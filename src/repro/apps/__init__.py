@@ -1,0 +1,56 @@
+"""Application substrates for the paper's motivating workloads (Section I).
+
+The paper motivates SFC stretch through three application families; each
+gets a small exact substrate so stretch can be connected to end-to-end
+costs:
+
+* :mod:`repro.apps.partition` — parallel domain decomposition
+  (Aluru & Sevilgen; Pilkington & Baden; Parashar & Browne).
+* :mod:`repro.apps.nbody` — nearest-neighbor interactions in N-body
+  style simulations (Warren & Salmon).
+* :mod:`repro.apps.rangequery` — multi-dimensional data in secondary
+  memory / databases (Faloutsos; Orenstein & Merrett).
+"""
+
+from repro.apps.halo import HaloExchange, halo_exchange
+from repro.apps.nbody import (
+    NeighborSweepResult,
+    ParticleStore,
+    neighbor_recall,
+    sweep_cost,
+)
+from repro.apps.partition import (
+    PartitionQuality,
+    edge_cut,
+    load_imbalance,
+    partition_by_curve,
+    partition_quality,
+)
+from repro.apps.rangequery import (
+    QueryCost,
+    SFCIndex,
+)
+from repro.apps.resort import (
+    DriftCost,
+    drift_step_cost,
+    expected_unit_move_key_displacement,
+)
+
+__all__ = [
+    "partition_by_curve",
+    "load_imbalance",
+    "edge_cut",
+    "partition_quality",
+    "PartitionQuality",
+    "ParticleStore",
+    "neighbor_recall",
+    "sweep_cost",
+    "NeighborSweepResult",
+    "SFCIndex",
+    "QueryCost",
+    "HaloExchange",
+    "halo_exchange",
+    "DriftCost",
+    "drift_step_cost",
+    "expected_unit_move_key_displacement",
+]

@@ -1,0 +1,194 @@
+"""SFC-based parallel domain decomposition.
+
+The classic HPC use of SFCs: order the cells (or their work weights)
+along the curve and cut the order into ``p`` contiguous segments, one per
+processor.  Quality measures:
+
+* **load imbalance** — ``max part weight / mean part weight``;
+* **edge cut** — number of grid NN pairs whose endpoints land in
+  different parts (proxy for communication volume).  A curve with small
+  NN-stretch keeps neighbors in the same segment, so the stretch metrics
+  of the paper directly control this cost (bench A3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.curves.base import SpaceFillingCurve
+from repro.grid.neighbors import axis_pair_index_arrays
+
+__all__ = [
+    "part_surface_counts",
+    "mean_surface_to_volume",
+    "partition_by_curve",
+    "load_imbalance",
+    "edge_cut",
+    "PartitionQuality",
+    "partition_quality",
+]
+
+
+def partition_by_curve(
+    curve: SpaceFillingCurve,
+    n_parts: int,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Assign every cell to one of ``n_parts`` contiguous curve segments.
+
+    Parameters
+    ----------
+    curve:
+        The ordering SFC.
+    n_parts:
+        Number of processors; must satisfy ``1 <= n_parts <= n``.
+    weights:
+        Optional per-cell non-negative work weights (dense grid shape).
+        Cuts are placed greedily so each prefix reaches its proportional
+        share — the standard 1-D chains-on-chains heuristic used by SFC
+        partitioners.  Uniform weights give equal-count segments.
+
+    Returns
+    -------
+    Dense grid of part labels in ``[0, n_parts)``.
+    """
+    universe = curve.universe
+    n = universe.n
+    if not 1 <= n_parts <= n:
+        raise ValueError(f"n_parts must be in [1, {n}], got {n_parts}")
+    keys = curve.key_grid()
+    if weights is None:
+        # Equal-count split of the curve order.
+        labels_along_curve = (
+            np.arange(n, dtype=np.int64) * n_parts
+        ) // n
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != universe.shape:
+            raise ValueError(
+                f"weights shape {w.shape} != universe {universe.shape}"
+            )
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+        order_weights = np.empty(n, dtype=np.float64)
+        order_weights[keys.reshape(-1)] = w.reshape(-1)
+        cumulative = np.cumsum(order_weights)
+        total = cumulative[-1]
+        if total <= 0:
+            labels_along_curve = (
+                np.arange(n, dtype=np.int64) * n_parts
+            ) // n
+        else:
+            # Cell j goes to the part whose quota its prefix mass hits;
+            # use the midpoint convention (w_j/2) so single heavy cells
+            # do not all pile into the last part.
+            mids = cumulative - order_weights / 2.0
+            labels_along_curve = np.minimum(
+                (mids / total * n_parts).astype(np.int64), n_parts - 1
+            )
+    labels = np.empty(universe.shape, dtype=np.int64)
+    labels.reshape(-1)[:] = labels_along_curve[keys.reshape(-1)]
+    return labels
+
+
+def load_imbalance(
+    labels: np.ndarray, n_parts: int, weights: np.ndarray | None = None
+) -> float:
+    """``max part load / mean part load`` (1.0 = perfect balance)."""
+    lab = np.asarray(labels, dtype=np.int64).reshape(-1)
+    if weights is None:
+        loads = np.bincount(lab, minlength=n_parts).astype(np.float64)
+    else:
+        loads = np.bincount(
+            lab,
+            weights=np.asarray(weights, dtype=np.float64).reshape(-1),
+            minlength=n_parts,
+        )
+    mean = loads.sum() / n_parts
+    if mean == 0:
+        raise ValueError("total load is zero")
+    return float(loads.max() / mean)
+
+
+def edge_cut(universe, labels: np.ndarray) -> int:
+    """Number of grid NN pairs whose endpoints have different labels."""
+    lab = np.asarray(labels)
+    if lab.shape != universe.shape:
+        raise ValueError(
+            f"labels shape {lab.shape} != universe {universe.shape}"
+        )
+    cut = 0
+    for axis in range(universe.d):
+        lo, hi = axis_pair_index_arrays(universe, axis)
+        cut += int((lab[lo] != lab[hi]).sum())
+    return cut
+
+
+def part_surface_counts(universe, labels: np.ndarray) -> np.ndarray:
+    """Per-part count of NN pairs with exactly one endpoint in the part.
+
+    The "surface" of each part in the grid graph; with the part volume
+    this gives the surface-to-volume ratio, the classic compactness
+    measure for SFC partitions (lower = more cube-like parts).
+    """
+    lab = np.asarray(labels)
+    if lab.shape != universe.shape:
+        raise ValueError(
+            f"labels shape {lab.shape} != universe {universe.shape}"
+        )
+    n_parts = int(lab.max()) + 1
+    surface = np.zeros(n_parts, dtype=np.int64)
+    for axis in range(universe.d):
+        lo, hi = axis_pair_index_arrays(universe, axis)
+        a = lab[lo].reshape(-1)
+        b = lab[hi].reshape(-1)
+        crossing = a != b
+        surface += np.bincount(a[crossing], minlength=n_parts)
+        surface += np.bincount(b[crossing], minlength=n_parts)
+    return surface
+
+
+def mean_surface_to_volume(universe, labels: np.ndarray) -> float:
+    """Mean over parts of (boundary NN pairs) / (cells in part)."""
+    lab = np.asarray(labels)
+    surface = part_surface_counts(universe, lab)
+    volumes = np.bincount(lab.reshape(-1), minlength=surface.size)
+    if np.any(volumes == 0):
+        raise ValueError("every part must be non-empty")
+    return float((surface / volumes).mean())
+
+
+@dataclass(frozen=True)
+class PartitionQuality:
+    """Quality summary of one SFC partition."""
+
+    curve_name: str
+    n_parts: int
+    imbalance: float
+    edge_cut: int
+    total_nn_pairs: int
+
+    @property
+    def cut_fraction(self) -> float:
+        """Fraction of NN pairs crossing parts (communication fraction)."""
+        return self.edge_cut / self.total_nn_pairs
+
+
+def partition_quality(
+    curve: SpaceFillingCurve,
+    n_parts: int,
+    weights: np.ndarray | None = None,
+) -> PartitionQuality:
+    """Partition by ``curve`` and summarize balance and communication."""
+    from repro.grid.neighbors import nn_pair_count
+
+    labels = partition_by_curve(curve, n_parts, weights)
+    return PartitionQuality(
+        curve_name=curve.name,
+        n_parts=n_parts,
+        imbalance=load_imbalance(labels, n_parts, weights),
+        edge_cut=edge_cut(curve.universe, labels),
+        total_nn_pairs=nn_pair_count(curve.universe),
+    )

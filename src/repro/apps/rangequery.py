@@ -1,0 +1,119 @@
+"""Secondary-memory range-query substrate (Faloutsos motivation).
+
+Multi-dimensional records laid out on disk in SFC order; a rectangular
+query reads the curve-index runs covering the box.  The I/O cost model is
+the standard one for sequential devices:
+
+    ``cost = seek_cost · (#runs) + scan_cost · (cells read)``
+
+The number of runs is exactly the Moon et al. clustering number; the
+scan volume is the box volume (runs are exact covers, no over-read).
+Bench A5 compares curves under this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.clustering import rectangle_cells
+from repro.curves.base import SpaceFillingCurve
+
+__all__ = ["SFCIndex", "QueryCost"]
+
+
+@dataclass(frozen=True)
+class QueryCost:
+    """I/O cost of one rectangular query."""
+
+    runs: int
+    cells_read: int
+    seek_cost: float
+    scan_cost: float
+
+    @property
+    def total(self) -> float:
+        return self.seek_cost * self.runs + self.scan_cost * self.cells_read
+
+
+class SFCIndex:
+    """An SFC-ordered index over all grid cells.
+
+    Records are identified with cells; the index answers rectangular
+    queries with the exact list of curve-key runs covering the box.
+    """
+
+    def __init__(
+        self,
+        curve: SpaceFillingCurve,
+        seek_cost: float = 10.0,
+        scan_cost: float = 1.0,
+    ) -> None:
+        if seek_cost < 0 or scan_cost < 0:
+            raise ValueError("costs must be non-negative")
+        self.curve = curve
+        self.seek_cost = seek_cost
+        self.scan_cost = scan_cost
+
+    def query_runs(
+        self, lo: Sequence[int], hi: Sequence[int]
+    ) -> list[tuple[int, int]]:
+        """Inclusive key runs ``[(start, end), …]`` covering box ``[lo, hi)``."""
+        cells = rectangle_cells(self.curve.universe, lo, hi)
+        keys = np.sort(self.curve.index(cells))
+        runs: list[tuple[int, int]] = []
+        start = prev = int(keys[0])
+        for key in keys[1:]:
+            key = int(key)
+            if key == prev + 1:
+                prev = key
+                continue
+            runs.append((start, prev))
+            start = prev = key
+        runs.append((start, prev))
+        return runs
+
+    def query_cells(
+        self, lo: Sequence[int], hi: Sequence[int]
+    ) -> np.ndarray:
+        """Coordinates retrieved by the runs (sorted by key) — must equal
+        the box contents; verified against the brute-force oracle in
+        tests."""
+        runs = self.query_runs(lo, hi)
+        keys = np.concatenate(
+            [np.arange(a, b + 1, dtype=np.int64) for a, b in runs]
+        )
+        return self.curve.coords(keys)
+
+    def query_cost(
+        self, lo: Sequence[int], hi: Sequence[int]
+    ) -> QueryCost:
+        """I/O cost of the box query under the seek+scan model."""
+        runs = self.query_runs(lo, hi)
+        cells = sum(b - a + 1 for a, b in runs)
+        return QueryCost(
+            runs=len(runs),
+            cells_read=cells,
+            seek_cost=self.seek_cost,
+            scan_cost=self.scan_cost,
+        )
+
+    def average_query_cost(
+        self,
+        box_shape: Sequence[int],
+        n_samples: int = 100,
+        seed: int = 0,
+    ) -> float:
+        """Mean total cost over uniformly placed boxes of a fixed shape."""
+        from repro.analysis.sampling import sample_rectangles
+
+        universe = self.curve.universe
+        boxes = sample_rectangles(
+            universe.side, universe.d, box_shape, n_samples, seed
+        )
+        total = 0.0
+        for lo, hi in boxes:
+            total += self.query_cost(lo, hi).total
+        return total / n_samples

@@ -1,0 +1,275 @@
+"""Command-line interface: ``repro-sfc`` / ``python -m repro``.
+
+Subcommands
+-----------
+* ``survey``    — stretch metrics for every applicable curve on a grid.
+* ``bounds``    — the paper's lower bounds and closed forms for a grid.
+* ``render``    — ASCII render of a 2-D curve (Figures 3/4 style).
+* ``partition`` — domain-decomposition quality across curves.
+* ``certificate`` — execute Theorem 1's proof chain on one curve.
+* ``profile``   — stretch conditioned on grid distance, per curve.
+* ``optimal``   — adversarial search for a better curve (bound probe).
+* ``export``    — save a curve's key grid to a portable ``.npz``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.asymptotics import davg_z_limit
+from repro.core.decomposition import theorem1_certificate
+from repro.core.lower_bounds import (
+    allpairs_euclidean_lower_bound,
+    allpairs_manhattan_lower_bound,
+    davg_lower_bound,
+)
+from repro.core.summary import survey
+from repro.curves.registry import available_curves, make_curve
+from repro.grid.universe import Universe
+from repro.viz.ascii_art import render_key_grid, render_path
+from repro.viz.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sfc",
+        description="SFC proximity-preservation analysis (IPDPS 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_grid_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("-d", type=int, default=2, help="dimensions (default 2)")
+        p.add_argument(
+            "--side", type=int, default=8, help="cells per axis (default 8)"
+        )
+
+    p_survey = sub.add_parser("survey", help="stretch metrics for all curves")
+    add_grid_args(p_survey)
+    p_survey.add_argument(
+        "--allpairs",
+        action="store_true",
+        help="include all-pairs stretch columns",
+    )
+
+    p_bounds = sub.add_parser("bounds", help="paper lower bounds for a grid")
+    add_grid_args(p_bounds)
+
+    p_render = sub.add_parser("render", help="ASCII render of a 2-D curve")
+    add_grid_args(p_render)
+    p_render.add_argument(
+        "--curve",
+        default="z",
+        choices=available_curves(),
+        help="curve name (default z)",
+    )
+    p_render.add_argument(
+        "--path", action="store_true", help="render step arrows, not keys"
+    )
+
+    p_part = sub.add_parser("partition", help="domain decomposition quality")
+    add_grid_args(p_part)
+    p_part.add_argument(
+        "--parts", type=int, default=8, help="number of processors"
+    )
+
+    p_cert = sub.add_parser(
+        "certificate", help="Theorem 1 proof chain on one curve"
+    )
+    add_grid_args(p_cert)
+    p_cert.add_argument("--curve", default="z", choices=available_curves())
+
+    p_profile = sub.add_parser(
+        "profile", help="stretch profile E[dpi/d | d=r] per curve"
+    )
+    add_grid_args(p_profile)
+    p_profile.add_argument(
+        "--curve", default="z", choices=available_curves()
+    )
+
+    p_opt = sub.add_parser(
+        "optimal", help="hill-climb search for a lower-D^avg bijection"
+    )
+    add_grid_args(p_opt)
+    p_opt.add_argument("--iterations", type=int, default=20_000)
+    p_opt.add_argument("--seed", type=int, default=0)
+
+    p_export = sub.add_parser(
+        "export", help="save a curve's key grid to .npz"
+    )
+    add_grid_args(p_export)
+    p_export.add_argument("--curve", default="z", choices=available_curves())
+    p_export.add_argument("--out", required=True, help="output path")
+
+    p_heat = sub.add_parser(
+        "heatmap", help="ASCII heat map of per-cell stretch (2-D)"
+    )
+    add_grid_args(p_heat)
+    p_heat.add_argument("--curve", default="z", choices=available_curves())
+
+    return parser
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    universe = Universe(d=args.d, side=args.side)
+    reports = survey(universe, include_allpairs=args.allpairs)
+    print(f"# {universe}")
+    print(format_table([r.as_row() for r in reports]))
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    universe = Universe(d=args.d, side=args.side)
+    n, d = universe.n, universe.d
+    rows = [
+        {
+            "quantity": "Theorem 1 lower bound on D^avg (and D^max)",
+            "value": davg_lower_bound(n, d),
+        },
+        {
+            "quantity": "Theorem 2/3 asymptote n^(1-1/d)/d",
+            "value": davg_z_limit(n, d),
+        },
+        {
+            "quantity": "Prop 3 all-pairs LB (Manhattan)",
+            "value": allpairs_manhattan_lower_bound(n, d),
+        },
+        {
+            "quantity": "Prop 3 all-pairs LB (Euclidean)",
+            "value": allpairs_euclidean_lower_bound(n, d),
+        },
+    ]
+    print(f"# {universe}")
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    universe = Universe(d=args.d, side=args.side)
+    curve = make_curve(args.curve, universe)
+    print(f"# {curve.name} on {universe}")
+    print(render_path(curve) if args.path else render_key_grid(curve))
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from repro.apps.partition import partition_quality
+    from repro.curves.registry import curves_for_universe
+
+    universe = Universe(d=args.d, side=args.side)
+    rows = []
+    for name, curve in curves_for_universe(universe).items():
+        q = partition_quality(curve, args.parts)
+        rows.append(
+            {
+                "curve": name,
+                "parts": q.n_parts,
+                "imbalance": q.imbalance,
+                "edge_cut": q.edge_cut,
+                "cut_frac": q.cut_fraction,
+            }
+        )
+    rows.sort(key=lambda r: r["cut_frac"])
+    print(f"# {universe}, {args.parts} parts")
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_certificate(args: argparse.Namespace) -> int:
+    universe = Universe(d=args.d, side=args.side)
+    curve = make_curve(args.curve, universe)
+    cert = theorem1_certificate(curve)
+    print(f"# Theorem 1 proof chain on {curve.name}, {universe}")
+    rows = [
+        {"quantity": "S_A' (Lemma 2, exact)", "value": cert.sa_prime},
+        {"quantity": "sum_NN Dpi (measured)", "value": cert.nn_sum},
+        {"quantity": "Lemma 4 edge bound", "value": cert.lemma4_edge_bound},
+        {"quantity": "inequality (4) RHS", "value": cert.inequality4_rhs},
+        {"quantity": "inequality (4) holds", "value": cert.inequality4_holds},
+        {"quantity": "D^avg (measured)", "value": cert.davg},
+        {"quantity": "Theorem 1 bound", "value": cert.theorem1_bound},
+        {"quantity": "Theorem 1 holds", "value": cert.theorem1_holds},
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.analysis.profile import stretch_profile_exact
+
+    universe = Universe(d=args.d, side=args.side)
+    curve = make_curve(args.curve, universe)
+    profile = stretch_profile_exact(curve)
+    rows = [{"r": r, "E[dpi/d | d=r]": v} for r, v in sorted(profile.items())]
+    print(f"# stretch profile of {curve.name} on {universe}")
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_optimal(args: argparse.Namespace) -> int:
+    from repro.core.optimal import local_search
+
+    universe = Universe(d=args.d, side=args.side)
+    result = local_search(
+        universe, iterations=args.iterations, seed=args.seed
+    )
+    bound = davg_lower_bound(universe.n, universe.d)
+    rows = [
+        {"quantity": "start D^avg (simple curve)", "value": result.start_davg},
+        {"quantity": "best D^avg found", "value": result.davg},
+        {"quantity": "Theorem 1 bound", "value": bound},
+        {"quantity": "best / bound", "value": result.davg / bound},
+        {"quantity": "improvements", "value": result.improvements},
+    ]
+    print(f"# adversarial search on {universe} ({args.iterations} steps)")
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.io import save_curve
+
+    universe = Universe(d=args.d, side=args.side)
+    curve = make_curve(args.curve, universe)
+    path = save_curve(curve, args.out)
+    print(f"saved {curve.name} on {universe} to {path}")
+    return 0
+
+
+def _cmd_heatmap(args: argparse.Namespace) -> int:
+    from repro.viz.heatmap import stretch_heatmap
+
+    universe = Universe(d=args.d, side=args.side)
+    curve = make_curve(args.curve, universe)
+    print(f"# per-cell delta^avg of {curve.name} on {universe}")
+    print(stretch_heatmap(curve))
+    return 0
+
+
+_COMMANDS = {
+    "survey": _cmd_survey,
+    "bounds": _cmd_bounds,
+    "render": _cmd_render,
+    "partition": _cmd_partition,
+    "certificate": _cmd_certificate,
+    "profile": _cmd_profile,
+    "optimal": _cmd_optimal,
+    "export": _cmd_export,
+    "heatmap": _cmd_heatmap,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""The paper's primary contribution: stretch metrics, bounds and analyses.
+
+* :mod:`repro.core.stretch` — exact nearest-neighbor stretch metrics
+  (Definitions 1–4) and the per-axis ``Λ_i`` sums of Lemma 5.
+* :mod:`repro.core.allpairs` — all-pairs stretch (Section V-B) and the
+  Lemma 2 sum identity.
+* :mod:`repro.core.lower_bounds` — Theorem 1, Propositions 1 and 3.
+* :mod:`repro.core.asymptotics` — Theorems 2–3 closed forms, exact
+  finite-n formulas for the Z and simple curves, Propositions 2 and 4.
+* :mod:`repro.core.decomposition` — the proof machinery of Theorem 1
+  (path decompositions, double counting, Lemmas 1–4) as runnable checks.
+* :mod:`repro.core.gap` — optimality ratios (the 1.5-factor headline).
+* :mod:`repro.core.summary` — survey reports across the curve zoo.
+"""
+
+from repro.core.stretch import (
+    average_average_nn_stretch,
+    average_maximum_nn_stretch,
+    axis_pair_curve_distances,
+    gij_decomposition,
+    lambda_sums,
+    nn_distance_values,
+    per_cell_avg_stretch,
+    per_cell_max_stretch,
+)
+from repro.core.allpairs import (
+    AllPairsEstimate,
+    average_allpairs_stretch_exact,
+    average_allpairs_stretch_sampled,
+    lemma2_sum_exact,
+    lemma2_sum_measured,
+)
+from repro.core.lower_bounds import (
+    allpairs_euclidean_lower_bound,
+    allpairs_manhattan_lower_bound,
+    davg_lower_bound,
+    davg_lower_bound_exact,
+    dmax_lower_bound,
+)
+from repro.core.asymptotics import (
+    allpairs_simple_euclidean_ub,
+    allpairs_simple_manhattan_ub,
+    davg_simple_exact,
+    davg_simple_limit,
+    davg_z_limit,
+    dmax_simple_exact,
+    lambda_limit_coefficient,
+    lambda_z_exact,
+    simple_interior_delta_avg,
+    z_h1_exact,
+    zcurve_gij_count,
+    zcurve_gij_distance,
+)
+from repro.core.decomposition import (
+    Theorem1Certificate,
+    edge_multiplicity_bruteforce,
+    path_triangle_check,
+    theorem1_certificate,
+)
+from repro.core.gap import GapReport, gap_survey, headline_ratio, optimality_ratio
+from repro.core.optimal import (
+    Optimum,
+    SearchResult,
+    davg_of_keys,
+    exhaustive_optimum,
+    local_search,
+    rank_space_pairs,
+)
+from repro.core.summary import StretchReport, stretch_report, survey
+from repro.core.zexact import davg_z_exact, z_h2_exact
+from repro.core.torus import (
+    average_average_nn_stretch_torus,
+    average_maximum_nn_stretch_torus,
+    davg_torus_simple_exact,
+    dmax_torus_simple_exact,
+    lambda_sums_torus,
+    wrap_pair_curve_distances,
+)
+
+__all__ = [
+    "average_average_nn_stretch",
+    "average_maximum_nn_stretch",
+    "axis_pair_curve_distances",
+    "per_cell_avg_stretch",
+    "per_cell_max_stretch",
+    "lambda_sums",
+    "nn_distance_values",
+    "gij_decomposition",
+    "AllPairsEstimate",
+    "average_allpairs_stretch_exact",
+    "average_allpairs_stretch_sampled",
+    "lemma2_sum_exact",
+    "lemma2_sum_measured",
+    "davg_lower_bound",
+    "davg_lower_bound_exact",
+    "dmax_lower_bound",
+    "allpairs_manhattan_lower_bound",
+    "allpairs_euclidean_lower_bound",
+    "davg_z_limit",
+    "davg_simple_limit",
+    "davg_simple_exact",
+    "dmax_simple_exact",
+    "simple_interior_delta_avg",
+    "lambda_limit_coefficient",
+    "lambda_z_exact",
+    "z_h1_exact",
+    "zcurve_gij_count",
+    "zcurve_gij_distance",
+    "allpairs_simple_manhattan_ub",
+    "allpairs_simple_euclidean_ub",
+    "Theorem1Certificate",
+    "theorem1_certificate",
+    "edge_multiplicity_bruteforce",
+    "path_triangle_check",
+    "Optimum",
+    "SearchResult",
+    "davg_of_keys",
+    "exhaustive_optimum",
+    "local_search",
+    "rank_space_pairs",
+    "GapReport",
+    "optimality_ratio",
+    "headline_ratio",
+    "gap_survey",
+    "StretchReport",
+    "stretch_report",
+    "survey",
+    "davg_z_exact",
+    "z_h2_exact",
+    "average_average_nn_stretch_torus",
+    "average_maximum_nn_stretch_torus",
+    "davg_torus_simple_exact",
+    "dmax_torus_simple_exact",
+    "lambda_sums_torus",
+    "wrap_pair_curve_distances",
+]

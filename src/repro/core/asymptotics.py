@@ -1,0 +1,188 @@
+"""Closed forms for specific curves: Theorems 2–3, Lemma 5, Props 2 & 4.
+
+Two kinds of formulas live here:
+
+* **Asymptotic leading terms** the paper states with ``~`` (ratio → 1):
+  ``D^avg(Z) ~ n^{1−1/d}/d`` (Theorem 2) and the same for the simple
+  curve (Theorem 3), plus the Lemma 5 limits
+  ``Λ_i(Z)/n^{2−1/d} → 2^{d−i}/(2^d−1)``.
+
+* **Exact finite-n values** extracted from the proofs, computed in exact
+  integer/rational arithmetic so benches can assert *equality*, not just
+  convergence:
+
+  - ``Λ_i(Z)`` from the ``G_{i,j}`` group decomposition in Lemma 5's
+    proof (counts ``2^{k−j}·n^{1−1/d}``, constant distance per group);
+  - ``h_1`` of Theorem 2's proof (``(1/d)·Σ_i Λ_i(Z)``);
+  - ``D^avg(S)`` via the boundary-pattern sum over the ``2^d`` subsets
+    of boundary axes (sharpening Theorem 3's proof to an identity);
+  - ``D^max(S) = n^{1−1/d}`` (Proposition 2, exact);
+  - Prop 4 upper bounds for the simple curve's all-pairs stretch.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from itertools import product
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.universe import Universe
+
+__all__ = [
+    "davg_z_limit",
+    "davg_simple_limit",
+    "lambda_limit_coefficient",
+    "zcurve_gij_count",
+    "zcurve_gij_distance",
+    "lambda_z_exact",
+    "z_h1_exact",
+    "davg_simple_exact",
+    "simple_interior_delta_avg",
+    "dmax_simple_exact",
+    "allpairs_simple_manhattan_ub",
+    "allpairs_simple_euclidean_ub",
+]
+
+
+def davg_z_limit(n: int, d: int) -> float:
+    """Theorem 2 leading term: ``D^avg(Z) ~ n^{1−1/d}/d``."""
+    if d < 1 or n < 1:
+        raise ValueError("need d >= 1 and n >= 1")
+    return n ** (1.0 - 1.0 / d) / d
+
+
+def davg_simple_limit(n: int, d: int) -> float:
+    """Theorem 3 leading term — identical to the Z curve's."""
+    return davg_z_limit(n, d)
+
+
+def lambda_limit_coefficient(d: int, i: int) -> Fraction:
+    """Lemma 5 limit: ``lim Λ_i(Z)/n^{2−1/d} = 2^{d−i}/(2^d − 1)``.
+
+    ``i`` is the paper's 1-based dimension index.
+    """
+    if not 1 <= i <= d:
+        raise ValueError(f"dimension index i must be in [1, {d}], got {i}")
+    return Fraction(2 ** (d - i), 2**d - 1)
+
+
+def zcurve_gij_count(universe: "Universe", j: int) -> int:
+    """``|G_{i,j}| = 2^{k−j} · side^{d−1}`` (independent of i).
+
+    From Lemma 5's proof: the i-th coordinate κ must have exactly
+    ``j−1`` trailing ones (``2^{k−j}`` choices), the other ``d−1``
+    coordinates are free.
+    """
+    k = universe.k
+    if not 1 <= j <= k:
+        raise ValueError(f"group index j must be in [1, {k}], got {j}")
+    return 2 ** (k - j) * universe.side ** (universe.d - 1)
+
+
+def zcurve_gij_distance(universe: "Universe", i: int, j: int) -> int:
+    """``∆_Z`` of every pair in ``G_{i,j}``: ``2^{jd−i} − Σ_{ℓ=1}^{j−1} 2^{ℓd−i}``.
+
+    Constant within the group — the κ → κ+1 increment flips coordinate
+    bit ``j−1`` up and bits ``0..j−2`` down, whose interleaved positions
+    are ``ℓd − i`` for ``ℓ = j, j−1, …, 1``.
+    """
+    d = universe.d
+    k = universe.k
+    if not 1 <= i <= d:
+        raise ValueError(f"dimension index i must be in [1, {d}], got {i}")
+    if not 1 <= j <= k:
+        raise ValueError(f"group index j must be in [1, {k}], got {j}")
+    gain = 2 ** (j * d - i)
+    loss = sum(2 ** (ell * d - i) for ell in range(1, j))
+    return gain - loss
+
+
+def lambda_z_exact(universe: "Universe", i: int) -> int:
+    """Exact finite-n ``Λ_i(Z) = Σ_j |G_{i,j}| · ∆_Z(G_{i,j})``.
+
+    This is the quantity Lemma 5 passes to the limit; here it is an exact
+    integer, asserted equal to the measured per-axis sum in the tests.
+    """
+    k = universe.k
+    return sum(
+        zcurve_gij_count(universe, j) * zcurve_gij_distance(universe, i, j)
+        for j in range(1, k + 1)
+    )
+
+
+def z_h1_exact(universe: "Universe") -> Fraction:
+    """Theorem 2's ``h_1 = (1/d)·Σ_{i=1}^{d} Λ_i(Z)``, exactly.
+
+    ``D^avg(Z) = (h_1 + h_2)/n`` where ``h_2`` is the boundary correction
+    shown to vanish asymptotically (``h_2/n^{2−1/d} → 0``).
+    """
+    d = universe.d
+    total = sum(lambda_z_exact(universe, i) for i in range(1, d + 1))
+    return Fraction(total, d)
+
+
+def davg_simple_exact(universe: "Universe") -> Fraction:
+    """Exact ``D^avg(S)`` for the simple curve, any ``side ≥ 2``.
+
+    For the simple curve, an axis-i neighbor pair always has
+    ``∆_S = side^{i−1}``, so a cell's stretch depends only on *which*
+    axes touch the boundary.  Grouping cells by their boundary pattern
+    ``B ⊆ {1..d}`` (2 boundary positions per axis in B, ``side−2``
+    interior positions otherwise):
+
+    ``D^avg(S) = (1/n) Σ_B 2^{|B|}(side−2)^{d−|B|} ·
+                 (Σ_{i∉B} 2·side^{i−1} + Σ_{i∈B} side^{i−1}) / (2d−|B|)``
+    """
+    side = universe.side
+    d = universe.d
+    if side < 2:
+        raise ValueError("need side >= 2")
+    total = Fraction(0)
+    for pattern in product((False, True), repeat=d):
+        b = sum(pattern)
+        count = (2**b) * (side - 2) ** (d - b)
+        if count == 0:
+            continue
+        numer = sum(
+            (1 if on_boundary else 2) * side**axis
+            for axis, on_boundary in enumerate(pattern)
+        )
+        total += Fraction(count * numer, 2 * d - b)
+    return total / universe.n
+
+
+def simple_interior_delta_avg(universe: "Universe") -> Fraction:
+    """Theorem 3's interior-cell value: ``δ^avg_S(α) = (n−1)/(d(side−1))``.
+
+    Every interior cell has two neighbors per axis at distance
+    ``side^{i−1}``, so ``δ^avg = (1/d)·Σ_{ℓ=0}^{d−1} side^ℓ``.
+    """
+    side = universe.side
+    if side < 3:
+        raise ValueError("interior cells require side >= 3")
+    return Fraction(universe.n - 1, universe.d * (side - 1))
+
+
+def dmax_simple_exact(universe: "Universe") -> int:
+    """Proposition 2: ``D^max(S) = n^{1−1/d} = side^{d−1}`` exactly.
+
+    Every cell has an axis-d neighbor at curve distance ``side^{d−1}``,
+    the maximum possible step, so ``δ^max`` is constant across cells.
+    """
+    if universe.side < 2:
+        raise ValueError("need side >= 2")
+    return universe.side ** (universe.d - 1)
+
+
+def allpairs_simple_manhattan_ub(n: int, d: int) -> float:
+    """Proposition 4: ``str_{avg,M}(S) ≤ n^{1−1/d}``."""
+    if d < 1 or n < 1:
+        raise ValueError("need d >= 1 and n >= 1")
+    return n ** (1.0 - 1.0 / d)
+
+
+def allpairs_simple_euclidean_ub(n: int, d: int) -> float:
+    """Proposition 4: ``str_{avg,E}(S) ≤ √2 · n^{1−1/d}``."""
+    return math.sqrt(2.0) * allpairs_simple_manhattan_ub(n, d)

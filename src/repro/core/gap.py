@@ -1,0 +1,76 @@
+"""Optimality gaps: how far is a curve from Theorem 1's lower bound?
+
+The paper's headline (Section I observations):
+
+1. the Z curve is within a factor **1.5** of optimal for ``D^avg``,
+   *irrespective of d* — because
+   ``(n^{1−1/d}/d) / ((2/3d)·n^{1−1/d}) = 3/2``;
+2. the simple curve matches it;
+3. any other SFC can improve on them by at most a constant factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.lower_bounds import davg_lower_bound
+from repro.core.stretch import average_average_nn_stretch
+from repro.curves.base import SpaceFillingCurve
+from repro.curves.registry import curves_for_universe
+from repro.grid.universe import Universe
+
+__all__ = ["GapReport", "optimality_ratio", "headline_ratio", "gap_survey"]
+
+
+def headline_ratio() -> float:
+    """The asymptotic Z-vs-bound ratio: exactly 3/2, for every d."""
+    return 1.5
+
+
+def optimality_ratio(curve: SpaceFillingCurve) -> float:
+    """``D^avg(π) / theorem1_bound`` — 1.0 would mean a tight optimum."""
+    universe = curve.universe
+    return average_average_nn_stretch(curve) / davg_lower_bound(
+        universe.n, universe.d
+    )
+
+
+@dataclass(frozen=True)
+class GapReport:
+    """One curve's distance from the universal lower bound."""
+
+    curve_name: str
+    d: int
+    side: int
+    n: int
+    davg: float
+    lower_bound: float
+    ratio: float
+
+    @classmethod
+    def from_curve(cls, curve: SpaceFillingCurve) -> "GapReport":
+        universe = curve.universe
+        davg = average_average_nn_stretch(curve)
+        bound = davg_lower_bound(universe.n, universe.d)
+        return cls(
+            curve_name=curve.name,
+            d=universe.d,
+            side=universe.side,
+            n=universe.n,
+            davg=davg,
+            lower_bound=bound,
+            ratio=davg / bound,
+        )
+
+
+def gap_survey(
+    universes: Iterable[Universe],
+    names: Sequence[str] | None = None,
+) -> list[GapReport]:
+    """Gap reports for every (universe, applicable curve) combination."""
+    reports: list[GapReport] = []
+    for universe in universes:
+        for curve in curves_for_universe(universe, names).values():
+            reports.append(GapReport.from_curve(curve))
+    return reports

@@ -1,0 +1,93 @@
+"""Lower bounds over the class of all SFCs: Theorem 1, Propositions 1 & 3.
+
+These are the paper's central negative results — *no* bijection, however
+clever, can beat them:
+
+* Theorem 1 / Proposition 1:
+  ``D^avg(π), D^max(π) ≥ (2/3d)·(n^{1−1/d} − n^{−1−1/d})``
+* Proposition 3 (all-pairs):
+  ``str_{avg,M}(π) ≥ (1/3d)·(n+1)/(n^{1/d} − 1)`` and
+  ``str_{avg,E}(π) ≥ (1/3√d)·(n+1)/(n^{1/d} − 1)``.
+
+Exact :class:`fractions.Fraction` variants are provided for universes
+whose ``side = n^{1/d}`` is an integer, avoiding any float slack when a
+bench asserts ``measured ≥ bound``.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.universe import Universe
+
+__all__ = [
+    "davg_lower_bound",
+    "davg_lower_bound_exact",
+    "dmax_lower_bound",
+    "allpairs_manhattan_lower_bound",
+    "allpairs_manhattan_lower_bound_exact",
+    "allpairs_euclidean_lower_bound",
+]
+
+
+def _check(n: int, d: int) -> None:
+    if d < 1:
+        raise ValueError(f"need d >= 1, got {d}")
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+
+
+def davg_lower_bound(n: int, d: int) -> float:
+    """Theorem 1: ``D^avg(π) ≥ (2/3d)(n^{1−1/d} − n^{−1−1/d})`` for any π."""
+    _check(n, d)
+    return (2.0 / (3.0 * d)) * (n ** (1.0 - 1.0 / d) - n ** (-1.0 - 1.0 / d))
+
+
+def davg_lower_bound_exact(universe: "Universe") -> Fraction:
+    """Theorem 1 bound as an exact rational (uses ``side = n^{1/d}``).
+
+    ``n^{1−1/d} = side^{d−1}`` and ``n^{−1−1/d} = side^{−d(d+1)/d·…}``;
+    concretely ``n^{-1-1/d} = 1 / side^{d+1}``.
+    """
+    n = universe.n
+    _check(n, universe.d)
+    side = universe.side
+    d = universe.d
+    return Fraction(2, 3 * d) * (
+        Fraction(side ** (d - 1)) - Fraction(1, side ** (d + 1))
+    )
+
+
+def dmax_lower_bound(n: int, d: int) -> float:
+    """Proposition 1: the same bound applies to ``D^max`` (δ^max ≥ δ^avg)."""
+    return davg_lower_bound(n, d)
+
+
+def allpairs_manhattan_lower_bound(n: int, d: int) -> float:
+    """Proposition 3 (Manhattan): ``str_{avg,M} ≥ (1/3d)·(n+1)/(n^{1/d}−1)``."""
+    _check(n, d)
+    root = n ** (1.0 / d)
+    if root <= 1.0:
+        raise ValueError("bound undefined for a single-cell side")
+    return (1.0 / (3.0 * d)) * (n + 1) / (root - 1.0)
+
+
+def allpairs_manhattan_lower_bound_exact(universe: "Universe") -> Fraction:
+    """Proposition 3 bound as an exact rational."""
+    n = universe.n
+    _check(n, universe.d)
+    if universe.side < 2:
+        raise ValueError("bound undefined for side < 2")
+    return Fraction(n + 1, 3 * universe.d * (universe.side - 1))
+
+
+def allpairs_euclidean_lower_bound(n: int, d: int) -> float:
+    """Proposition 3 (Euclidean): ``str_{avg,E} ≥ (1/3√d)·(n+1)/(n^{1/d}−1)``."""
+    _check(n, d)
+    root = n ** (1.0 / d)
+    if root <= 1.0:
+        raise ValueError("bound undefined for a single-cell side")
+    return (1.0 / (3.0 * math.sqrt(d))) * (n + 1) / (root - 1.0)

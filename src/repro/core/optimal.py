@@ -1,0 +1,191 @@
+"""Searching for the *optimal* SFC: how tight is Theorem 1 really?
+
+Section VI's first open question asks to close the gap between the
+lower bound `(2/3d)·n^{1−1/d}` and the best known upper bound
+`(1/d)·n^{1−1/d}` (Z / simple).  This module attacks the question
+empirically:
+
+* :func:`exhaustive_optimum` enumerates **all** `n!` bijections on tiny
+  universes and returns the true optimal `D^avg` — ground truth for the
+  gap at small n.
+* :func:`local_search` runs seeded swap-based hill climbing from any
+  starting bijection on larger universes — an adversarial attempt to
+  beat the bound (it never succeeds, and how close it gets measures the
+  bound's empirical tightness).
+
+Both work in "rank space": a bijection is an int64 vector ``keys`` with
+``keys[r]`` the key of the cell of simple-curve rank ``r``, and
+``D^avg`` is evaluated for whole batches of bijections at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import islice, permutations
+
+import numpy as np
+
+from repro.grid.neighbors import neighbor_count_grid
+from repro.grid.universe import Universe
+
+__all__ = [
+    "rank_space_pairs",
+    "davg_of_keys",
+    "exhaustive_optimum",
+    "local_search",
+    "Optimum",
+    "SearchResult",
+]
+
+#: Enumerating n! bijections is feasible only for tiny n.
+_EXHAUSTIVE_LIMIT = 9
+
+
+def rank_space_pairs(
+    universe: Universe,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """NN pair structure in rank space: ``(i_ranks, j_ranks, pair_weights)``.
+
+    ``pair_weights[p] = (1/|N(α_i)| + 1/|N(α_j)|) / n`` so that
+    ``D^avg = Σ_p pair_weights[p] · |keys[i_p] − keys[j_p]|`` — the
+    Lemma 3 expansion of Definition 2.
+    """
+    if universe.side < 2:
+        raise ValueError("need side >= 2")
+    counts = neighbor_count_grid(universe).astype(np.float64)
+    inv = 1.0 / counts
+    rank_grid = np.arange(universe.n, dtype=np.int64).reshape(
+        universe.shape, order="F"
+    )
+    i_parts, j_parts, w_parts = [], [], []
+    from repro.grid.neighbors import axis_pair_index_arrays
+
+    for axis in range(universe.d):
+        lo, hi = axis_pair_index_arrays(universe, axis)
+        i_parts.append(rank_grid[lo].reshape(-1))
+        j_parts.append(rank_grid[hi].reshape(-1))
+        w_parts.append((inv[lo] + inv[hi]).reshape(-1) / universe.n)
+    return (
+        np.concatenate(i_parts),
+        np.concatenate(j_parts),
+        np.concatenate(w_parts),
+    )
+
+
+def davg_of_keys(
+    keys: np.ndarray,
+    pairs: tuple[np.ndarray, np.ndarray, np.ndarray],
+) -> np.ndarray:
+    """Vectorized ``D^avg`` for a batch of bijections ``(..., n)``."""
+    i_ranks, j_ranks, weights = pairs
+    arr = np.asarray(keys, dtype=np.int64)
+    diffs = np.abs(arr[..., i_ranks] - arr[..., j_ranks])
+    return (diffs * weights).sum(axis=-1)
+
+
+@dataclass(frozen=True)
+class Optimum:
+    """Result of the exhaustive search."""
+
+    davg: float
+    keys: tuple[int, ...]  # one optimal bijection, in rank order
+    n_evaluated: int
+
+
+def exhaustive_optimum(universe: Universe, chunk: int = 40320) -> Optimum:
+    """True optimal ``D^avg`` over **all** bijections (tiny n only).
+
+    Complexity ``O(n! · |NN_d|)``; refuses universes with more than
+    9 cells.
+    """
+    n = universe.n
+    if n > _EXHAUSTIVE_LIMIT:
+        raise ValueError(
+            f"exhaustive search limited to n <= {_EXHAUSTIVE_LIMIT}, "
+            f"got n = {n}"
+        )
+    pairs = rank_space_pairs(universe)
+    best_val = np.inf
+    best_keys: tuple[int, ...] = tuple(range(n))
+    evaluated = 0
+    perm_iter = permutations(range(n))
+    while True:
+        block = list(islice(perm_iter, chunk))
+        if not block:
+            break
+        arr = np.asarray(block, dtype=np.int64)
+        values = davg_of_keys(arr, pairs)
+        idx = int(values.argmin())
+        if values[idx] < best_val:
+            best_val = float(values[idx])
+            best_keys = tuple(int(v) for v in arr[idx])
+        evaluated += arr.shape[0]
+    return Optimum(davg=best_val, keys=best_keys, n_evaluated=evaluated)
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Result of the local-search optimizer."""
+
+    davg: float
+    start_davg: float
+    keys: np.ndarray
+    iterations: int
+    improvements: int
+
+    @property
+    def improved(self) -> bool:
+        return self.davg < self.start_davg
+
+
+def local_search(
+    universe: Universe,
+    start_keys: np.ndarray | None = None,
+    iterations: int = 20_000,
+    seed: int = 0,
+    batch: int = 64,
+) -> SearchResult:
+    """Swap-based hill climbing on ``D^avg`` (adversarial bound probe).
+
+    Each step proposes ``batch`` random key swaps, applies the best one
+    if it improves.  Deterministic for a fixed seed.  Starting point
+    defaults to the simple curve (identity keys).
+    """
+    if iterations < 1:
+        raise ValueError("need iterations >= 1")
+    n = universe.n
+    pairs = rank_space_pairs(universe)
+    i_ranks, j_ranks, weights = pairs
+    keys = (
+        np.arange(n, dtype=np.int64)
+        if start_keys is None
+        else np.asarray(start_keys, dtype=np.int64).copy()
+    )
+    if keys.shape != (n,) or sorted(keys.tolist()) != list(range(n)):
+        raise ValueError("start_keys must be a permutation of 0..n-1")
+    rng = np.random.default_rng(seed)
+    current = float(davg_of_keys(keys, pairs))
+    start = current
+    improvements = 0
+    steps = 0
+    while steps < iterations:
+        take = min(batch, iterations - steps)
+        steps += take
+        a = rng.integers(0, n, size=take)
+        b = rng.integers(0, n, size=take)
+        trial = np.broadcast_to(keys, (take, n)).copy()
+        rows = np.arange(take)
+        trial[rows, a], trial[rows, b] = keys[b], keys[a]
+        values = davg_of_keys(trial, pairs)
+        idx = int(values.argmin())
+        if values[idx] < current:
+            keys = trial[idx].copy()
+            current = float(values[idx])
+            improvements += 1
+    return SearchResult(
+        davg=current,
+        start_davg=start,
+        keys=keys,
+        iterations=steps,
+        improvements=improvements,
+    )

@@ -1,0 +1,129 @@
+"""Survey reports: all stretch metrics for a curve in one structure.
+
+:class:`StretchReport` is the library's canonical "row" — benches,
+EXPERIMENTS.md tables and the CLI all print it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.allpairs import (
+    average_allpairs_stretch_exact,
+    average_allpairs_stretch_sampled,
+)
+from repro.core.lower_bounds import davg_lower_bound
+from repro.core.stretch import (
+    average_average_nn_stretch,
+    average_maximum_nn_stretch,
+    lambda_sums,
+)
+from repro.curves.base import SpaceFillingCurve
+from repro.curves.registry import curves_for_universe
+from repro.grid.universe import Universe
+
+__all__ = ["StretchReport", "stretch_report", "survey"]
+
+#: Universes at most this many cells get exact all-pairs values.
+_EXACT_ALLPAIRS_LIMIT = 4096
+
+
+@dataclass(frozen=True)
+class StretchReport:
+    """All headline metrics of one curve on one universe."""
+
+    curve_name: str
+    d: int
+    side: int
+    n: int
+    davg: float
+    dmax: float
+    lower_bound: float
+    davg_ratio: float
+    lambdas: tuple[int, ...] = field(default=())
+    allpairs_manhattan: float | None = None
+    allpairs_euclidean: float | None = None
+    allpairs_exact: bool = True
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict for table formatting."""
+        return {
+            "curve": self.curve_name,
+            "d": self.d,
+            "side": self.side,
+            "n": self.n,
+            "Davg": self.davg,
+            "Dmax": self.dmax,
+            "LB(Thm1)": self.lower_bound,
+            "Davg/LB": self.davg_ratio,
+            "str_M": self.allpairs_manhattan,
+            "str_E": self.allpairs_euclidean,
+        }
+
+
+def stretch_report(
+    curve: SpaceFillingCurve,
+    include_allpairs: bool = False,
+    allpairs_samples: int = 50_000,
+    seed: int = 0,
+) -> StretchReport:
+    """Compute a full :class:`StretchReport` for ``curve``.
+
+    All NN metrics are exact.  All-pairs metrics (optional) are exact for
+    universes up to ``4096`` cells and sampled (with the given budget)
+    beyond that.
+    """
+    universe = curve.universe
+    davg = average_average_nn_stretch(curve)
+    dmax = average_maximum_nn_stretch(curve)
+    bound = davg_lower_bound(universe.n, universe.d)
+    ap_m = ap_e = None
+    exact = True
+    if include_allpairs:
+        if universe.n <= _EXACT_ALLPAIRS_LIMIT:
+            ap_m = average_allpairs_stretch_exact(curve, "manhattan")
+            ap_e = average_allpairs_stretch_exact(curve, "euclidean")
+        else:
+            exact = False
+            ap_m = average_allpairs_stretch_sampled(
+                curve, allpairs_samples, "manhattan", seed
+            ).mean
+            ap_e = average_allpairs_stretch_sampled(
+                curve, allpairs_samples, "euclidean", seed
+            ).mean
+    return StretchReport(
+        curve_name=curve.name,
+        d=universe.d,
+        side=universe.side,
+        n=universe.n,
+        davg=davg,
+        dmax=dmax,
+        lower_bound=bound,
+        davg_ratio=davg / bound,
+        lambdas=tuple(int(v) for v in lambda_sums(curve)),
+        allpairs_manhattan=ap_m,
+        allpairs_euclidean=ap_e,
+        allpairs_exact=exact,
+    )
+
+
+def survey(
+    universe: Universe,
+    names: Sequence[str] | None = None,
+    include_allpairs: bool = False,
+    curves: Mapping[str, SpaceFillingCurve] | None = None,
+) -> list[StretchReport]:
+    """Reports for every applicable registered curve on ``universe``.
+
+    ``curves`` overrides the registry lookup (useful for custom zoos).
+    """
+    pool: Iterable[SpaceFillingCurve]
+    if curves is not None:
+        pool = curves.values()
+    else:
+        pool = curves_for_universe(universe, names).values()
+    return [
+        stretch_report(curve, include_allpairs=include_allpairs)
+        for curve in pool
+    ]

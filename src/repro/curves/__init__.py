@@ -1,0 +1,68 @@
+"""Space filling curves.
+
+The paper defines an SFC as *any* bijection ``π : U → {0, …, n−1}``
+(Section III) — a strictly larger class than the non-self-intersecting
+curves usually studied, which makes the lower bounds stronger.  This
+package implements the paper's two analyzed curves (Z and simple) plus a
+zoo of classical curves used as baselines and for the open questions in
+Section VI (notably the Hilbert curve).
+"""
+
+from repro.curves.base import (
+    PermutationCurve,
+    SpaceFillingCurve,
+    check_bijection,
+)
+from repro.curves.zcurve import ZCurve, interleave_bits, deinterleave_bits
+from repro.curves.simple import SimpleCurve
+from repro.curves.snake import SnakeCurve
+from repro.curves.gray import GrayCurve, gray_encode, gray_decode
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.hilbert2d import RecursiveHilbert2D
+from repro.curves.moore import MooreCurve
+from repro.curves.peano import PeanoCurve
+from repro.curves.diagonal import DiagonalCurve
+from repro.curves.spiral import SpiralCurve
+from repro.curves.random_curve import RandomCurve
+from repro.curves.explicit import figure1_pi1, figure1_pi2
+from repro.curves.transforms import (
+    AxisPermutedCurve,
+    ReflectedCurve,
+    ReversedCurve,
+)
+from repro.curves.registry import (
+    available_curves,
+    curves_for_universe,
+    make_curve,
+    register_curve,
+)
+
+__all__ = [
+    "SpaceFillingCurve",
+    "PermutationCurve",
+    "check_bijection",
+    "ZCurve",
+    "interleave_bits",
+    "deinterleave_bits",
+    "SimpleCurve",
+    "SnakeCurve",
+    "GrayCurve",
+    "gray_encode",
+    "gray_decode",
+    "HilbertCurve",
+    "RecursiveHilbert2D",
+    "MooreCurve",
+    "PeanoCurve",
+    "DiagonalCurve",
+    "SpiralCurve",
+    "RandomCurve",
+    "figure1_pi1",
+    "figure1_pi2",
+    "AxisPermutedCurve",
+    "ReflectedCurve",
+    "ReversedCurve",
+    "available_curves",
+    "curves_for_universe",
+    "make_curve",
+    "register_curve",
+]

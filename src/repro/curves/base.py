@@ -1,0 +1,189 @@
+"""Space-filling-curve base classes.
+
+An SFC (Section III) is a bijection ``π : U → {0, 1, ..., n−1}``.  The
+:class:`SpaceFillingCurve` interface exposes it in both directions,
+vectorized:
+
+* ``index(coords)`` — the paper's ``π(α)`` ("key" of a cell);
+* ``coords(index)`` — the inverse ``π^{-1}``;
+* ``key_grid()``    — a dense ``(side,)*d`` array of keys, the workhorse
+  representation for the exact stretch metrics;
+* ``order()``       — the cells listed in curve order (a (n, d) array).
+
+Subclasses implement ``_index_impl`` (and optionally ``_coords_impl``);
+the base class handles validation, caching of the key grid, and a generic
+inverse via argsort when no analytic inverse exists.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.grid.coords import coords_to_rank, rank_to_coords
+from repro.grid.universe import Universe
+
+__all__ = ["SpaceFillingCurve", "PermutationCurve", "check_bijection"]
+
+
+class SpaceFillingCurve(abc.ABC):
+    """Abstract base class for SFCs over a :class:`Universe`.
+
+    Parameters
+    ----------
+    universe:
+        The grid the curve fills.  Subclasses may restrict admissible
+        universes (e.g. power-of-two side for bitwise curves).
+    """
+
+    #: Short machine name, overridden per subclass (used by the registry).
+    name: str = "abstract"
+
+    def __init__(self, universe: Universe) -> None:
+        self.universe = universe
+        self._key_grid_cache: Optional[np.ndarray] = None
+        self._inverse_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Core mapping
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _index_impl(self, coords: np.ndarray) -> np.ndarray:
+        """Vectorized key computation for validated int64 coords ``(..., d)``."""
+
+    def index(self, coords: np.ndarray) -> np.ndarray:
+        """``π(α)``: keys for coordinates of shape ``(..., d)``."""
+        arr = self.universe.validate_coords(coords)
+        return np.asarray(self._index_impl(arr), dtype=np.int64)
+
+    def _coords_impl(self, index: np.ndarray) -> np.ndarray:
+        """Inverse mapping; default uses a cached argsort-based table."""
+        if self._inverse_cache is None:
+            keys = self.key_grid().reshape(-1, order="F")
+            inverse = np.empty(self.universe.n, dtype=np.int64)
+            inverse[keys] = np.arange(self.universe.n, dtype=np.int64)
+            self._inverse_cache = inverse
+        ranks = self._inverse_cache[index]
+        return rank_to_coords(ranks, self.universe)
+
+    def coords(self, index: np.ndarray) -> np.ndarray:
+        """``π^{-1}(key)``: coordinates for keys of shape ``(...,)``."""
+        arr = self.universe.validate_ranks(index)
+        return np.asarray(self._coords_impl(arr), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Dense representations
+    # ------------------------------------------------------------------
+    def key_grid(self) -> np.ndarray:
+        """Dense ``(side,)*d`` int64 array: ``key_grid[tuple(α)] = π(α)``.
+
+        Cached; this is the input to every exact stretch computation.
+        """
+        if self._key_grid_cache is None:
+            coords = self.universe.all_coords()
+            keys = self.index(coords)
+            # keys are in rank (Fortran) order; reshape accordingly.  The
+            # F-ordered reshape may be a view of `keys`, so materialize a
+            # C-contiguous copy for cache friendliness downstream.
+            grid = np.ascontiguousarray(
+                keys.reshape(self.universe.shape, order="F")
+            )
+            self._key_grid_cache = grid
+        return self._key_grid_cache
+
+    def order(self) -> np.ndarray:
+        """Cells in curve order: ``order()[j]`` is ``π^{-1}(j)``, shape (n, d)."""
+        return self.coords(np.arange(self.universe.n, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Distances & checks
+    # ------------------------------------------------------------------
+    def curve_distance(self, alpha: np.ndarray, beta: np.ndarray) -> np.ndarray:
+        """``∆π(α, β) = |π(α) − π(β)|`` (Section III), vectorized."""
+        return np.abs(self.index(alpha) - self.index(beta))
+
+    def is_bijection(self) -> bool:
+        """Exhaustively verify the SFC is a bijection onto ``{0,…,n−1}``."""
+        return check_bijection(self.key_grid(), self.universe.n)
+
+    def is_continuous(self) -> bool:
+        """True iff consecutive keys are always grid nearest neighbors.
+
+        The paper's definition allows discontinuous ("self-intersecting")
+        curves; classical curves like Hilbert satisfy this, Z does not.
+        """
+        path = self.order()
+        steps = np.abs(np.diff(path, axis=0)).sum(axis=1)
+        return bool(np.all(steps == 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(d={self.universe.d}, "
+            f"side={self.universe.side})"
+        )
+
+
+def check_bijection(key_grid: np.ndarray, n: int) -> bool:
+    """True iff the flattened key grid is a permutation of ``0..n−1``."""
+    flat = np.asarray(key_grid).reshape(-1)
+    if flat.size != n:
+        return False
+    seen = np.zeros(n, dtype=bool)
+    if flat.min(initial=0) < 0 or flat.max(initial=0) >= n:
+        return False
+    seen[flat] = True
+    return bool(seen.all())
+
+
+class PermutationCurve(SpaceFillingCurve):
+    """An SFC given by an explicit key grid or cell order.
+
+    This realizes the paper's fully general definition: *any* bijection is
+    an SFC.  Used for the Figure 1 curves, random bijections, and curves
+    built by recursive construction (Peano, spiral) where the natural
+    output is the visit order rather than a formula.
+    """
+
+    name = "permutation"
+
+    def __init__(
+        self,
+        universe: Universe,
+        key_grid: Optional[np.ndarray] = None,
+        order: Optional[np.ndarray] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(universe)
+        if (key_grid is None) == (order is None):
+            raise ValueError("provide exactly one of key_grid or order")
+        if key_grid is not None:
+            grid = np.asarray(key_grid, dtype=np.int64)
+            if grid.shape != universe.shape:
+                raise ValueError(
+                    f"key grid shape {grid.shape} != universe {universe.shape}"
+                )
+        else:
+            cells = universe.validate_coords(order)
+            if cells.shape != (universe.n, universe.d):
+                raise ValueError(
+                    f"order shape {cells.shape} != ({universe.n}, {universe.d})"
+                )
+            ranks = coords_to_rank(cells, universe)
+            flat = np.empty(universe.n, dtype=np.int64)
+            flat[ranks] = np.arange(universe.n, dtype=np.int64)
+            grid = np.ascontiguousarray(
+                flat.reshape(universe.shape, order="F")
+            )
+        if not check_bijection(grid, universe.n):
+            raise ValueError("supplied mapping is not a bijection onto 0..n-1")
+        self._key_grid_cache = grid
+        if name is not None:
+            self.name = name
+
+    def _index_impl(self, coords: np.ndarray) -> np.ndarray:
+        grid = self.key_grid()
+        flat = grid.reshape(-1, order="F")
+        ranks = coords_to_rank(coords, self.universe)
+        return flat[ranks]

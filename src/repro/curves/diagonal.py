@@ -1,0 +1,31 @@
+"""Diagonal (anti-chain) enumeration curve.
+
+Cells are visited in order of increasing coordinate sum, ties broken
+lexicographically (last axis most significant).  A classical ordering for
+dense triangular storage; its NN-stretch is poor because within-diagonal
+neighbors can be assigned distant keys — a useful contrast curve in the
+A1 ablation.  Valid for any ``d`` and side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import PermutationCurve
+from repro.grid.universe import Universe
+
+__all__ = ["DiagonalCurve"]
+
+
+class DiagonalCurve(PermutationCurve):
+    """Anti-diagonal sweep curve."""
+
+    name = "diagonal"
+
+    def __init__(self, universe: Universe) -> None:
+        cells = universe.all_coords()
+        sums = cells.sum(axis=1)
+        # lexsort: last key is primary -> order by (sum, x_d, ..., x_1).
+        sort_keys = tuple(cells[:, i] for i in range(universe.d)) + (sums,)
+        visit = np.lexsort(sort_keys)
+        super().__init__(universe, order=cells[visit], name=self.name)

@@ -1,0 +1,58 @@
+"""The worked curves of Figure 1, and helpers for user-supplied bijections.
+
+Figure 1 shows a 2×2 grid with cells labelled::
+
+        A   C          coordinates (x, y), y upward:
+        D   B          A=(0,1)  C=(1,1)  D=(0,0)  B=(1,0)
+
+* ``π1`` orders the cells  C, A, B, D  (a self-avoiding "hook") and has
+  ``D^avg(π1) = 1.5``, ``D^max(π1) = 2``.
+* ``π2`` orders the cells  A, B, C, D  (self-intersecting — allowed by the
+  paper's bijection definition) and has ``D^avg(π2) = 2``,
+  ``D^max(π2) = 2.5``.
+
+These exact values are reproduced by bench E1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import PermutationCurve
+from repro.grid.universe import Universe
+
+__all__ = [
+    "FIGURE1_CELLS",
+    "figure1_pi1",
+    "figure1_pi2",
+    "curve_from_visit_labels",
+]
+
+#: Cell label -> (x, y) coordinates used in Figure 1.
+FIGURE1_CELLS: dict[str, tuple[int, int]] = {
+    "A": (0, 1),
+    "B": (1, 0),
+    "C": (1, 1),
+    "D": (0, 0),
+}
+
+
+def curve_from_visit_labels(labels: str, name: str) -> PermutationCurve:
+    """Build a 2×2 curve from a visit sequence such as ``"CABD"``."""
+    if sorted(labels.upper()) != ["A", "B", "C", "D"]:
+        raise ValueError(f"labels must be a permutation of ABCD, got {labels!r}")
+    universe = Universe(d=2, side=2)
+    order = np.asarray(
+        [FIGURE1_CELLS[label] for label in labels.upper()], dtype=np.int64
+    )
+    return PermutationCurve(universe, order=order, name=name)
+
+
+def figure1_pi1() -> PermutationCurve:
+    """The left curve of Figure 1 (visits C, A, B, D)."""
+    return curve_from_visit_labels("CABD", name="figure1-pi1")
+
+
+def figure1_pi2() -> PermutationCurve:
+    """The right curve of Figure 1 (visits A, B, C, D; self-intersecting)."""
+    return curve_from_visit_labels("ABCD", name="figure1-pi2")

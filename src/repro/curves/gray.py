@@ -1,0 +1,55 @@
+"""The Gray-code curve (Faloutsos 1986, 1988).
+
+Cells are visited in the order whose *reflected binary Gray code* equals
+the bit-interleaved coordinates: ``π(x) = gray^{-1}(interleave(x))``.
+Consecutive keys then differ in exactly one interleaved bit, i.e. in one
+bit of one coordinate — a weaker continuity notion than grid adjacency
+(a single-bit coordinate change can jump more than one cell).
+
+One of the three classical curves compared in the paper's related work
+(Chen & Chang 2005); included in the A1 ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import SpaceFillingCurve
+from repro.curves.zcurve import deinterleave_bits, interleave_bits
+from repro.grid.universe import Universe
+
+__all__ = ["GrayCurve", "gray_encode", "gray_decode"]
+
+
+def gray_encode(values: np.ndarray) -> np.ndarray:
+    """Reflected binary Gray code ``g(v) = v ^ (v >> 1)``, vectorized."""
+    arr = np.asarray(values, dtype=np.int64)
+    return arr ^ (arr >> 1)
+
+
+def gray_decode(codes: np.ndarray) -> np.ndarray:
+    """Inverse Gray code via prefix XOR (``O(log bits)`` shifts)."""
+    arr = np.asarray(codes, dtype=np.int64).copy()
+    shift = 1
+    while shift < 64:
+        arr ^= arr >> shift
+        shift <<= 1
+    return arr
+
+
+class GrayCurve(SpaceFillingCurve):
+    """Gray-code curve; requires ``side = 2^k``."""
+
+    name = "gray"
+
+    def __init__(self, universe: Universe) -> None:
+        super().__init__(universe)
+        self._k = universe.k
+
+    def _index_impl(self, coords: np.ndarray) -> np.ndarray:
+        return gray_decode(interleave_bits(coords, self._k))
+
+    def _coords_impl(self, index: np.ndarray) -> np.ndarray:
+        return deinterleave_bits(
+            gray_encode(index), self.universe.d, self._k
+        )

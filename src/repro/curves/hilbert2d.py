@@ -1,0 +1,61 @@
+"""Independent recursive construction of the 2-D Hilbert curve.
+
+Cross-validation for :mod:`repro.curves.hilbert` (Skilling's bitwise
+algorithm): the classic four-quadrant recursion
+
+    ``H_k = [ Tr(H_{k−1}),  H_{k−1}+(0,s),  H_{k−1}+(s,s),
+              AntiTr(H_{k−1})+(s,0) ]``
+
+with ``Tr`` the main-diagonal reflection (x↔y) and ``AntiTr`` the
+anti-diagonal reflection ``(x,y) → (s−1−y, s−1−x)``.  The two
+implementations may differ by a grid symmetry, under which every
+stretch metric is invariant — the tests assert metric equality and
+search the dihedral group for an exact match.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import PermutationCurve
+from repro.grid.universe import Universe
+
+__all__ = ["RecursiveHilbert2D", "hilbert2d_order"]
+
+
+def hilbert2d_order(k: int) -> np.ndarray:
+    """Visit order of the order-k 2-D Hilbert curve, shape ``(4^k, 2)``."""
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    order = np.zeros((1, 2), dtype=np.int64)
+    side = 1
+    for _ in range(k):
+        # Quadrant A (bottom-left): reflect across the main diagonal.
+        a = order[:, ::-1].copy()
+        # Quadrant B (top-left): translate up.
+        b = order + np.array([0, side])
+        # Quadrant C (top-right): translate up-right.
+        c = order + np.array([side, side])
+        # Quadrant D (bottom-right): reflect across the anti-diagonal,
+        # then translate right.
+        d = np.stack(
+            [side - 1 - order[:, 1] + side, side - 1 - order[:, 0]],
+            axis=1,
+        )
+        order = np.concatenate([a, b, c, d])
+        side *= 2
+    return order
+
+
+class RecursiveHilbert2D(PermutationCurve):
+    """2-D Hilbert curve built by quadrant recursion; side must be 2^k."""
+
+    name = "hilbert2d-recursive"
+
+    def __init__(self, universe: Universe) -> None:
+        if universe.d != 2:
+            raise ValueError("RecursiveHilbert2D requires d == 2")
+        k = universe.k  # raises for non powers of two
+        super().__init__(
+            universe, order=hilbert2d_order(k), name=self.name
+        )

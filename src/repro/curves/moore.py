@@ -1,0 +1,61 @@
+"""The 2-D Moore curve — a *closed* Hilbert loop.
+
+Four order-(k−1) Hilbert curves arranged around the square: the two
+left quadrants rotated 90° counter-clockwise (flowing upward), the two
+right quadrants rotated 90° clockwise (flowing downward).  The result
+is a Hamiltonian *cycle*: the last cell is grid-adjacent to the first,
+which matters for ring-style decompositions (no worst seam).
+
+With ``H`` the order-(k−1) Hilbert visit order on side ``s = 2^{k−1}``
+(start ``(0,0)``, end ``(s−1,0)``):
+
+    ``M_k = [ CCW(H),  CCW(H)+(0,s),  CW(H)+(s,s),  CW(H)+(s,0) ]``
+
+where ``CCW(x,y) = (s−1−y, x)`` and ``CW(x,y) = (y, s−1−x)``.
+Continuity at the three interior joints and closedness of the loop are
+verified by tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import PermutationCurve
+from repro.curves.hilbert2d import hilbert2d_order
+from repro.grid.universe import Universe
+
+__all__ = ["MooreCurve", "moore_order"]
+
+
+def moore_order(k: int) -> np.ndarray:
+    """Visit order of the order-k Moore curve, shape ``(4^k, 2)``."""
+    if k < 1:
+        raise ValueError(f"Moore curve needs k >= 1, got {k}")
+    sub = hilbert2d_order(k - 1)
+    s = 1 << (k - 1)
+    ccw = np.stack([s - 1 - sub[:, 1], sub[:, 0]], axis=1)
+    cw = np.stack([sub[:, 1], s - 1 - sub[:, 0]], axis=1)
+    quadrants = [
+        ccw,
+        ccw + np.array([0, s]),
+        cw + np.array([s, s]),
+        cw + np.array([s, 0]),
+    ]
+    return np.concatenate(quadrants)
+
+
+class MooreCurve(PermutationCurve):
+    """Closed Hilbert loop; requires ``d == 2`` and ``side = 2^k, k>=1``."""
+
+    name = "moore"
+
+    def __init__(self, universe: Universe) -> None:
+        if universe.d != 2:
+            raise ValueError("MooreCurve is implemented for d == 2 only")
+        k = universe.k
+        super().__init__(universe, order=moore_order(k), name=self.name)
+
+    def is_closed(self) -> bool:
+        """True iff the last visited cell is grid-adjacent to the first."""
+        path = self.order()
+        return int(np.abs(path[-1] - path[0]).sum()) == 1

@@ -1,0 +1,90 @@
+"""Name → curve factory registry used by the CLI, benches and examples.
+
+A factory takes a :class:`Universe` and keyword arguments and returns a
+curve; factories raise ``ValueError`` for unsupported universes (wrong
+side base or dimension), which :func:`curves_for_universe` uses to select
+the applicable zoo for a given grid.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.curves.base import SpaceFillingCurve
+from repro.curves.diagonal import DiagonalCurve
+from repro.curves.gray import GrayCurve
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.moore import MooreCurve
+from repro.curves.peano import PeanoCurve
+from repro.curves.random_curve import RandomCurve
+from repro.curves.simple import SimpleCurve
+from repro.curves.snake import SnakeCurve
+from repro.curves.spiral import SpiralCurve
+from repro.curves.zcurve import ZCurve
+from repro.grid.universe import Universe
+
+__all__ = [
+    "register_curve",
+    "make_curve",
+    "available_curves",
+    "curves_for_universe",
+]
+
+CurveFactory = Callable[..., SpaceFillingCurve]
+
+_REGISTRY: dict[str, CurveFactory] = {}
+
+
+def register_curve(name: str, factory: CurveFactory) -> None:
+    """Register a curve factory under ``name`` (overwrites silently)."""
+    _REGISTRY[name] = factory
+
+
+def available_curves() -> list[str]:
+    """Sorted names of all registered curves."""
+    return sorted(_REGISTRY)
+
+
+def make_curve(name: str, universe: Universe, **kwargs) -> SpaceFillingCurve:
+    """Instantiate the named curve on ``universe``.
+
+    Raises
+    ------
+    KeyError
+        For unknown names (message lists the registry).
+    ValueError
+        If the curve does not support the universe.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown curve {name!r}; available: {available_curves()}"
+        ) from None
+    return factory(universe, **kwargs)
+
+
+def curves_for_universe(
+    universe: Universe, names: Iterable[str] | None = None
+) -> dict[str, SpaceFillingCurve]:
+    """All registered curves instantiable on ``universe``, by name."""
+    selected = list(names) if names is not None else available_curves()
+    out: dict[str, SpaceFillingCurve] = {}
+    for name in selected:
+        try:
+            out[name] = make_curve(name, universe)
+        except ValueError:
+            continue
+    return out
+
+
+register_curve("z", ZCurve)
+register_curve("simple", SimpleCurve)
+register_curve("snake", SnakeCurve)
+register_curve("gray", GrayCurve)
+register_curve("hilbert", HilbertCurve)
+register_curve("diagonal", DiagonalCurve)
+register_curve("spiral", SpiralCurve)
+register_curve("peano", PeanoCurve)
+register_curve("moore", MooreCurve)
+register_curve("random", RandomCurve)

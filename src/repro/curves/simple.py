@@ -1,0 +1,43 @@
+"""The paper's "simple curve" ``S`` (Section IV-C, Eq. 8, Figure 4).
+
+``S(α) = Σ_{i=1}^{d} x_i · side^{i−1}`` — plain row-major order with the
+paper's dimension 1 least significant.  Theorem 3 shows this trivial
+curve matches the Z curve's average-average NN-stretch asymptotically,
+and Proposition 2 computes its average-maximum NN-stretch exactly
+(``n^{1−1/d}``, i.e. worse than average-average by a factor d).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import SpaceFillingCurve
+from repro.grid.coords import coords_to_rank, rank_to_coords
+from repro.grid.universe import Universe
+
+__all__ = ["SimpleCurve"]
+
+
+class SimpleCurve(SpaceFillingCurve):
+    """Row-major ("simple") curve ``S``; valid for any side."""
+
+    name = "simple"
+
+    def __init__(self, universe: Universe) -> None:
+        super().__init__(universe)
+
+    def _index_impl(self, coords: np.ndarray) -> np.ndarray:
+        return coords_to_rank(coords, self.universe)
+
+    def _coords_impl(self, index: np.ndarray) -> np.ndarray:
+        return rank_to_coords(index, self.universe)
+
+    def axis_step(self, axis: int) -> int:
+        """``∆_S`` between any two neighbors along ``axis``: ``side**axis``.
+
+        The key property exploited by Theorem 3 / Proposition 2: the curve
+        distance of an axis-i neighbor pair is position independent.
+        """
+        if not 0 <= axis < self.universe.d:
+            raise ValueError(f"axis must be in [0, {self.universe.d})")
+        return self.universe.side**axis

@@ -1,0 +1,55 @@
+"""2-D inward spiral ("onion") curve.
+
+Visits the outer ring of the grid counter-clockwise starting at the
+origin corner, then recurses inward.  Continuous for every side (each
+ring ends adjacent to the next ring's start); a classical ordering with
+locality characteristics very different from recursive curves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import PermutationCurve
+from repro.grid.universe import Universe
+
+__all__ = ["SpiralCurve", "spiral_order"]
+
+
+def spiral_order(side: int) -> np.ndarray:
+    """Visit order of the inward spiral on a ``side × side`` grid."""
+    if side < 1:
+        raise ValueError(f"side must be >= 1, got {side}")
+    cells: list[tuple[int, int]] = []
+    for ring in range((side + 1) // 2):
+        hi = side - 1 - ring
+        if ring == hi:
+            cells.append((ring, ring))
+            continue
+        # Bottom edge: left -> right.
+        for x in range(ring, hi + 1):
+            cells.append((x, ring))
+        # Right edge: bottom -> top.
+        for y in range(ring + 1, hi + 1):
+            cells.append((hi, y))
+        # Top edge: right -> left.
+        for x in range(hi - 1, ring - 1, -1):
+            cells.append((x, hi))
+        # Left edge: top -> bottom, stopping above the ring start so the
+        # walk ends adjacent to the next ring's start (ring+1, ring+1).
+        for y in range(hi - 1, ring, -1):
+            cells.append((ring, y))
+    return np.asarray(cells, dtype=np.int64)
+
+
+class SpiralCurve(PermutationCurve):
+    """Inward spiral; requires ``d == 2``, any side."""
+
+    name = "spiral"
+
+    def __init__(self, universe: Universe) -> None:
+        if universe.d != 2:
+            raise ValueError("SpiralCurve is implemented for d == 2 only")
+        super().__init__(
+            universe, order=spiral_order(universe.side), name=self.name
+        )

@@ -1,0 +1,103 @@
+"""Curve transforms: axis permutations, reflections, index reversal.
+
+Section IV-B remarks that "different Z curves are possible by taking the
+dimensions in a different order during interleaving, but these are all
+equivalent … for the metrics that we consider."  These wrappers make that
+remark testable: each produces a new SFC from an existing one, and the
+invariance of every stretch metric under them is asserted in the tests
+and the E12 bench.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.curves.base import SpaceFillingCurve
+from repro.grid.universe import Universe
+
+__all__ = ["AxisPermutedCurve", "ReflectedCurve", "ReversedCurve"]
+
+
+class AxisPermutedCurve(SpaceFillingCurve):
+    """Relabel grid dimensions before applying the inner curve.
+
+    ``π'(x) = π(x ∘ perm)``: coordinate axis ``i`` of the new curve feeds
+    axis ``perm[i]`` of the inner curve.  Because the grid is a cube and
+    the neighbor structure is axis-symmetric, all stretch metrics are
+    invariant.
+    """
+
+    def __init__(
+        self, inner: SpaceFillingCurve, perm: Sequence[int]
+    ) -> None:
+        super().__init__(inner.universe)
+        perm_arr = np.asarray(perm, dtype=np.int64)
+        if sorted(perm_arr.tolist()) != list(range(inner.universe.d)):
+            raise ValueError(
+                f"perm must be a permutation of 0..{inner.universe.d - 1}"
+            )
+        self.inner = inner
+        self.perm = perm_arr
+        self.name = f"{inner.name}-perm{''.join(map(str, perm_arr.tolist()))}"
+
+    def _index_impl(self, coords: np.ndarray) -> np.ndarray:
+        return self.inner.index(coords[..., self.perm])
+
+    def _coords_impl(self, index: np.ndarray) -> np.ndarray:
+        inner_coords = self.inner.coords(index)
+        out = np.empty_like(inner_coords)
+        out[..., self.perm] = inner_coords
+        return out
+
+
+class ReflectedCurve(SpaceFillingCurve):
+    """Reflect selected axes (``x_i → side − 1 − x_i``) before indexing.
+
+    Reflections are grid automorphisms, so stretch metrics are invariant.
+    """
+
+    def __init__(
+        self, inner: SpaceFillingCurve, axes: Sequence[int]
+    ) -> None:
+        super().__init__(inner.universe)
+        axes_list = sorted(set(int(a) for a in axes))
+        if axes_list and not (
+            0 <= axes_list[0] and axes_list[-1] < inner.universe.d
+        ):
+            raise ValueError(f"axes must lie in [0, {inner.universe.d})")
+        self.inner = inner
+        self.axes = axes_list
+        self.name = f"{inner.name}-reflect{''.join(map(str, axes_list))}"
+
+    def _reflect(self, coords: np.ndarray) -> np.ndarray:
+        out = coords.copy()
+        for axis in self.axes:
+            out[..., axis] = self.universe.side - 1 - out[..., axis]
+        return out
+
+    def _index_impl(self, coords: np.ndarray) -> np.ndarray:
+        return self.inner.index(self._reflect(coords))
+
+    def _coords_impl(self, index: np.ndarray) -> np.ndarray:
+        return self._reflect(self.inner.coords(index))
+
+
+class ReversedCurve(SpaceFillingCurve):
+    """Traverse the inner curve backwards: ``π'(x) = n − 1 − π(x)``.
+
+    ``|π'(α) − π'(β)| = |π(α) − π(β)|`` identically, so every metric is
+    exactly preserved — the strongest invariance case.
+    """
+
+    def __init__(self, inner: SpaceFillingCurve) -> None:
+        super().__init__(inner.universe)
+        self.inner = inner
+        self.name = f"{inner.name}-reversed"
+
+    def _index_impl(self, coords: np.ndarray) -> np.ndarray:
+        return self.universe.n - 1 - self.inner.index(coords)
+
+    def _coords_impl(self, index: np.ndarray) -> np.ndarray:
+        return self.inner.coords(self.universe.n - 1 - index)

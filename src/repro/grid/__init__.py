@@ -1,0 +1,59 @@
+"""Discrete-grid substrate: the universe model of Section III of the paper.
+
+The universe ``U`` is the d-dimensional grid of side ``s`` (the paper uses
+``s = 2^k``), holding ``n = s^d`` cells.  Everything in :mod:`repro` is built
+on this package: coordinates, neighbor structure, grid metrics and the
+nearest-neighbor path decomposition used in the proof of Theorem 1.
+"""
+
+from repro.grid.universe import Universe
+from repro.grid.coords import (
+    coords_to_rank,
+    rank_to_coords,
+    mixed_radix_decode,
+    mixed_radix_encode,
+)
+from repro.grid.metrics import (
+    chebyshev,
+    euclidean,
+    grid_diameter_euclidean,
+    grid_diameter_manhattan,
+    manhattan,
+)
+from repro.grid.neighbors import (
+    axis_pair_index_arrays,
+    neighbor_count_grid,
+    neighbors_of,
+    nn_pair_count,
+    iter_nn_pairs,
+)
+from repro.grid.paths import (
+    axis_segment,
+    edge_multiplicity,
+    lemma4_bound,
+    nn_decomposition,
+    staircase_waypoints,
+)
+
+__all__ = [
+    "Universe",
+    "coords_to_rank",
+    "rank_to_coords",
+    "mixed_radix_encode",
+    "mixed_radix_decode",
+    "manhattan",
+    "euclidean",
+    "chebyshev",
+    "grid_diameter_manhattan",
+    "grid_diameter_euclidean",
+    "neighbors_of",
+    "neighbor_count_grid",
+    "axis_pair_index_arrays",
+    "nn_pair_count",
+    "iter_nn_pairs",
+    "nn_decomposition",
+    "axis_segment",
+    "staircase_waypoints",
+    "edge_multiplicity",
+    "lemma4_bound",
+]

@@ -1,0 +1,96 @@
+"""Coordinate <-> linear-rank conversion.
+
+The canonical cell enumeration used throughout the library is the paper's
+*simple curve* layout (Eq. 8):
+
+    ``rank(x) = sum_i x_i * side**(i-1)``   (paper dimension i, 1-indexed)
+
+i.e. dimension 1 (array axis 0) is the **least significant** digit.  This
+is NumPy's Fortran order for a ``(side,)*d`` array, and we keep all dense
+per-cell arrays indexable as ``arr[tuple(coords)]``.
+
+Also provided: generic mixed-radix codecs used by curves with non-uniform
+per-level bases (e.g. the Peano curve's base-3 digits).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.universe import Universe
+
+__all__ = [
+    "coords_to_rank",
+    "rank_to_coords",
+    "mixed_radix_encode",
+    "mixed_radix_decode",
+]
+
+
+def coords_to_rank(coords: np.ndarray, universe: "Universe") -> np.ndarray:
+    """Map coordinates ``(..., d)`` to simple-curve ranks ``(...,)``.
+
+    This is exactly the paper's simple curve ``S`` (Eq. 8); it doubles as
+    the library's canonical cell numbering.
+    """
+    arr = universe.validate_coords(coords)
+    weights = universe.side ** np.arange(universe.d, dtype=np.int64)
+    return np.asarray(arr @ weights, dtype=np.int64)
+
+
+def rank_to_coords(ranks: np.ndarray, universe: "Universe") -> np.ndarray:
+    """Inverse of :func:`coords_to_rank`; returns shape ``(..., d)``."""
+    arr = universe.validate_ranks(ranks)
+    out = np.empty(arr.shape + (universe.d,), dtype=np.int64)
+    rest = arr
+    for axis in range(universe.d):
+        out[..., axis] = rest % universe.side
+        rest = rest // universe.side
+    return out
+
+
+def mixed_radix_encode(digits: np.ndarray, bases: Sequence[int]) -> np.ndarray:
+    """Combine digit arrays into integers, ``digits[..., 0]`` least significant.
+
+    Parameters
+    ----------
+    digits:
+        Integer array of shape ``(..., len(bases))`` with
+        ``0 <= digits[..., j] < bases[j]``.
+    bases:
+        Radix of each digit position.
+    """
+    arr = np.asarray(digits, dtype=np.int64)
+    if arr.shape[-1] != len(bases):
+        raise ValueError(
+            f"digits last axis ({arr.shape[-1]}) must match bases ({len(bases)})"
+        )
+    weights = np.empty(len(bases), dtype=np.int64)
+    acc = 1
+    for j, base in enumerate(bases):
+        if base < 1:
+            raise ValueError("bases must be >= 1")
+        weights[j] = acc
+        acc *= int(base)
+    if np.any(arr < 0) or np.any(arr >= np.asarray(bases, dtype=np.int64)):
+        raise ValueError("digit out of range for its base")
+    return np.asarray(arr @ weights, dtype=np.int64)
+
+
+def mixed_radix_decode(values: np.ndarray, bases: Sequence[int]) -> np.ndarray:
+    """Split integers into digit arrays, inverse of :func:`mixed_radix_encode`."""
+    arr = np.asarray(values, dtype=np.int64)
+    total = 1
+    for base in bases:
+        total *= int(base)
+    if arr.size and (arr.min() < 0 or arr.max() >= total):
+        raise ValueError(f"values must lie in [0, {total})")
+    out = np.empty(arr.shape + (len(bases),), dtype=np.int64)
+    rest = arr
+    for j, base in enumerate(bases):
+        out[..., j] = rest % base
+        rest = rest // base
+    return out

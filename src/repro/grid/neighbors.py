@@ -1,0 +1,110 @@
+"""Nearest-neighbor structure of the universe (the paper's ``N(α)`` and ``NN_d``).
+
+``N(α)`` is the set of cells at Manhattan distance exactly 1 from ``α``;
+``NN_d`` is the set of unordered nearest-neighbor pairs, which the paper
+treats as the edges of the grid graph.  Everything here is exact and
+vectorized: per-axis pair enumeration works directly on dense
+``(side,)*d`` arrays so the stretch metrics never loop over cells.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.universe import Universe
+
+__all__ = [
+    "neighbors_of",
+    "neighbor_count_grid",
+    "axis_pair_index_arrays",
+    "nn_pair_count",
+    "nn_pair_count_axis",
+    "iter_nn_pairs",
+]
+
+
+def neighbors_of(coords: np.ndarray, universe: "Universe") -> np.ndarray:
+    """Return ``N(α)`` for a single cell, as an array of shape ``(m, d)``.
+
+    ``d <= m <= 2d`` for ``side >= 2`` (the paper's bound); cells lose one
+    neighbor per boundary axis.  For ``side == 1`` an axis contributes no
+    neighbors.
+    """
+    base = universe.validate_coords(coords)
+    if base.ndim != 1:
+        raise ValueError("neighbors_of expects a single cell (1-D coords)")
+    out = []
+    for axis in range(universe.d):
+        for delta in (-1, 1):
+            cand = base.copy()
+            cand[axis] += delta
+            if 0 <= cand[axis] < universe.side:
+                out.append(cand)
+    if not out:
+        return np.empty((0, universe.d), dtype=np.int64)
+    return np.stack(out)
+
+
+def neighbor_count_grid(universe: "Universe") -> np.ndarray:
+    """Dense ``(side,)*d`` array of ``|N(α)|`` for every cell.
+
+    For ``side >= 2`` this equals ``2d − b(α)`` with ``b(α)`` the number of
+    boundary axes; for ``side == 1`` it is identically 0.
+    """
+    if universe.side == 1:
+        return np.zeros(universe.shape, dtype=np.int64)
+    return 2 * universe.d - universe.boundary_axis_count()
+
+
+def axis_pair_index_arrays(
+    universe: "Universe", axis: int
+) -> tuple[tuple[slice, ...], tuple[slice, ...]]:
+    """Slicing tuples selecting the two endpoints of all axis-``axis`` NN pairs.
+
+    For a dense per-cell array ``A`` (shape ``(side,)*d``),
+    ``A[lo]`` and ``A[hi]`` are aligned arrays over the pairs
+    ``(α, α + e_axis)`` — the paper's group ``G_{axis+1}``.  Using slices
+    keeps the pair enumeration allocation-free (NumPy views).
+    """
+    if not 0 <= axis < universe.d:
+        raise ValueError(f"axis must be in [0, {universe.d}), got {axis}")
+    lo = tuple(
+        slice(0, universe.side - 1) if i == axis else slice(None)
+        for i in range(universe.d)
+    )
+    hi = tuple(
+        slice(1, universe.side) if i == axis else slice(None)
+        for i in range(universe.d)
+    )
+    return lo, hi
+
+
+def nn_pair_count_axis(universe: "Universe", axis: int) -> int:
+    """``|G_{axis+1}| = side^{d−1}·(side−1)`` unordered pairs along one axis."""
+    if not 0 <= axis < universe.d:
+        raise ValueError(f"axis must be in [0, {universe.d}), got {axis}")
+    return universe.side ** (universe.d - 1) * (universe.side - 1)
+
+
+def nn_pair_count(universe: "Universe") -> int:
+    """``|NN_d| = d·side^{d−1}·(side−1)`` unordered nearest-neighbor pairs."""
+    return universe.d * nn_pair_count_axis(universe, 0)
+
+
+def iter_nn_pairs(
+    universe: "Universe",
+) -> Iterator[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """Iterate all unordered NN pairs as coordinate tuples (test oracle).
+
+    This is the slow, obviously-correct enumeration used to validate the
+    vectorized slicing machinery; O(n·d) time.
+    """
+    for alpha in universe.iter_cells():
+        for axis in range(universe.d):
+            if alpha[axis] + 1 < universe.side:
+                beta = list(alpha)
+                beta[axis] += 1
+                yield alpha, tuple(beta)

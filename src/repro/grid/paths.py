@@ -1,0 +1,164 @@
+"""Nearest-neighbor path decomposition ``p(α, β)`` of Section IV-A.
+
+This is the combinatorial machinery behind Theorem 1: every ordered pair
+``(α, β)`` is decomposed into a staircase path of nearest-neighbor edges
+that corrects coordinates one dimension at a time (dimension 1 first).
+Lemma 4 bounds how many ordered pairs route through any single edge; we
+implement both the decomposition and the *exact* multiplicity count so the
+bound can be verified numerically.
+
+Edges are represented as ordered tuples ``(lo, hi)`` of coordinate tuples
+with ``hi = lo + e_axis`` (the canonical orientation), matching the
+paper's view of ``NN_d`` elements as unordered pairs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.universe import Universe
+
+Cell = tuple[int, ...]
+Edge = tuple[Cell, Cell]
+
+__all__ = [
+    "axis_segment",
+    "staircase_waypoints",
+    "nn_decomposition",
+    "edge_multiplicity",
+    "lemma4_bound",
+    "path_is_valid",
+]
+
+
+def _as_cell(coords: Sequence[int]) -> Cell:
+    return tuple(int(v) for v in coords)
+
+
+def axis_segment(alpha: Sequence[int], beta: Sequence[int]) -> list[Edge]:
+    """Decompose a pair differing along a single axis into unit edges.
+
+    Implements the paper's base case: for ``x_i < y_i`` the edges are
+    ``((.., ℓ, ..), (.., ℓ+1, ..))`` for ``ℓ = x_i .. y_i − 1``; the
+    ``x_i > y_i`` case yields the same (unordered) edge set, as noted in
+    the paper (``p(α,β) = p(β,α)`` for single-axis pairs).
+    """
+    a, b = _as_cell(alpha), _as_cell(beta)
+    diff_axes = [i for i in range(len(a)) if a[i] != b[i]]
+    if len(diff_axes) > 1:
+        raise ValueError("axis_segment requires a pair differing on one axis")
+    if not diff_axes:
+        return []
+    axis = diff_axes[0]
+    lo, hi = sorted((a[axis], b[axis]))
+    edges: list[Edge] = []
+    for level in range(lo, hi):
+        left = a[:axis] + (level,) + a[axis + 1 :]
+        right = a[:axis] + (level + 1,) + a[axis + 1 :]
+        edges.append((left, right))
+    return edges
+
+
+def staircase_waypoints(alpha: Sequence[int], beta: Sequence[int]) -> list[Cell]:
+    """The intermediate cells ``α_0 = α, α_1, ..., α_d = β`` of Section IV-A.
+
+    ``α_j`` has the first ``j`` coordinates of ``β`` and the rest of ``α``:
+    the path corrects dimension 1, then dimension 2, and so on.
+    """
+    a, b = _as_cell(alpha), _as_cell(beta)
+    if len(a) != len(b):
+        raise ValueError("dimension mismatch")
+    waypoints = [a]
+    for j in range(1, len(a) + 1):
+        waypoints.append(b[:j] + a[j:])
+    return waypoints
+
+
+def nn_decomposition(alpha: Sequence[int], beta: Sequence[int]) -> list[Edge]:
+    """The paper's ``p(α, β)``: a set of NN edges forming an α→β path.
+
+    The result is returned in path order (α end first); as a *set* of
+    edges it matches the paper's definition
+    ``p(α,β) = ∪_j p(α_j, α_{j+1})``.  Note ``p(α,β)`` and ``p(β,α)``
+    generally differ when more than one coordinate differs (Figure 2).
+    """
+    edges: list[Edge] = []
+    waypoints = staircase_waypoints(alpha, beta)
+    for start, stop in zip(waypoints[:-1], waypoints[1:]):
+        edges.extend(axis_segment(start, stop))
+    return edges
+
+
+def path_is_valid(
+    alpha: Sequence[int], beta: Sequence[int], edges: list[Edge]
+) -> bool:
+    """Check that an edge set forms a connected α→β staircase path.
+
+    Test oracle: every edge must be a unit step, the multiset of steps must
+    telescope from ``α`` to ``β``, and ``|edges| = ∆(α, β)``.
+    """
+    a, b = _as_cell(alpha), _as_cell(beta)
+    manhattan = sum(abs(x - y) for x, y in zip(a, b))
+    if len(edges) != manhattan:
+        return False
+    for lo, hi in edges:
+        delta = [h - l for l, h in zip(lo, hi)]
+        if sorted(np.abs(delta).tolist()) != [0] * (len(lo) - 1) + [1]:
+            return False
+    # Telescoping: walk the path orienting each edge as needed.
+    current = a
+    remaining = list(edges)
+    while remaining:
+        for idx, (lo, hi) in enumerate(remaining):
+            if lo == current:
+                current = hi
+                break
+            if hi == current:
+                current = lo
+                break
+        else:
+            return False
+        remaining.pop(idx)
+    return current == b
+
+
+def edge_multiplicity(
+    zeta: Sequence[int], axis: int, universe: "Universe"
+) -> int:
+    """Exact number of ordered pairs routing through edge ``(ζ, ζ + e_axis)``.
+
+    Lemma 4 characterizes membership: ``(ζ, η) ∈ p(α, β)`` iff β agrees
+    with ζ on dimensions before ``axis``, α agrees with ζ on dimensions
+    after ``axis``, and the unit interval ``[ζ_i, ζ_i + 1]`` lies between
+    ``x_i`` and ``y_i``.  Counting exactly:
+
+    ``count = 2 · side^{d−1} · (ζ_i + 1) · (side − 1 − ζ_i)``
+
+    (the factor 2 covers both orientations of the i-th coordinate).  The
+    paper upper-bounds this by ``n^{(d+1)/d}/2`` (Lemma 4); see
+    :func:`lemma4_bound`.
+    """
+    z = _as_cell(zeta)
+    if len(z) != universe.d:
+        raise ValueError("zeta dimensionality mismatch")
+    if not 0 <= axis < universe.d:
+        raise ValueError(f"axis must be in [0, {universe.d})")
+    if not (0 <= z[axis] < universe.side - 1):
+        raise ValueError("edge endpoint out of range along its axis")
+    side = universe.side
+    free = side ** (universe.d - 1)
+    zi = z[axis]
+    return 2 * free * (zi + 1) * (side - 1 - zi)
+
+
+def lemma4_bound(universe: "Universe") -> float:
+    """Lemma 4's bound ``n^{(d+1)/d} / 2`` on edge multiplicities.
+
+    ``n^{(d+1)/d} = side^{d+1}`` exactly, so the bound is computed in
+    integer arithmetic (a float power would round below the true value,
+    which the central edges attain with equality on even sides).
+    """
+    return 0.5 * float(universe.side ** (universe.d + 1))

@@ -1,0 +1,67 @@
+"""Serialization: save/load curves as portable ``.npz`` archives.
+
+Any SFC (including transforms, random bijections and search-optimized
+curves) can be frozen to disk as its key grid plus metadata and loaded
+back as a :class:`~repro.curves.base.PermutationCurve` with identical
+metrics — useful for sharing optimized orders and for pinning bench
+inputs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.curves.base import PermutationCurve, SpaceFillingCurve
+from repro.grid.universe import Universe
+
+__all__ = ["save_curve", "load_curve"]
+
+_FORMAT_VERSION = 1
+
+
+def save_curve(curve: SpaceFillingCurve, path: str | Path) -> Path:
+    """Write ``curve`` to ``path`` (``.npz``); returns the path written.
+
+    The archive stores the dense key grid, the universe parameters and
+    the curve name; it is independent of the curve class.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    np.savez_compressed(
+        path,
+        key_grid=curve.key_grid(),
+        d=np.int64(curve.universe.d),
+        side=np.int64(curve.universe.side),
+        name=np.bytes_(curve.name.encode("utf-8")),
+        format_version=np.int64(_FORMAT_VERSION),
+    )
+    return path
+
+
+def load_curve(path: str | Path) -> PermutationCurve:
+    """Load a curve saved by :func:`save_curve`.
+
+    Raises
+    ------
+    ValueError
+        For missing fields, unknown format versions, or an archive
+        whose key grid is not a bijection (corruption guard).
+    """
+    path = Path(path)
+    with np.load(path) as data:
+        for field in ("key_grid", "d", "side", "name", "format_version"):
+            if field not in data:
+                raise ValueError(f"{path}: missing field {field!r}")
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported format version {version}"
+            )
+        universe = Universe(d=int(data["d"]), side=int(data["side"]))
+        name = bytes(data["name"]).decode("utf-8")
+        return PermutationCurve(
+            universe, key_grid=data["key_grid"], name=name
+        )

@@ -1,0 +1,18 @@
+"""Presentation helpers: ASCII curve renders and fixed-width tables."""
+
+from repro.viz.ascii_art import (
+    render_key_grid,
+    render_key_grid_binary,
+    render_path,
+)
+from repro.viz.heatmap import render_heatmap, stretch_heatmap
+from repro.viz.tables import format_table
+
+__all__ = [
+    "render_key_grid",
+    "render_key_grid_binary",
+    "render_path",
+    "render_heatmap",
+    "stretch_heatmap",
+    "format_table",
+]

@@ -1,0 +1,80 @@
+"""ASCII renders of curves on small 2-D grids (Figures 1, 3, 4 style).
+
+The paper's figures draw the grid with dimension 1 horizontal (left to
+right) and dimension 2 vertical (bottom to top); renders follow that
+layout, so the printed top row is ``y = side − 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import SpaceFillingCurve
+
+__all__ = ["render_key_grid", "render_key_grid_binary", "render_path"]
+
+
+def _require_2d(curve: SpaceFillingCurve) -> None:
+    if curve.universe.d != 2:
+        raise ValueError("ASCII renders support d == 2 only")
+
+
+def render_key_grid(curve: SpaceFillingCurve) -> str:
+    """Decimal keys laid out on the grid (Figure 3 left, in decimal)."""
+    _require_2d(curve)
+    grid = curve.key_grid()
+    side = curve.universe.side
+    width = len(str(curve.universe.n - 1))
+    lines = []
+    for y in range(side - 1, -1, -1):
+        row = " ".join(f"{int(grid[x, y]):>{width}d}" for x in range(side))
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_key_grid_binary(curve: SpaceFillingCurve) -> str:
+    """Binary keys laid out on the grid — the exact Figure 3 (left) view."""
+    _require_2d(curve)
+    grid = curve.key_grid()
+    side = curve.universe.side
+    bits = max((curve.universe.n - 1).bit_length(), 1)
+    lines = []
+    for y in range(side - 1, -1, -1):
+        row = " ".join(
+            format(int(grid[x, y]), f"0{bits}b") for x in range(side)
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+_ARROWS = {(1, 0): "→", (-1, 0): "←", (0, 1): "↑", (0, -1): "↓"}
+
+
+def render_path(curve: SpaceFillingCurve) -> str:
+    """Step-direction trace of the curve (Figure 3 right / Figure 4 style).
+
+    Continuous steps render as arrows; jumps (discontinuities, e.g. the
+    Z curve's block hops or the simple curve's row wraps) render as
+    ``(dx,dy)`` jump annotations.
+    """
+    _require_2d(curve)
+    path = curve.order()
+    pieces = []
+    for (x0, y0), (x1, y1) in zip(path[:-1], path[1:]):
+        step = (int(x1 - x0), int(y1 - y0))
+        pieces.append(_ARROWS.get(step, f"({step[0]:+d},{step[1]:+d})"))
+    return " ".join(pieces)
+
+
+def render_order_labels(curve: SpaceFillingCurve, labels: str) -> str:
+    """Visit order as cell labels (Figure 1 style, e.g. ``"C,A,B,D"``).
+
+    ``labels`` maps cells in simple-curve rank order to characters; for
+    the 2×2 Figure 1 grid use ``"DBAC"`` (ranks (0,0),(1,0),(0,1),(1,1)).
+    """
+    from repro.grid.coords import coords_to_rank
+
+    ranks = coords_to_rank(curve.order(), curve.universe)
+    if len(labels) != curve.universe.n:
+        raise ValueError("need one label per cell")
+    return ",".join(labels[int(r)] for r in ranks)

@@ -1,0 +1,49 @@
+"""ASCII heat maps of per-cell fields (stretch landscapes).
+
+Renders a 2-D per-cell array (e.g. ``δ^avg_π``) with a density ramp, so
+the *spatial structure* of the stretch is visible at a glance: the
+simple curve's flat interior, the Z curve's hierarchical seams, the
+Hilbert curve's fractal hot spots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_heatmap", "stretch_heatmap"]
+
+#: Density ramp, light to heavy.
+_RAMP = " .:-=+*#%@"
+
+
+def render_heatmap(field: np.ndarray, ramp: str = _RAMP) -> str:
+    """Render a 2-D float field as ASCII (top row = highest y).
+
+    Values are min-max normalized onto the ramp; a constant field
+    renders entirely with the ramp's first character.
+    """
+    arr = np.asarray(field, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"need a 2-D field, got shape {arr.shape}")
+    if len(ramp) < 2:
+        raise ValueError("ramp needs at least 2 characters")
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi > lo:
+        levels = ((arr - lo) / (hi - lo) * (len(ramp) - 1)).round()
+    else:
+        levels = np.zeros_like(arr)
+    levels = levels.astype(np.int64)
+    side_y = arr.shape[1]
+    lines = []
+    for y in range(side_y - 1, -1, -1):
+        lines.append("".join(ramp[int(v)] for v in levels[:, y]))
+    return "\n".join(lines)
+
+
+def stretch_heatmap(curve) -> str:
+    """Heat map of ``δ^avg_π`` over a 2-D universe."""
+    from repro.core.stretch import per_cell_avg_stretch
+
+    if curve.universe.d != 2:
+        raise ValueError("stretch_heatmap supports d == 2 only")
+    return render_heatmap(per_cell_avg_stretch(curve))

@@ -1,0 +1,48 @@
+"""Fixed-width table formatting for benches, EXPERIMENTS.md and the CLI."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(value: Any, digits: int = 4) -> str:
+    """Render numbers compactly; passthrough for non-floats and None."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e6 or magnitude < 1e-3:
+            return f"{value:.{digits}e}"
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    digits: int = 4,
+) -> str:
+    """Render dict rows as an aligned text table with a header rule."""
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [
+        [format_float(row.get(col), digits) for col in cols] for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(r[j]) for r in rendered))
+        for j, col in enumerate(cols)
+    ]
+    header = "  ".join(col.ljust(w) for col, w in zip(cols, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.rjust(w) for cell, w in zip(r, widths))
+        for r in rendered
+    ]
+    return "\n".join([header, rule, *body])

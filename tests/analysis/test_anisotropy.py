@@ -1,0 +1,96 @@
+"""Tests for the per-dimension anisotropy analysis."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.analysis.anisotropy import (
+    anisotropy_index,
+    axis_fractions,
+    simple_axis_fraction_exact,
+    z_axis_fraction_limit,
+)
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.simple import SimpleCurve
+from repro.curves.zcurve import ZCurve
+
+
+class TestAxisFractions:
+    def test_sum_to_one(self, zoo_3d):
+        for curve in zoo_3d.values():
+            assert axis_fractions(curve).sum() == pytest.approx(1.0)
+
+    def test_simple_exact_fractions(self):
+        """Λ_i fractions of S follow side^{i-1} weights exactly."""
+        u = Universe(d=3, side=4)
+        fractions = axis_fractions(SimpleCurve(u))
+        for i in (1, 2, 3):
+            assert fractions[i - 1] == pytest.approx(
+                float(simple_axis_fraction_exact(3, 4, i))
+            )
+
+    def test_z_fractions_converge_to_lemma5(self):
+        gaps = []
+        for k in (2, 4, 6):
+            u = Universe.power_of_two(d=2, k=k)
+            fractions = axis_fractions(ZCurve(u))
+            limit = float(z_axis_fraction_limit(2, 1))
+            gaps.append(abs(fractions[0] - limit))
+        assert gaps == sorted(gaps, reverse=True)
+        assert gaps[-1] < 0.01
+
+    def test_1d_single_fraction(self):
+        fractions = axis_fractions(SimpleCurve(Universe(d=1, side=4)))
+        assert fractions.tolist() == [1.0]
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            axis_fractions(SimpleCurve(Universe(d=2, side=1)))
+
+
+class TestAnisotropyIndex:
+    def test_hilbert_most_isotropic(self):
+        """The Hilbert curve treats dimensions nearly symmetrically;
+        Z's index ~ 2^{d-1}, simple's ~ side^{d-1}."""
+        u = Universe.power_of_two(d=2, k=4)
+        h = anisotropy_index(HilbertCurve(u))
+        z = anisotropy_index(ZCurve(u))
+        s = anisotropy_index(SimpleCurve(u))
+        assert h < z < s
+
+    def test_simple_index_is_side_power(self):
+        u = Universe(d=3, side=4)
+        assert anisotropy_index(SimpleCurve(u)) == pytest.approx(16.0)
+
+    def test_z_index_approaches_2_power(self):
+        u = Universe.power_of_two(d=3, k=3)
+        # limit: (2^{d-1}/(2^d-1)) / (2^0/(2^d-1)) = 2^{d-1} = 4.
+        assert anisotropy_index(ZCurve(u)) == pytest.approx(4.0, rel=0.1)
+
+
+class TestClosedForms:
+    def test_z_limits_sum_to_one(self):
+        for d in (1, 2, 3, 5):
+            assert sum(
+                z_axis_fraction_limit(d, i) for i in range(1, d + 1)
+            ) == 1
+
+    def test_simple_fractions_sum_to_one(self):
+        for d, side in [(2, 4), (3, 3), (4, 2)]:
+            assert sum(
+                simple_axis_fraction_exact(d, side, i)
+                for i in range(1, d + 1)
+            ) == 1
+
+    def test_simple_fraction_value(self):
+        assert simple_axis_fraction_exact(2, 4, 2) == Fraction(4, 5)
+
+    def test_rejects_bad_indices(self):
+        with pytest.raises(ValueError):
+            z_axis_fraction_limit(2, 0)
+        with pytest.raises(ValueError):
+            simple_axis_fraction_exact(2, 4, 3)
+        with pytest.raises(ValueError):
+            simple_axis_fraction_exact(2, 1, 1)

@@ -1,0 +1,113 @@
+"""Tests for the Moon et al. clustering metric."""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.analysis.clustering import (
+    cluster_count,
+    expected_clusters,
+    rectangle_cells,
+)
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.random_curve import RandomCurve
+from repro.curves.simple import SimpleCurve
+from repro.curves.zcurve import ZCurve
+
+
+class TestRectangleCells:
+    def test_volume(self):
+        u = Universe(d=2, side=8)
+        cells = rectangle_cells(u, (1, 2), (4, 5))
+        assert cells.shape == (9, 2)
+
+    def test_contents(self):
+        u = Universe(d=2, side=4)
+        cells = {tuple(r) for r in rectangle_cells(u, (0, 0), (2, 2))}
+        assert cells == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_full_grid(self):
+        u = Universe(d=3, side=3)
+        assert rectangle_cells(u, (0,) * 3, (3,) * 3).shape == (27, 3)
+
+    def test_rejects_empty(self):
+        u = Universe(d=2, side=4)
+        with pytest.raises(ValueError, match="non-empty"):
+            rectangle_cells(u, (2, 2), (2, 3))
+
+    def test_rejects_out_of_range(self):
+        u = Universe(d=2, side=4)
+        with pytest.raises(ValueError, match="outside"):
+            rectangle_cells(u, (0, 0), (5, 2))
+
+    def test_rejects_wrong_shape(self):
+        u = Universe(d=2, side=4)
+        with pytest.raises(ValueError, match="shape"):
+            rectangle_cells(u, (0,), (2,))
+
+
+class TestClusterCount:
+    def test_full_grid_is_one_cluster(self, u2_8):
+        """Every bijection covers the full grid with a single run."""
+        for curve in (ZCurve(u2_8), SimpleCurve(u2_8), RandomCurve(u2_8)):
+            assert cluster_count(curve, (0, 0), (8, 8)) == 1
+
+    def test_single_cell_is_one_cluster(self, u2_8):
+        assert cluster_count(ZCurve(u2_8), (3, 3), (4, 4)) == 1
+
+    def test_simple_curve_row_queries(self, u2_8):
+        """A full row aligned with the simple curve is one run; a column
+        is side runs."""
+        s = SimpleCurve(u2_8)
+        assert cluster_count(s, (0, 3), (8, 4)) == 1  # one row
+        assert cluster_count(s, (3, 0), (4, 8)) == 8  # one column
+
+    def test_z_curve_aligned_quadrant(self, u2_8):
+        """Z curve: an aligned power-of-two quadrant is one run."""
+        assert cluster_count(ZCurve(u2_8), (0, 0), (4, 4)) == 1
+        assert cluster_count(ZCurve(u2_8), (4, 4), (8, 8)) == 1
+
+    def test_matches_bruteforce(self, u2_8):
+        h = HilbertCurve(u2_8)
+        cells = rectangle_cells(u2_8, (1, 2), (5, 7))
+        keys = sorted(int(h.index(c)) for c in cells)
+        brute = 1 + sum(
+            1 for a, b in zip(keys[:-1], keys[1:]) if b > a + 1
+        )
+        assert cluster_count(h, (1, 2), (5, 7)) == brute
+
+
+class TestExpectedClusters:
+    def test_hilbert_beats_random(self, u2_8):
+        hilbert = expected_clusters(HilbertCurve(u2_8), (3, 3), 50, seed=1)
+        random_ = expected_clusters(RandomCurve(u2_8), (3, 3), 50, seed=1)
+        assert hilbert < random_
+
+    def test_deterministic(self, u2_8):
+        a = expected_clusters(ZCurve(u2_8), (2, 2), 20, seed=5)
+        b = expected_clusters(ZCurve(u2_8), (2, 2), 20, seed=5)
+        assert a == b
+
+    def test_full_grid_shape(self, u2_8):
+        assert expected_clusters(ZCurve(u2_8), (8, 8), 5, seed=0) == 1.0
+
+    def test_rejects_oversized_box(self, u2_8):
+        with pytest.raises(ValueError):
+            expected_clusters(ZCurve(u2_8), (9, 2), 5)
+
+    def test_rejects_wrong_dim(self, u2_8):
+        with pytest.raises(ValueError):
+            expected_clusters(ZCurve(u2_8), (2, 2, 2), 5)
+
+    def test_clustering_and_stretch_rank_differently(self, u2_8):
+        """Section II: clustering is a DIFFERENT metric from stretch.
+        On 4x4 boxes the simple curve wins clustering (4 row runs) while
+        the Z curve wins D^avg — the two metrics invert the ranking."""
+        from repro.core.stretch import average_average_nn_stretch
+
+        s, z = SimpleCurve(u2_8), ZCurve(u2_8)
+        clusters_s = expected_clusters(s, (4, 4), 100, seed=2)
+        clusters_z = expected_clusters(z, (4, 4), 100, seed=2)
+        assert clusters_s < clusters_z  # simple wins clustering
+        # while stretch ranks them the other way:
+        assert average_average_nn_stretch(z) < average_average_nn_stretch(s)

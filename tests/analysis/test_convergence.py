@@ -1,0 +1,85 @@
+"""Tests for the convergence-study tooling."""
+
+import pytest
+
+from repro.analysis.convergence import (
+    ConvergencePoint,
+    convergence_study,
+    is_converging,
+)
+
+
+def _mk(parameter, measured, reference=1.0, n=0):
+    return ConvergencePoint(
+        parameter=parameter, n=n, measured=measured, reference=reference
+    )
+
+
+class TestConvergencePoint:
+    def test_ratio_and_gap(self):
+        pt = _mk(1, measured=1.2)
+        assert pt.ratio == pytest.approx(1.2)
+        assert pt.gap == pytest.approx(0.2)
+
+    def test_gap_symmetric(self):
+        assert _mk(1, 0.8).gap == pytest.approx(_mk(1, 1.2).gap)
+
+
+class TestConvergenceStudy:
+    def test_runs_callables(self):
+        points = convergence_study(
+            [1, 2, 3],
+            measure=lambda k: 2.0**k + 1,
+            reference=lambda k: 2.0**k,
+            n_of=lambda k: 4**k,
+        )
+        assert [pt.parameter for pt in points] == [1, 2, 3]
+        assert points[0].measured == 3.0
+        assert points[2].n == 64
+
+    def test_gap_sequence(self):
+        points = convergence_study(
+            [1, 2, 3, 4],
+            measure=lambda k: 1.0 + 1.0 / k,
+            reference=lambda k: 1.0,
+            n_of=lambda k: k,
+        )
+        assert is_converging(points, final_gap=0.3)
+
+
+class TestIsConverging:
+    def test_accepts_shrinking(self):
+        points = [_mk(k, 1 + 0.5 / k) for k in (1, 2, 4, 8)]
+        assert is_converging(points)
+
+    def test_rejects_growing_gap(self):
+        points = [_mk(1, 1.05), _mk(2, 1.2)]
+        assert not is_converging(points)
+
+    def test_rejects_large_final_gap(self):
+        points = [_mk(1, 2.0), _mk(2, 1.8)]
+        assert not is_converging(points, final_gap=0.25)
+
+    def test_wrong_exponent_detected(self):
+        """The falsification property: if the reference has the wrong
+        growth rate the ratio diverges and the check fails."""
+        points = convergence_study(
+            [1, 2, 3, 4, 5],
+            measure=lambda k: 4.0**k,
+            reference=lambda k: 2.0**k,  # wrong exponent
+            n_of=lambda k: k,
+        )
+        assert not is_converging(points)
+
+    def test_wrong_constant_detected(self):
+        points = convergence_study(
+            [1, 2, 3, 4],
+            measure=lambda k: 3.0 * 2**k,
+            reference=lambda k: 2.0**k,  # off by constant 3
+            n_of=lambda k: k,
+        )
+        assert not is_converging(points)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            is_converging([])

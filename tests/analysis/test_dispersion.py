@@ -1,0 +1,76 @@
+"""Tests for the per-cell stretch dispersion statistics."""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.analysis.dispersion import gini, stretch_dispersion
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.random_curve import RandomCurve
+from repro.curves.simple import SimpleCurve
+
+
+class TestGini:
+    def test_all_equal_is_zero(self):
+        assert gini(np.full(10, 3.0)) == pytest.approx(0.0)
+
+    def test_fully_concentrated(self):
+        values = np.zeros(100)
+        values[0] = 1.0
+        assert gini(values) == pytest.approx(0.99, abs=0.01)
+
+    def test_scale_invariant(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 1, 100)
+        assert gini(values) == pytest.approx(gini(values * 7.5))
+
+    def test_uniform_distribution_value(self):
+        # Gini of U(0,1) is 1/3.
+        rng = np.random.default_rng(1)
+        assert gini(rng.uniform(0, 1, 100_000)) == pytest.approx(
+            1 / 3, abs=0.01
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gini(np.array([1.0, -0.5]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            gini(np.array([]))
+
+    def test_zero_total(self):
+        assert gini(np.zeros(5)) == 0.0
+
+
+class TestStretchDispersion:
+    def test_mean_matches_davg(self, u2_8):
+        from repro.core.stretch import average_average_nn_stretch
+
+        h = HilbertCurve(u2_8)
+        disp = stretch_dispersion(h)
+        assert disp.mean == pytest.approx(average_average_nn_stretch(h))
+
+    def test_quantiles_ordered(self, u2_8):
+        disp = stretch_dispersion(HilbertCurve(u2_8))
+        assert disp.q50 <= disp.q90 <= disp.q99
+
+    def test_simple_curve_low_dispersion(self):
+        """Interior cells of S share one δ^avg value — dispersion comes
+        only from the boundary, so the Gini is tiny."""
+        u = Universe.power_of_two(d=2, k=5)
+        disp_s = stretch_dispersion(SimpleCurve(u))
+        disp_h = stretch_dispersion(HilbertCurve(u))
+        assert disp_s.gini < disp_h.gini
+        assert disp_s.coefficient_of_variation < 0.2
+
+    def test_random_curve_relative_dispersion_small(self):
+        """Random keys: every cell's δ^avg concentrates near (n+1)/3,
+        so the relative dispersion is small even though the mean is
+        huge."""
+        u = Universe.power_of_two(d=2, k=5)
+        disp = stretch_dispersion(RandomCurve(u, seed=2))
+        assert disp.coefficient_of_variation < 0.5
+
+    def test_curve_name_recorded(self, u2_8):
+        assert stretch_dispersion(HilbertCurve(u2_8)).curve_name == "hilbert"

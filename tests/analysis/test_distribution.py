@@ -1,0 +1,90 @@
+"""Tests for NN curve-distance distribution views."""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.analysis.distribution import (
+    nn_distance_ccdf,
+    nn_distance_quantiles,
+    window_for_recall,
+)
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.simple import SimpleCurve
+from repro.curves.zcurve import ZCurve
+
+
+class TestQuantiles:
+    def test_max_quantile_is_dmax_support(self, u2_8):
+        from repro.core.stretch import nn_distance_values
+
+        z = ZCurve(u2_8)
+        q = nn_distance_quantiles(z, (1.0,))
+        assert q[1.0] == nn_distance_values(z).max()
+
+    def test_median_le_max(self, u2_8):
+        q = nn_distance_quantiles(ZCurve(u2_8), (0.5, 1.0))
+        assert q[0.5] <= q[1.0]
+
+    def test_simple_curve_quantiles(self, u2_8):
+        """Simple curve NN distances are only 1 or 8 on the 8x8 grid,
+        with the 1s (horizontal pairs) being exactly half."""
+        q = nn_distance_quantiles(SimpleCurve(u2_8), (0.25, 0.75))
+        assert q[0.25] == 1.0
+        assert q[0.75] == 8.0
+
+    def test_rejects_bad_quantile(self, u2_8):
+        with pytest.raises(ValueError):
+            nn_distance_quantiles(ZCurve(u2_8), (1.5,))
+
+
+class TestCCDF:
+    def test_window_zero_misses_everything(self, u2_8):
+        ccdf = nn_distance_ccdf(ZCurve(u2_8), [0])
+        assert ccdf[0] == 1.0  # all NN distances are >= 1
+
+    def test_huge_window_misses_nothing(self, u2_8):
+        ccdf = nn_distance_ccdf(ZCurve(u2_8), [u2_8.n])
+        assert ccdf[u2_8.n] == 0.0
+
+    def test_monotone_nonincreasing(self, u2_8):
+        windows = [1, 2, 4, 8, 16, 32]
+        ccdf = nn_distance_ccdf(ZCurve(u2_8), windows)
+        values = [ccdf[w] for w in windows]
+        assert values == sorted(values, reverse=True)
+
+    def test_hilbert_dominates_random_everywhere(self, u2_8):
+        from repro.curves.random_curve import RandomCurve
+
+        windows = [1, 2, 4, 8]
+        h = nn_distance_ccdf(HilbertCurve(u2_8), windows)
+        r = nn_distance_ccdf(RandomCurve(u2_8), windows)
+        assert all(h[w] <= r[w] for w in windows)
+
+
+class TestWindowForRecall:
+    def test_full_recall_is_max_distance(self, u2_8):
+        from repro.core.stretch import nn_distance_values
+
+        z = ZCurve(u2_8)
+        assert window_for_recall(z, 1.0) == int(nn_distance_values(z).max())
+
+    def test_recall_achieved(self, u2_8):
+        from repro.apps.nbody import neighbor_recall
+
+        z = ZCurve(u2_8)
+        for target in (0.5, 0.9, 0.99):
+            w = window_for_recall(z, target)
+            assert neighbor_recall(z, w) >= target
+            if w > 1:
+                assert neighbor_recall(z, w - 1) < target
+
+    def test_monotone_in_recall(self, u2_8):
+        z = ZCurve(u2_8)
+        assert window_for_recall(z, 0.5) <= window_for_recall(z, 0.95)
+
+    def test_rejects_bad_recall(self, u2_8):
+        with pytest.raises(ValueError):
+            window_for_recall(ZCurve(u2_8), 0.0)
+        with pytest.raises(ValueError):
+            window_for_recall(ZCurve(u2_8), 1.1)

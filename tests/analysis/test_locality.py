@@ -1,0 +1,75 @@
+"""Tests for the reverse (window-dilation) locality metrics."""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.analysis.locality import (
+    dilation_profile,
+    window_dilation,
+    worst_window_pairs,
+)
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.simple import SimpleCurve
+from repro.curves.zcurve import ZCurve
+
+
+class TestWindowDilation:
+    def test_window_one_continuous_curve(self, u2_8):
+        """A continuous curve has dilation exactly 1 at window 1."""
+        assert window_dilation(HilbertCurve(u2_8), 1) == 1
+
+    def test_window_one_z_curve_jumps(self, u2_8):
+        """The Z curve jumps at block boundaries: dilation >> 1."""
+        assert window_dilation(ZCurve(u2_8), 1) > 1
+
+    def test_simple_curve_row_wrap(self, u2_8):
+        """Simple curve's worst window-1 jump is the row wrap: ∆ = side-1+1."""
+        assert window_dilation(SimpleCurve(u2_8), 1) == 8
+
+    def test_euclidean_variant(self, u2_8):
+        val = window_dilation(HilbertCurve(u2_8), 1, metric="euclidean")
+        assert val == pytest.approx(1.0)
+
+    def test_monotone_nondecreasing_envelope_hilbert(self, u2_8):
+        """Hilbert dilation grows like O(sqrt(window)) in 2-D — compare
+        with the Niedermeier et al. bound 3·sqrt(m)."""
+        h = HilbertCurve(u2_8)
+        for window in (1, 4, 9, 16, 25):
+            assert window_dilation(h, window) <= 3 * np.sqrt(window) + 2
+
+    def test_rejects_bad_window(self, u2_8):
+        with pytest.raises(ValueError):
+            window_dilation(ZCurve(u2_8), 0)
+        with pytest.raises(ValueError):
+            window_dilation(ZCurve(u2_8), 64)
+
+    def test_rejects_bad_metric(self, u2_8):
+        with pytest.raises(ValueError):
+            window_dilation(ZCurve(u2_8), 1, metric="cosine")
+
+
+class TestWorstWindowPairs:
+    def test_pairs_attain_maximum(self, u2_8):
+        z = ZCurve(u2_8)
+        a, b = worst_window_pairs(z, 1)
+        worst = window_dilation(z, 1)
+        dist = np.abs(a - b).sum(axis=1)
+        assert np.all(dist == worst)
+
+    def test_pairs_are_window_apart(self, u2_8):
+        z = ZCurve(u2_8)
+        a, b = worst_window_pairs(z, 3)
+        assert np.all(z.curve_distance(a, b) == 3)
+
+
+class TestDilationProfile:
+    def test_keys(self, u2_8):
+        profile = dilation_profile(HilbertCurve(u2_8), [1, 2, 4])
+        assert sorted(profile) == [1, 2, 4]
+
+    def test_z_saturates_immediately(self, u2_8):
+        """Z's dilation is near-diameter already at window 1 — the
+        sharp contrast bench A6 reports."""
+        profile = dilation_profile(ZCurve(u2_8), [1])
+        assert profile[1] >= 7

@@ -1,0 +1,70 @@
+"""Tests for the seeded sampling helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sampling import (
+    MeanEstimate,
+    sample_mean_ci,
+    sample_rectangles,
+)
+
+
+class TestMeanEstimate:
+    def test_ci_contains_mean(self):
+        est = MeanEstimate(mean=5.0, stderr=0.5, n_samples=100)
+        lo, hi = est.ci95
+        assert lo < 5.0 < hi
+        assert hi - lo == pytest.approx(2 * 1.96 * 0.5)
+
+
+class TestSampleMeanCI:
+    def test_constant_draw(self):
+        est = sample_mean_ci(lambda rng: 3.0, n_samples=10, seed=0)
+        assert est.mean == 3.0
+        assert est.stderr == 0.0
+
+    def test_uniform_draw_mean(self):
+        est = sample_mean_ci(
+            lambda rng: float(rng.uniform(0, 1)), n_samples=2000, seed=0
+        )
+        assert est.mean == pytest.approx(0.5, abs=0.05)
+
+    def test_deterministic(self):
+        draw = lambda rng: float(rng.normal())
+        a = sample_mean_ci(draw, 50, seed=3)
+        b = sample_mean_ci(draw, 50, seed=3)
+        assert a.mean == b.mean
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ValueError):
+            sample_mean_ci(lambda rng: 0.0, n_samples=1)
+
+
+class TestSampleRectangles:
+    def test_shapes_and_bounds(self):
+        boxes = sample_rectangles(8, 2, (3, 2), 50, seed=0)
+        assert len(boxes) == 50
+        for lo, hi in boxes:
+            assert np.array_equal(hi - lo, [3, 2])
+            assert np.all(lo >= 0)
+            assert np.all(hi <= 8)
+
+    def test_full_size_box(self):
+        boxes = sample_rectangles(4, 2, (4, 4), 3, seed=0)
+        for lo, hi in boxes:
+            assert lo.tolist() == [0, 0]
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            sample_rectangles(4, 2, (5, 1), 3)
+
+    def test_rejects_wrong_dim(self):
+        with pytest.raises(ValueError):
+            sample_rectangles(4, 2, (2,), 3)
+
+    def test_deterministic(self):
+        a = sample_rectangles(8, 2, (2, 2), 10, seed=4)
+        b = sample_rectangles(8, 2, (2, 2), 10, seed=4)
+        for (lo1, _), (lo2, _) in zip(a, b):
+            assert np.array_equal(lo1, lo2)

@@ -1,0 +1,141 @@
+"""Tests for the N-body neighbor-sweep substrate."""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.apps.nbody import (
+    ParticleStore,
+    neighbor_recall,
+    sweep_cost,
+    window_for_target_recall,
+)
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.random_curve import RandomCurve
+from repro.curves.zcurve import ZCurve
+
+
+class TestParticleStore:
+    def test_sorted_by_key(self, u2_8):
+        store = ParticleStore.uniform_random(ZCurve(u2_8), 100, seed=0)
+        assert np.all(np.diff(store.keys) >= 0)
+
+    def test_len(self, u2_8):
+        store = ParticleStore.uniform_random(ZCurve(u2_8), 37, seed=0)
+        assert len(store) == 37
+
+    def test_positions_in_bounds(self, u2_8):
+        store = ParticleStore.uniform_random(ZCurve(u2_8), 50, seed=1)
+        assert bool(np.all(u2_8.contains(store.positions)))
+
+    def test_rejects_bad_positions(self, u2_8):
+        with pytest.raises(ValueError):
+            ParticleStore(ZCurve(u2_8), np.array([[8, 0]]))
+
+    def test_rejects_1d_positions(self, u2_8):
+        with pytest.raises(ValueError):
+            ParticleStore(ZCurve(u2_8), np.array([1, 2]))
+
+    def test_window_candidates(self, u2_8):
+        store = ParticleStore.uniform_random(ZCurve(u2_8), 20, seed=0)
+        cands = store.window_candidates(10, 3)
+        assert 10 not in cands
+        assert cands.min() >= 7
+        assert cands.max() <= 13
+
+    def test_window_candidates_boundary(self, u2_8):
+        store = ParticleStore.uniform_random(ZCurve(u2_8), 20, seed=0)
+        assert store.window_candidates(0, 5).min() == 1
+        with pytest.raises(IndexError):
+            store.window_candidates(20, 2)
+
+    def test_true_grid_neighbors(self, u2_8):
+        positions = np.array([[0, 0], [1, 0], [2, 0], [0, 1], [5, 5]])
+        store = ParticleStore(ZCurve(u2_8), positions)
+        me = int(np.nonzero((store.positions == [0, 0]).all(axis=1))[0][0])
+        nbrs = store.true_grid_neighbors(me)
+        nbr_cells = {tuple(r) for r in store.positions[nbrs]}
+        assert nbr_cells == {(1, 0), (0, 1)}
+
+
+class TestNeighborRecall:
+    def test_zero_window(self, u2_8):
+        assert neighbor_recall(ZCurve(u2_8), 0) == 0.0
+
+    def test_full_window(self, u2_8):
+        assert neighbor_recall(ZCurve(u2_8), u2_8.n) == 1.0
+
+    def test_monotone(self, u2_8):
+        z = ZCurve(u2_8)
+        values = [neighbor_recall(z, w) for w in (1, 2, 4, 8, 16)]
+        assert values == sorted(values)
+
+    def test_matches_ccdf(self, u2_8):
+        from repro.analysis.distribution import nn_distance_ccdf
+
+        z = ZCurve(u2_8)
+        ccdf = nn_distance_ccdf(z, [4])
+        assert neighbor_recall(z, 4) == pytest.approx(1.0 - ccdf[4])
+
+    def test_hilbert_beats_random(self, u2_8):
+        for w in (2, 4, 8):
+            assert neighbor_recall(HilbertCurve(u2_8), w) > neighbor_recall(
+                RandomCurve(u2_8), w
+            )
+
+    def test_rejects_negative(self, u2_8):
+        with pytest.raises(ValueError):
+            neighbor_recall(ZCurve(u2_8), -1)
+
+
+class TestSweepCost:
+    def test_one_particle_per_cell_full_recall(self, u2_8):
+        """With all cells occupied and a max window, recall is 1."""
+        z = ZCurve(u2_8)
+        store = ParticleStore(z, u2_8.all_coords())
+        result = sweep_cost(store, window=u2_8.n)
+        assert result.recall == pytest.approx(1.0)
+
+    def test_recall_grows_with_window(self, u2_8):
+        z = ZCurve(u2_8)
+        store = ParticleStore(z, u2_8.all_coords())
+        small = sweep_cost(store, 2)
+        large = sweep_cost(store, 16)
+        assert small.recall <= large.recall
+
+    def test_efficiency_decreases_with_window(self, u2_8):
+        z = ZCurve(u2_8)
+        store = ParticleStore(z, u2_8.all_coords())
+        tight = sweep_cost(store, 4)
+        loose = sweep_cost(store, 32)
+        assert tight.efficiency >= loose.efficiency
+
+    def test_cell_recall_consistency(self, u2_8):
+        """One particle per cell: sweep recall equals cell-level recall
+        from the NN-distance distribution."""
+        z = ZCurve(u2_8)
+        store = ParticleStore(z, u2_8.all_coords())
+        w = 8
+        assert sweep_cost(store, w).recall == pytest.approx(
+            neighbor_recall(z, w)
+        )
+
+    def test_empty_window(self, u2_8):
+        z = ZCurve(u2_8)
+        store = ParticleStore(z, u2_8.all_coords())
+        result = sweep_cost(store, 0)
+        assert result.interactions_found == 0
+        assert result.candidates_examined == 0
+
+    def test_rejects_negative_window(self, u2_8):
+        store = ParticleStore.uniform_random(ZCurve(u2_8), 5, seed=0)
+        with pytest.raises(ValueError):
+            sweep_cost(store, -1)
+
+
+class TestWindowForTargetRecall:
+    def test_hilbert_needs_smaller_window(self, u2_8):
+        """The application consequence of smaller NN-stretch."""
+        w_h = window_for_target_recall(HilbertCurve(u2_8), 0.9)
+        w_r = window_for_target_recall(RandomCurve(u2_8), 0.9)
+        assert w_h < w_r

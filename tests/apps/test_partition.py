@@ -1,0 +1,169 @@
+"""Tests for SFC domain decomposition."""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.apps.partition import (
+    edge_cut,
+    load_imbalance,
+    partition_by_curve,
+    partition_quality,
+)
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.random_curve import RandomCurve
+from repro.curves.simple import SimpleCurve
+from repro.curves.zcurve import ZCurve
+
+
+class TestPartitionByCurve:
+    def test_labels_shape_and_range(self, u2_8):
+        labels = partition_by_curve(ZCurve(u2_8), 4)
+        assert labels.shape == u2_8.shape
+        assert labels.min() == 0
+        assert labels.max() == 3
+
+    def test_equal_counts_without_weights(self, u2_8):
+        labels = partition_by_curve(ZCurve(u2_8), 4)
+        counts = np.bincount(labels.reshape(-1))
+        assert counts.tolist() == [16, 16, 16, 16]
+
+    def test_parts_are_curve_contiguous(self, u2_8):
+        """Each part is a contiguous curve segment (the defining
+        property of SFC partitioning)."""
+        z = ZCurve(u2_8)
+        labels = partition_by_curve(z, 4)
+        along_curve = labels.reshape(-1)[np.argsort(z.key_grid().reshape(-1))]
+        # labels along the curve must be sorted.
+        assert np.all(np.diff(along_curve) >= 0)
+
+    def test_single_part(self, u2_8):
+        labels = partition_by_curve(ZCurve(u2_8), 1)
+        assert np.all(labels == 0)
+
+    def test_n_parts_equals_n(self, u2_8):
+        labels = partition_by_curve(ZCurve(u2_8), u2_8.n)
+        assert len(np.unique(labels)) == u2_8.n
+
+    def test_rejects_bad_parts(self, u2_8):
+        with pytest.raises(ValueError):
+            partition_by_curve(ZCurve(u2_8), 0)
+        with pytest.raises(ValueError):
+            partition_by_curve(ZCurve(u2_8), u2_8.n + 1)
+
+    def test_weighted_split_balances_mass(self, u2_8):
+        """Heavy half of the grid gets more parts under weighting."""
+        weights = np.ones(u2_8.shape)
+        weights[4:, :] = 10.0  # right half is heavy
+        labels = partition_by_curve(ZCurve(u2_8), 4, weights)
+        imbalance = load_imbalance(labels, 4, weights)
+        uniform_labels = partition_by_curve(ZCurve(u2_8), 4)
+        uniform_imbalance = load_imbalance(uniform_labels, 4, weights)
+        assert imbalance < uniform_imbalance
+
+    def test_weight_shape_mismatch(self, u2_8):
+        with pytest.raises(ValueError, match="shape"):
+            partition_by_curve(ZCurve(u2_8), 2, np.ones((4, 4)))
+
+    def test_negative_weights_rejected(self, u2_8):
+        weights = np.ones(u2_8.shape)
+        weights[0, 0] = -1
+        with pytest.raises(ValueError, match="non-negative"):
+            partition_by_curve(ZCurve(u2_8), 2, weights)
+
+    def test_zero_total_weight_falls_back(self, u2_8):
+        labels = partition_by_curve(ZCurve(u2_8), 4, np.zeros(u2_8.shape))
+        assert len(np.unique(labels)) == 4
+
+
+class TestQualityMetrics:
+    def test_imbalance_perfect(self, u2_8):
+        labels = partition_by_curve(ZCurve(u2_8), 4)
+        assert load_imbalance(labels, 4) == 1.0
+
+    def test_imbalance_rejects_zero_load(self):
+        with pytest.raises(ValueError):
+            load_imbalance(np.zeros((2, 2), dtype=int), 2, np.zeros((2, 2)))
+
+    def test_edge_cut_counts_crossings(self, u2_8):
+        """Splitting the 8x8 grid into two x-halves cuts exactly 8 pairs."""
+        labels = np.zeros(u2_8.shape, dtype=np.int64)
+        labels[4:, :] = 1
+        assert edge_cut(u2_8, labels) == 8
+
+    def test_edge_cut_zero_for_single_part(self, u2_8):
+        assert edge_cut(u2_8, np.zeros(u2_8.shape, dtype=int)) == 0
+
+    def test_edge_cut_shape_check(self, u2_8):
+        with pytest.raises(ValueError):
+            edge_cut(u2_8, np.zeros((4, 4), dtype=int))
+
+    def test_partition_quality_struct(self, u2_8):
+        q = partition_quality(ZCurve(u2_8), 8)
+        assert q.n_parts == 8
+        assert 0 < q.cut_fraction < 1
+        assert q.imbalance >= 1.0
+
+
+class TestSurfaceMetrics:
+    def test_surface_counts_sum_to_twice_cut(self, u2_8):
+        from repro.apps.partition import part_surface_counts
+
+        labels = partition_by_curve(ZCurve(u2_8), 4)
+        surface = part_surface_counts(u2_8, labels)
+        assert surface.sum() == 2 * edge_cut(u2_8, labels)
+
+    def test_surface_single_part_zero(self, u2_8):
+        from repro.apps.partition import part_surface_counts
+
+        labels = np.zeros(u2_8.shape, dtype=np.int64)
+        assert part_surface_counts(u2_8, labels).tolist() == [0]
+
+    def test_half_split_surface(self, u2_8):
+        from repro.apps.partition import part_surface_counts
+
+        labels = np.zeros(u2_8.shape, dtype=np.int64)
+        labels[4:, :] = 1
+        assert part_surface_counts(u2_8, labels).tolist() == [8, 8]
+
+    def test_surface_to_volume_compactness(self):
+        """Quadrant blocks are more compact than strips."""
+        from repro.apps.partition import mean_surface_to_volume
+
+        u = Universe.power_of_two(d=2, k=4)
+        z_labels = partition_by_curve(ZCurve(u), 4)  # 8x8 quadrants
+        s_labels = partition_by_curve(SimpleCurve(u), 4)  # 16x4 strips
+        assert mean_surface_to_volume(u, z_labels) < mean_surface_to_volume(
+            u, s_labels
+        )
+
+    def test_surface_to_volume_rejects_empty_part(self, u2_8):
+        from repro.apps.partition import mean_surface_to_volume
+
+        labels = np.zeros(u2_8.shape, dtype=np.int64)
+        labels[0, 0] = 2  # part 1 empty
+        with pytest.raises(ValueError, match="non-empty"):
+            mean_surface_to_volume(u2_8, labels)
+
+    def test_shape_check(self, u2_8):
+        from repro.apps.partition import part_surface_counts
+
+        with pytest.raises(ValueError):
+            part_surface_counts(u2_8, np.zeros((4, 4), dtype=int))
+
+
+class TestCurveComparison:
+    def test_locality_curves_beat_random(self, u2_8):
+        """The application-level payoff of stretch: structured curves
+        cut far fewer NN pairs than a random bijection."""
+        cut_h = partition_quality(HilbertCurve(u2_8), 8).edge_cut
+        cut_r = partition_quality(RandomCurve(u2_8), 8).edge_cut
+        assert cut_h < cut_r / 2
+
+    def test_hilbert_and_z_beat_simple_at_many_parts(self):
+        """Recursive curves produce compact parts; strips of the simple
+        curve get long and thin as p grows."""
+        u = Universe.power_of_two(d=2, k=5)
+        cut_z = partition_quality(ZCurve(u), 32).edge_cut
+        cut_s = partition_quality(SimpleCurve(u), 32).edge_cut
+        assert cut_z < cut_s

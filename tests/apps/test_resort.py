@@ -1,0 +1,79 @@
+"""Tests for the drifting-particle resort substrate."""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.apps.resort import (
+    drift_step_cost,
+    expected_unit_move_key_displacement,
+)
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.random_curve import RandomCurve
+from repro.curves.zcurve import ZCurve
+
+
+class TestExpectedDisplacement:
+    def test_equals_mean_nn_distance(self, u2_8):
+        from repro.core.stretch import nn_distance_values
+
+        z = ZCurve(u2_8)
+        assert expected_unit_move_key_displacement(z) == pytest.approx(
+            float(nn_distance_values(z).mean())
+        )
+
+    def test_hilbert_below_random(self, u2_8):
+        assert expected_unit_move_key_displacement(
+            HilbertCurve(u2_8)
+        ) < expected_unit_move_key_displacement(RandomCurve(u2_8))
+
+
+class TestDriftStepCost:
+    def test_deterministic(self, u2_8):
+        a = drift_step_cost(ZCurve(u2_8), 100, 3, seed=5)
+        b = drift_step_cost(ZCurve(u2_8), 100, 3, seed=5)
+        assert a == b
+
+    def test_fields(self, u2_8):
+        cost = drift_step_cost(ZCurve(u2_8), 50, 2, seed=0)
+        assert cost.curve_name == "z"
+        assert cost.n_particles == 50
+        assert cost.steps == 2
+        assert cost.mean_key_displacement >= 0
+        assert cost.max_rank_displacement <= 50
+
+    def test_key_displacement_tracks_expectation(self):
+        """Measured per-step key displacement ≈ the NN-distance mean
+        (slightly below: boundary moves are rejected)."""
+        u = Universe.power_of_two(d=2, k=5)
+        z = ZCurve(u)
+        cost = drift_step_cost(z, 4000, 5, seed=1)
+        expected = expected_unit_move_key_displacement(z)
+        assert cost.mean_key_displacement == pytest.approx(
+            expected, rel=0.25
+        )
+
+    def test_structured_cheaper_than_random(self):
+        """The application payoff: drifting particles on a structured
+        curve need far less resort work than on a random bijection."""
+        u = Universe.power_of_two(d=2, k=5)
+        cost_h = drift_step_cost(HilbertCurve(u), 500, 5, seed=2)
+        cost_r = drift_step_cost(RandomCurve(u), 500, 5, seed=2)
+        assert (
+            cost_h.mean_key_displacement
+            < cost_r.mean_key_displacement / 3
+        )
+        assert (
+            cost_h.mean_rank_displacement
+            < cost_r.mean_rank_displacement / 2
+        )
+
+    def test_rank_displacement_bounded_by_particles(self, u2_8):
+        cost = drift_step_cost(ZCurve(u2_8), 30, 3, seed=3)
+        assert cost.mean_rank_displacement <= 30
+
+    def test_rejects_bad_args(self, u2_8):
+        with pytest.raises(ValueError):
+            drift_step_cost(ZCurve(u2_8), 0, 1)
+        with pytest.raises(ValueError):
+            drift_step_cost(ZCurve(u2_8), 10, 0)

@@ -1,0 +1,90 @@
+"""Shared fixtures: canonical universes and curve zoos."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.curves.registry import curves_for_universe
+
+
+@pytest.fixture
+def u2_8() -> Universe:
+    """The paper's Figure 3/4 grid: d=2, side=8, n=64."""
+    return Universe.power_of_two(d=2, k=3)
+
+
+@pytest.fixture
+def u3_4() -> Universe:
+    """A 3-D power-of-two grid: d=3, side=4, n=64."""
+    return Universe.power_of_two(d=3, k=2)
+
+
+@pytest.fixture
+def u2_2() -> Universe:
+    """The Figure 1 grid: d=2, side=2, n=4."""
+    return Universe.power_of_two(d=2, k=1)
+
+
+@pytest.fixture
+def zoo_2d(u2_8):
+    """Every registered curve instantiable on the 8x8 grid."""
+    return curves_for_universe(u2_8)
+
+
+@pytest.fixture
+def zoo_3d(u3_4):
+    """Every registered curve instantiable on the 4^3 grid."""
+    return curves_for_universe(u3_4)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def brute_force_davg(curve) -> float:
+    """Slow, obviously-correct D^avg oracle (Definitions 1-2)."""
+    from repro.grid.neighbors import neighbors_of
+
+    universe = curve.universe
+    total = 0.0
+    for cell in universe.iter_cells():
+        nbrs = neighbors_of(np.asarray(cell), universe)
+        keys = curve.index(nbrs)
+        me = int(curve.index(np.asarray(cell)))
+        total += float(np.abs(keys - me).mean())
+    return total / universe.n
+
+
+def brute_force_dmax(curve) -> float:
+    """Slow, obviously-correct D^max oracle (Definitions 3-4)."""
+    from repro.grid.neighbors import neighbors_of
+
+    universe = curve.universe
+    total = 0.0
+    for cell in universe.iter_cells():
+        nbrs = neighbors_of(np.asarray(cell), universe)
+        keys = curve.index(nbrs)
+        me = int(curve.index(np.asarray(cell)))
+        total += float(np.abs(keys - me).max())
+    return total / universe.n
+
+
+def brute_force_allpairs(curve, metric: str = "manhattan") -> float:
+    """Slow all-pairs stretch oracle (Section V-B definition verbatim)."""
+    from repro.grid.metrics import euclidean, manhattan
+
+    universe = curve.universe
+    cells = list(universe.iter_cells())
+    n = len(cells)
+    total = 0.0
+    dist = manhattan if metric == "manhattan" else euclidean
+    for i in range(n):
+        for j in range(i + 1, n):
+            a = np.asarray(cells[i])
+            b = np.asarray(cells[j])
+            dpi = abs(int(curve.index(a)) - int(curve.index(b)))
+            total += dpi / float(dist(a, b))
+    return 2.0 * total / (n * (n - 1))

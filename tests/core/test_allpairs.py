@@ -1,0 +1,159 @@
+"""Tests for the all-pairs stretch and the Lemma 2 identity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Universe
+from repro.core.allpairs import (
+    average_allpairs_stretch_exact,
+    average_allpairs_stretch_sampled,
+    lemma2_sum_exact,
+    lemma2_sum_measured,
+)
+from repro.curves.random_curve import RandomCurve
+from repro.curves.simple import SimpleCurve
+from repro.curves.zcurve import ZCurve
+
+from tests.conftest import brute_force_allpairs
+
+
+class TestLemma2:
+    def test_closed_form_small(self):
+        # n=4: sum over ordered pairs of |i-j| for keys {0,1,2,3} = 20.
+        assert lemma2_sum_exact(4) == 20
+
+    def test_closed_form_formula(self):
+        for n in (2, 3, 8, 64, 1000):
+            assert lemma2_sum_exact(n) == (n - 1) * n * (n + 1) // 3
+
+    def test_measured_equals_exact_for_every_curve(self, zoo_2d):
+        """Lemma 2: the identity holds for EVERY bijection."""
+        for name, curve in zoo_2d.items():
+            assert lemma2_sum_measured(curve) == lemma2_sum_exact(64), name
+
+    def test_measured_3d(self, zoo_3d):
+        for curve in zoo_3d.values():
+            assert lemma2_sum_measured(curve) == lemma2_sum_exact(64)
+
+    def test_measured_brute_force(self):
+        u = Universe(d=2, side=3)
+        z = SimpleCurve(u)
+        keys = z.key_grid().reshape(-1)
+        brute = sum(
+            abs(int(a) - int(b)) for a in keys for b in keys
+        )
+        assert lemma2_sum_measured(z) == brute
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_lemma2_random_bijections(self, seed):
+        """Property: the identity is permutation-invariant."""
+        u = Universe(d=2, side=4)
+        curve = RandomCurve(u, seed=seed)
+        assert lemma2_sum_measured(curve) == lemma2_sum_exact(u.n)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            lemma2_sum_exact(0)
+
+
+class TestExactAllPairs:
+    @pytest.mark.parametrize("metric", ["manhattan", "euclidean"])
+    def test_matches_brute_force_simple(self, metric):
+        u = Universe(d=2, side=4)
+        s = SimpleCurve(u)
+        assert average_allpairs_stretch_exact(s, metric) == pytest.approx(
+            brute_force_allpairs(s, metric)
+        )
+
+    @pytest.mark.parametrize("metric", ["manhattan", "euclidean"])
+    def test_matches_brute_force_z(self, metric):
+        u = Universe(d=2, side=4)
+        z = ZCurve(u)
+        assert average_allpairs_stretch_exact(z, metric) == pytest.approx(
+            brute_force_allpairs(z, metric)
+        )
+
+    def test_chunking_invariance(self):
+        u = Universe(d=2, side=8)
+        z = ZCurve(u)
+        full = average_allpairs_stretch_exact(z, chunk=u.n)
+        tiny = average_allpairs_stretch_exact(z, chunk=7)
+        assert full == pytest.approx(tiny)
+
+    def test_euclidean_le_sqrt2_manhattan_relation(self):
+        """∆_E ≥ ∆/√2 in the paper's Lemma 7 proof ⇒ str_E ≤ √2·str_M
+        ... per-pair; averages inherit the inequality."""
+        u = Universe(d=2, side=4)
+        s = SimpleCurve(u)
+        m = average_allpairs_stretch_exact(s, "manhattan")
+        e = average_allpairs_stretch_exact(s, "euclidean")
+        assert e <= np.sqrt(2) * m + 1e-12
+        assert e >= m - 1e-12  # ∆_E ≤ ∆ pointwise ⇒ ratios grow
+
+    def test_rejects_bad_metric(self):
+        with pytest.raises(ValueError, match="metric"):
+            average_allpairs_stretch_exact(
+                SimpleCurve(Universe(d=2, side=4)), "cosine"
+            )
+
+    def test_rejects_single_cell(self):
+        with pytest.raises(ValueError):
+            average_allpairs_stretch_exact(
+                SimpleCurve(Universe(d=1, side=1))
+            )
+
+
+class TestSampledAllPairs:
+    def test_unbiased_against_exact(self):
+        u = Universe(d=2, side=8)
+        z = ZCurve(u)
+        exact = average_allpairs_stretch_exact(z)
+        est = average_allpairs_stretch_sampled(z, n_pairs=40_000, seed=1)
+        assert est.compatible_with(exact)
+
+    def test_euclidean_metric(self):
+        u = Universe(d=2, side=8)
+        z = ZCurve(u)
+        exact = average_allpairs_stretch_exact(z, "euclidean")
+        est = average_allpairs_stretch_sampled(
+            z, n_pairs=40_000, metric="euclidean", seed=2
+        )
+        assert est.compatible_with(exact)
+
+    def test_ci_width_shrinks_with_samples(self):
+        u = Universe(d=2, side=16)
+        z = ZCurve(u)
+        small = average_allpairs_stretch_sampled(z, n_pairs=1_000, seed=0)
+        large = average_allpairs_stretch_sampled(z, n_pairs=50_000, seed=0)
+        assert large.stderr < small.stderr
+
+    def test_deterministic_for_seed(self):
+        u = Universe(d=2, side=8)
+        z = ZCurve(u)
+        a = average_allpairs_stretch_sampled(z, n_pairs=1_000, seed=9)
+        b = average_allpairs_stretch_sampled(z, n_pairs=1_000, seed=9)
+        assert a.mean == b.mean
+
+    def test_ci95_contains_mean(self):
+        u = Universe(d=2, side=8)
+        est = average_allpairs_stretch_sampled(ZCurve(u), 1_000, seed=0)
+        lo, hi = est.ci95
+        assert lo <= est.mean <= hi
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ValueError):
+            average_allpairs_stretch_sampled(
+                ZCurve(Universe(d=2, side=4)), n_pairs=1
+            )
+
+    def test_pairs_never_identical(self):
+        """The sampler must never draw α == β (ratio would be inf)."""
+        u = Universe(d=1, side=2)  # tiny universe maximizes collision risk
+        est = average_allpairs_stretch_sampled(
+            SimpleCurve(u), n_pairs=1_000, seed=3
+        )
+        assert np.isfinite(est.mean)
+        assert est.mean == pytest.approx(1.0)  # only pair: (0,1), ratio 1

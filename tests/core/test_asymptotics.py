@@ -1,0 +1,247 @@
+"""Tests for the exact finite-n closed forms (Theorems 2-3, Lemma 5,
+Propositions 2 & 4)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Universe
+from repro.core.asymptotics import (
+    allpairs_simple_euclidean_ub,
+    allpairs_simple_manhattan_ub,
+    davg_simple_exact,
+    davg_simple_limit,
+    davg_z_limit,
+    dmax_simple_exact,
+    lambda_limit_coefficient,
+    lambda_z_exact,
+    simple_interior_delta_avg,
+    z_h1_exact,
+    zcurve_gij_count,
+    zcurve_gij_distance,
+)
+from repro.core.stretch import (
+    average_average_nn_stretch,
+    average_maximum_nn_stretch,
+    lambda_sums,
+    per_cell_avg_stretch,
+)
+from repro.curves.simple import SimpleCurve
+from repro.curves.zcurve import ZCurve
+
+
+class TestLambdaZExact:
+    @pytest.mark.parametrize("d,k", [(1, 4), (2, 3), (3, 2), (2, 4), (4, 2)])
+    def test_matches_measurement_exactly(self, d, k):
+        """The Lemma 5 proof's finite-n Λ_i formula is an integer
+        identity — measured and closed form must be EQUAL."""
+        u = Universe.power_of_two(d=d, k=k)
+        measured = lambda_sums(ZCurve(u))
+        for i in range(1, d + 1):
+            assert int(measured[i - 1]) == lambda_z_exact(u, i)
+
+    def test_d1_value(self):
+        # 1-D Z curve is the identity: Λ_1 = side - 1.
+        u = Universe.power_of_two(d=1, k=5)
+        assert lambda_z_exact(u, 1) == 31
+
+    def test_monotone_in_i(self):
+        """Λ_i decreases with i (later dims sit at lower bit positions)."""
+        u = Universe.power_of_two(d=3, k=3)
+        values = [lambda_z_exact(u, i) for i in (1, 2, 3)]
+        assert values[0] > values[1] > values[2]
+
+    def test_gij_count_sums_to_pairs(self):
+        u = Universe.power_of_two(d=2, k=4)
+        total = sum(zcurve_gij_count(u, j) for j in range(1, 5))
+        assert total == u.side ** (u.d - 1) * (u.side - 1)
+
+    def test_gij_distance_j1(self):
+        """j=1 (even κ): distance is exactly 2^{d-i}."""
+        u = Universe.power_of_two(d=3, k=3)
+        for i in (1, 2, 3):
+            assert zcurve_gij_distance(u, i, 1) == 2 ** (3 - i)
+
+    def test_gij_distance_positive(self):
+        u = Universe.power_of_two(d=2, k=4)
+        for i in (1, 2):
+            for j in range(1, 5):
+                assert zcurve_gij_distance(u, i, j) >= 1
+
+    def test_rejects_bad_indices(self):
+        u = Universe.power_of_two(d=2, k=3)
+        with pytest.raises(ValueError):
+            lambda_z_exact(u, 0)
+        with pytest.raises(ValueError):
+            zcurve_gij_count(u, 4)
+        with pytest.raises(ValueError):
+            zcurve_gij_distance(u, 3, 1)
+
+
+class TestLambdaLimits:
+    def test_coefficients_sum_to_one(self):
+        """Σ_i 2^{d-i}/(2^d-1) = 1 — used in Theorem 2's h1 limit."""
+        for d in (1, 2, 3, 4, 6):
+            total = sum(
+                lambda_limit_coefficient(d, i) for i in range(1, d + 1)
+            )
+            assert total == 1
+
+    def test_known_values(self):
+        assert lambda_limit_coefficient(2, 1) == Fraction(2, 3)
+        assert lambda_limit_coefficient(2, 2) == Fraction(1, 3)
+        assert lambda_limit_coefficient(3, 1) == Fraction(4, 7)
+
+    def test_ratio_converges(self):
+        """Λ_i(Z)/n^{2-1/d} → 2^{d-i}/(2^d-1) as k grows (Lemma 5)."""
+        d = 2
+        for i in (1, 2):
+            gaps = []
+            for k in (2, 4, 6, 8):
+                u = Universe.power_of_two(d=d, k=k)
+                ratio = lambda_z_exact(u, i) / u.n ** (2 - 1 / d)
+                gaps.append(abs(ratio - float(lambda_limit_coefficient(d, i))))
+            assert gaps == sorted(gaps, reverse=True)
+            assert gaps[-1] < 0.01
+
+    def test_rejects_bad_i(self):
+        with pytest.raises(ValueError):
+            lambda_limit_coefficient(2, 3)
+
+
+class TestZH1:
+    def test_h1_from_lambdas(self):
+        u = Universe.power_of_two(d=2, k=3)
+        lam = lambda_sums(ZCurve(u))
+        assert z_h1_exact(u) == Fraction(int(lam.sum()), 2)
+
+    def test_h1_is_lower_estimate_of_n_davg(self):
+        """D^avg(Z)·n = h1 + h2 with h2 ≥ 0 (boundary cells have fewer
+        neighbors, i.e. 1/|N| ≥ 1/d contributions)."""
+        u = Universe.power_of_two(d=2, k=3)
+        davg_n = average_average_nn_stretch(ZCurve(u)) * u.n
+        assert davg_n >= float(z_h1_exact(u)) - 1e-9
+
+
+class TestTheorem2Limit:
+    def test_leading_term(self):
+        assert davg_z_limit(256, 2) == 8.0
+
+    def test_convergence(self):
+        """d·D^avg(Z)/n^{1-1/d} → 1 with shrinking, monotone gap."""
+        d = 2
+        gaps = []
+        for k in (2, 3, 4, 5, 6):
+            u = Universe.power_of_two(d=d, k=k)
+            davg = average_average_nn_stretch(ZCurve(u))
+            gaps.append(abs(davg / davg_z_limit(u.n, d) - 1.0))
+        assert gaps == sorted(gaps, reverse=True)
+        assert gaps[-1] < 0.1
+
+    def test_convergence_3d(self):
+        d = 3
+        gaps = []
+        for k in (1, 2, 3, 4):
+            u = Universe.power_of_two(d=d, k=k)
+            davg = average_average_nn_stretch(ZCurve(u))
+            gaps.append(abs(davg / davg_z_limit(u.n, d) - 1.0))
+        assert gaps[-1] < gaps[0]
+        assert gaps[-1] < 0.15
+
+
+class TestSimpleExact:
+    @pytest.mark.parametrize(
+        "d,side", [(1, 8), (2, 2), (2, 5), (2, 8), (3, 3), (3, 4), (4, 3)]
+    )
+    def test_davg_closed_form_exact(self, d, side):
+        """Boundary-pattern sum equals the measured D^avg exactly."""
+        u = Universe(d=d, side=side)
+        measured = average_average_nn_stretch(SimpleCurve(u))
+        assert measured == pytest.approx(float(davg_simple_exact(u)), abs=1e-12)
+
+    def test_interior_delta_formula(self):
+        """Theorem 3: interior cells have δ^avg = (n-1)/(d(side-1))."""
+        u = Universe(d=2, side=8)
+        grid = per_cell_avg_stretch(SimpleCurve(u))
+        interior_value = float(simple_interior_delta_avg(u))
+        assert grid[3, 4] == pytest.approx(interior_value)
+        assert grid[1, 1] == pytest.approx(interior_value)
+
+    def test_interior_requires_side3(self):
+        with pytest.raises(ValueError):
+            simple_interior_delta_avg(Universe(d=2, side=2))
+
+    def test_davg_rejects_side1(self):
+        with pytest.raises(ValueError):
+            davg_simple_exact(Universe(d=2, side=1))
+
+    def test_theorem3_convergence(self):
+        """D^avg(S)/(n^{1-1/d}/d) → 1."""
+        d = 3
+        gaps = []
+        for k in (1, 2, 3, 4):
+            u = Universe.power_of_two(d=d, k=k)
+            ratio = float(davg_simple_exact(u)) / davg_simple_limit(u.n, d)
+            gaps.append(abs(ratio - 1.0))
+        assert gaps == sorted(gaps, reverse=True)
+        assert gaps[-1] < 0.1
+
+
+class TestProposition2:
+    @pytest.mark.parametrize("d,side", [(1, 8), (2, 4), (2, 8), (3, 4)])
+    def test_dmax_simple_exact(self, d, side):
+        """D^max(S) = n^{1-1/d} EXACTLY (Proposition 2)."""
+        u = Universe(d=d, side=side)
+        measured = average_maximum_nn_stretch(SimpleCurve(u))
+        assert measured == float(dmax_simple_exact(u))
+
+    def test_equals_n_power(self):
+        u = Universe(d=3, side=4)
+        assert dmax_simple_exact(u) == round(u.n ** (1 - 1 / 3))
+
+    def test_dmax_vs_davg_factor_d(self):
+        """Paper's remark: average-max is worse than average-average by
+        a factor ≈ d for the simple curve (asymptotically; side = 32
+        puts the boundary correction below 5%)."""
+        u = Universe.power_of_two(d=3, k=5)
+        dmax = float(dmax_simple_exact(u))
+        davg = float(davg_simple_exact(u))
+        assert dmax / davg == pytest.approx(u.d, rel=0.05)
+
+
+class TestProposition4:
+    def test_upper_bound_values(self):
+        assert allpairs_simple_manhattan_ub(64, 2) == 8.0
+        assert allpairs_simple_euclidean_ub(64, 2) == pytest.approx(
+            8.0 * 2**0.5
+        )
+
+    def test_bounds_hold_exactly(self):
+        """str_{avg,M}(S) ≤ n^{1-1/d}; str_{avg,E}(S) ≤ √2 n^{1-1/d}."""
+        from repro.core.allpairs import average_allpairs_stretch_exact
+
+        for d, side in [(2, 4), (2, 8), (3, 4)]:
+            u = Universe(d=d, side=side)
+            s = SimpleCurve(u)
+            m = average_allpairs_stretch_exact(s, "manhattan")
+            e = average_allpairs_stretch_exact(s, "euclidean")
+            assert m <= allpairs_simple_manhattan_ub(u.n, d) + 1e-9
+            assert e <= allpairs_simple_euclidean_ub(u.n, d) + 1e-9
+
+    def test_lemma7_per_pair_bounds(self):
+        """Lemma 7: ∆_S/∆ ≤ n^{1-1/d} and ∆_S/∆_E ≤ √2·n^{1-1/d} for
+        every pair — checked exhaustively on a small grid."""
+        import numpy as np
+
+        from repro.grid.metrics import euclidean, manhattan
+
+        u = Universe(d=2, side=4)
+        s = SimpleCurve(u)
+        cells = u.all_coords()
+        ub_m = allpairs_simple_manhattan_ub(u.n, u.d)
+        ub_e = allpairs_simple_euclidean_ub(u.n, u.d)
+        for i in range(u.n):
+            for j in range(i + 1, u.n):
+                dpi = abs(int(s.index(cells[i])) - int(s.index(cells[j])))
+                assert dpi / float(manhattan(cells[i], cells[j])) <= ub_m + 1e-9
+                assert dpi / float(euclidean(cells[i], cells[j])) <= ub_e + 1e-9

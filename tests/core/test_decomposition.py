@@ -1,0 +1,127 @@
+"""Tests for the Theorem 1 proof machinery (Lemmas 1-4 executed)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Universe
+from repro.core.decomposition import (
+    lemma3_sandwich,
+    path_triangle_check,
+    theorem1_certificate,
+)
+from repro.curves.random_curve import RandomCurve
+from repro.curves.simple import SimpleCurve
+from repro.curves.zcurve import ZCurve
+
+
+class TestLemma1:
+    """Generalized triangle inequality for ∆π along decomposition paths."""
+
+    def test_path_triangle_z(self, u2_8):
+        z = ZCurve(u2_8)
+        lhs, rhs = path_triangle_check(z, (1, 1), (6, 3))
+        assert lhs <= rhs
+
+    def test_path_triangle_everywhere_small(self):
+        u = Universe(d=2, side=4)
+        z = ZCurve(u)
+        cells = [tuple(int(v) for v in r) for r in u.all_coords()]
+        for a in cells:
+            for b in cells:
+                if a != b:
+                    lhs, rhs = path_triangle_check(z, a, b)
+                    assert lhs <= rhs
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 1000), data=st.data())
+    def test_path_triangle_random_curves(self, seed, data):
+        u = Universe(d=2, side=4)
+        curve = RandomCurve(u, seed=seed)
+        cell = st.tuples(st.integers(0, 3), st.integers(0, 3))
+        a, b = data.draw(cell), data.draw(cell)
+        if a == b:
+            return
+        lhs, rhs = path_triangle_check(curve, a, b)
+        assert lhs <= rhs
+
+
+class TestLemma3:
+    def test_sandwich_holds_for_zoo(self, zoo_2d):
+        for name, curve in zoo_2d.items():
+            lower, davg, upper = lemma3_sandwich(curve)
+            assert lower <= davg + 1e-12, name
+            assert davg <= upper + 1e-12, name
+
+    def test_sandwich_3d(self, zoo_3d):
+        for curve in zoo_3d.values():
+            lower, davg, upper = lemma3_sandwich(curve)
+            assert lower <= davg <= upper + 1e-12
+
+    def test_upper_is_twice_lower(self, u2_8):
+        lower, _, upper = lemma3_sandwich(ZCurve(u2_8))
+        assert upper == pytest.approx(2 * lower)
+
+    def test_interior_only_universe_tightness(self):
+        """With side=2 every cell has |N|=d, so D^avg equals the UPPER
+        sandwich bound exactly."""
+        u = Universe(d=2, side=2)
+        curve = SimpleCurve(u)
+        lower, davg, upper = lemma3_sandwich(curve)
+        assert davg == pytest.approx(upper)
+
+
+class TestTheorem1Certificate:
+    def test_certificate_fields(self, u2_8):
+        cert = theorem1_certificate(ZCurve(u2_8))
+        assert cert.n == 64
+        assert cert.d == 2
+        assert cert.sa_prime == 63 * 64 * 65 // 3
+
+    def test_inequality4_holds_for_zoo(self, zoo_2d):
+        for name, curve in zoo_2d.items():
+            cert = theorem1_certificate(curve)
+            assert cert.inequality4_holds, name
+
+    def test_theorem1_holds_for_zoo(self, zoo_2d, zoo_3d):
+        for zoo in (zoo_2d, zoo_3d):
+            for name, curve in zoo.items():
+                cert = theorem1_certificate(curve)
+                assert cert.theorem1_holds, name
+
+    def test_theorem1_holds_on_odd_grids(self):
+        """The bound applies to any universe where our metrics exist."""
+        u = Universe(d=2, side=9)
+        from repro.curves.peano import PeanoCurve
+
+        assert theorem1_certificate(PeanoCurve(u)).theorem1_holds
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        d=st.integers(2, 3),
+        k=st.integers(1, 2),
+        seed=st.integers(0, 5000),
+    )
+    def test_certificate_random_curves(self, d, k, seed):
+        u = Universe.power_of_two(d=d, k=k)
+        cert = theorem1_certificate(RandomCurve(u, seed=seed))
+        assert cert.inequality4_holds
+        assert cert.theorem1_holds
+
+
+class TestDoubleCountingChain:
+    def test_inequality4_numeric_chain(self, u2_8):
+        """Verify the actual chain: S_A' ≤ (1/2)n^{(d+1)/d} Σ_NN ∆π
+        and that it implies Theorem 1 after Lemma 3."""
+        z = ZCurve(u2_8)
+        cert = theorem1_certificate(z)
+        n, d = cert.n, cert.d
+        # Chain: (n^3 - n)/3 ≤ bound · Σ_NN ≤ bound · n·d·D^avg
+        lhs = (n**3 - n) / 3
+        assert lhs <= cert.lemma4_edge_bound * cert.nn_sum + 1e-6
+        assert cert.nn_sum <= n * d * cert.davg + 1e-6
+        implied = (
+            2.0 / (3 * d) * (n ** (1 - 1 / d) - n ** (-1 - 1 / d))
+        )
+        assert cert.davg >= implied - 1e-9

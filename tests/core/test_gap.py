@@ -1,0 +1,67 @@
+"""Tests for optimality-gap computation (the 1.5 headline)."""
+
+import pytest
+
+from repro import Universe
+from repro.core.gap import GapReport, gap_survey, headline_ratio, optimality_ratio
+from repro.curves.simple import SimpleCurve
+from repro.curves.zcurve import ZCurve
+
+
+class TestOptimalityRatio:
+    def test_ratio_above_one(self, zoo_2d):
+        """No curve can be below the lower bound (Theorem 1)."""
+        for name, curve in zoo_2d.items():
+            assert optimality_ratio(curve) >= 1.0, name
+
+    def test_z_ratio_near_1_5(self):
+        """The Z curve's ratio approaches 1.5 (headline claim)."""
+        u = Universe.power_of_two(d=2, k=6)
+        assert optimality_ratio(ZCurve(u)) == pytest.approx(1.5, abs=0.06)
+
+    def test_z_ratio_d_independent(self):
+        """... irrespective of the number of dimensions.
+
+        The boundary correction decays like 1/side, so comparable sides
+        are used for each d (side 64/16/8 for d = 2/3/4).
+        """
+        ratios = []
+        for d, k in [(2, 6), (3, 4), (4, 3)]:
+            u = Universe.power_of_two(d=d, k=k)
+            ratios.append(optimality_ratio(ZCurve(u)))
+        assert max(ratios) - min(ratios) < 0.25
+        for ratio in ratios:
+            assert ratio == pytest.approx(1.5, abs=0.2)
+
+    def test_simple_matches_z_asymptotically(self):
+        u = Universe.power_of_two(d=2, k=6)
+        z_ratio = optimality_ratio(ZCurve(u))
+        s_ratio = optimality_ratio(SimpleCurve(u))
+        assert s_ratio == pytest.approx(z_ratio, rel=0.05)
+
+    def test_headline_constant(self):
+        assert headline_ratio() == 1.5
+
+
+class TestGapReport:
+    def test_from_curve(self):
+        u = Universe.power_of_two(d=2, k=3)
+        report = GapReport.from_curve(ZCurve(u))
+        assert report.curve_name == "z"
+        assert report.n == 64
+        assert report.ratio == pytest.approx(
+            report.davg / report.lower_bound
+        )
+
+    def test_survey(self):
+        universes = [
+            Universe.power_of_two(d=2, k=2),
+            Universe.power_of_two(d=3, k=1),
+        ]
+        reports = gap_survey(universes, names=["z", "simple"])
+        assert len(reports) == 4
+        assert all(r.ratio >= 1.0 for r in reports)
+
+    def test_survey_skips_inapplicable(self):
+        reports = gap_survey([Universe(d=2, side=6)], names=["z", "simple"])
+        assert [r.curve_name for r in reports] == ["simple"]

@@ -1,0 +1,72 @@
+"""Group structure of the Gray curve — Lemma 5's step is Z-specific.
+
+Lemma 5's pivotal observation is that ``∆_Z`` is *constant* on every
+group ``G_{i,j}``.  These tests document that the property does NOT
+transfer to the Gray-code curve (whose rank is a Gray-decode of the
+same interleaved bits): only the trivial groups are constant.  An
+exact Λ_i closed form for the Gray curve therefore needs different
+machinery — one reason the paper analyzes Z and not Gray.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.core.stretch import gij_decomposition, lambda_sums
+from repro.curves.gray import GrayCurve
+from repro.curves.zcurve import ZCurve
+
+
+@pytest.fixture
+def u2_16():
+    return Universe.power_of_two(d=2, k=4)
+
+
+class TestGrayGroupStructure:
+    def test_last_dimension_group1_is_unit(self, u2_16):
+        """Flipping the least significant interleaved bit moves the
+        Gray rank by exactly 1: G_{d,1} distances are all 1."""
+        g = GrayCurve(u2_16)
+        axis = u2_16.d - 1  # paper dimension d
+        count, dists = gij_decomposition(g, axis)[1]
+        assert count > 0
+        assert np.all(dists == 1)
+
+    def test_higher_groups_not_constant(self, u2_16):
+        """Unlike Z, Gray groups with j >= 3 carry several distances."""
+        g = GrayCurve(u2_16)
+        found_non_constant = False
+        for axis in range(u2_16.d):
+            for j, (count, dists) in gij_decomposition(g, axis).items():
+                if j >= 3 and count and len(set(dists.tolist())) > 1:
+                    found_non_constant = True
+        assert found_non_constant
+
+    def test_z_constant_everywhere_same_universe(self, u2_16):
+        """Control: on the identical universe, Z groups ARE constant."""
+        z = ZCurve(u2_16)
+        for axis in range(u2_16.d):
+            for j, (count, dists) in gij_decomposition(z, axis).items():
+                if count:
+                    assert len(set(dists.tolist())) == 1
+
+    def test_group_partition_sizes_match_z(self, u2_16):
+        """The group *sizes* depend only on κ, not on the curve: Gray
+        and Z share them (2^{k-j} per unit line)."""
+        g = GrayCurve(u2_16)
+        z = ZCurve(u2_16)
+        for axis in range(u2_16.d):
+            g_counts = {
+                j: c for j, (c, _) in gij_decomposition(g, axis).items()
+            }
+            z_counts = {
+                j: c for j, (c, _) in gij_decomposition(z, axis).items()
+            }
+            assert g_counts == z_counts
+
+    def test_gray_lambda_close_to_z_order_of_magnitude(self, u2_16):
+        """Gray's Λ sums stay within a small constant of Z's — it is in
+        the same Θ(n^{2−1/d}) class even without constant groups."""
+        g_total = int(lambda_sums(GrayCurve(u2_16)).sum())
+        z_total = int(lambda_sums(ZCurve(u2_16)).sum())
+        assert z_total < g_total < 3 * z_total

@@ -1,0 +1,158 @@
+"""Cross-cutting invariants, property-tested over random bijections.
+
+These are the falsification attempts a referee would run: every
+structural identity of the paper must survive arbitrary curves,
+arbitrary grid symmetries and arbitrary seeds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Universe
+from repro.core.allpairs import lemma2_sum_exact, lemma2_sum_measured
+from repro.core.lower_bounds import davg_lower_bound
+from repro.core.optimal import davg_of_keys, rank_space_pairs
+from repro.core.stretch import (
+    average_average_nn_stretch,
+    average_maximum_nn_stretch,
+    lambda_sums,
+    per_cell_avg_stretch,
+)
+from repro.curves.random_curve import RandomCurve
+from repro.curves.transforms import (
+    AxisPermutedCurve,
+    ReflectedCurve,
+    ReversedCurve,
+)
+
+small_universe = st.builds(
+    Universe.power_of_two,
+    d=st.integers(2, 3),
+    k=st.integers(1, 2),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(u=small_universe, seed=st.integers(0, 10_000))
+def test_reversal_preserves_all_metrics_exactly(u, seed):
+    curve = RandomCurve(u, seed=seed)
+    rev = ReversedCurve(curve)
+    assert average_average_nn_stretch(rev) == pytest.approx(
+        average_average_nn_stretch(curve)
+    )
+    assert average_maximum_nn_stretch(rev) == pytest.approx(
+        average_maximum_nn_stretch(curve)
+    )
+    assert np.array_equal(lambda_sums(rev), lambda_sums(curve))
+
+
+@settings(max_examples=25, deadline=None)
+@given(u=small_universe, seed=st.integers(0, 10_000), data=st.data())
+def test_axis_permutation_preserves_davg(u, seed, data):
+    curve = RandomCurve(u, seed=seed)
+    perm = data.draw(st.permutations(list(range(u.d))))
+    permuted = AxisPermutedCurve(curve, perm)
+    assert average_average_nn_stretch(permuted) == pytest.approx(
+        average_average_nn_stretch(curve)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(u=small_universe, seed=st.integers(0, 10_000), data=st.data())
+def test_reflection_preserves_davg(u, seed, data):
+    curve = RandomCurve(u, seed=seed)
+    axes = data.draw(
+        st.lists(st.integers(0, u.d - 1), max_size=u.d, unique=True)
+    )
+    reflected = ReflectedCurve(curve, axes)
+    assert average_average_nn_stretch(reflected) == pytest.approx(
+        average_average_nn_stretch(curve)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(u=small_universe, seed=st.integers(0, 10_000))
+def test_rank_space_equals_grid_space(u, seed):
+    """The optimizer's rank-space D^avg equals the dense-grid metric."""
+    curve = RandomCurve(u, seed=seed)
+    keys = curve.key_grid().reshape(-1, order="F")
+    value = davg_of_keys(keys, rank_space_pairs(u))
+    assert value == pytest.approx(average_average_nn_stretch(curve))
+
+
+@settings(max_examples=30, deadline=None)
+@given(u=small_universe, seed=st.integers(0, 10_000))
+def test_lemma2_and_theorem1_under_fuzzing(u, seed):
+    curve = RandomCurve(u, seed=seed)
+    assert lemma2_sum_measured(curve) == lemma2_sum_exact(u.n)
+    assert average_average_nn_stretch(curve) >= davg_lower_bound(u.n, u.d)
+
+
+@settings(max_examples=20, deadline=None)
+@given(u=small_universe, seed=st.integers(0, 10_000))
+def test_per_cell_field_bounds(u, seed):
+    """1 ≤ δ^avg(α) ≤ n−1 for every cell of every curve."""
+    curve = RandomCurve(u, seed=seed)
+    field = per_cell_avg_stretch(curve)
+    assert float(field.min()) >= 1.0
+    assert float(field.max()) <= u.n - 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    u=small_universe,
+    seed_a=st.integers(0, 500),
+    seed_b=st.integers(501, 1000),
+)
+def test_davg_is_seed_sensitive_but_bounded(u, seed_a, seed_b):
+    """Different random curves differ, but both respect the bound and
+    the trivial ceiling (n−1)."""
+    a = average_average_nn_stretch(RandomCurve(u, seed=seed_a))
+    b = average_average_nn_stretch(RandomCurve(u, seed=seed_b))
+    bound = davg_lower_bound(u.n, u.d)
+    for value in (a, b):
+        assert bound <= value <= u.n - 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(u=small_universe, seed=st.integers(0, 10_000))
+def test_gini_range(u, seed):
+    from repro.analysis.dispersion import stretch_dispersion
+
+    disp = stretch_dispersion(RandomCurve(u, seed=seed))
+    assert 0.0 <= disp.gini < 1.0
+    assert disp.q50 <= disp.q99
+
+
+@settings(max_examples=20, deadline=None)
+@given(d=st.integers(1, 4), k=st.integers(1, 3))
+def test_zexact_closed_form_fuzz(d, k):
+    """The exact D^avg(Z) closed form holds at every (d, k) — not just
+    the hand-picked test sizes."""
+    from repro.core.zexact import davg_z_exact
+    from repro.curves.zcurve import ZCurve
+
+    if d * k > 10:  # keep the dense grid small
+        return
+    u = Universe.power_of_two(d=d, k=k)
+    measured = average_average_nn_stretch(ZCurve(u))
+    assert measured == pytest.approx(float(davg_z_exact(u)), abs=1e-12)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_torus_metrics_fuzz(seed):
+    from repro.core.torus import (
+        average_average_nn_stretch_torus,
+        lambda_sums_torus,
+    )
+
+    u = Universe.power_of_two(d=2, k=2)
+    curve = RandomCurve(u, seed=seed)
+    torus = average_average_nn_stretch_torus(curve)
+    assert torus > 0
+    lam = lambda_sums_torus(curve)
+    # Torus per-axis sums dominate the box sums (extra wrap pairs).
+    assert np.all(lam >= lambda_sums(curve))

@@ -1,0 +1,102 @@
+"""Tests for the lower-bound closed forms (Theorem 1, Props 1 & 3)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro import Universe
+from repro.core.lower_bounds import (
+    allpairs_euclidean_lower_bound,
+    allpairs_manhattan_lower_bound,
+    allpairs_manhattan_lower_bound_exact,
+    davg_lower_bound,
+    davg_lower_bound_exact,
+    dmax_lower_bound,
+)
+
+
+class TestTheorem1Formula:
+    def test_formula_value(self):
+        n, d = 64, 2
+        expected = (2 / (3 * 2)) * (64**0.5 - 64**-1.5)
+        assert davg_lower_bound(n, d) == pytest.approx(expected)
+
+    def test_exact_matches_float(self):
+        u = Universe.power_of_two(d=2, k=3)
+        assert float(davg_lower_bound_exact(u)) == pytest.approx(
+            davg_lower_bound(u.n, u.d)
+        )
+
+    def test_exact_rational_value(self):
+        u = Universe.power_of_two(d=2, k=1)  # n=4, side=2
+        # (2/6)(2 - 1/8) = (1/3)(15/8) = 15/24 = 5/8
+        assert davg_lower_bound_exact(u) == Fraction(5, 8)
+
+    def test_d1_bound(self):
+        # d=1: (2/3)(1 - n^-2) < 1; the identity curve achieves D^avg=1.
+        assert davg_lower_bound(64, 1) < 1.0
+
+    def test_grows_with_n(self):
+        assert davg_lower_bound(4096, 2) > davg_lower_bound(64, 2)
+
+    def test_scaling_exponent(self):
+        """Bound scales as n^{1-1/d}: quadrupling n in 2-D doubles it
+        (up to the vanishing correction)."""
+        b1 = davg_lower_bound(2**10, 2)
+        b2 = davg_lower_bound(2**12, 2)
+        assert b2 / b1 == pytest.approx(2.0, rel=1e-3)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            davg_lower_bound(1, 2)
+        with pytest.raises(ValueError):
+            davg_lower_bound(64, 0)
+
+
+class TestProposition1:
+    def test_same_bound_as_davg(self):
+        assert dmax_lower_bound(256, 2) == davg_lower_bound(256, 2)
+
+
+class TestProposition3:
+    def test_manhattan_formula(self):
+        n, d = 64, 2
+        expected = (1 / 6) * 65 / 7
+        assert allpairs_manhattan_lower_bound(n, d) == pytest.approx(expected)
+
+    def test_euclidean_formula(self):
+        n, d = 64, 2
+        expected = (1 / (3 * math.sqrt(2))) * 65 / 7
+        assert allpairs_euclidean_lower_bound(n, d) == pytest.approx(expected)
+
+    def test_euclidean_ge_manhattan_bound(self):
+        """1/√d ≥ 1/d, so the Euclidean bound is the larger one."""
+        for d in (2, 3, 4):
+            n = 4**d
+            assert allpairs_euclidean_lower_bound(
+                n, d
+            ) >= allpairs_manhattan_lower_bound(n, d)
+
+    def test_exact_rational(self):
+        u = Universe.power_of_two(d=2, k=3)
+        assert allpairs_manhattan_lower_bound_exact(u) == Fraction(
+            65, 3 * 2 * 7
+        )
+
+    def test_exact_matches_float(self):
+        u = Universe.power_of_two(d=3, k=2)
+        assert float(
+            allpairs_manhattan_lower_bound_exact(u)
+        ) == pytest.approx(allpairs_manhattan_lower_bound(u.n, u.d))
+
+    def test_asymptotic_equivalent(self):
+        """The paper notes the bound ≈ n^{1-1/d}/(3d) for large n."""
+        n, d = 2**24, 2
+        bound = allpairs_manhattan_lower_bound(n, d)
+        approx = n ** (1 - 1 / d) / (3 * d)
+        assert bound == pytest.approx(approx, rel=1e-3)
+
+    def test_rejects_side_one(self):
+        with pytest.raises(ValueError):
+            allpairs_manhattan_lower_bound_exact(Universe(d=2, side=1))

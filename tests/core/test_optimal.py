@@ -1,0 +1,149 @@
+"""Tests for the optimal-SFC search (bound-tightness probes)."""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.core.lower_bounds import davg_lower_bound
+from repro.core.optimal import (
+    davg_of_keys,
+    exhaustive_optimum,
+    local_search,
+    rank_space_pairs,
+)
+from repro.core.stretch import average_average_nn_stretch
+from repro.curves.base import PermutationCurve
+from repro.curves.zcurve import ZCurve
+
+
+def curve_from_keys(universe, keys):
+    grid = np.ascontiguousarray(
+        np.asarray(keys, dtype=np.int64).reshape(universe.shape, order="F")
+    )
+    return PermutationCurve(universe, key_grid=grid)
+
+
+class TestRankSpacePairs:
+    def test_pair_count(self):
+        u = Universe(d=2, side=4)
+        i, j, w = rank_space_pairs(u)
+        assert i.size == j.size == w.size == 2 * 4 * 3
+
+    def test_weights_total(self):
+        """Σ pair weights · 1 per pair with unit diffs reproduces D^avg
+        of the identity keys (the simple curve)."""
+        from repro.core.asymptotics import davg_simple_exact
+
+        u = Universe(d=2, side=4)
+        pairs = rank_space_pairs(u)
+        identity = np.arange(u.n, dtype=np.int64)
+        assert davg_of_keys(identity, pairs) == pytest.approx(
+            float(davg_simple_exact(u))
+        )
+
+    def test_rejects_side_one(self):
+        with pytest.raises(ValueError):
+            rank_space_pairs(Universe(d=2, side=1))
+
+
+class TestDavgOfKeys:
+    def test_matches_curve_metric(self):
+        """Rank-space evaluation equals the dense grid computation."""
+        u = Universe.power_of_two(d=2, k=2)
+        z = ZCurve(u)
+        pairs = rank_space_pairs(u)
+        keys = z.key_grid().reshape(-1, order="F")
+        assert davg_of_keys(keys, pairs) == pytest.approx(
+            average_average_nn_stretch(z)
+        )
+
+    def test_batched(self):
+        u = Universe(d=2, side=2)
+        pairs = rank_space_pairs(u)
+        rng = np.random.default_rng(0)
+        batch = np.stack([rng.permutation(4) for _ in range(10)])
+        values = davg_of_keys(batch, pairs)
+        assert values.shape == (10,)
+        for row, value in zip(batch, values):
+            assert davg_of_keys(row, pairs) == pytest.approx(float(value))
+
+
+class TestExhaustiveOptimum:
+    def test_2x2_optimum_is_figure1_pi1(self):
+        """The true 2x2 optimum is 1.5 — attained by Figure 1's π1."""
+        u = Universe(d=2, side=2)
+        opt = exhaustive_optimum(u)
+        assert opt.davg == pytest.approx(1.5)
+        assert opt.n_evaluated == 24
+
+    def test_1d_optimum_is_identity(self):
+        """In 1-D the identity curve is optimal with D^avg = 1."""
+        u = Universe(d=1, side=6)
+        opt = exhaustive_optimum(u)
+        assert opt.davg == pytest.approx(1.0)
+
+    def test_2x2x2_optimum_respects_bound(self):
+        u = Universe(d=3, side=2)
+        opt = exhaustive_optimum(u)
+        assert opt.davg >= davg_lower_bound(u.n, u.d)
+        # Beats (or ties) every registered curve — it is the optimum.
+        z = ZCurve(u)
+        assert opt.davg <= average_average_nn_stretch(z) + 1e-12
+
+    def test_optimal_keys_reproduce_value(self):
+        u = Universe(d=3, side=2)
+        opt = exhaustive_optimum(u)
+        curve = curve_from_keys(u, opt.keys)
+        assert average_average_nn_stretch(curve) == pytest.approx(opt.davg)
+
+    def test_refuses_large_universe(self):
+        with pytest.raises(ValueError, match="exhaustive"):
+            exhaustive_optimum(Universe(d=2, side=4))
+
+
+class TestLocalSearch:
+    def test_never_beats_lower_bound(self):
+        """The adversarial probe: hill climbing cannot cross Theorem 1."""
+        u = Universe.power_of_two(d=2, k=2)
+        result = local_search(u, iterations=5_000, seed=1)
+        assert result.davg >= davg_lower_bound(u.n, u.d)
+
+    def test_improves_from_random_start(self):
+        u = Universe.power_of_two(d=2, k=2)
+        rng = np.random.default_rng(2)
+        start = rng.permutation(u.n)
+        result = local_search(u, start_keys=start, iterations=5_000, seed=3)
+        assert result.improved
+        assert result.davg < result.start_davg
+
+    def test_deterministic(self):
+        u = Universe.power_of_two(d=2, k=2)
+        a = local_search(u, iterations=1_000, seed=9)
+        b = local_search(u, iterations=1_000, seed=9)
+        assert a.davg == b.davg
+
+    def test_result_keys_are_permutation(self):
+        u = Universe.power_of_two(d=2, k=2)
+        result = local_search(u, iterations=2_000, seed=5)
+        assert sorted(result.keys.tolist()) == list(range(u.n))
+
+    def test_result_value_matches_keys(self):
+        u = Universe.power_of_two(d=2, k=2)
+        result = local_search(u, iterations=2_000, seed=7)
+        curve = curve_from_keys(u, result.keys)
+        assert average_average_nn_stretch(curve) == pytest.approx(
+            result.davg
+        )
+
+    def test_rejects_bad_start(self):
+        u = Universe(d=2, side=2)
+        with pytest.raises(ValueError, match="permutation"):
+            local_search(u, start_keys=np.array([0, 0, 1, 2]))
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            local_search(Universe(d=2, side=2), iterations=0)
+
+    def test_finds_2x2_optimum(self):
+        result = local_search(Universe(d=2, side=2), iterations=500, seed=0)
+        assert result.davg == pytest.approx(1.5)

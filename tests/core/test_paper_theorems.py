@@ -1,0 +1,255 @@
+"""Capstone validation: every numbered claim of the paper, end to end.
+
+One test (class) per theorem/lemma/proposition/figure, exercising the
+library exactly the way the paper's statements read.  This module is the
+test-suite counterpart of EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.core.allpairs import (
+    average_allpairs_stretch_exact,
+    lemma2_sum_exact,
+    lemma2_sum_measured,
+)
+from repro.core.asymptotics import (
+    allpairs_simple_euclidean_ub,
+    allpairs_simple_manhattan_ub,
+    davg_simple_exact,
+    davg_z_limit,
+    dmax_simple_exact,
+    lambda_limit_coefficient,
+    lambda_z_exact,
+)
+from repro.core.lower_bounds import (
+    allpairs_euclidean_lower_bound,
+    allpairs_manhattan_lower_bound,
+    davg_lower_bound,
+    dmax_lower_bound,
+)
+from repro.core.stretch import (
+    average_average_nn_stretch,
+    average_maximum_nn_stretch,
+    lambda_sums,
+)
+from repro.curves.registry import curves_for_universe
+from repro.curves.simple import SimpleCurve
+from repro.curves.zcurve import ZCurve
+
+ALL_POW2_UNIVERSES = [
+    Universe.power_of_two(d=2, k=2),
+    Universe.power_of_two(d=2, k=3),
+    Universe.power_of_two(d=2, k=4),
+    Universe.power_of_two(d=3, k=2),
+    Universe.power_of_two(d=4, k=1),
+]
+
+
+class TestTheorem1:
+    """D^avg(π) ≥ (2/3d)(n^{1-1/d} − n^{-1-1/d}) for ANY SFC."""
+
+    @pytest.mark.parametrize(
+        "universe", ALL_POW2_UNIVERSES, ids=lambda u: f"d{u.d}k{u.k}"
+    )
+    def test_bound_holds_for_every_registered_curve(self, universe):
+        bound = davg_lower_bound(universe.n, universe.d)
+        for name, curve in curves_for_universe(universe).items():
+            davg = average_average_nn_stretch(curve)
+            assert davg >= bound, (name, davg, bound)
+
+    def test_bound_holds_for_adversarial_curves(self):
+        """Transforms and reversals cannot evade the bound either."""
+        from repro.curves.transforms import ReversedCurve
+
+        u = Universe.power_of_two(d=2, k=3)
+        bound = davg_lower_bound(u.n, u.d)
+        for name, curve in curves_for_universe(u).items():
+            assert average_average_nn_stretch(
+                ReversedCurve(curve)
+            ) >= bound
+
+    def test_bound_is_meaningfully_tight(self):
+        """The best curve is within a small constant of the bound —
+        i.e. the bound is not vacuous."""
+        u = Universe.power_of_two(d=2, k=5)
+        bound = davg_lower_bound(u.n, u.d)
+        best = min(
+            average_average_nn_stretch(c)
+            for c in curves_for_universe(u).values()
+        )
+        assert best <= 2.0 * bound
+
+
+class TestTheorem2:
+    """D^avg(Z) ~ (1/d)·n^{1-1/d}, within 1.5x of the lower bound."""
+
+    @pytest.mark.parametrize("d,ks", [(2, (2, 3, 4, 5, 6)), (3, (1, 2, 3, 4))])
+    def test_ratio_to_leading_term_converges(self, d, ks):
+        gaps = []
+        for k in ks:
+            u = Universe.power_of_two(d=d, k=k)
+            davg = average_average_nn_stretch(ZCurve(u))
+            gaps.append(abs(davg / davg_z_limit(u.n, d) - 1.0))
+        assert gaps == sorted(gaps, reverse=True), "gap must shrink with k"
+        assert gaps[-1] < 0.12
+
+    def test_factor_1_5_from_bound(self):
+        """Asymptotic ratio to Theorem 1's bound is 3/2 exactly:
+        (n^{1-1/d}/d) / ((2/3d)·n^{1-1/d}) = 3/2."""
+        for d in (2, 3, 4, 7):
+            n = 2 ** (8 * d)
+            assert davg_z_limit(n, d) / (
+                (2 / (3 * d)) * n ** (1 - 1 / d)
+            ) == pytest.approx(1.5)
+
+    def test_measured_ratio_approaches_1_5(self):
+        u = Universe.power_of_two(d=2, k=7)
+        davg = average_average_nn_stretch(ZCurve(u))
+        assert davg / davg_lower_bound(u.n, u.d) == pytest.approx(
+            1.5, abs=0.03
+        )
+
+
+class TestTheorem3:
+    """D^avg(S) ~ (1/d)·n^{1-1/d} — the simple curve matches Z."""
+
+    @pytest.mark.parametrize("d", [2, 3])
+    def test_simple_converges_to_same_limit(self, d):
+        gaps = []
+        for k in (1, 2, 3, 4):
+            u = Universe.power_of_two(d=d, k=k)
+            ratio = float(davg_simple_exact(u)) / davg_z_limit(u.n, d)
+            gaps.append(abs(ratio - 1.0))
+        assert gaps == sorted(gaps, reverse=True)
+        assert gaps[-1] < 0.12
+
+    def test_simple_vs_z_same_asymptote(self):
+        """Observation 2: the trivial curve performs like the Z curve."""
+        u = Universe.power_of_two(d=2, k=6)
+        davg_s = average_average_nn_stretch(SimpleCurve(u))
+        davg_z = average_average_nn_stretch(ZCurve(u))
+        assert davg_s == pytest.approx(davg_z, rel=0.05)
+
+
+class TestLemma1:
+    def test_generalized_triangle_inequality(self):
+        """∆π(α1,αk) ≤ Σ ∆π(αi,αi+1) for arbitrary waypoint chains."""
+        u = Universe.power_of_two(d=2, k=3)
+        z = ZCurve(u)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            chain = rng.integers(0, 8, size=(5, 2))
+            direct = int(z.curve_distance(chain[0], chain[-1]))
+            hops = sum(
+                int(z.curve_distance(chain[i], chain[i + 1]))
+                for i in range(4)
+            )
+            assert direct <= hops
+
+
+class TestLemma2:
+    @pytest.mark.parametrize(
+        "universe", ALL_POW2_UNIVERSES, ids=lambda u: f"d{u.d}k{u.k}"
+    )
+    def test_identity_for_all_curves(self, universe):
+        expected = lemma2_sum_exact(universe.n)
+        for curve in curves_for_universe(universe).values():
+            assert lemma2_sum_measured(curve) == expected
+
+
+class TestLemma3:
+    def test_sandwich_for_zoo(self):
+        u = Universe.power_of_two(d=3, k=2)
+        for name, curve in curves_for_universe(u).items():
+            nn_total = float(lambda_sums(curve).sum())
+            davg = average_average_nn_stretch(curve)
+            assert nn_total / (u.n * u.d) <= davg + 1e-12, name
+            assert davg <= 2 * nn_total / (u.n * u.d) + 1e-12, name
+
+
+class TestLemma5:
+    def test_exact_identity(self):
+        """Measured Λ_i(Z) equals the proof's closed form exactly."""
+        for d, k in [(2, 3), (2, 5), (3, 3), (4, 2)]:
+            u = Universe.power_of_two(d=d, k=k)
+            measured = lambda_sums(ZCurve(u))
+            for i in range(1, d + 1):
+                assert int(measured[i - 1]) == lambda_z_exact(u, i)
+
+    def test_limit_constants(self):
+        for d in (2, 3):
+            u = Universe.power_of_two(d=d, k=7 if d == 2 else 4)
+            measured = lambda_sums(ZCurve(u))
+            scale = u.n ** (2 - 1 / d)
+            for i in range(1, d + 1):
+                ratio = measured[i - 1] / scale
+                limit = float(lambda_limit_coefficient(d, i))
+                assert ratio == pytest.approx(limit, rel=0.02)
+
+
+class TestProposition1:
+    @pytest.mark.parametrize(
+        "universe", ALL_POW2_UNIVERSES, ids=lambda u: f"d{u.d}k{u.k}"
+    )
+    def test_dmax_lower_bound_holds(self, universe):
+        bound = dmax_lower_bound(universe.n, universe.d)
+        for name, curve in curves_for_universe(universe).items():
+            assert average_maximum_nn_stretch(curve) >= bound, name
+
+
+class TestProposition2:
+    @pytest.mark.parametrize("d,k", [(1, 3), (2, 2), (2, 3), (3, 2)])
+    def test_dmax_simple_equals_closed_form(self, d, k):
+        u = Universe.power_of_two(d=d, k=k)
+        assert average_maximum_nn_stretch(SimpleCurve(u)) == float(
+            dmax_simple_exact(u)
+        )
+
+    def test_simple_is_within_d_of_dmax_bound(self):
+        """Paper: the simple curve is optimal for D^max up to factor d."""
+        u = Universe.power_of_two(d=3, k=2)
+        measured = average_maximum_nn_stretch(SimpleCurve(u))
+        bound = dmax_lower_bound(u.n, u.d)
+        assert measured / bound <= 1.7 * u.d  # 3/2·d asymptotically
+
+
+class TestProposition3:
+    @pytest.mark.parametrize("d,k", [(2, 2), (2, 3), (3, 2)])
+    def test_allpairs_bounds_hold(self, d, k):
+        u = Universe.power_of_two(d=d, k=k)
+        lb_m = allpairs_manhattan_lower_bound(u.n, u.d)
+        lb_e = allpairs_euclidean_lower_bound(u.n, u.d)
+        for name, curve in curves_for_universe(u).items():
+            str_m = average_allpairs_stretch_exact(curve, "manhattan")
+            str_e = average_allpairs_stretch_exact(curve, "euclidean")
+            assert str_m >= lb_m - 1e-9, name
+            assert str_e >= lb_e - 1e-9, name
+
+
+class TestProposition4:
+    @pytest.mark.parametrize("d,k", [(2, 2), (2, 3), (3, 2)])
+    def test_simple_upper_bounds(self, d, k):
+        u = Universe.power_of_two(d=d, k=k)
+        s = SimpleCurve(u)
+        assert average_allpairs_stretch_exact(
+            s, "manhattan"
+        ) <= allpairs_simple_manhattan_ub(u.n, d) + 1e-9
+        assert average_allpairs_stretch_exact(
+            s, "euclidean"
+        ) <= allpairs_simple_euclidean_ub(u.n, d) + 1e-9
+
+
+class TestObservation3:
+    """Section I, observation 3: any other SFC yields at most a constant
+    factor improvement over Z / simple."""
+
+    def test_no_curve_beats_two_thirds_of_z(self):
+        u = Universe.power_of_two(d=2, k=5)
+        davg_z = average_average_nn_stretch(ZCurve(u))
+        # Theorem 1 caps the improvement at 2/3 asymptotically.
+        floor = davg_lower_bound(u.n, u.d)
+        for curve in curves_for_universe(u).values():
+            assert average_average_nn_stretch(curve) >= floor
+        assert floor / davg_z > 0.6  # bound within constant of Z

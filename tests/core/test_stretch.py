@@ -1,0 +1,224 @@
+"""Tests for the exact NN-stretch machinery (Definitions 1-4, Λ_i)."""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.core.stretch import (
+    average_average_nn_stretch,
+    average_maximum_nn_stretch,
+    axis_pair_curve_distances,
+    gij_decomposition,
+    lambda_sums,
+    nn_distance_values,
+    per_cell_avg_stretch,
+    per_cell_max_stretch,
+    trailing_ones,
+)
+from repro.curves.random_curve import RandomCurve
+from repro.curves.simple import SimpleCurve
+from repro.curves.zcurve import ZCurve
+
+from tests.conftest import brute_force_davg, brute_force_dmax
+
+
+class TestAgainstBruteForce:
+    """The vectorized metrics must equal the obviously-correct oracle."""
+
+    @pytest.mark.parametrize(
+        "name", ["z", "simple", "snake", "gray", "hilbert", "random"]
+    )
+    def test_davg_2d(self, zoo_2d, name):
+        curve = zoo_2d[name]
+        assert average_average_nn_stretch(curve) == pytest.approx(
+            brute_force_davg(curve)
+        )
+
+    @pytest.mark.parametrize("name", ["z", "simple", "hilbert", "random"])
+    def test_dmax_2d(self, zoo_2d, name):
+        curve = zoo_2d[name]
+        assert average_maximum_nn_stretch(curve) == pytest.approx(
+            brute_force_dmax(curve)
+        )
+
+    @pytest.mark.parametrize("name", ["z", "simple", "snake", "random"])
+    def test_davg_3d(self, zoo_3d, name):
+        curve = zoo_3d[name]
+        assert average_average_nn_stretch(curve) == pytest.approx(
+            brute_force_davg(curve)
+        )
+
+    def test_davg_non_power_of_two(self):
+        curve = SimpleCurve(Universe(d=2, side=5))
+        assert average_average_nn_stretch(curve) == pytest.approx(
+            brute_force_davg(curve)
+        )
+
+
+class TestAxisPairDistances:
+    def test_simple_curve_constant_per_axis(self):
+        u = Universe(d=3, side=4)
+        s = SimpleCurve(u)
+        for axis in range(3):
+            dist = axis_pair_curve_distances(s, axis)
+            assert np.all(dist == 4**axis)
+
+    def test_shape(self):
+        u = Universe(d=2, side=8)
+        dist = axis_pair_curve_distances(ZCurve(u), 0)
+        assert dist.shape == (7, 8)
+
+    def test_all_positive(self, zoo_2d):
+        for curve in zoo_2d.values():
+            for axis in range(2):
+                assert np.all(axis_pair_curve_distances(curve, axis) >= 1)
+
+
+class TestLambdaSums:
+    def test_length(self, u3_4):
+        assert lambda_sums(ZCurve(u3_4)).shape == (3,)
+
+    def test_simple_curve_closed_form(self):
+        """Λ_i(S) = side^{d-1}(side-1) · side^{i-1}."""
+        u = Universe(d=3, side=4)
+        lam = lambda_sums(SimpleCurve(u))
+        pairs_per_axis = 4**2 * 3
+        assert lam.tolist() == [
+            pairs_per_axis * 1,
+            pairs_per_axis * 4,
+            pairs_per_axis * 16,
+        ]
+
+    def test_sum_is_total_nn_distance(self, u2_8):
+        z = ZCurve(u2_8)
+        assert lambda_sums(z).sum() == nn_distance_values(z).sum()
+
+    def test_requires_side_ge_2(self):
+        with pytest.raises(ValueError, match="side >= 2"):
+            lambda_sums(SimpleCurve(Universe(d=2, side=1)))
+
+
+class TestPerCellStretch:
+    def test_avg_matches_definition_on_sample_cells(self, u2_8):
+        from repro.grid.neighbors import neighbors_of
+
+        z = ZCurve(u2_8)
+        grid = per_cell_avg_stretch(z)
+        for cell in [(0, 0), (3, 4), (7, 7), (0, 5)]:
+            nbrs = neighbors_of(np.asarray(cell), u2_8)
+            me = int(z.index(np.asarray(cell)))
+            expected = float(np.abs(z.index(nbrs) - me).mean())
+            assert grid[cell] == pytest.approx(expected)
+
+    def test_max_ge_avg_everywhere(self, zoo_2d):
+        """δ^max(α) ≥ δ^avg(α) — the inequality behind Proposition 1."""
+        for curve in zoo_2d.values():
+            assert np.all(
+                per_cell_max_stretch(curve) >= per_cell_avg_stretch(curve)
+            )
+
+    def test_avg_at_least_one(self, zoo_2d):
+        """Every neighbor is at curve distance ≥ 1, so δ^avg ≥ 1."""
+        for curve in zoo_2d.values():
+            assert np.all(per_cell_avg_stretch(curve) >= 1.0)
+
+    def test_simple_dmax_constant_grid(self):
+        """Proposition 2's proof: δ^max_S(α) = side^{d-1} for EVERY α."""
+        u = Universe(d=2, side=8)
+        assert np.all(per_cell_max_stretch(SimpleCurve(u)) == 8)
+
+
+class TestNNDistanceValues:
+    def test_count(self, u2_8):
+        from repro.grid.neighbors import nn_pair_count
+
+        values = nn_distance_values(ZCurve(u2_8))
+        assert values.size == nn_pair_count(u2_8)
+
+    def test_min_at_least_one(self, zoo_3d):
+        for curve in zoo_3d.values():
+            assert nn_distance_values(curve).min() >= 1
+
+    def test_continuous_curve_has_ones(self, u2_8):
+        from repro.curves.hilbert import HilbertCurve
+
+        values = nn_distance_values(HilbertCurve(u2_8))
+        # A continuous curve realizes ∆π = 1 exactly n-1 times.
+        assert int((values == 1).sum()) == u2_8.n - 1
+
+
+class TestTrailingOnes:
+    def test_known_values(self):
+        vals = np.array([0b0, 0b1, 0b10, 0b11, 0b0111, 0b1011])
+        assert trailing_ones(vals).tolist() == [0, 1, 0, 2, 3, 2]
+
+    def test_vs_python_loop(self):
+        def slow(v):
+            count = 0
+            while v & 1:
+                count += 1
+                v >>= 1
+            return count
+
+        values = np.arange(512)
+        expected = [slow(int(v)) for v in values]
+        assert trailing_ones(values).tolist() == expected
+
+
+class TestGijDecomposition:
+    def test_partition_of_gi(self, u2_8):
+        """The G_{i,j} groups partition G_i."""
+        z = ZCurve(u2_8)
+        for axis in range(2):
+            groups = gij_decomposition(z, axis)
+            total = sum(count for count, _ in groups.values())
+            assert total == 8 * 7  # side^{d-1} * (side-1)
+
+    def test_z_constant_distance_within_group(self, u2_8):
+        """Lemma 5's key step: ∆_Z is constant on each G_{i,j}."""
+        z = ZCurve(u2_8)
+        for axis in range(2):
+            for j, (count, dists) in gij_decomposition(z, axis).items():
+                if count:
+                    assert np.all(dists == dists[0])
+
+    def test_z_group_counts_match_formula(self, u2_8):
+        """|G_{i,j}| = 2^{k-j} side^{d-1} (Lemma 5 proof)."""
+        from repro.core.asymptotics import zcurve_gij_count
+
+        z = ZCurve(u2_8)
+        for axis in range(2):
+            groups = gij_decomposition(z, axis)
+            for j, (count, _) in groups.items():
+                assert count == zcurve_gij_count(u2_8, j)
+
+    def test_z_group_distances_match_formula(self, u2_8):
+        """∆_Z on G_{i,j} = 2^{jd-i} - Σ_{ℓ<j} 2^{ℓd-i} (Lemma 5 proof)."""
+        from repro.core.asymptotics import zcurve_gij_distance
+
+        z = ZCurve(u2_8)
+        for axis in range(2):
+            i = axis + 1
+            for j, (count, dists) in gij_decomposition(z, axis).items():
+                if count:
+                    assert int(dists[0]) == zcurve_gij_distance(u2_8, i, j)
+
+    def test_3d_case(self):
+        from repro.core.asymptotics import zcurve_gij_count, zcurve_gij_distance
+
+        u = Universe.power_of_two(d=3, k=3)
+        z = ZCurve(u)
+        for axis in range(3):
+            i = axis + 1
+            for j, (count, dists) in gij_decomposition(z, axis).items():
+                assert count == zcurve_gij_count(u, j)
+                if count:
+                    assert int(dists[0]) == zcurve_gij_distance(u, i, j)
+
+
+class TestRandomCurveStretch:
+    def test_davg_positive_and_large(self):
+        u = Universe(d=2, side=8)
+        davg = average_average_nn_stretch(RandomCurve(u, seed=0))
+        # Random keys: expected ∆π is (n+1)/3 ≈ 21.7 for n=64.
+        assert davg > 10

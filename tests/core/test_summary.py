@@ -1,0 +1,60 @@
+"""Tests for the survey/report layer."""
+
+import pytest
+
+from repro import Universe
+from repro.core.summary import StretchReport, stretch_report, survey
+from repro.curves.zcurve import ZCurve
+
+
+class TestStretchReport:
+    def test_basic_fields(self, u2_8):
+        report = stretch_report(ZCurve(u2_8))
+        assert report.curve_name == "z"
+        assert report.n == 64
+        assert report.davg > 0
+        assert report.dmax >= report.davg
+        assert report.davg_ratio == pytest.approx(
+            report.davg / report.lower_bound
+        )
+        assert len(report.lambdas) == 2
+
+    def test_allpairs_exact_small(self, u2_8):
+        report = stretch_report(ZCurve(u2_8), include_allpairs=True)
+        assert report.allpairs_exact
+        assert report.allpairs_manhattan is not None
+        assert report.allpairs_euclidean >= report.allpairs_manhattan
+
+    def test_allpairs_sampled_large(self):
+        u = Universe.power_of_two(d=2, k=7)  # n = 16384 > exact limit
+        report = stretch_report(
+            ZCurve(u), include_allpairs=True, allpairs_samples=2_000
+        )
+        assert not report.allpairs_exact
+        assert report.allpairs_manhattan > 0
+
+    def test_no_allpairs_by_default(self, u2_8):
+        report = stretch_report(ZCurve(u2_8))
+        assert report.allpairs_manhattan is None
+
+    def test_as_row_keys(self, u2_8):
+        row = stretch_report(ZCurve(u2_8)).as_row()
+        assert {"curve", "Davg", "Dmax", "LB(Thm1)", "Davg/LB"} <= set(row)
+
+
+class TestSurvey:
+    def test_covers_zoo(self, u2_8, zoo_2d):
+        reports = survey(u2_8)
+        assert {r.curve_name for r in reports} == set(zoo_2d)
+
+    def test_names_filter(self, u2_8):
+        reports = survey(u2_8, names=["z", "simple"])
+        assert sorted(r.curve_name for r in reports) == ["simple", "z"]
+
+    def test_custom_curves(self, u2_8):
+        reports = survey(u2_8, curves={"zc": ZCurve(u2_8)})
+        assert len(reports) == 1
+
+    def test_all_reports_satisfy_theorem1(self, u2_8):
+        for report in survey(u2_8):
+            assert report.davg >= report.lower_bound

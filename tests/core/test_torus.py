@@ -1,0 +1,137 @@
+"""Tests for the torus (periodic) stretch metrics."""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.core.stretch import average_average_nn_stretch, lambda_sums
+from repro.core.torus import (
+    average_average_nn_stretch_torus,
+    average_maximum_nn_stretch_torus,
+    davg_torus_simple_exact,
+    dmax_torus_simple_exact,
+    lambda_sums_torus,
+    wrap_pair_curve_distances,
+)
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.simple import SimpleCurve
+from repro.curves.zcurve import ZCurve
+
+
+def brute_force_torus_davg(curve):
+    """Oracle: per-cell average over the 2d periodic neighbors."""
+    universe = curve.universe
+    side = universe.side
+    total = 0.0
+    for cell in universe.iter_cells():
+        me = int(curve.index(np.asarray(cell)))
+        dists = []
+        for axis in range(universe.d):
+            for delta in (-1, 1):
+                nbr = list(cell)
+                nbr[axis] = (nbr[axis] + delta) % side
+                dists.append(abs(int(curve.index(np.asarray(nbr))) - me))
+        total += sum(dists) / len(dists)
+    return total / universe.n
+
+
+class TestWrapPairs:
+    def test_count(self):
+        u = Universe(d=3, side=4)
+        wrap = wrap_pair_curve_distances(ZCurve(u), 1)
+        assert wrap.shape == (4, 4)
+
+    def test_simple_curve_wrap_distance(self):
+        """Simple-curve wrap pairs along axis i: (side−1)·side^{i−1}."""
+        u = Universe(d=2, side=8)
+        s = SimpleCurve(u)
+        for axis in range(2):
+            wrap = wrap_pair_curve_distances(s, axis)
+            assert np.all(wrap == 7 * 8**axis)
+
+    def test_rejects_bad_axis(self):
+        u = Universe(d=2, side=4)
+        with pytest.raises(ValueError):
+            wrap_pair_curve_distances(ZCurve(u), 2)
+
+
+class TestTorusMetrics:
+    @pytest.mark.parametrize("curve_cls", [ZCurve, SimpleCurve, HilbertCurve])
+    def test_matches_bruteforce(self, curve_cls):
+        u = Universe.power_of_two(d=2, k=2)
+        curve = curve_cls(u)
+        assert average_average_nn_stretch_torus(curve) == pytest.approx(
+            brute_force_torus_davg(curve)
+        )
+
+    def test_matches_bruteforce_3d(self):
+        u = Universe.power_of_two(d=3, k=2)
+        curve = ZCurve(u)
+        assert average_average_nn_stretch_torus(curve) == pytest.approx(
+            brute_force_torus_davg(curve)
+        )
+
+    def test_torus_ge_box(self):
+        """Wrap pairs only add distance: torus D^avg ≥ box D^avg for
+        curves whose wrap pairs are at least unit-distance (all)."""
+        u = Universe.power_of_two(d=2, k=3)
+        for curve in (ZCurve(u), SimpleCurve(u), HilbertCurve(u)):
+            assert average_average_nn_stretch_torus(
+                curve
+            ) >= average_average_nn_stretch(curve) - 1e-12
+
+    def test_box_bound_still_holds(self):
+        """The Theorem 1 box bound holds a fortiori on the torus."""
+        from repro.core.lower_bounds import davg_lower_bound
+
+        u = Universe.power_of_two(d=2, k=3)
+        for curve in (ZCurve(u), SimpleCurve(u), HilbertCurve(u)):
+            assert average_average_nn_stretch_torus(
+                curve
+            ) >= davg_lower_bound(u.n, u.d)
+
+    def test_lambda_torus_components(self):
+        u = Universe.power_of_two(d=2, k=3)
+        z = ZCurve(u)
+        lam_torus = lambda_sums_torus(z)
+        lam_box = lambda_sums(z)
+        for axis in range(2):
+            wrap_total = int(wrap_pair_curve_distances(z, axis).sum())
+            assert lam_torus[axis] == lam_box[axis] + wrap_total
+
+    def test_rejects_small_side(self):
+        u = Universe(d=2, side=2)
+        with pytest.raises(ValueError, match="side >= 3"):
+            average_average_nn_stretch_torus(SimpleCurve(u))
+
+
+class TestSimpleClosedForms:
+    @pytest.mark.parametrize("d,side", [(1, 8), (2, 4), (2, 8), (3, 4)])
+    def test_davg_exact(self, d, side):
+        u = Universe(d=d, side=side)
+        measured = average_average_nn_stretch_torus(SimpleCurve(u))
+        assert measured == pytest.approx(
+            float(davg_torus_simple_exact(u)), abs=1e-12
+        )
+
+    @pytest.mark.parametrize("d,side", [(1, 8), (2, 8), (3, 4)])
+    def test_dmax_exact(self, d, side):
+        u = Universe(d=d, side=side)
+        measured = average_maximum_nn_stretch_torus(SimpleCurve(u))
+        assert measured == pytest.approx(
+            float(dmax_torus_simple_exact(u)), abs=1e-12
+        )
+
+    def test_closed_forms_reject_small_side(self):
+        with pytest.raises(ValueError):
+            davg_torus_simple_exact(Universe(d=2, side=2))
+        with pytest.raises(ValueError):
+            dmax_torus_simple_exact(Universe(d=2, side=2))
+
+    def test_torus_vs_box_asymptotics(self):
+        """On the torus the simple curve's D^avg is ≈ 2× the box value
+        (every row gains a full-length wrap edge)."""
+        u = Universe.power_of_two(d=2, k=5)
+        box = average_average_nn_stretch(SimpleCurve(u))
+        torus = float(davg_torus_simple_exact(u))
+        assert torus / box == pytest.approx(2.0, rel=0.1)

@@ -1,0 +1,75 @@
+"""Tests for the exact finite-n D^avg(Z) closed form."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Universe
+from repro.core.asymptotics import davg_z_limit, z_h1_exact
+from repro.core.stretch import average_average_nn_stretch
+from repro.core.zexact import davg_z_exact, z_h2_exact
+from repro.curves.zcurve import ZCurve
+
+
+class TestDavgZExact:
+    @pytest.mark.parametrize(
+        "d,k",
+        [(1, 1), (1, 4), (2, 1), (2, 2), (2, 3), (2, 4), (3, 1), (3, 2),
+         (3, 3), (4, 1), (4, 2)],
+    )
+    def test_matches_measurement_exactly(self, d, k):
+        """The closed form equals the dense-grid measurement to float
+        precision at every tested size — including side 2 and d = 1."""
+        u = Universe.power_of_two(d=d, k=k)
+        measured = average_average_nn_stretch(ZCurve(u))
+        assert measured == pytest.approx(float(davg_z_exact(u)), abs=1e-12)
+
+    def test_is_rational_and_positive(self):
+        u = Universe.power_of_two(d=2, k=3)
+        value = davg_z_exact(u)
+        assert isinstance(value, Fraction)
+        assert value > 0
+
+    def test_2x2_value(self):
+        """Hand check: on the 2x2 grid Z visits (0,0),(0,1),(1,0),(1,1)
+        — D^avg = 1.75 (each cell has one neighbor at distance 2 or
+        both at 1/3: compute = (1.5+1.5+2+2)/4)."""
+        u = Universe.power_of_two(d=2, k=1)
+        assert float(davg_z_exact(u)) == pytest.approx(
+            average_average_nn_stretch(ZCurve(u))
+        )
+
+    def test_no_grid_needed_for_huge_n(self):
+        """The closed form is O(d·k·d): evaluable far beyond any dense
+        grid (here n = 2^60), and consistent with the Theorem 2 limit."""
+        u = Universe.power_of_two(d=3, k=20)
+        value = davg_z_exact(u)
+        limit = davg_z_limit(u.n, u.d)
+        assert float(value) / limit == pytest.approx(1.0, abs=1e-4)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            davg_z_exact(Universe(d=2, side=6))
+
+
+class TestH2Exact:
+    def test_h2_nonnegative(self):
+        """Boundary cells have fewer neighbors so their 1/|N| weights
+        exceed 1/d: h2 ≥ 0."""
+        for d, k in [(2, 2), (2, 4), (3, 2)]:
+            u = Universe.power_of_two(d=d, k=k)
+            assert z_h2_exact(u) >= 0
+
+    def test_h1_plus_h2_is_n_davg(self):
+        u = Universe.power_of_two(d=2, k=3)
+        total = z_h1_exact(u) + z_h2_exact(u)
+        assert total == u.n * davg_z_exact(u)
+
+    def test_h2_vanishes_relative_to_scale(self):
+        """Theorem 2's h2/n^{2-1/d} -> 0, now with exact values."""
+        ratios = []
+        for k in (2, 4, 6, 8):
+            u = Universe.power_of_two(d=2, k=k)
+            ratios.append(float(z_h2_exact(u)) / u.n ** 1.5)
+        assert ratios == sorted(ratios, reverse=True)
+        assert ratios[-1] < 0.02

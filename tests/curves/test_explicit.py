@@ -1,0 +1,92 @@
+"""Tests for the Figure 1 curves π1, π2 and the label-based builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.stretch import (
+    average_average_nn_stretch,
+    average_maximum_nn_stretch,
+    per_cell_avg_stretch,
+)
+from repro.curves.explicit import (
+    FIGURE1_CELLS,
+    curve_from_visit_labels,
+    figure1_pi1,
+    figure1_pi2,
+)
+
+
+class TestFigure1Layout:
+    def test_cell_positions(self):
+        # "A C / D B": A top-left, C top-right, D bottom-left, B bottom-right.
+        assert FIGURE1_CELLS["A"] == (0, 1)
+        assert FIGURE1_CELLS["C"] == (1, 1)
+        assert FIGURE1_CELLS["D"] == (0, 0)
+        assert FIGURE1_CELLS["B"] == (1, 0)
+
+
+class TestPi1:
+    def test_visit_order(self):
+        """π1 orders the cells C, A, B, D."""
+        pi1 = figure1_pi1()
+        order = [tuple(r) for r in pi1.order()]
+        assert order == [(1, 1), (0, 1), (1, 0), (0, 0)]  # C, A, B, D
+
+    def test_per_cell_stretch_all_1_5(self):
+        """Paper: δ^avg_π1 is 1.5 for A, B, C and D."""
+        pi1 = figure1_pi1()
+        assert np.all(per_cell_avg_stretch(pi1) == 1.5)
+
+    def test_davg_paper_value(self):
+        assert average_average_nn_stretch(figure1_pi1()) == 1.5
+
+    def test_dmax_paper_value(self):
+        assert average_maximum_nn_stretch(figure1_pi1()) == 2.0
+
+
+class TestPi2:
+    def test_visit_order(self):
+        """π2 orders the cells A, B, C, D (self-intersecting)."""
+        pi2 = figure1_pi2()
+        order = [tuple(r) for r in pi2.order()]
+        assert order == [(0, 1), (1, 0), (1, 1), (0, 0)]  # A, B, C, D
+
+    def test_davg_paper_value(self):
+        assert average_average_nn_stretch(figure1_pi2()) == 2.0
+
+    def test_dmax_paper_value(self):
+        assert average_maximum_nn_stretch(figure1_pi2()) == 2.5
+
+    def test_pi2_self_intersects(self):
+        """π2's polyline crosses itself — allowed by the bijection
+        definition; here: it is not grid-continuous."""
+        assert not figure1_pi2().is_continuous()
+
+
+class TestLabelBuilder:
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValueError, match="permutation"):
+            curve_from_visit_labels("AABC", name="bad")
+
+    def test_accepts_lowercase(self):
+        curve = curve_from_visit_labels("dbca", name="lc")
+        assert curve.order()[0].tolist() == [0, 0]  # D first
+
+    def test_all_24_orders_are_bijections(self):
+        from itertools import permutations
+
+        for perm in permutations("ABCD"):
+            curve = curve_from_visit_labels("".join(perm), name="x")
+            assert curve.is_bijection()
+
+    def test_pi1_is_optimal_on_2x2(self):
+        """No 2x2 bijection beats π1's D^avg = 1.5 (exhaustive check)."""
+        from itertools import permutations
+
+        best = min(
+            average_average_nn_stretch(
+                curve_from_visit_labels("".join(p), name="x")
+            )
+            for p in permutations("ABCD")
+        )
+        assert best == 1.5

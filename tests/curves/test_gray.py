@@ -1,0 +1,68 @@
+"""Tests for the Gray-code curve and the Gray codecs."""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.curves.gray import GrayCurve, gray_decode, gray_encode
+
+
+class TestGrayCodec:
+    def test_first_values(self):
+        assert gray_encode(np.arange(8)).tolist() == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_roundtrip(self):
+        values = np.arange(1 << 12)
+        assert np.array_equal(gray_decode(gray_encode(values)), values)
+
+    def test_consecutive_codes_differ_one_bit(self):
+        codes = gray_encode(np.arange(256))
+        diffs = codes[:-1] ^ codes[1:]
+        popcount = np.array([bin(int(v)).count("1") for v in diffs])
+        assert np.all(popcount == 1)
+
+    def test_large_values(self):
+        v = np.array([2**40 + 12345])
+        assert gray_decode(gray_encode(v)) == v
+
+
+class TestGrayCurve:
+    @pytest.mark.parametrize("d,k", [(1, 3), (2, 3), (3, 2)])
+    def test_bijection(self, d, k):
+        assert GrayCurve(Universe.power_of_two(d=d, k=k)).is_bijection()
+
+    def test_roundtrip(self):
+        u = Universe.power_of_two(d=2, k=3)
+        g = GrayCurve(u)
+        idx = np.arange(u.n)
+        assert np.array_equal(g.index(g.coords(idx)), idx)
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            GrayCurve(Universe(d=2, side=5))
+
+    def test_consecutive_cells_differ_in_one_coordinate_bit(self):
+        """Gray-curve continuity: successive cells differ in exactly one
+        bit of one coordinate (not necessarily adjacent cells)."""
+        u = Universe.power_of_two(d=2, k=3)
+        path = GrayCurve(u).order()
+        for a, b in zip(path[:-1], path[1:]):
+            diff_axes = [i for i in range(2) if a[i] != b[i]]
+            assert len(diff_axes) == 1
+            xor = int(a[diff_axes[0]]) ^ int(b[diff_axes[0]])
+            assert bin(xor).count("1") == 1
+
+    def test_1d_is_gray_order(self):
+        u = Universe.power_of_two(d=1, k=3)
+        g = GrayCurve(u)
+        # Cell x is visited at position gray^{-1}(x).
+        path = g.order()[:, 0]
+        assert np.array_equal(gray_encode(np.arange(8)), path)
+
+    def test_differs_from_z(self):
+        from repro.curves.zcurve import ZCurve
+
+        u = Universe.power_of_two(d=2, k=2)
+        assert not np.array_equal(
+            GrayCurve(u).key_grid(), ZCurve(u).key_grid()
+        )

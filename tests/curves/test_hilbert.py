@@ -1,0 +1,98 @@
+"""Tests for the d-dimensional Hilbert curve (Skilling's algorithm)."""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.curves.hilbert import (
+    HilbertCurve,
+    axes_to_transpose,
+    transpose_to_axes,
+)
+
+
+class TestTransposeCodec:
+    @pytest.mark.parametrize("d,k", [(2, 3), (3, 3), (4, 2), (5, 2)])
+    def test_roundtrip(self, d, k):
+        rng = np.random.default_rng(0)
+        coords = rng.integers(0, 1 << k, size=(200, d), dtype=np.int64)
+        there = axes_to_transpose(coords.copy(), k)
+        back = transpose_to_axes(there.copy(), k)
+        assert np.array_equal(back, coords)
+
+    def test_k_zero_identity(self):
+        coords = np.zeros((1, 3), dtype=np.int64)
+        assert np.array_equal(axes_to_transpose(coords, 0), coords)
+
+    def test_does_not_mutate_input(self):
+        coords = np.array([[3, 1]], dtype=np.int64)
+        saved = coords.copy()
+        axes_to_transpose(coords, 2)
+        assert np.array_equal(coords, saved)
+
+
+class TestHilbertCurve:
+    @pytest.mark.parametrize(
+        "d,k", [(1, 3), (2, 1), (2, 2), (2, 3), (3, 2), (4, 2), (5, 1)]
+    )
+    def test_bijection(self, d, k):
+        assert HilbertCurve(Universe.power_of_two(d=d, k=k)).is_bijection()
+
+    @pytest.mark.parametrize(
+        "d,k", [(2, 1), (2, 2), (2, 3), (2, 4), (3, 1), (3, 2), (3, 3),
+                (4, 1), (4, 2), (5, 2), (6, 1)]
+    )
+    def test_continuity(self, d, k):
+        """The defining Hilbert property: consecutive keys are grid NNs."""
+        assert HilbertCurve(Universe.power_of_two(d=d, k=k)).is_continuous()
+
+    def test_roundtrip(self):
+        u = Universe.power_of_two(d=3, k=3)
+        h = HilbertCurve(u)
+        idx = np.arange(u.n)
+        assert np.array_equal(h.index(h.coords(idx)), idx)
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            HilbertCurve(Universe(d=2, side=3))
+
+    def test_starts_at_origin(self):
+        h = HilbertCurve(Universe.power_of_two(d=2, k=3))
+        assert h.order()[0].tolist() == [0, 0]
+
+    def test_2x2_order_is_a_bend(self):
+        """Order-1 2-D Hilbert visits the 4 cells in a U shape."""
+        h = HilbertCurve(Universe.power_of_two(d=2, k=1))
+        path = [tuple(r) for r in h.order()]
+        assert path[0] == (0, 0)
+        assert len(set(path)) == 4
+        steps = [
+            (b[0] - a[0], b[1] - a[1]) for a, b in zip(path[:-1], path[1:])
+        ]
+        assert all(abs(dx) + abs(dy) == 1 for dx, dy in steps)
+
+    def test_ends_adjacent_to_start_axis(self):
+        """2-D Hilbert of any order ends one step from the start corner
+        along a single axis (the curve spans one edge of the square)."""
+        for k in (1, 2, 3):
+            h = HilbertCurve(Universe.power_of_two(d=2, k=k))
+            end = h.order()[-1]
+            # Ends at a corner of the bottom edge, adjacent to x-axis.
+            assert end[1] == 0
+            assert end[0] == (1 << k) - 1
+
+    def test_nested_self_similarity(self):
+        """First quarter of the order-k curve covers one quadrant."""
+        u = Universe.power_of_two(d=2, k=3)
+        h = HilbertCurve(u)
+        quarter = h.order()[: u.n // 4]
+        assert quarter.max() <= 3  # stays within one 4x4 quadrant
+
+    def test_better_nn_stretch_than_random(self):
+        from repro.core.stretch import average_average_nn_stretch
+        from repro.curves.random_curve import RandomCurve
+
+        u = Universe.power_of_two(d=2, k=4)
+        assert average_average_nn_stretch(
+            HilbertCurve(u)
+        ) < average_average_nn_stretch(RandomCurve(u))

@@ -1,0 +1,91 @@
+"""Cross-validation: recursive 2-D Hilbert vs Skilling's algorithm."""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.core.stretch import (
+    average_average_nn_stretch,
+    average_maximum_nn_stretch,
+    lambda_sums,
+)
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.hilbert2d import RecursiveHilbert2D, hilbert2d_order
+
+
+class TestRecursiveConstruction:
+    def test_k0(self):
+        assert hilbert2d_order(0).tolist() == [[0, 0]]
+
+    def test_k1_u_shape(self):
+        assert [tuple(r) for r in hilbert2d_order(1)] == [
+            (0, 0), (0, 1), (1, 1), (1, 0),
+        ]
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_continuous_and_complete(self, k):
+        order = hilbert2d_order(k)
+        assert len({tuple(r) for r in order}) == 4**k
+        steps = np.abs(np.diff(order, axis=0)).sum(axis=1)
+        assert np.all(steps == 1)
+
+    def test_self_similarity(self):
+        """The second quadrant of H_k is H_{k-1} translated."""
+        small = hilbert2d_order(2)
+        big = hilbert2d_order(3)
+        quarter = big[16:32] - np.array([0, 4])
+        assert np.array_equal(quarter, small)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            hilbert2d_order(-1)
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_same_stretch_metrics_as_skilling(self, k):
+        """Grid symmetries preserve all stretch metrics, so the two
+        independent implementations must agree on every metric even if
+        their orientations differ."""
+        u = Universe.power_of_two(d=2, k=k)
+        recursive = RecursiveHilbert2D(u)
+        skilling = HilbertCurve(u)
+        assert average_average_nn_stretch(recursive) == pytest.approx(
+            average_average_nn_stretch(skilling)
+        )
+        assert average_maximum_nn_stretch(recursive) == pytest.approx(
+            average_maximum_nn_stretch(skilling)
+        )
+        assert sorted(lambda_sums(recursive).tolist()) == sorted(
+            lambda_sums(skilling).tolist()
+        )
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_equal_up_to_dihedral_symmetry(self, k):
+        """Stronger: some symmetry of the square maps one curve's key
+        grid onto the other's exactly."""
+        u = Universe.power_of_two(d=2, k=k)
+        a = RecursiveHilbert2D(u).key_grid()
+        b = HilbertCurve(u).key_grid()
+        candidates = []
+        for transpose in (False, True):
+            g = a.T if transpose else a
+            for flip_x in (False, True):
+                for flip_y in (False, True):
+                    h = g[::-1, :] if flip_x else g
+                    h = h[:, ::-1] if flip_y else h
+                    candidates.append(h)
+        assert any(np.array_equal(c, b) for c in candidates)
+
+    def test_both_start_at_origin_k2(self):
+        u = Universe.power_of_two(d=2, k=2)
+        assert RecursiveHilbert2D(u).order()[0].tolist() == [0, 0]
+        assert HilbertCurve(u).order()[0].tolist() == [0, 0]
+
+    def test_recursive_requires_2d(self):
+        with pytest.raises(ValueError, match="d == 2"):
+            RecursiveHilbert2D(Universe.power_of_two(d=3, k=1))
+
+    def test_recursive_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            RecursiveHilbert2D(Universe(d=2, side=6))

@@ -1,0 +1,83 @@
+"""Tests for the 2-D Peano curve (side 3^k)."""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.curves.peano import PeanoCurve, peano_order
+
+
+class TestPeanoOrder:
+    def test_k0_single_cell(self):
+        assert peano_order(0).tolist() == [[0, 0]]
+
+    def test_k1_base_pattern(self):
+        """The 3x3 Peano serpentine: columns of y, x ascending."""
+        expected = [
+            (0, 0), (0, 1), (0, 2),
+            (1, 2), (1, 1), (1, 0),
+            (2, 0), (2, 1), (2, 2),
+        ]
+        assert [tuple(r) for r in peano_order(1)] == expected
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            peano_order(-1)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_order_is_continuous(self, k):
+        order = peano_order(k)
+        steps = np.abs(np.diff(order, axis=0)).sum(axis=1)
+        assert np.all(steps == 1)
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_order_covers_grid(self, k):
+        order = peano_order(k)
+        assert len({tuple(r) for r in order}) == 9**k
+
+    def test_endpoints_span_diagonal(self):
+        """Peano starts at (0,0) and ends at the opposite corner."""
+        order = peano_order(2)
+        assert order[0].tolist() == [0, 0]
+        assert order[-1].tolist() == [8, 8]
+
+    def test_self_similarity(self):
+        """The first ninth of the order-2 curve is the order-1 curve."""
+        small = peano_order(1)
+        big = peano_order(2)
+        assert np.array_equal(big[:9], small)
+
+
+class TestPeanoCurve:
+    def test_bijection_and_continuity(self):
+        p = PeanoCurve(Universe(d=2, side=9))
+        assert p.is_bijection()
+        assert p.is_continuous()
+
+    def test_roundtrip(self):
+        u = Universe(d=2, side=9)
+        p = PeanoCurve(u)
+        idx = np.arange(u.n)
+        assert np.array_equal(p.index(p.coords(idx)), idx)
+
+    def test_rejects_non_power_of_three(self):
+        with pytest.raises(ValueError, match="power of three"):
+            PeanoCurve(Universe(d=2, side=8))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="d == 2"):
+            PeanoCurve(Universe(d=3, side=9))
+
+    def test_side_one(self):
+        p = PeanoCurve(Universe(d=2, side=1))
+        assert p.is_bijection()
+
+    def test_lower_bound_still_holds(self):
+        """Theorem 1 applies to ANY bijection — including on 3^k grids."""
+        from repro.core.lower_bounds import davg_lower_bound
+        from repro.core.stretch import average_average_nn_stretch
+
+        u = Universe(d=2, side=9)
+        assert average_average_nn_stretch(
+            PeanoCurve(u)
+        ) >= davg_lower_bound(u.n, u.d)

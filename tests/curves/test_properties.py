@@ -1,0 +1,109 @@
+"""Property-based tests over the whole curve zoo (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Universe
+from repro.curves.gray import GrayCurve
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.simple import SimpleCurve
+from repro.curves.snake import SnakeCurve
+from repro.curves.zcurve import ZCurve
+
+POW2_CURVES = [ZCurve, GrayCurve, HilbertCurve, SimpleCurve, SnakeCurve]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    curve_cls=st.sampled_from(POW2_CURVES),
+    d=st.integers(min_value=1, max_value=3),
+    k=st.integers(min_value=1, max_value=3),
+    data=st.data(),
+)
+def test_index_coords_roundtrip(curve_cls, d, k, data):
+    """coords -> index -> coords is the identity everywhere."""
+    u = Universe.power_of_two(d=d, k=k)
+    curve = curve_cls(u)
+    rank = data.draw(st.integers(0, u.n - 1))
+    cell = curve.coords(np.int64(rank))
+    assert int(curve.index(cell)) == rank
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    curve_cls=st.sampled_from(POW2_CURVES),
+    d=st.integers(min_value=1, max_value=3),
+    k=st.integers(min_value=1, max_value=3),
+)
+def test_bijectivity(curve_cls, d, k):
+    """Every curve is a bijection U -> {0..n-1} (the SFC definition)."""
+    curve = curve_cls(Universe.power_of_two(d=d, k=k))
+    assert curve.is_bijection()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    curve_cls=st.sampled_from(POW2_CURVES),
+    d=st.integers(min_value=1, max_value=3),
+    k=st.integers(min_value=1, max_value=3),
+    data=st.data(),
+)
+def test_curve_distance_metric_axioms(curve_cls, d, k, data):
+    """∆π is symmetric, zero iff equal, and satisfies the triangle
+    inequality (Lemma 1 for k=3 waypoints)."""
+    u = Universe.power_of_two(d=d, k=k)
+    curve = curve_cls(u)
+    ranks = st.integers(0, u.n - 1)
+    a = curve.coords(np.int64(data.draw(ranks)))
+    b = curve.coords(np.int64(data.draw(ranks)))
+    c = curve.coords(np.int64(data.draw(ranks)))
+    dab = int(curve.curve_distance(a, b))
+    dba = int(curve.curve_distance(b, a))
+    dac = int(curve.curve_distance(a, c))
+    dcb = int(curve.curve_distance(c, b))
+    assert dab == dba
+    assert (dab == 0) == bool(np.array_equal(a, b))
+    assert dab <= dac + dcb
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    d=st.integers(min_value=1, max_value=3),
+    k=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_random_bijections_are_valid_sfcs(d, k, seed):
+    """Any permutation is an SFC under the paper's definition."""
+    from repro.curves.random_curve import RandomCurve
+
+    curve = RandomCurve(Universe.power_of_two(d=d, k=k), seed=seed)
+    assert curve.is_bijection()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    d=st.integers(min_value=2, max_value=3),
+    k=st.integers(min_value=1, max_value=2),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_theorem1_on_random_curves(d, k, seed):
+    """Theorem 1's bound holds for arbitrary random bijections — the
+    strongest falsification attempt available to a test suite."""
+    from repro.core.lower_bounds import davg_lower_bound
+    from repro.core.stretch import average_average_nn_stretch
+    from repro.curves.random_curve import RandomCurve
+
+    u = Universe.power_of_two(d=d, k=k)
+    curve = RandomCurve(u, seed=seed)
+    assert average_average_nn_stretch(curve) >= davg_lower_bound(u.n, u.d)
+
+
+@settings(max_examples=15, deadline=None)
+@given(k=st.integers(min_value=1, max_value=3))
+def test_hilbert_unit_steps_property(k):
+    h = HilbertCurve(Universe.power_of_two(d=2, k=k))
+    path = h.order()
+    steps = np.abs(np.diff(path, axis=0)).sum(axis=1)
+    assert np.all(steps == 1)

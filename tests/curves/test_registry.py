@@ -1,0 +1,70 @@
+"""Tests for the curve registry."""
+
+import pytest
+
+from repro import Universe
+from repro.curves.registry import (
+    available_curves,
+    curves_for_universe,
+    make_curve,
+    register_curve,
+)
+
+
+class TestRegistry:
+    def test_standard_names_present(self):
+        names = available_curves()
+        for expected in (
+            "z", "simple", "snake", "gray", "hilbert",
+            "diagonal", "spiral", "peano", "random",
+        ):
+            assert expected in names
+
+    def test_make_curve(self):
+        u = Universe.power_of_two(d=2, k=2)
+        assert make_curve("z", u).name == "z"
+
+    def test_make_curve_kwargs(self):
+        u = Universe(d=2, side=4)
+        curve = make_curve("random", u, seed=42)
+        assert curve.seed == 42
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown curve"):
+            make_curve("nope", Universe(d=2, side=4))
+
+    def test_unsupported_universe_propagates(self):
+        with pytest.raises(ValueError):
+            make_curve("z", Universe(d=2, side=6))
+
+    def test_curves_for_universe_filters(self):
+        # side 9: power-of-two curves drop out, peano stays (d=2).
+        zoo = curves_for_universe(Universe(d=2, side=9))
+        assert "peano" in zoo
+        assert "z" not in zoo
+        assert "hilbert" not in zoo
+        assert "simple" in zoo
+
+    def test_curves_for_universe_3d(self):
+        zoo = curves_for_universe(Universe.power_of_two(d=3, k=2))
+        assert "z" in zoo and "hilbert" in zoo
+        assert "spiral" not in zoo  # 2-D only
+        assert "peano" not in zoo
+
+    def test_names_subset(self):
+        u = Universe.power_of_two(d=2, k=2)
+        zoo = curves_for_universe(u, names=["z", "simple"])
+        assert sorted(zoo) == ["simple", "z"]
+
+    def test_register_custom(self):
+        from repro.curves.simple import SimpleCurve
+
+        register_curve("simple-alias", SimpleCurve)
+        try:
+            u = Universe(d=2, side=4)
+            assert make_curve("simple-alias", u).name == "simple"
+        finally:
+            # Keep the global registry clean for other tests.
+            from repro.curves import registry
+
+            registry._REGISTRY.pop("simple-alias", None)

@@ -1,0 +1,77 @@
+"""Tests for the simple curve S (Eq. 8, Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.curves.simple import SimpleCurve
+
+
+class TestEquation8:
+    def test_formula(self):
+        """S(α) = Σ x_i side^{i-1}."""
+        u = Universe(d=3, side=8)
+        s = SimpleCurve(u)
+        assert int(s.index(np.array([3, 5, 7]))) == 3 + 5 * 8 + 7 * 64
+
+    def test_dimension1_least_significant(self):
+        u = Universe(d=2, side=8)
+        s = SimpleCurve(u)
+        assert int(s.index(np.array([1, 0]))) == 1
+        assert int(s.index(np.array([0, 1]))) == 8
+
+    def test_figure4_rows(self):
+        """Figure 4: the 8x8 simple curve scans rows bottom-to-top."""
+        u = Universe(d=2, side=8)
+        s = SimpleCurve(u)
+        order = s.order()
+        # First 8 visited cells: the y=0 row, left to right.
+        assert order[:8, 1].tolist() == [0] * 8
+        assert order[:8, 0].tolist() == list(range(8))
+        # Next row starts back at x=0 (the jump that costs stretch).
+        assert order[8].tolist() == [0, 1]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("d,side", [(1, 7), (2, 5), (3, 4), (4, 3)])
+    def test_bijection_any_side(self, d, side):
+        assert SimpleCurve(Universe(d=d, side=side)).is_bijection()
+
+    def test_roundtrip(self):
+        u = Universe(d=3, side=5)
+        s = SimpleCurve(u)
+        idx = np.arange(u.n)
+        assert np.array_equal(s.index(s.coords(idx)), idx)
+
+    def test_axis_step_values(self):
+        u = Universe(d=3, side=4)
+        s = SimpleCurve(u)
+        assert [s.axis_step(i) for i in range(3)] == [1, 4, 16]
+
+    def test_axis_step_rejects_bad_axis(self):
+        with pytest.raises(ValueError):
+            SimpleCurve(Universe(d=2, side=4)).axis_step(2)
+
+    def test_neighbor_distance_is_position_independent(self):
+        """∆_S between axis-i neighbors equals side^{i-1} everywhere —
+        the key property used by Theorem 3 and Proposition 2."""
+        u = Universe(d=2, side=6)
+        s = SimpleCurve(u)
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            a = rng.integers(0, 6, size=2)
+            axis = rng.integers(0, 2)
+            if a[axis] == 5:
+                a[axis] -= 1
+            b = a.copy()
+            b[axis] += 1
+            assert int(s.curve_distance(a, b)) == s.axis_step(int(axis))
+
+    def test_matches_canonical_rank(self):
+        """The simple curve is the library's canonical cell numbering."""
+        from repro.grid.coords import coords_to_rank
+
+        u = Universe(d=3, side=3)
+        s = SimpleCurve(u)
+        coords = u.all_coords()
+        assert np.array_equal(s.index(coords), coords_to_rank(coords, u))

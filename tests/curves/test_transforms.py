@@ -1,0 +1,123 @@
+"""Tests for curve transforms and the metric-invariance remark of IV-B."""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.core.stretch import (
+    average_average_nn_stretch,
+    average_maximum_nn_stretch,
+)
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.transforms import (
+    AxisPermutedCurve,
+    ReflectedCurve,
+    ReversedCurve,
+)
+from repro.curves.zcurve import ZCurve
+
+
+@pytest.fixture
+def base_curve():
+    return ZCurve(Universe.power_of_two(d=3, k=2))
+
+
+class TestAxisPermutedCurve:
+    def test_is_bijection(self, base_curve):
+        assert AxisPermutedCurve(base_curve, [2, 0, 1]).is_bijection()
+
+    def test_roundtrip(self, base_curve):
+        curve = AxisPermutedCurve(base_curve, [1, 2, 0])
+        idx = np.arange(base_curve.universe.n)
+        assert np.array_equal(curve.index(curve.coords(idx)), idx)
+
+    def test_identity_permutation_is_same(self, base_curve):
+        curve = AxisPermutedCurve(base_curve, [0, 1, 2])
+        assert np.array_equal(curve.key_grid(), base_curve.key_grid())
+
+    def test_rejects_non_permutation(self, base_curve):
+        with pytest.raises(ValueError):
+            AxisPermutedCurve(base_curve, [0, 0, 1])
+
+    def test_stretch_invariance(self, base_curve):
+        """Section IV-B: dimension-reordered Z curves are equivalent for
+        the paper's metrics."""
+        permuted = AxisPermutedCurve(base_curve, [2, 0, 1])
+        assert average_average_nn_stretch(permuted) == pytest.approx(
+            average_average_nn_stretch(base_curve)
+        )
+        assert average_maximum_nn_stretch(permuted) == pytest.approx(
+            average_maximum_nn_stretch(base_curve)
+        )
+
+    def test_changes_key_grid(self, base_curve):
+        permuted = AxisPermutedCurve(base_curve, [1, 0, 2])
+        assert not np.array_equal(permuted.key_grid(), base_curve.key_grid())
+
+
+class TestReflectedCurve:
+    def test_is_bijection(self, base_curve):
+        assert ReflectedCurve(base_curve, [0, 2]).is_bijection()
+
+    def test_roundtrip(self, base_curve):
+        curve = ReflectedCurve(base_curve, [1])
+        idx = np.arange(base_curve.universe.n)
+        assert np.array_equal(curve.index(curve.coords(idx)), idx)
+
+    def test_empty_axes_is_identity(self, base_curve):
+        curve = ReflectedCurve(base_curve, [])
+        assert np.array_equal(curve.key_grid(), base_curve.key_grid())
+
+    def test_rejects_bad_axis(self, base_curve):
+        with pytest.raises(ValueError):
+            ReflectedCurve(base_curve, [3])
+
+    def test_stretch_invariance(self, base_curve):
+        reflected = ReflectedCurve(base_curve, [0, 1])
+        assert average_average_nn_stretch(reflected) == pytest.approx(
+            average_average_nn_stretch(base_curve)
+        )
+
+    def test_double_reflection_is_identity(self, base_curve):
+        twice = ReflectedCurve(ReflectedCurve(base_curve, [1]), [1])
+        assert np.array_equal(twice.key_grid(), base_curve.key_grid())
+
+
+class TestReversedCurve:
+    def test_is_bijection(self, base_curve):
+        assert ReversedCurve(base_curve).is_bijection()
+
+    def test_key_identity(self, base_curve):
+        rev = ReversedCurve(base_curve)
+        n = base_curve.universe.n
+        assert np.array_equal(
+            rev.key_grid(), n - 1 - base_curve.key_grid()
+        )
+
+    def test_roundtrip(self, base_curve):
+        rev = ReversedCurve(base_curve)
+        idx = np.arange(base_curve.universe.n)
+        assert np.array_equal(rev.index(rev.coords(idx)), idx)
+
+    def test_exact_metric_preservation(self, base_curve):
+        """|π'(α)−π'(β)| == |π(α)−π(β)| identically."""
+        rev = ReversedCurve(base_curve)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, size=(50, 3))
+        b = rng.integers(0, 4, size=(50, 3))
+        assert np.array_equal(
+            rev.curve_distance(a, b), base_curve.curve_distance(a, b)
+        )
+
+    def test_reversed_hilbert_still_continuous(self):
+        h = HilbertCurve(Universe.power_of_two(d=2, k=3))
+        assert ReversedCurve(h).is_continuous()
+
+    def test_composed_transforms(self, base_curve):
+        combo = ReversedCurve(
+            AxisPermutedCurve(ReflectedCurve(base_curve, [0]), [2, 1, 0])
+        )
+        assert combo.is_bijection()
+        assert average_average_nn_stretch(combo) == pytest.approx(
+            average_average_nn_stretch(base_curve)
+        )

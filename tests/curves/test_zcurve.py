@@ -1,0 +1,114 @@
+"""Tests for the Z curve — including the paper's exact worked examples."""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.curves.zcurve import ZCurve, deinterleave_bits, interleave_bits
+
+
+class TestPaperExample:
+    def test_section4b_worked_example(self):
+        """Z(101, 010, 011) = 100011101 (d=3, k=3) — Section IV-B."""
+        u = Universe.power_of_two(d=3, k=3)
+        z = ZCurve(u)
+        assert int(z.index(np.array([0b101, 0b010, 0b011]))) == 0b100011101
+
+    def test_figure3_bottom_row(self):
+        """Figure 3: keys of the bottom row of the 8x8 grid."""
+        u = Universe.power_of_two(d=2, k=3)
+        z = ZCurve(u)
+        bottom = np.stack(
+            [np.arange(8), np.zeros(8, dtype=np.int64)], axis=-1
+        )
+        assert z.index(bottom).tolist() == [0, 2, 8, 10, 32, 34, 40, 42]
+
+    def test_figure3_left_column(self):
+        u = Universe.power_of_two(d=2, k=3)
+        z = ZCurve(u)
+        left = np.stack(
+            [np.zeros(8, dtype=np.int64), np.arange(8)], axis=-1
+        )
+        assert z.index(left).tolist() == [0, 1, 4, 5, 16, 17, 20, 21]
+
+    def test_figure3_full_grid(self):
+        """The full 8x8 key grid of Figure 3 (bit-interleave layout)."""
+        u = Universe.power_of_two(d=2, k=3)
+        grid = ZCurve(u).key_grid()
+        # Spot values read off the figure (binary in the figure, decimal
+        # here): cell (5,2) has key 100110 = 38; cell (2,5) -> 011001=25.
+        assert grid[5, 2] == 0b100110
+        assert grid[2, 5] == 0b011001
+        assert grid[7, 7] == 63
+        assert grid[0, 0] == 0
+
+    def test_dimension1_most_significant_within_group(self):
+        """x1's bit must precede x2's in each interleave group."""
+        u = Universe.power_of_two(d=2, k=1)
+        z = ZCurve(u)
+        # (1,0) -> binary 10 = 2; (0,1) -> binary 01 = 1.
+        assert int(z.index(np.array([1, 0]))) == 2
+        assert int(z.index(np.array([0, 1]))) == 1
+
+
+class TestInterleave:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        coords = rng.integers(0, 16, size=(100, 3), dtype=np.int64)
+        keys = interleave_bits(coords, 4)
+        assert np.array_equal(deinterleave_bits(keys, 3, 4), coords)
+
+    def test_key_range(self):
+        coords = np.array([[15, 15, 15]])
+        assert interleave_bits(coords, 4)[0] == 2**12 - 1
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError, match="int64"):
+            interleave_bits(np.zeros((1, 7), dtype=np.int64), 9)
+
+    def test_d1_is_identity(self):
+        values = np.arange(16, dtype=np.int64).reshape(-1, 1)
+        assert np.array_equal(interleave_bits(values, 4), values[:, 0])
+
+
+class TestZCurveStructure:
+    @pytest.mark.parametrize("d,k", [(1, 3), (2, 3), (3, 2), (4, 2)])
+    def test_bijection(self, d, k):
+        z = ZCurve(Universe.power_of_two(d=d, k=k))
+        assert z.is_bijection()
+
+    @pytest.mark.parametrize("d,k", [(2, 3), (3, 2)])
+    def test_roundtrip(self, d, k):
+        u = Universe.power_of_two(d=d, k=k)
+        z = ZCurve(u)
+        idx = np.arange(u.n)
+        assert np.array_equal(z.index(z.coords(idx)), idx)
+
+    def test_not_continuous_for_d_ge_2(self):
+        assert not ZCurve(Universe.power_of_two(d=2, k=2)).is_continuous()
+
+    def test_continuous_in_1d(self):
+        assert ZCurve(Universe.power_of_two(d=1, k=3)).is_continuous()
+
+    def test_requires_power_of_two_side(self):
+        with pytest.raises(ValueError, match="power of two"):
+            ZCurve(Universe(d=2, side=6))
+
+    def test_recursive_block_structure(self):
+        """The first quadrant (low x1 bit block) holds keys 0..n/4-1."""
+        u = Universe.power_of_two(d=2, k=3)
+        grid = ZCurve(u).key_grid()
+        assert set(grid[:4, :4].reshape(-1).tolist()) == set(range(16))
+        assert set(grid[4:, 4:].reshape(-1).tolist()) == set(range(48, 64))
+
+    def test_axis_neighbor_distance_lsb(self):
+        """Pairs whose κ is even differ by exactly 2^{d-i} (Lemma 5 proof)."""
+        u = Universe.power_of_two(d=3, k=2)
+        z = ZCurve(u)
+        for axis in range(3):
+            i = axis + 1  # paper dimension
+            a = np.array([1, 1, 1])
+            a[axis] = 0
+            b = a.copy()
+            b[axis] = 1
+            assert int(z.curve_distance(a, b)) == 2 ** (3 - i)

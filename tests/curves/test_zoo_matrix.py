@@ -1,0 +1,76 @@
+"""Systematic matrix: every registered curve × every admissible grid.
+
+One place that guarantees the whole zoo upholds the SFC contract and
+the paper's universal results on every universe it accepts — so adding
+a new curve to the registry automatically puts it under the full
+contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.core.allpairs import lemma2_sum_exact, lemma2_sum_measured
+from repro.core.lower_bounds import davg_lower_bound
+from repro.core.stretch import (
+    average_average_nn_stretch,
+    average_maximum_nn_stretch,
+)
+from repro.curves.registry import available_curves, curves_for_universe
+
+UNIVERSES = [
+    Universe.power_of_two(d=1, k=3),
+    Universe.power_of_two(d=2, k=1),
+    Universe.power_of_two(d=2, k=3),
+    Universe.power_of_two(d=3, k=2),
+    Universe.power_of_two(d=4, k=1),
+    Universe(d=2, side=9),  # 3^k: peano territory
+    Universe(d=2, side=5),  # odd side: simple/snake/diagonal/spiral/random
+    Universe(d=3, side=3),
+]
+
+
+def _pairs():
+    for universe in UNIVERSES:
+        for name, curve in curves_for_universe(universe).items():
+            yield universe, name, curve
+
+
+MATRIX = list(_pairs())
+IDS = [f"{name}-d{u.d}s{u.side}" for u, name, _ in MATRIX]
+
+
+@pytest.mark.parametrize("universe,name,curve", MATRIX, ids=IDS)
+class TestZooContract:
+    def test_bijection(self, universe, name, curve):
+        assert curve.is_bijection()
+
+    def test_roundtrip(self, universe, name, curve):
+        idx = np.arange(universe.n)
+        assert np.array_equal(curve.index(curve.coords(idx)), idx)
+
+    def test_theorem1(self, universe, name, curve):
+        if universe.side < 2:
+            pytest.skip("no NN pairs")
+        davg = average_average_nn_stretch(curve)
+        assert davg >= davg_lower_bound(universe.n, universe.d)
+
+    def test_dmax_dominates_davg(self, universe, name, curve):
+        if universe.side < 2:
+            pytest.skip("no NN pairs")
+        assert average_maximum_nn_stretch(
+            curve
+        ) >= average_average_nn_stretch(curve) - 1e-12
+
+    def test_lemma2(self, universe, name, curve):
+        assert lemma2_sum_measured(curve) == lemma2_sum_exact(universe.n)
+
+
+def test_matrix_covers_every_registered_curve():
+    """Each registry entry appears on at least one universe above."""
+    covered = {name for _, name, _ in MATRIX}
+    assert covered == set(available_curves())
+
+
+def test_matrix_has_substantial_coverage():
+    assert len(MATRIX) >= 40

@@ -1,0 +1,113 @@
+"""Tests for coordinate <-> rank codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Universe
+from repro.grid.coords import (
+    coords_to_rank,
+    mixed_radix_decode,
+    mixed_radix_encode,
+    rank_to_coords,
+)
+
+
+class TestCoordsToRank:
+    def test_matches_simple_curve_formula(self):
+        u = Universe(d=3, side=4)
+        # S(x) = x1 + 4*x2 + 16*x3
+        assert coords_to_rank(np.array([1, 2, 3]), u) == 1 + 8 + 48
+
+    def test_origin_is_zero(self):
+        u = Universe(d=4, side=3)
+        assert coords_to_rank(np.zeros(4, dtype=int), u) == 0
+
+    def test_last_cell(self):
+        u = Universe(d=2, side=5)
+        assert coords_to_rank(np.array([4, 4]), u) == 24
+
+    def test_vectorized(self):
+        u = Universe(d=2, side=3)
+        ranks = coords_to_rank(u.all_coords(), u)
+        assert ranks.tolist() == list(range(9))
+
+    def test_rejects_out_of_range(self):
+        u = Universe(d=2, side=3)
+        with pytest.raises(ValueError):
+            coords_to_rank(np.array([3, 0]), u)
+
+
+class TestRankToCoords:
+    def test_roundtrip_all(self):
+        u = Universe(d=3, side=3)
+        ranks = np.arange(u.n)
+        assert np.array_equal(coords_to_rank(rank_to_coords(ranks, u), u), ranks)
+
+    def test_single_value(self):
+        u = Universe(d=2, side=4)
+        assert rank_to_coords(np.int64(7), u).tolist() == [3, 1]
+
+    def test_preserves_leading_shape(self):
+        u = Universe(d=2, side=4)
+        out = rank_to_coords(np.zeros((3, 5), dtype=np.int64), u)
+        assert out.shape == (3, 5, 2)
+
+    def test_rejects_out_of_range(self):
+        u = Universe(d=2, side=2)
+        with pytest.raises(ValueError):
+            rank_to_coords(np.array([4]), u)
+
+
+class TestMixedRadix:
+    def test_encode_simple(self):
+        # digits (1, 2) in bases (3, 5): 1 + 2*3 = 7
+        assert mixed_radix_encode(np.array([1, 2]), [3, 5]) == 7
+
+    def test_decode_simple(self):
+        assert mixed_radix_decode(np.array(7), [3, 5]).tolist() == [1, 2]
+
+    def test_roundtrip(self):
+        bases = [3, 2, 5, 4]
+        total = 3 * 2 * 5 * 4
+        values = np.arange(total)
+        digits = mixed_radix_decode(values, bases)
+        assert np.array_equal(mixed_radix_encode(digits, bases), values)
+
+    def test_digit_ranges(self):
+        bases = [3, 4]
+        digits = mixed_radix_decode(np.arange(12), bases)
+        assert digits[:, 0].max() == 2
+        assert digits[:, 1].max() == 3
+
+    def test_encode_rejects_bad_digit(self):
+        with pytest.raises(ValueError, match="out of range"):
+            mixed_radix_encode(np.array([3, 0]), [3, 5])
+
+    def test_encode_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="must match"):
+            mixed_radix_encode(np.array([1, 2, 3]), [3, 5])
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            mixed_radix_decode(np.array([15]), [3, 5])
+
+    def test_encode_rejects_bad_base(self):
+        with pytest.raises(ValueError, match="bases"):
+            mixed_radix_encode(np.array([0]), [0])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    d=st.integers(min_value=1, max_value=4),
+    side=st.integers(min_value=1, max_value=6),
+    data=st.data(),
+)
+def test_roundtrip_property(d, side, data):
+    """rank -> coords -> rank is the identity for arbitrary grids."""
+    u = Universe(d=d, side=side)
+    rank = data.draw(st.integers(min_value=0, max_value=u.n - 1))
+    coords = rank_to_coords(np.int64(rank), u)
+    assert int(coords_to_rank(coords, u)) == rank
+    assert bool(u.contains(coords))

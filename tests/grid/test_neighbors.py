@@ -1,0 +1,124 @@
+"""Tests for the NN structure (N(α), NN_d, per-axis pair machinery)."""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.grid.metrics import manhattan
+from repro.grid.neighbors import (
+    axis_pair_index_arrays,
+    iter_nn_pairs,
+    neighbor_count_grid,
+    neighbors_of,
+    nn_pair_count,
+    nn_pair_count_axis,
+)
+
+
+class TestNeighborsOf:
+    def test_interior_cell_has_2d(self):
+        u = Universe(d=3, side=5)
+        nbrs = neighbors_of(np.array([2, 2, 2]), u)
+        assert nbrs.shape == (6, 3)
+
+    def test_corner_has_d(self):
+        u = Universe(d=3, side=5)
+        nbrs = neighbors_of(np.array([0, 0, 0]), u)
+        assert nbrs.shape == (3, 3)
+
+    def test_all_at_distance_one(self):
+        u = Universe(d=2, side=4)
+        cell = np.array([1, 3])
+        nbrs = neighbors_of(cell, u)
+        assert np.all(manhattan(nbrs, cell) == 1)
+
+    def test_paper_bound_d_le_N_le_2d(self):
+        u = Universe(d=2, side=4)
+        for cell in u.iter_cells():
+            count = neighbors_of(np.asarray(cell), u).shape[0]
+            assert u.d <= count <= 2 * u.d
+
+    def test_side_one_no_neighbors(self):
+        u = Universe(d=2, side=1)
+        assert neighbors_of(np.array([0, 0]), u).shape == (0, 2)
+
+    def test_requires_single_cell(self):
+        u = Universe(d=2, side=4)
+        with pytest.raises(ValueError, match="single cell"):
+            neighbors_of(np.zeros((2, 2), dtype=int), u)
+
+
+class TestNeighborCountGrid:
+    def test_matches_bruteforce(self):
+        for d, side in [(1, 4), (2, 3), (3, 3), (2, 2)]:
+            u = Universe(d=d, side=side)
+            grid = neighbor_count_grid(u)
+            for cell in u.iter_cells():
+                expected = neighbors_of(np.asarray(cell), u).shape[0]
+                assert grid[cell] == expected
+
+    def test_side_one_zero(self):
+        u = Universe(d=3, side=1)
+        assert int(neighbor_count_grid(u).sum()) == 0
+
+    def test_total_is_twice_pair_count(self):
+        u = Universe(d=3, side=4)
+        assert int(neighbor_count_grid(u).sum()) == 2 * nn_pair_count(u)
+
+
+class TestAxisPairs:
+    def test_slices_align(self):
+        u = Universe(d=2, side=3)
+        grid = np.arange(9).reshape(3, 3)
+        lo, hi = axis_pair_index_arrays(u, 0)
+        # Axis-0 pairs: grid[x, y] paired with grid[x+1, y].
+        assert np.array_equal(grid[hi] - grid[lo], np.full((2, 3), 3))
+
+    def test_pair_count_axis(self):
+        u = Universe(d=3, side=4)
+        lo, hi = axis_pair_index_arrays(u, 1)
+        grid = np.zeros(u.shape)
+        assert grid[lo].size == nn_pair_count_axis(u, 1) == 4 * 3 * 4
+
+    def test_total_pair_count_formula(self):
+        u = Universe(d=2, side=8)
+        # |NN_d| = d * side^{d-1} * (side-1)
+        assert nn_pair_count(u) == 2 * 8 * 7
+
+    def test_rejects_bad_axis(self):
+        u = Universe(d=2, side=4)
+        with pytest.raises(ValueError):
+            axis_pair_index_arrays(u, 2)
+        with pytest.raises(ValueError):
+            nn_pair_count_axis(u, -1)
+
+
+class TestIterNNPairs:
+    def test_count_matches_formula(self):
+        for d, side in [(1, 5), (2, 4), (3, 3)]:
+            u = Universe(d=d, side=side)
+            pairs = list(iter_nn_pairs(u))
+            assert len(pairs) == nn_pair_count(u)
+
+    def test_all_are_unit_pairs(self):
+        u = Universe(d=2, side=3)
+        for a, b in iter_nn_pairs(u):
+            assert manhattan(np.asarray(a), np.asarray(b)) == 1
+
+    def test_no_duplicates(self):
+        u = Universe(d=2, side=4)
+        pairs = {frozenset((a, b)) for a, b in iter_nn_pairs(u)}
+        assert len(pairs) == nn_pair_count(u)
+
+    def test_matches_slice_machinery(self):
+        """The slice-based enumeration covers exactly iter_nn_pairs."""
+        u = Universe(d=2, side=3)
+        from_slices = set()
+        grids = u.coordinate_grids()
+        for axis in range(u.d):
+            lo, hi = axis_pair_index_arrays(u, axis)
+            lo_coords = np.stack([g[lo].reshape(-1) for g in grids], axis=-1)
+            hi_coords = np.stack([g[hi].reshape(-1) for g in grids], axis=-1)
+            for a, b in zip(lo_coords, hi_coords):
+                from_slices.add((tuple(a), tuple(b)))
+        assert from_slices == set(iter_nn_pairs(u))

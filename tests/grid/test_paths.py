@@ -1,0 +1,182 @@
+"""Tests for the NN path decomposition p(α,β) and Lemma 4 counting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Universe
+from repro.grid.paths import (
+    axis_segment,
+    edge_multiplicity,
+    lemma4_bound,
+    nn_decomposition,
+    path_is_valid,
+    staircase_waypoints,
+)
+
+
+class TestAxisSegment:
+    def test_paper_example(self):
+        # p((6,4,5),(3,4,5)) = {((3,4,5),(4,4,5)), ((4,4,5),(5,4,5)),
+        #                       ((5,4,5),(6,4,5))}
+        edges = axis_segment((6, 4, 5), (3, 4, 5))
+        assert set(edges) == {
+            ((3, 4, 5), (4, 4, 5)),
+            ((4, 4, 5), (5, 4, 5)),
+            ((5, 4, 5), (6, 4, 5)),
+        }
+
+    def test_symmetric_for_single_axis(self):
+        # Paper: p(α,β) == p(β,α) when only one coordinate differs.
+        assert set(axis_segment((1, 2), (1, 5))) == set(
+            axis_segment((1, 5), (1, 2))
+        )
+
+    def test_equal_cells_empty(self):
+        assert axis_segment((3, 3), (3, 3)) == []
+
+    def test_rejects_multi_axis(self):
+        with pytest.raises(ValueError):
+            axis_segment((0, 0), (1, 1))
+
+    def test_length_is_distance(self):
+        assert len(axis_segment((0, 7), (0, 2))) == 5
+
+
+class TestStaircase:
+    def test_waypoints_paper_order(self):
+        # Corrects dimension 1 first, then 2, then 3.
+        wps = staircase_waypoints((1, 2, 3), (4, 5, 6))
+        assert wps == [(1, 2, 3), (4, 2, 3), (4, 5, 3), (4, 5, 6)]
+
+    def test_waypoint_count(self):
+        assert len(staircase_waypoints((0, 0), (1, 1))) == 3
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            staircase_waypoints((0, 0), (1, 1, 1))
+
+
+class TestDecomposition:
+    def test_figure2_example(self):
+        """Figure 2: p(α,β) for α=(1,1), β=(3,5) — 6 specific edges."""
+        edges = set(nn_decomposition((1, 1), (3, 5)))
+        expected = {
+            ((1, 1), (2, 1)),
+            ((2, 1), (3, 1)),
+            ((3, 1), (3, 2)),
+            ((3, 2), (3, 3)),
+            ((3, 3), (3, 4)),
+            ((3, 4), (3, 5)),
+        }
+        assert edges == expected
+
+    def test_figure2_reverse_differs(self):
+        """Figure 2: p(β,α) is a different edge set than p(α,β)."""
+        forward = set(nn_decomposition((1, 1), (3, 5)))
+        backward = set(nn_decomposition((3, 5), (1, 1)))
+        assert forward != backward
+        # The paper's stated p(β,α) edge set:
+        expected_backward = {
+            ((1, 5), (2, 5)),
+            ((2, 5), (3, 5)),
+            ((1, 1), (1, 2)),
+            ((1, 2), (1, 3)),
+            ((1, 3), (1, 4)),
+            ((1, 4), (1, 5)),
+        }
+        assert backward == expected_backward
+
+    def test_path_length_is_manhattan_distance(self):
+        edges = nn_decomposition((0, 0, 0), (2, 3, 1))
+        assert len(edges) == 6
+
+    def test_path_is_valid_validator(self):
+        alpha, beta = (1, 1), (3, 5)
+        assert path_is_valid(alpha, beta, nn_decomposition(alpha, beta))
+
+    def test_path_is_valid_rejects_wrong_length(self):
+        assert not path_is_valid((0, 0), (2, 0), [((0, 0), (1, 0))])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    d=st.integers(min_value=1, max_value=3),
+    data=st.data(),
+)
+def test_decomposition_forms_valid_path(d, data):
+    cell = st.lists(st.integers(0, 6), min_size=d, max_size=d)
+    alpha = tuple(data.draw(cell))
+    beta = tuple(data.draw(cell))
+    if alpha == beta:
+        return
+    edges = nn_decomposition(alpha, beta)
+    assert path_is_valid(alpha, beta, edges)
+
+
+class TestEdgeMultiplicity:
+    def test_exact_count_matches_bruteforce_2d(self):
+        """Closed form vs exhaustive enumeration on a 4x4 grid."""
+        from repro.core.decomposition import edge_multiplicity_bruteforce
+
+        u = Universe(d=2, side=4)
+        brute = edge_multiplicity_bruteforce(u)
+        for (lo, hi), count in brute.items():
+            axis = next(
+                i for i in range(u.d) if lo[i] != hi[i]
+            )
+            assert edge_multiplicity(lo, axis, u) == count
+
+    def test_exact_count_matches_bruteforce_3d(self):
+        from repro.core.decomposition import edge_multiplicity_bruteforce
+
+        u = Universe(d=3, side=2)
+        brute = edge_multiplicity_bruteforce(u)
+        for (lo, hi), count in brute.items():
+            axis = next(i for i in range(u.d) if lo[i] != hi[i])
+            assert edge_multiplicity(lo, axis, u) == count
+
+    def test_lemma4_bound_holds(self):
+        """Every edge multiplicity <= n^{(d+1)/d}/2 (Lemma 4)."""
+        for d, side in [(1, 8), (2, 4), (2, 8), (3, 4)]:
+            u = Universe(d=d, side=side)
+            bound = lemma4_bound(u)
+            for axis in range(d):
+                for zi in range(side - 1):
+                    zeta = [0] * d
+                    zeta[axis] = zi
+                    assert edge_multiplicity(zeta, axis, u) <= bound
+
+    def test_multiplicity_peaks_at_center(self):
+        u = Universe(d=1, side=8)
+        counts = [edge_multiplicity([z], 0, u) for z in range(7)]
+        assert max(counts) == counts[3] == counts[4 - 1]
+        assert counts[0] == counts[-1] == min(counts)
+
+    def test_rejects_bad_edge(self):
+        u = Universe(d=2, side=4)
+        with pytest.raises(ValueError):
+            edge_multiplicity((3, 0), 0, u)  # 3 is the last coordinate
+        with pytest.raises(ValueError):
+            edge_multiplicity((0, 0), 2, u)
+        with pytest.raises(ValueError):
+            edge_multiplicity((0,), 0, u)
+
+
+class TestDoubleCounting:
+    def test_total_path_edges_equals_total_multiplicity(self):
+        """Σ_{(α,β)∈A'} |p(α,β)| == Σ_edges multiplicity — the double
+        counting at the heart of Theorem 1's proof."""
+        from repro.core.decomposition import edge_multiplicity_bruteforce
+
+        u = Universe(d=2, side=3)
+        brute = edge_multiplicity_bruteforce(u)
+        total_multiplicity = sum(brute.values())
+        # Σ |p(α,β)| over ordered pairs = Σ ∆(α,β) over ordered pairs.
+        cells = u.all_coords()
+        total_path_edges = 0
+        for a in cells:
+            for b in cells:
+                total_path_edges += int(np.abs(a - b).sum())
+        assert total_multiplicity == total_path_edges

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_survey_defaults(self):
+        args = build_parser().parse_args(["survey"])
+        assert args.d == 2
+        assert args.side == 8
+
+    def test_render_curve_choice(self):
+        args = build_parser().parse_args(["render", "--curve", "hilbert"])
+        assert args.curve == "hilbert"
+
+    def test_render_rejects_unknown_curve(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["render", "--curve", "nope"])
+
+
+class TestCommands:
+    def test_survey(self, capsys):
+        assert main(["survey", "-d", "2", "--side", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Davg" in out
+        assert "z" in out
+
+    def test_survey_allpairs(self, capsys):
+        assert main(["survey", "-d", "2", "--side", "4", "--allpairs"]) == 0
+        out = capsys.readouterr().out
+        assert "str_M" in out
+
+    def test_bounds(self, capsys):
+        assert main(["bounds", "-d", "3", "--side", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out
+
+    def test_render_keys(self, capsys):
+        assert main(["render", "--curve", "z", "--side", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "15" in out
+
+    def test_render_path(self, capsys):
+        assert (
+            main(["render", "--curve", "hilbert", "--side", "4", "--path"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "→" in out or "↑" in out
+
+    def test_partition(self, capsys):
+        assert main(["partition", "--side", "8", "--parts", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "edge_cut" in out
+
+    def test_certificate(self, capsys):
+        assert main(["certificate", "--curve", "z", "--side", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1 holds" in out
+        assert "True" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "--curve", "z", "--side", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "E[dpi/d | d=r]" in out
+
+    def test_optimal(self, capsys):
+        assert main(
+            ["optimal", "--side", "4", "--iterations", "500", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "best D^avg found" in out
+        assert "best / bound" in out
+
+    def test_export_roundtrip(self, capsys, tmp_path):
+        from repro.io import load_curve
+
+        out_path = tmp_path / "curve.npz"
+        assert main(
+            ["export", "--curve", "hilbert", "--side", "8", "--out", str(out_path)]
+        ) == 0
+        loaded = load_curve(out_path)
+        assert loaded.name == "hilbert"
+        assert loaded.universe.side == 8
+
+    def test_heatmap(self, capsys):
+        assert main(["heatmap", "--curve", "hilbert", "--side", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "delta^avg" in out
+        lines = [l for l in out.splitlines() if not l.startswith("#")]
+        assert len(lines) == 16
+
+    def test_heatmap_rejects_3d(self, capsys):
+        assert main(["heatmap", "--curve", "z", "-d", "3", "--side", "4"]) == 2
+
+    def test_error_exit_code(self, capsys):
+        # Z curve on a non power-of-two grid -> clean error, exit 2.
+        assert main(["render", "--curve", "z", "--side", "6"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "bounds", "--side", "4"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "Theorem 1" in proc.stdout

@@ -1,0 +1,76 @@
+"""Every example script must run clean and print its key output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_examples_directory_contents():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "domain_decomposition.py",
+        "nbody_neighbor_search.py",
+        "range_query_database.py",
+        "stretch_survey.py",
+    } <= names
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Theorem 1 lower bound" in out
+    assert "within" in out
+
+
+def test_domain_decomposition():
+    out = run_example("domain_decomposition.py")
+    assert "Uniform workload" in out
+    assert "hilbert" in out
+    assert "Gaussian" in out
+
+
+def test_nbody_neighbor_search():
+    out = run_example("nbody_neighbor_search.py")
+    assert "w(99%)" in out
+    assert "efficiency" in out
+
+
+def test_range_query_database():
+    out = run_example("range_query_database.py")
+    assert "avg_io_cost" in out
+    assert "runs" in out
+
+
+def test_stretch_survey():
+    out = run_example("stretch_survey.py")
+    assert "d = 4" in out
+    assert "Theorem 2" in out
+
+
+def test_optimal_curve_search():
+    out = run_example("optimal_curve_search.py")
+    assert "exhaustive" in out.lower()
+    assert "Hill climbing" in out
+    assert "best/bound" in out
+
+
+def test_stretch_heatmaps():
+    out = run_example("stretch_heatmaps.py")
+    assert "== hilbert ==" in out
+    assert "gini" in out
+    assert "Reading guide" in out

@@ -1,0 +1,75 @@
+"""Tests for curve serialization."""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.core.stretch import average_average_nn_stretch
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.random_curve import RandomCurve
+from repro.curves.zcurve import ZCurve
+from repro.io import load_curve, save_curve
+
+
+class TestRoundTrip:
+    def test_key_grid_preserved(self, tmp_path):
+        u = Universe.power_of_two(d=2, k=3)
+        z = ZCurve(u)
+        path = save_curve(z, tmp_path / "z.npz")
+        loaded = load_curve(path)
+        assert np.array_equal(loaded.key_grid(), z.key_grid())
+        assert loaded.name == "z"
+        assert loaded.universe == u
+
+    def test_metrics_preserved(self, tmp_path):
+        u = Universe.power_of_two(d=3, k=2)
+        h = HilbertCurve(u)
+        loaded = load_curve(save_curve(h, tmp_path / "h"))
+        assert average_average_nn_stretch(loaded) == pytest.approx(
+            average_average_nn_stretch(h)
+        )
+
+    def test_suffix_added(self, tmp_path):
+        u = Universe(d=2, side=4)
+        path = save_curve(RandomCurve(u), tmp_path / "r")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_random_curve_roundtrip(self, tmp_path):
+        u = Universe(d=2, side=5)
+        curve = RandomCurve(u, seed=11)
+        loaded = load_curve(save_curve(curve, tmp_path / "rand.npz"))
+        idx = np.arange(u.n)
+        assert np.array_equal(loaded.coords(idx), curve.coords(idx))
+
+
+class TestValidation:
+    def test_corrupted_grid_rejected(self, tmp_path):
+        u = Universe(d=2, side=2)
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(
+            path,
+            key_grid=np.zeros((2, 2), dtype=np.int64),  # not a bijection
+            d=np.int64(2),
+            side=np.int64(2),
+            name=np.bytes_(b"bad"),
+            format_version=np.int64(1),
+        )
+        with pytest.raises(ValueError, match="bijection"):
+            load_curve(path)
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "incomplete.npz"
+        np.savez_compressed(path, key_grid=np.arange(4).reshape(2, 2))
+        with pytest.raises(ValueError, match="missing field"):
+            load_curve(path)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        u = Universe(d=2, side=2)
+        path = save_curve(ZCurve(u), tmp_path / "v.npz")
+        with np.load(path) as data:
+            fields = dict(data)
+        fields["format_version"] = np.int64(999)
+        np.savez_compressed(path, **fields)
+        with pytest.raises(ValueError, match="version"):
+            load_curve(path)

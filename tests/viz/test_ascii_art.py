@@ -1,0 +1,77 @@
+"""Tests for ASCII renders (Figures 1/3/4 reproduction support)."""
+
+import pytest
+
+from repro import Universe
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.simple import SimpleCurve
+from repro.curves.zcurve import ZCurve
+from repro.viz.ascii_art import (
+    render_key_grid,
+    render_key_grid_binary,
+    render_order_labels,
+    render_path,
+)
+
+
+class TestRenderKeyGrid:
+    def test_bottom_row_is_origin_row(self, u2_8):
+        lines = render_key_grid(ZCurve(u2_8)).splitlines()
+        assert len(lines) == 8
+        # Figure layout: last printed line is y=0; starts with key 0.
+        assert lines[-1].split() == ["0", "2", "8", "10", "32", "34", "40", "42"]
+
+    def test_simple_curve_rows(self, u2_8):
+        lines = render_key_grid(SimpleCurve(u2_8)).splitlines()
+        assert lines[-1].split() == [str(v) for v in range(8)]
+        assert lines[0].split() == [str(v) for v in range(56, 64)]
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="d == 2"):
+            render_key_grid(SimpleCurve(Universe(d=3, side=4)))
+
+
+class TestRenderBinary:
+    def test_figure3_top_left_cell(self, u2_8):
+        """Figure 3's top-left cell (0,7) carries key 010101 = 21."""
+        lines = render_key_grid_binary(ZCurve(u2_8)).splitlines()
+        assert lines[0].split()[0] == "010101"
+
+    def test_width_matches_n(self, u2_8):
+        lines = render_key_grid_binary(ZCurve(u2_8)).splitlines()
+        assert all(len(tok) == 6 for tok in lines[0].split())
+
+
+class TestRenderPath:
+    def test_continuous_curve_is_all_arrows(self, u2_8):
+        text = render_path(HilbertCurve(u2_8))
+        assert "(" not in text  # no jump annotations
+        assert text.count(" ") == u2_8.n - 2
+
+    def test_z_curve_shows_jumps(self, u2_8):
+        assert "(" in render_path(ZCurve(u2_8))
+
+    def test_simple_curve_wraps(self):
+        u = Universe(d=2, side=2)
+        text = render_path(SimpleCurve(u))
+        # (0,0)->(1,0): right; (1,0)->(0,1): jump; (0,1)->(1,1): right.
+        assert text == "→ (-1,+1) →"
+
+
+class TestRenderOrderLabels:
+    def test_figure1_pi1(self):
+        from repro.curves.explicit import figure1_pi1
+
+        # Labels in simple-rank order: (0,0)=D, (1,0)=B, (0,1)=A, (1,1)=C.
+        assert render_order_labels(figure1_pi1(), "DBAC") == "C,A,B,D"
+
+    def test_figure1_pi2(self):
+        from repro.curves.explicit import figure1_pi2
+
+        assert render_order_labels(figure1_pi2(), "DBAC") == "A,B,C,D"
+
+    def test_rejects_wrong_label_count(self):
+        from repro.curves.explicit import figure1_pi1
+
+        with pytest.raises(ValueError):
+            render_order_labels(figure1_pi1(), "ABC")

@@ -1,0 +1,62 @@
+"""Tests for ASCII heat maps of per-cell stretch fields."""
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.curves.simple import SimpleCurve
+from repro.curves.zcurve import ZCurve
+from repro.viz.heatmap import render_heatmap, stretch_heatmap
+
+
+class TestRenderHeatmap:
+    def test_shape(self):
+        field = np.zeros((4, 6))
+        lines = render_heatmap(field).splitlines()
+        assert len(lines) == 6  # y rows
+        assert all(len(line) == 4 for line in lines)
+
+    def test_constant_field_uses_lightest(self):
+        out = render_heatmap(np.full((3, 3), 7.0))
+        assert set(out.replace("\n", "")) == {" "}
+
+    def test_extremes_use_ramp_ends(self):
+        field = np.array([[0.0, 1.0]])
+        out = render_heatmap(field)
+        assert out.splitlines()[0] == "@"  # top row is y=1 (max)
+        assert out.splitlines()[1] == " "
+
+    def test_orientation_top_is_high_y(self):
+        field = np.zeros((2, 2))
+        field[0, 1] = 10.0  # x=0, y=1 -> top-left character
+        lines = render_heatmap(field).splitlines()
+        assert lines[0][0] == "@"
+
+    def test_custom_ramp(self):
+        out = render_heatmap(np.array([[0.0, 1.0]]), ramp="ab")
+        assert set(out.replace("\n", "")) == {"a", "b"}
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            render_heatmap(np.zeros(5))
+        with pytest.raises(ValueError):
+            render_heatmap(np.zeros((2, 2)), ramp="x")
+
+
+class TestStretchHeatmap:
+    def test_simple_curve_flat_interior(self):
+        """Interior cells of S share one δ^avg: the heat map's middle
+        rows are constant."""
+        u = Universe.power_of_two(d=2, k=3)
+        lines = stretch_heatmap(SimpleCurve(u)).splitlines()
+        middle = lines[3]
+        assert len(set(middle[1:-1])) == 1
+
+    def test_z_curve_structured(self):
+        u = Universe.power_of_two(d=2, k=3)
+        out = stretch_heatmap(ZCurve(u))
+        assert len(set(out.replace("\n", ""))) > 2  # non-trivial texture
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            stretch_heatmap(SimpleCurve(Universe(d=3, side=4)))

@@ -1,0 +1,50 @@
+"""Tests for table formatting."""
+
+from repro.viz.tables import format_float, format_table
+
+
+class TestFormatFloat:
+    def test_none(self):
+        assert format_float(None) == "-"
+
+    def test_int_passthrough(self):
+        assert format_float(42) == "42"
+
+    def test_float_compact(self):
+        assert format_float(1.23456789) == "1.235"
+
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+    def test_scientific_for_extremes(self):
+        assert "e" in format_float(1.5e9)
+        assert "e" in format_float(1.5e-9)
+
+    def test_bool(self):
+        assert format_float(True) == "True"
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_header_and_rule(self):
+        table = format_table([{"a": 1, "b": 2.5}])
+        lines = table.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].split() == ["1", "2.5"]
+
+    def test_column_selection(self):
+        table = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in table.splitlines()[0]
+
+    def test_alignment_consistent(self):
+        rows = [{"x": 1, "y": 2.0}, {"x": 100, "y": 3.14159}]
+        lines = format_table(rows).splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_missing_cell_renders_dash(self):
+        table = format_table([{"a": 1}], columns=["a", "b"])
+        assert table.splitlines()[2].split()[-1] == "-"
