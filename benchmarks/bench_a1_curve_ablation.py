@@ -9,7 +9,6 @@ and simple, while random bijections are off by Θ(n^{1/d}).
 
 from repro import Universe
 from repro.core.lower_bounds import davg_lower_bound
-from repro.core.summary import survey
 from repro.viz.tables import format_table
 
 from _bench_utils import run_once
@@ -22,18 +21,18 @@ UNIVERSES = [
 ]
 
 
-def ablation_experiment():
+def ablation_experiment(run_sweep):
+    result = run_sweep(UNIVERSES)
     rows = []
-    for universe in UNIVERSES:
-        for report in survey(universe):
-            row = report.as_row()
-            del row["str_M"], row["str_E"]
-            rows.append(row)
+    for report in result.reports:
+        row = report.as_row()
+        del row["str_M"], row["str_E"]
+        rows.append(row)
     return rows
 
 
-def test_a1_curve_ablation(benchmark, results_writer):
-    rows = run_once(benchmark, ablation_experiment)
+def test_a1_curve_ablation(benchmark, results_writer, run_sweep):
+    rows = run_once(benchmark, ablation_experiment, run_sweep)
     rows.sort(key=lambda r: (r["d"], r["side"], r["Davg/LB"]))
     table = format_table(rows)
     results_writer(

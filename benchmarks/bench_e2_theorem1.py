@@ -7,9 +7,6 @@ visible.
 """
 
 from repro import Universe
-from repro.core.lower_bounds import davg_lower_bound
-from repro.core.stretch import average_average_nn_stretch
-from repro.curves.registry import curves_for_universe
 from repro.viz.tables import format_table
 
 from _bench_utils import run_once
@@ -23,28 +20,28 @@ UNIVERSES = [
 ]
 
 
-def theorem1_sweep():
-    rows = []
-    for universe in UNIVERSES:
-        bound = davg_lower_bound(universe.n, universe.d)
-        for name, curve in curves_for_universe(universe).items():
-            davg = average_average_nn_stretch(curve)
-            rows.append(
-                {
-                    "d": universe.d,
-                    "side": universe.side,
-                    "n": universe.n,
-                    "curve": name,
-                    "Davg": davg,
-                    "LB": bound,
-                    "Davg/LB": davg / bound,
-                }
-            )
-    return rows
+def theorem1_sweep(run_sweep):
+    result = run_sweep(
+        UNIVERSES,
+        metrics=("davg", "lower_bound", "davg_ratio"),
+        reports=False,
+    )
+    return [
+        {
+            "d": rec.d,
+            "side": rec.side,
+            "n": rec.n,
+            "curve": rec.curve_name,
+            "Davg": rec.values["davg"],
+            "LB": rec.values["lower_bound"],
+            "Davg/LB": rec.values["davg_ratio"],
+        }
+        for rec in result.records
+    ]
 
 
-def test_e2_theorem1_lower_bound(benchmark, results_writer):
-    rows = run_once(benchmark, theorem1_sweep)
+def test_e2_theorem1_lower_bound(benchmark, results_writer, run_sweep):
+    rows = run_once(benchmark, theorem1_sweep, run_sweep)
     table = format_table(rows)
     results_writer(
         "e2_theorem1",

@@ -17,6 +17,28 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
 @pytest.fixture
+def run_sweep():
+    """Run a declarative curve × universe sweep (engine-backed).
+
+    The sweep-shaped benches all share this entry point, so their
+    orchestration loop lives in :class:`repro.engine.Sweep` instead of
+    being hand-rolled per bench.
+    """
+    from repro.engine.sweep import Sweep
+
+    def run(universes, curves=None, metrics=None, **kwargs):
+        sweep = Sweep(
+            universes=list(universes),
+            curves=curves,
+            metrics=tuple(metrics) if metrics is not None else (),
+            **kwargs,
+        )
+        return sweep.run()
+
+    return run
+
+
+@pytest.fixture
 def results_writer():
     """Write a named experiment table under benchmarks/results/."""
 

@@ -9,11 +9,12 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
+    MetricContext,
     SimpleCurve,
+    Sweep,
     Universe,
     ZCurve,
     average_average_nn_stretch,
-    average_maximum_nn_stretch,
     davg_lower_bound,
 )
 from repro.viz.ascii_art import render_key_grid, render_path
@@ -31,12 +32,14 @@ def main() -> None:
     bound = davg_lower_bound(universe.n, universe.d)
     print(f"Theorem 1 lower bound on D^avg: {bound:.4f}\n")
 
+    # One cached compute context per curve: D^avg and D^max share the
+    # key grid and the per-axis distance arrays.
     for curve in (z, simple):
-        davg = average_average_nn_stretch(curve)
-        dmax = average_maximum_nn_stretch(curve)
+        ctx = MetricContext(curve)
         print(
-            f"{curve.name:>8}: D^avg = {davg:7.4f}  "
-            f"(ratio to bound {davg / bound:.3f})   D^max = {dmax:7.4f}"
+            f"{curve.name:>8}: D^avg = {ctx.davg():7.4f}  "
+            f"(ratio to bound {ctx.davg_ratio():.3f})   "
+            f"D^max = {ctx.dmax():7.4f}"
         )
 
     print("\nZ curve key assignment (Figure 3, decimal):")
@@ -50,6 +53,18 @@ def main() -> None:
     ratio_z = average_average_nn_stretch(z) / bound
     assert ratio_z < 1.75, "Z should be within ~1.5x of optimal"
     print(f"\nZ curve is within {ratio_z:.2f}x of the universal optimum.")
+
+    # The same comparison as a one-liner declarative sweep: the whole
+    # applicable curve zoo on two grid sizes, with parsed curve specs.
+    print("\nDeclarative sweep (z vs hilbert vs a seeded random curve):")
+    result = Sweep(
+        dims=[2],
+        sides=[8, 16],
+        curves=["z", "hilbert", "random:seed=3"],
+        metrics=["davg", "davg_ratio"],
+        reports=False,
+    ).run()
+    print(result.to_table())
 
 
 if __name__ == "__main__":

@@ -1,17 +1,21 @@
 #!/usr/bin/env python
 """Full stretch survey: reproduce the paper's headline numbers yourself.
 
-Sweeps dimensions d = 2, 3, 4 and grid sizes, printing for every curve
-the exact D^avg, D^max, the Theorem 1 lower bound and the optimality
-ratio — the table form of Theorems 1–3 and the 1.5-factor observation.
+Declares one :class:`repro.Sweep` per dimension over a range of grid
+sizes, printing for every curve the exact D^avg, D^max, the Theorem 1
+lower bound and the optimality ratio — the table form of Theorems 1–3
+and the 1.5-factor observation.  Each (curve, universe) cell shares one
+cached :class:`repro.MetricContext`, so the whole table costs one
+key-grid build and one set of axis-distance arrays per curve.
 
 Run:  python examples/stretch_survey.py
 """
 
-from repro import Universe
+from repro import Sweep, Universe
 from repro.core.asymptotics import davg_z_limit
-from repro.core.summary import survey
 from repro.viz.tables import format_table
+
+CURVES = ["z", "simple", "snake", "gray", "hilbert"]
 
 
 def main() -> None:
@@ -22,15 +26,26 @@ def main() -> None:
     ]
     for d, ks in sweeps:
         print(f"===== d = {d} =====")
+        result = Sweep(
+            universes=[Universe.power_of_two(d=d, k=k) for k in ks],
+            curves=CURVES,
+            metrics=("davg", "dmax", "lower_bound", "davg_ratio"),
+            reports=False,
+        ).run()
         for k in ks:
             universe = Universe.power_of_two(d=d, k=k)
-            reports = survey(
-                universe, names=["z", "simple", "snake", "gray", "hilbert"]
-            )
-            rows = [r.as_row() for r in reports]
-            for row in rows:
-                row["asym n^(1-1/d)/d"] = davg_z_limit(universe.n, d)
-                del row["str_M"], row["str_E"]
+            rows = [
+                {
+                    "curve": rec.curve_name,
+                    "Davg": rec.values["davg"],
+                    "Dmax": rec.values["dmax"],
+                    "LB(Thm1)": rec.values["lower_bound"],
+                    "Davg/LB": rec.values["davg_ratio"],
+                    "asym n^(1-1/d)/d": davg_z_limit(universe.n, d),
+                }
+                for rec in result.records
+                if rec.side == universe.side
+            ]
             rows.sort(key=lambda r: r["Davg"])
             print(f"\n-- side {universe.side} (n = {universe.n}) --")
             print(format_table(rows))

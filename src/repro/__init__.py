@@ -7,21 +7,30 @@ Public API highlights
 * Curves: :class:`repro.ZCurve`, :class:`repro.SimpleCurve`,
   :class:`repro.HilbertCurve`, :class:`repro.GrayCurve`, … (see
   :mod:`repro.curves`).
-* Metrics: :func:`repro.average_average_nn_stretch` (``D^avg``),
-  :func:`repro.average_maximum_nn_stretch` (``D^max``),
-  :func:`repro.average_allpairs_stretch_exact` (``str_{avg,M/E}``).
+* Metrics: :class:`repro.MetricContext` — one cached compute core per
+  (curve, universe) exposing ``D^avg``, ``D^max``, ``Λ_i`` sums, per-cell
+  grids and all-pairs stretch over shared intermediates.  The classic
+  free functions (:func:`repro.average_average_nn_stretch`, …) remain as
+  thin wrappers over it.
+* Sweeps: :class:`repro.Sweep` — declarative curve × universe × metric
+  runs (``"random:seed=3"``-style curve specs, capability-aware curve
+  selection, optional process parallelism) behind :func:`repro.survey`
+  and the CLI.
 * Bounds: :func:`repro.davg_lower_bound` (Theorem 1) and the closed
   forms in :mod:`repro.core.asymptotics`.
 
 Quickstart
 ----------
->>> from repro import Universe, ZCurve, average_average_nn_stretch
->>> from repro import davg_lower_bound
+>>> from repro import Universe, ZCurve, MetricContext, Sweep
 >>> u = Universe.power_of_two(d=2, k=4)      # 16x16 grid, n = 256
->>> z = ZCurve(u)
->>> davg = average_average_nn_stretch(z)
->>> davg >= davg_lower_bound(u.n, u.d)       # Theorem 1
+>>> ctx = MetricContext(ZCurve(u))           # one cached compute core
+>>> ctx.davg() >= ctx.lower_bound()          # Theorem 1
 True
+>>> result = Sweep(dims=[2], sides=[8, 16],  # declarative sweep
+...                curves=["z", "hilbert", "random:seed=3"],
+...                metrics=["davg", "davg_ratio"]).run()
+>>> len(result.records)
+6
 """
 
 from repro.grid.universe import Universe
@@ -42,6 +51,7 @@ from repro.curves import (
     figure1_pi1,
     figure1_pi2,
     make_curve,
+    register_curve,
 )
 from repro.core import (
     average_allpairs_stretch_exact,
@@ -61,6 +71,14 @@ from repro.core import (
     stretch_report,
     survey,
     theorem1_certificate,
+)
+from repro.engine import (
+    CurveSpec,
+    MetricContext,
+    Sweep,
+    SweepResult,
+    get_context,
+    parse_curve_spec,
 )
 
 __version__ = "1.0.0"
@@ -83,6 +101,7 @@ __all__ = [
     "figure1_pi2",
     "available_curves",
     "curves_for_universe",
+    "register_curve",
     "make_curve",
     "average_average_nn_stretch",
     "average_maximum_nn_stretch",
@@ -101,4 +120,10 @@ __all__ = [
     "stretch_report",
     "survey",
     "theorem1_certificate",
+    "MetricContext",
+    "get_context",
+    "Sweep",
+    "SweepResult",
+    "CurveSpec",
+    "parse_curve_spec",
 ]

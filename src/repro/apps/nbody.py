@@ -20,8 +20,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.distribution import window_for_recall
-from repro.core.stretch import nn_distance_values
 from repro.curves.base import SpaceFillingCurve
+from repro.engine.context import get_context
 from repro.grid.metrics import manhattan
 
 __all__ = [
@@ -104,7 +104,7 @@ def neighbor_recall(curve: SpaceFillingCurve, window: int) -> float:
     """
     if window < 0:
         raise ValueError("window must be >= 0")
-    values = nn_distance_values(curve)
+    values = get_context(curve).nn_distance_values()
     return float((values <= window).sum()) / values.size
 
 

@@ -20,8 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.stretch import nn_distance_values
 from repro.curves.base import SpaceFillingCurve
+from repro.engine.context import get_context
 
 __all__ = [
     "expected_unit_move_key_displacement",
@@ -33,7 +33,7 @@ __all__ = [
 def expected_unit_move_key_displacement(curve: SpaceFillingCurve) -> float:
     """Mean ``∆π`` over NN pairs = expected key shift of a random unit
     move from a uniformly random cell (each NN edge equally likely)."""
-    return float(nn_distance_values(curve).mean())
+    return float(get_context(curve).nn_distance_values().mean())
 
 
 @dataclass(frozen=True)

@@ -3,6 +3,8 @@
 Subcommands
 -----------
 * ``survey``    — stretch metrics for every applicable curve on a grid.
+* ``sweep``     — declarative curve × universe × metric sweep
+  (``--dims 2,3 --sides 8,16 --curves z,random:seed=3``).
 * ``bounds``    — the paper's lower bounds and closed forms for a grid.
 * ``render``    — ASCII render of a 2-D curve (Figures 3/4 style).
 * ``partition`` — domain-decomposition quality across curves.
@@ -25,8 +27,8 @@ from repro.core.lower_bounds import (
     allpairs_manhattan_lower_bound,
     davg_lower_bound,
 )
-from repro.core.summary import survey
 from repro.curves.registry import available_curves, make_curve
+from repro.engine.sweep import METRICS, DEFAULT_METRICS, Sweep
 from repro.grid.universe import Universe
 from repro.viz.ascii_art import render_key_grid, render_path
 from repro.viz.tables import format_table
@@ -53,6 +55,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--allpairs",
         action="store_true",
         help="include all-pairs stretch columns",
+    )
+
+    def csv_ints(text: str) -> list[int]:
+        return [int(part) for part in text.split(",") if part.strip()]
+
+    def csv_strs(text: str) -> list[str]:
+        return [part.strip() for part in text.split(",") if part.strip()]
+
+    p_sweep = sub.add_parser(
+        "sweep", help="declarative curve x universe x metric sweep"
+    )
+    p_sweep.add_argument(
+        "--dims", type=csv_ints, default=[2], help="dimensions, e.g. 2,3"
+    )
+    p_sweep.add_argument(
+        "--sides", type=csv_ints, default=[8], help="sides, e.g. 8,16"
+    )
+    p_sweep.add_argument(
+        "--curves",
+        type=csv_strs,
+        default=None,
+        help="curve specs, e.g. z,hilbert,random:seed=3 (default: all)",
+    )
+    p_sweep.add_argument(
+        "--metrics",
+        type=csv_strs,
+        default=list(DEFAULT_METRICS),
+        help=f"metric names among {sorted(METRICS)}",
+    )
+    p_sweep.add_argument(
+        "--allpairs", action="store_true", help="include all-pairs columns"
+    )
+    p_sweep.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="fan cells out over N worker processes",
+    )
+    p_sweep.add_argument(
+        "--strict",
+        action="store_true",
+        help="raise on curve construction errors instead of skipping",
     )
 
     p_bounds = sub.add_parser("bounds", help="paper lower bounds for a grid")
@@ -115,9 +159,38 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_survey(args: argparse.Namespace) -> int:
     universe = Universe(d=args.d, side=args.side)
-    reports = survey(universe, include_allpairs=args.allpairs)
+    result = Sweep(
+        universes=[universe],
+        metrics=(),
+        include_allpairs=args.allpairs,
+    ).run()
     print(f"# {universe}")
-    print(format_table([r.as_row() for r in reports]))
+    print(format_table([r.as_row() for r in result.reports]))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    metrics = tuple(args.metrics)
+    if args.allpairs:
+        metrics += ("allpairs_manhattan", "allpairs_euclidean")
+    result = Sweep(
+        dims=args.dims,
+        sides=args.sides,
+        curves=args.curves,
+        metrics=metrics,
+        reports=False,
+        processes=args.processes,
+        strict=args.strict,
+    ).run()
+    print(f"# sweep over dims={args.dims} sides={args.sides}")
+    print(result.to_table())
+    if result.skipped:
+        print()
+        for cell in result.skipped:
+            print(
+                f"skipped {cell.spec} on d={cell.d} side={cell.side}: "
+                f"{cell.reason}"
+            )
     return 0
 
 
@@ -251,6 +324,7 @@ def _cmd_heatmap(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "survey": _cmd_survey,
+    "sweep": _cmd_sweep,
     "bounds": _cmd_bounds,
     "render": _cmd_render,
     "partition": _cmd_partition,

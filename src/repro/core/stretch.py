@@ -15,6 +15,13 @@ Lemma 5 machinery: ``G_i`` is the set of NN pairs differing along the
 paper's dimension ``i`` and ``Λ_i(π) = Σ_{(α,β)∈G_i} ∆π(α,β)``;
 ``G_{i,j} ⊂ G_i`` collects pairs whose lower coordinate ``κ`` has exactly
 ``j−1`` trailing one bits.
+
+The functions below are thin wrappers over the shared per-curve
+:class:`repro.engine.MetricContext` (via
+:func:`repro.engine.get_context`): repeated metric calls on the same
+curve object reuse the cached key grid, per-axis distance arrays and
+neighbor counts instead of rebuilding them.  Array results are cached
+and therefore returned **read-only** — copy before mutating.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.curves.base import SpaceFillingCurve
-from repro.grid.neighbors import axis_pair_index_arrays, neighbor_count_grid
+from repro.engine.context import get_context
 
 __all__ = [
     "axis_pair_curve_distances",
@@ -38,13 +45,6 @@ __all__ = [
 ]
 
 
-def _require_neighbors(curve: SpaceFillingCurve) -> None:
-    if curve.universe.side < 2:
-        raise ValueError(
-            "stretch metrics need side >= 2 (no nearest neighbors otherwise)"
-        )
-
-
 def axis_pair_curve_distances(
     curve: SpaceFillingCurve, axis: int
 ) -> np.ndarray:
@@ -53,21 +53,12 @@ def axis_pair_curve_distances(
     Returns an array of shape ``(side,)*(axis) + (side−1,) + …`` aligned
     with the lower endpoint of each pair.
     """
-    grid = curve.key_grid()
-    lo, hi = axis_pair_index_arrays(curve.universe, axis)
-    return np.abs(grid[hi] - grid[lo])
+    return get_context(curve).axis_pair_curve_distances(axis)
 
 
 def lambda_sums(curve: SpaceFillingCurve) -> np.ndarray:
     """``[Λ_1(π), …, Λ_d(π)]``: per-dimension total NN curve distance."""
-    _require_neighbors(curve)
-    return np.array(
-        [
-            int(axis_pair_curve_distances(curve, axis).sum())
-            for axis in range(curve.universe.d)
-        ],
-        dtype=np.int64,
-    )
+    return get_context(curve).lambda_sums()
 
 
 def nn_distance_values(curve: SpaceFillingCurve) -> np.ndarray:
@@ -76,57 +67,34 @@ def nn_distance_values(curve: SpaceFillingCurve) -> np.ndarray:
     Powers the distribution analysis (quantiles, recall-vs-window for the
     N-body substrate).
     """
-    _require_neighbors(curve)
-    parts = [
-        axis_pair_curve_distances(curve, axis).reshape(-1)
-        for axis in range(curve.universe.d)
-    ]
-    return np.concatenate(parts)
+    return get_context(curve).nn_distance_values()
 
 
 def per_cell_stretch_sums(
     curve: SpaceFillingCurve,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Per-cell ``(Σ_{β∈N(α)} ∆π(α,β), |N(α)|)`` as dense grids."""
-    _require_neighbors(curve)
-    universe = curve.universe
-    sums = np.zeros(universe.shape, dtype=np.int64)
-    for axis in range(universe.d):
-        dist = axis_pair_curve_distances(curve, axis)
-        lo, hi = axis_pair_index_arrays(universe, axis)
-        sums[lo] += dist
-        sums[hi] += dist
-    counts = neighbor_count_grid(universe)
-    return sums, counts
+    return get_context(curve).per_cell_stretch_sums()
 
 
 def per_cell_avg_stretch(curve: SpaceFillingCurve) -> np.ndarray:
     """Dense grid of ``δ^avg_π(α)`` (Definition 1)."""
-    sums, counts = per_cell_stretch_sums(curve)
-    return sums / counts
+    return get_context(curve).per_cell_avg_stretch()
 
 
 def per_cell_max_stretch(curve: SpaceFillingCurve) -> np.ndarray:
     """Dense grid of ``δ^max_π(α)`` (Definition 3)."""
-    _require_neighbors(curve)
-    universe = curve.universe
-    best = np.zeros(universe.shape, dtype=np.int64)
-    for axis in range(universe.d):
-        dist = axis_pair_curve_distances(curve, axis)
-        lo, hi = axis_pair_index_arrays(universe, axis)
-        np.maximum(best[lo], dist, out=best[lo])
-        np.maximum(best[hi], dist, out=best[hi])
-    return best
+    return get_context(curve).per_cell_max_stretch()
 
 
 def average_average_nn_stretch(curve: SpaceFillingCurve) -> float:
     """``D^avg(π)`` (Definition 2), computed exactly."""
-    return float(per_cell_avg_stretch(curve).mean())
+    return get_context(curve).davg()
 
 
 def average_maximum_nn_stretch(curve: SpaceFillingCurve) -> float:
     """``D^max(π)`` (Definition 4), computed exactly."""
-    return float(per_cell_max_stretch(curve).mean())
+    return get_context(curve).dmax()
 
 
 def trailing_ones(values: np.ndarray) -> np.ndarray:
@@ -154,20 +122,4 @@ def gij_decomposition(
     within a group is the same constant (Lemma 5's key observation) —
     asserted in the tests.
     """
-    universe = curve.universe
-    k = universe.k  # requires power-of-two side, as in the paper
-    dist = axis_pair_curve_distances(curve, axis)
-    # κ values (coordinate of the lower endpoint along `axis`) aligned
-    # with `dist`: broadcast the axis coordinate across the other axes.
-    shape = [1] * universe.d
-    shape[axis] = universe.side - 1
-    kappa = np.arange(universe.side - 1, dtype=np.int64).reshape(shape)
-    kappa = np.broadcast_to(kappa, dist.shape)
-    groups = trailing_ones(kappa) + 1  # j index, 1-based
-    out: dict[int, tuple[int, np.ndarray]] = {}
-    flat_groups = groups.reshape(-1)
-    flat_dist = dist.reshape(-1)
-    for j in range(1, k + 1):
-        mask = flat_groups == j
-        out[j] = (int(mask.sum()), flat_dist[mask])
-    return out
+    return get_context(curve).gij_decomposition(axis)

@@ -1,26 +1,19 @@
 """Survey reports: all stretch metrics for a curve in one structure.
 
 :class:`StretchReport` is the library's canonical "row" — benches,
-EXPERIMENTS.md tables and the CLI all print it.
+EXPERIMENTS.md tables and the CLI all print it.  Reports are computed
+through the shared :class:`repro.engine.MetricContext`, so the metric
+set shares one cached set of intermediates per curve, and
+:func:`survey` is a thin wrapper over the declarative
+:class:`repro.engine.Sweep` runner.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
-from repro.core.allpairs import (
-    average_allpairs_stretch_exact,
-    average_allpairs_stretch_sampled,
-)
-from repro.core.lower_bounds import davg_lower_bound
-from repro.core.stretch import (
-    average_average_nn_stretch,
-    average_maximum_nn_stretch,
-    lambda_sums,
-)
 from repro.curves.base import SpaceFillingCurve
-from repro.curves.registry import curves_for_universe
 from repro.grid.universe import Universe
 
 __all__ = ["StretchReport", "stretch_report", "survey"]
@@ -67,30 +60,36 @@ def stretch_report(
     include_allpairs: bool = False,
     allpairs_samples: int = 50_000,
     seed: int = 0,
+    context: Optional["MetricContext"] = None,
 ) -> StretchReport:
     """Compute a full :class:`StretchReport` for ``curve``.
 
     All NN metrics are exact.  All-pairs metrics (optional) are exact for
     universes up to ``4096`` cells and sampled (with the given budget)
-    beyond that.
+    beyond that.  Pass an existing :class:`repro.engine.MetricContext`
+    as ``context`` to reuse its cached intermediates; by default the
+    curve's shared context is used.
     """
+    from repro.engine.context import get_context
+
+    ctx = context if context is not None else get_context(curve)
     universe = curve.universe
-    davg = average_average_nn_stretch(curve)
-    dmax = average_maximum_nn_stretch(curve)
-    bound = davg_lower_bound(universe.n, universe.d)
+    davg = ctx.davg()
+    dmax = ctx.dmax()
+    bound = ctx.lower_bound()
     ap_m = ap_e = None
     exact = True
     if include_allpairs:
         if universe.n <= _EXACT_ALLPAIRS_LIMIT:
-            ap_m = average_allpairs_stretch_exact(curve, "manhattan")
-            ap_e = average_allpairs_stretch_exact(curve, "euclidean")
+            ap_m = ctx.allpairs_exact("manhattan")
+            ap_e = ctx.allpairs_exact("euclidean")
         else:
             exact = False
-            ap_m = average_allpairs_stretch_sampled(
-                curve, allpairs_samples, "manhattan", seed
+            ap_m = ctx.allpairs_sampled(
+                allpairs_samples, "manhattan", seed
             ).mean
-            ap_e = average_allpairs_stretch_sampled(
-                curve, allpairs_samples, "euclidean", seed
+            ap_e = ctx.allpairs_sampled(
+                allpairs_samples, "euclidean", seed
             ).mean
     return StretchReport(
         curve_name=curve.name,
@@ -101,7 +100,7 @@ def stretch_report(
         dmax=dmax,
         lower_bound=bound,
         davg_ratio=davg / bound,
-        lambdas=tuple(int(v) for v in lambda_sums(curve)),
+        lambdas=tuple(int(v) for v in ctx.lambda_sums()),
         allpairs_manhattan=ap_m,
         allpairs_euclidean=ap_e,
         allpairs_exact=exact,
@@ -116,14 +115,23 @@ def survey(
 ) -> list[StretchReport]:
     """Reports for every applicable registered curve on ``universe``.
 
-    ``curves`` overrides the registry lookup (useful for custom zoos).
+    ``curves`` overrides the registry lookup (useful for custom zoos);
+    otherwise this delegates to a one-universe
+    :class:`repro.engine.Sweep`.
     """
-    pool: Iterable[SpaceFillingCurve]
     if curves is not None:
-        pool = curves.values()
-    else:
-        pool = curves_for_universe(universe, names).values()
-    return [
-        stretch_report(curve, include_allpairs=include_allpairs)
-        for curve in pool
-    ]
+        return [
+            stretch_report(curve, include_allpairs=include_allpairs)
+            for curve in curves.values()
+        ]
+    # Late import: repro.engine.sweep imports this module.
+    from repro.engine.sweep import Sweep
+
+    result = Sweep(
+        universes=[universe],
+        curves=list(names) if names is not None else None,
+        metrics=(),
+        reports=True,
+        include_allpairs=include_allpairs,
+    ).run()
+    return result.reports

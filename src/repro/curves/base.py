@@ -45,6 +45,7 @@ class SpaceFillingCurve(abc.ABC):
         self.universe = universe
         self._key_grid_cache: Optional[np.ndarray] = None
         self._inverse_cache: Optional[np.ndarray] = None
+        self._order_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Core mapping
@@ -94,8 +95,17 @@ class SpaceFillingCurve(abc.ABC):
         return self._key_grid_cache
 
     def order(self) -> np.ndarray:
-        """Cells in curve order: ``order()[j]`` is ``π^{-1}(j)``, shape (n, d)."""
-        return self.coords(np.arange(self.universe.n, dtype=np.int64))
+        """Cells in curve order: ``order()[j]`` is ``π^{-1}(j)``, shape (n, d).
+
+        Cached (it runs the full inverse, ``O(n)`` with the inverse
+        table); the returned array is shared and read-only — copy
+        before mutating.
+        """
+        if self._order_cache is None:
+            path = self.coords(np.arange(self.universe.n, dtype=np.int64))
+            path.flags.writeable = False
+            self._order_cache = path
+        return self._order_cache
 
     # ------------------------------------------------------------------
     # Distances & checks

@@ -1,0 +1,42 @@
+"""The metric engine: cached per-curve compute contexts + declarative sweeps.
+
+* :mod:`repro.engine.context` — :class:`MetricContext`, one memory-bounded
+  cached compute core per (curve, universe); every stretch metric as a
+  method over shared intermediates.
+* :mod:`repro.engine.sweep` — :class:`Sweep`, the declarative
+  curve × universe × metric runner (curve-spec strings, capability-based
+  applicability, optional process parallelism) behind ``survey()`` and
+  the CLI.
+"""
+
+from repro.engine.context import (
+    DEFAULT_CACHE_BYTES,
+    CacheStats,
+    MetricContext,
+    get_context,
+)
+from repro.engine.sweep import (
+    METRICS,
+    CurveSpec,
+    SkippedCell,
+    Sweep,
+    SweepRecord,
+    SweepResult,
+    parse_curve_spec,
+    register_metric,
+)
+
+__all__ = [
+    "MetricContext",
+    "CacheStats",
+    "get_context",
+    "DEFAULT_CACHE_BYTES",
+    "Sweep",
+    "SweepRecord",
+    "SweepResult",
+    "SkippedCell",
+    "CurveSpec",
+    "parse_curve_spec",
+    "METRICS",
+    "register_metric",
+]

@@ -1,0 +1,419 @@
+"""The metric engine: one cached compute core per (curve, universe).
+
+Every exact stretch metric (Definitions 1–4, Lemma 5 groups, all-pairs
+stretch) consumes the same handful of intermediates:
+
+* the dense **key grid** ``π(α)`` (one ``O(n)`` curve evaluation),
+* the per-axis **pair curve-distance arrays** ``∆π`` over ``G_{i}``
+  (one ``O(n)`` slice-subtract per axis),
+* the **neighbor-count grid** ``|N(α)|``,
+* the derived per-cell sum / max grids.
+
+Historically each free function in :mod:`repro.core.stretch` rebuilt
+these from scratch, so a full :func:`repro.core.summary.stretch_report`
+paid for the axis distance arrays four times over.  A
+:class:`MetricContext` materializes each intermediate **at most once**,
+holds it in a memory-bounded LRU store, and exposes every metric as a
+method that reuses the shared state.  The legacy free functions now
+delegate here through :func:`get_context`, so existing call sites get
+the caching for free.
+
+Cached arrays are returned **read-only** (``writeable=False``): callers
+share the cache, so in-place mutation would silently corrupt every later
+metric.  Copy first if you need a scratch buffer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.allpairs import (
+    AllPairsEstimate,
+    average_allpairs_stretch_exact,
+    average_allpairs_stretch_sampled,
+)
+from repro.core.lower_bounds import davg_lower_bound
+from repro.curves.base import SpaceFillingCurve
+from repro.grid.neighbors import axis_pair_index_arrays, neighbor_count_grid
+
+__all__ = [
+    "CacheStats",
+    "MetricContext",
+    "get_context",
+    "DEFAULT_CACHE_BYTES",
+]
+
+#: Default per-context budget for cached intermediate arrays (256 MiB).
+#: Generous enough to hold the full intermediate set of a ~10M-cell
+#: universe; pass ``max_bytes=0`` to disable caching entirely.
+DEFAULT_CACHE_BYTES = 256 * 2**20
+
+
+@dataclass
+class CacheStats:
+    """Counters for the intermediate store (test + tuning hooks)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: How many times each intermediate's compute function actually ran.
+    computes: Dict[str, int] = field(default_factory=dict)
+
+    def compute_count(self, key: str) -> int:
+        """Times the named intermediate was materialized from scratch."""
+        return self.computes.get(key, 0)
+
+
+class _BoundedStore:
+    """LRU array store bounded by total ``nbytes``.
+
+    ``max_bytes=None`` means unbounded; ``max_bytes=0`` disables storage
+    (every lookup recomputes) — useful for benchmarking the uncached
+    path.  Stored arrays are frozen (``writeable=False``) because they
+    are shared across all metrics of the context.
+    """
+
+    def __init__(self, max_bytes: Optional[int]) -> None:
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+        self._items: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._bytes = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held."""
+        return self._bytes
+
+    def get_or_compute(
+        self,
+        key: str,
+        compute: Callable[[], np.ndarray],
+        freeze: bool = True,
+    ) -> np.ndarray:
+        if key in self._items:
+            self.stats.hits += 1
+            self._items.move_to_end(key)
+            return self._items[key]
+        self.stats.misses += 1
+        value = np.asarray(compute())
+        self.stats.computes[key] = self.stats.computes.get(key, 0) + 1
+        if freeze:
+            value.flags.writeable = False
+        if self.max_bytes != 0:
+            self._items[key] = value
+            self._bytes += value.nbytes
+            self._evict()
+        return value
+
+    def _evict(self) -> None:
+        if self.max_bytes is None:
+            return
+        # Never evict the most-recently-inserted entry: an oversized
+        # single array is simply not retained after being handed out.
+        while self._bytes > self.max_bytes and len(self._items) > 1:
+            _, dropped = self._items.popitem(last=False)
+            self._bytes -= dropped.nbytes
+            self.stats.evictions += 1
+        if self._bytes > self.max_bytes and self._items:
+            _, dropped = self._items.popitem(last=False)
+            self._bytes -= dropped.nbytes
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._items.clear()
+        self._bytes = 0
+
+
+class MetricContext:
+    """Cached metric engine for one curve on its universe.
+
+    All metric methods are exact and bit-for-bit identical to the legacy
+    free functions in :mod:`repro.core`; they differ only in sharing the
+    intermediates.  Scalar results (``davg``, all-pairs values, …) are
+    memoized unconditionally; array intermediates live in a
+    memory-bounded LRU store (see :data:`DEFAULT_CACHE_BYTES`).
+
+    >>> from repro import Universe, ZCurve
+    >>> from repro.engine import MetricContext
+    >>> ctx = MetricContext(ZCurve(Universe.power_of_two(d=2, k=3)))
+    >>> ctx.davg() >= ctx.lower_bound()
+    True
+    """
+
+    def __init__(
+        self,
+        curve: SpaceFillingCurve,
+        max_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
+    ) -> None:
+        self.curve = curve
+        self.universe = curve.universe
+        self._store = _BoundedStore(max_bytes)
+        self._scalars: Dict[Tuple, object] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss/compute counters of the intermediate store."""
+        return self._store.stats
+
+    @property
+    def cache_bytes(self) -> int:
+        """Bytes of intermediates currently cached."""
+        return self._store.nbytes
+
+    def clear_cache(self) -> None:
+        """Drop every cached intermediate and memoized scalar."""
+        self._store.clear()
+        self._scalars.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MetricContext({self.curve!r})"
+
+    def _require_neighbors(self) -> None:
+        if self.universe.side < 2:
+            raise ValueError(
+                "stretch metrics need side >= 2 (no nearest neighbors "
+                "otherwise)"
+            )
+
+    def _scalar(self, key: Tuple, compute: Callable[[], object]) -> object:
+        if key not in self._scalars:
+            self._scalars[key] = compute()
+        return self._scalars[key]
+
+    # ------------------------------------------------------------------
+    # Shared intermediates
+    # ------------------------------------------------------------------
+    def key_grid(self) -> np.ndarray:
+        """The curve's dense key grid (built once per curve).
+
+        Not frozen: the array is the curve's own cache, which predates
+        the engine and stays writable — freezing it here would flip the
+        curve's public ``key_grid()`` read-only as a side effect.
+        """
+        return self._store.get_or_compute(
+            "key_grid", self.curve.key_grid, freeze=False
+        )
+
+    def order(self) -> np.ndarray:
+        """Cells in curve order (cached on the curve itself)."""
+        return self.curve.order()
+
+    def axis_pair_curve_distances(self, axis: int) -> np.ndarray:
+        """``∆π`` over the NN pairs of ``G_{axis+1}`` (cached per axis)."""
+        if not 0 <= axis < self.universe.d:
+            raise ValueError(
+                f"axis must be in [0, {self.universe.d}), got {axis}"
+            )
+
+        def compute() -> np.ndarray:
+            grid = self.key_grid()
+            lo, hi = axis_pair_index_arrays(self.universe, axis)
+            return np.abs(grid[hi] - grid[lo])
+
+        return self._store.get_or_compute(f"axis_dist[{axis}]", compute)
+
+    def neighbor_counts(self) -> np.ndarray:
+        """Dense ``|N(α)|`` grid (cached)."""
+        return self._store.get_or_compute(
+            "neighbor_counts", lambda: neighbor_count_grid(self.universe)
+        )
+
+    # ------------------------------------------------------------------
+    # Per-cell grids
+    # ------------------------------------------------------------------
+    def per_cell_stretch_sums(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-cell ``(Σ_{β∈N(α)} ∆π(α,β), |N(α)|)`` as dense grids."""
+        self._require_neighbors()
+
+        def compute() -> np.ndarray:
+            sums = np.zeros(self.universe.shape, dtype=np.int64)
+            for axis in range(self.universe.d):
+                dist = self.axis_pair_curve_distances(axis)
+                lo, hi = axis_pair_index_arrays(self.universe, axis)
+                sums[lo] += dist
+                sums[hi] += dist
+            return sums
+
+        sums = self._store.get_or_compute("per_cell_sums", compute)
+        return sums, self.neighbor_counts()
+
+    def per_cell_avg_stretch(self) -> np.ndarray:
+        """Dense grid of ``δ^avg_π(α)`` (Definition 1)."""
+        sums, counts = self.per_cell_stretch_sums()
+        return self._store.get_or_compute(
+            "per_cell_avg", lambda: sums / counts
+        )
+
+    def per_cell_max_stretch(self) -> np.ndarray:
+        """Dense grid of ``δ^max_π(α)`` (Definition 3)."""
+        self._require_neighbors()
+
+        def compute() -> np.ndarray:
+            best = np.zeros(self.universe.shape, dtype=np.int64)
+            for axis in range(self.universe.d):
+                dist = self.axis_pair_curve_distances(axis)
+                lo, hi = axis_pair_index_arrays(self.universe, axis)
+                np.maximum(best[lo], dist, out=best[lo])
+                np.maximum(best[hi], dist, out=best[hi])
+            return best
+
+        return self._store.get_or_compute("per_cell_max", compute)
+
+    def nn_distance_values(self) -> np.ndarray:
+        """Flat ``∆π`` over all unordered NN pairs (each once)."""
+        self._require_neighbors()
+
+        def compute() -> np.ndarray:
+            parts = [
+                self.axis_pair_curve_distances(axis).reshape(-1)
+                for axis in range(self.universe.d)
+            ]
+            return np.concatenate(parts)
+
+        return self._store.get_or_compute("nn_values", compute)
+
+    # ------------------------------------------------------------------
+    # Scalar metrics
+    # ------------------------------------------------------------------
+    def lambda_sums(self) -> np.ndarray:
+        """``[Λ_1(π), …, Λ_d(π)]`` (Lemma 5 per-dimension totals)."""
+        self._require_neighbors()
+
+        def compute() -> np.ndarray:
+            return np.array(
+                [
+                    int(self.axis_pair_curve_distances(axis).sum())
+                    for axis in range(self.universe.d)
+                ],
+                dtype=np.int64,
+            )
+
+        return self._store.get_or_compute("lambda_sums", compute)
+
+    def davg(self) -> float:
+        """``D^avg(π)`` (Definition 2), exact."""
+        return self._scalar(
+            ("davg",), lambda: float(self.per_cell_avg_stretch().mean())
+        )
+
+    def dmax(self) -> float:
+        """``D^max(π)`` (Definition 4), exact."""
+        return self._scalar(
+            ("dmax",), lambda: float(self.per_cell_max_stretch().mean())
+        )
+
+    def lower_bound(self) -> float:
+        """Theorem 1 lower bound on ``D^avg`` for this universe."""
+        return self._scalar(
+            ("lower_bound",),
+            lambda: davg_lower_bound(self.universe.n, self.universe.d),
+        )
+
+    def davg_ratio(self) -> float:
+        """``D^avg / LB`` — the paper's optimality ratio."""
+        return self.davg() / self.lower_bound()
+
+    # ------------------------------------------------------------------
+    # All-pairs stretch (Section V-B)
+    # ------------------------------------------------------------------
+    def allpairs_exact(
+        self, metric: str = "manhattan", chunk: int = 1024
+    ) -> float:
+        """Exact ``str_{avg,m}(π)``, memoized per grid metric."""
+        return self._scalar(
+            ("allpairs_exact", metric),
+            lambda: average_allpairs_stretch_exact(self.curve, metric, chunk),
+        )
+
+    def allpairs_sampled(
+        self,
+        n_pairs: int = 100_000,
+        metric: str = "manhattan",
+        seed: int = 0,
+    ) -> AllPairsEstimate:
+        """Sampled ``str_{avg,m}(π)``, memoized per (budget, metric, seed)."""
+        return self._scalar(
+            ("allpairs_sampled", n_pairs, metric, seed),
+            lambda: average_allpairs_stretch_sampled(
+                self.curve, n_pairs, metric, seed
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Lemma 5 decomposition
+    # ------------------------------------------------------------------
+    def gij_decomposition(
+        self, axis: int
+    ) -> dict[int, tuple[int, np.ndarray]]:
+        """Split ``G_{axis+1}`` into the Lemma 5 groups ``G_{i,j}``."""
+        # Late import: core.stretch imports this module for its wrappers.
+        from repro.core.stretch import trailing_ones
+
+        def compute() -> dict[int, tuple[int, np.ndarray]]:
+            universe = self.universe
+            k = universe.k  # requires power-of-two side, as in the paper
+            dist = self.axis_pair_curve_distances(axis)
+            shape = [1] * universe.d
+            shape[axis] = universe.side - 1
+            kappa = np.arange(universe.side - 1, dtype=np.int64).reshape(
+                shape
+            )
+            kappa = np.broadcast_to(kappa, dist.shape)
+            groups = trailing_ones(kappa) + 1  # j index, 1-based
+            out: dict[int, tuple[int, np.ndarray]] = {}
+            flat_groups = groups.reshape(-1)
+            flat_dist = dist.reshape(-1)
+            for j in range(1, k + 1):
+                mask = flat_groups == j
+                out[j] = (int(mask.sum()), flat_dist[mask])
+            return out
+
+        return self._scalar(("gij", axis), compute)
+
+    # ------------------------------------------------------------------
+    # Reports
+    # ------------------------------------------------------------------
+    def stretch_report(
+        self,
+        include_allpairs: bool = False,
+        allpairs_samples: int = 50_000,
+        seed: int = 0,
+    ):
+        """Full :class:`repro.core.summary.StretchReport` off the cache."""
+        from repro.core.summary import stretch_report
+
+        return stretch_report(
+            self.curve,
+            include_allpairs=include_allpairs,
+            allpairs_samples=allpairs_samples,
+            seed=seed,
+            context=self,
+        )
+
+
+def get_context(curve: SpaceFillingCurve) -> MetricContext:
+    """The shared :class:`MetricContext` of ``curve`` (created lazily).
+
+    The legacy free functions route through this, so repeated metric
+    calls on the same curve reuse intermediates no matter which API
+    layer computed them first.  The context is stored on the curve
+    object itself, so its cached intermediates live and die with the
+    curve (the curve↔context reference cycle is ordinary gc fodder —
+    a registry keyed by curves would pin them forever instead).
+
+    The shared context always uses :data:`DEFAULT_CACHE_BYTES`; for a
+    custom budget (or ``max_bytes=0`` to disable caching), construct a
+    private :class:`MetricContext` directly.
+    """
+    ctx = getattr(curve, "_metric_context", None)
+    if ctx is None:
+        ctx = MetricContext(curve, max_bytes=DEFAULT_CACHE_BYTES)
+        curve._metric_context = ctx
+    return ctx

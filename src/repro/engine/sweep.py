@@ -1,0 +1,429 @@
+"""Declarative curve × universe sweeps over the metric engine.
+
+Every benchmark, example and CLI table in this repo is some flavor of
+"for each universe, for each applicable curve, compute these metrics".
+:class:`Sweep` makes that loop a declared object::
+
+    Sweep(dims=[2, 3], sides=[16, 32],
+          curves=["hilbert", "z", "random:seed=3"],
+          metrics=["davg", "dmax", "davg_ratio"]).run()
+
+* **Curve specs** are strings ``name[:key=val[,key=val...]]`` parsed
+  into registry kwargs (``"random:seed=3"`` →
+  ``make_curve("random", u, seed=3)``); see :class:`CurveSpec`.
+* **Metrics** are names in the :data:`METRICS` registry, each a function
+  of a :class:`repro.engine.MetricContext`, so every metric of a cell
+  shares one cached set of intermediates.
+* **Applicability** uses the curve registry's capability metadata;
+  skipped (universe, curve) cells are reported on the result, and
+  ``strict=True`` raises on genuine construction errors.
+* ``processes=N`` fans the (universe, curve) cells out over a process
+  pool — each cell is independent, so the sweep parallelizes trivially.
+
+:func:`repro.core.summary.survey` is now a thin wrapper over ``Sweep``;
+the structured :class:`SweepResult` additionally carries per-metric
+value dicts and a ready-to-print table.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.summary import StretchReport, stretch_report
+from repro.curves.registry import (
+    available_curves,
+    curve_applicability,
+    make_curve,
+)
+from repro.engine.context import MetricContext
+from repro.grid.universe import Universe
+
+__all__ = [
+    "CurveSpec",
+    "parse_curve_spec",
+    "METRICS",
+    "register_metric",
+    "Sweep",
+    "SweepRecord",
+    "SweepResult",
+    "SkippedCell",
+]
+
+
+# ----------------------------------------------------------------------
+# Curve specs
+# ----------------------------------------------------------------------
+def _coerce(text: str) -> object:
+    """Parse a spec value: int, then float, then bool, else string."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def _render(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class CurveSpec:
+    """A curve name plus constructor kwargs, round-trippable to a string.
+
+    >>> CurveSpec.parse("random:seed=3")
+    CurveSpec(name='random', kwargs=(('seed', 3),))
+    >>> str(CurveSpec.parse("random:seed=3"))
+    'random:seed=3'
+    """
+
+    name: str
+    kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def parse(cls, spec: Union[str, "CurveSpec"]) -> "CurveSpec":
+        if isinstance(spec, CurveSpec):
+            return spec
+        text = spec.strip()
+        if not text:
+            raise ValueError("empty curve spec")
+        name, _, tail = text.partition(":")
+        name = name.strip()
+        if not name:
+            raise ValueError(f"curve spec {spec!r} has no name")
+        kwargs: List[Tuple[str, object]] = []
+        if tail:
+            for part in tail.split(","):
+                key, eq, raw = part.partition("=")
+                key = key.strip()
+                if not eq or not key:
+                    raise ValueError(
+                        f"bad curve spec {spec!r}: expected key=value, "
+                        f"got {part!r}"
+                    )
+                kwargs.append((key, _coerce(raw.strip())))
+        return cls(name=name, kwargs=tuple(kwargs))
+
+    def make(self, universe: Universe):
+        """Instantiate the spec'd curve on ``universe``."""
+        return make_curve(self.name, universe, **dict(self.kwargs))
+
+    @property
+    def label(self) -> str:
+        """Canonical string form, ``name`` or ``name:key=val,...``."""
+        if not self.kwargs:
+            return self.name
+        tail = ",".join(f"{k}={_render(v)}" for k, v in self.kwargs)
+        return f"{self.name}:{tail}"
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def parse_curve_spec(spec: Union[str, CurveSpec]) -> CurveSpec:
+    """Parse ``"name:key=val,..."`` into a :class:`CurveSpec`."""
+    return CurveSpec.parse(spec)
+
+
+# ----------------------------------------------------------------------
+# Metric registry
+# ----------------------------------------------------------------------
+MetricFn = Callable[[MetricContext], object]
+
+#: Declarative metric names → functions of a :class:`MetricContext`.
+METRICS: Dict[str, MetricFn] = {}
+
+
+def register_metric(
+    name: str, fn: Optional[MetricFn] = None, *, overwrite: bool = False
+):
+    """Register a sweep metric (direct call or decorator form)."""
+
+    def _register(f: MetricFn) -> MetricFn:
+        if not overwrite and name in METRICS:
+            raise ValueError(
+                f"metric {name!r} is already registered; pass "
+                "overwrite=True to replace it"
+            )
+        METRICS[name] = f
+        return f
+
+    if fn is None:
+        return _register
+    _register(fn)
+    return None
+
+
+def _allpairs_metric(grid_metric: str) -> MetricFn:
+    """All-pairs stretch with ``survey()``'s exact/sampled policy."""
+    from repro.core.summary import _EXACT_ALLPAIRS_LIMIT
+
+    def fn(ctx: MetricContext) -> float:
+        if ctx.universe.n <= _EXACT_ALLPAIRS_LIMIT:
+            return ctx.allpairs_exact(grid_metric)
+        return ctx.allpairs_sampled(metric=grid_metric).mean
+
+    return fn
+
+
+register_metric("davg", lambda ctx: ctx.davg())
+register_metric("dmax", lambda ctx: ctx.dmax())
+register_metric("lower_bound", lambda ctx: ctx.lower_bound())
+register_metric("davg_ratio", lambda ctx: ctx.davg_ratio())
+register_metric(
+    "lambdas", lambda ctx: tuple(int(v) for v in ctx.lambda_sums())
+)
+register_metric("allpairs_manhattan", _allpairs_metric("manhattan"))
+register_metric("allpairs_euclidean", _allpairs_metric("euclidean"))
+register_metric("nn_mean", lambda ctx: float(ctx.nn_distance_values().mean()))
+
+#: Metric set matching the legacy ``survey()`` columns.
+DEFAULT_METRICS: Tuple[str, ...] = (
+    "davg",
+    "dmax",
+    "lower_bound",
+    "davg_ratio",
+    "lambdas",
+)
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepRecord:
+    """One computed (universe, curve) cell of a sweep."""
+
+    spec: str
+    curve_name: str
+    d: int
+    side: int
+    n: int
+    values: Dict[str, object]
+    report: Optional[StretchReport] = None
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for table formatting."""
+        row: Dict[str, object] = {
+            "curve": self.spec,
+            "d": self.d,
+            "side": self.side,
+            "n": self.n,
+        }
+        row.update(self.values)
+        return row
+
+
+@dataclass(frozen=True)
+class SkippedCell:
+    """A (universe, curve) cell the sweep did not compute, and why."""
+
+    spec: str
+    d: int
+    side: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Structured output of :meth:`Sweep.run`."""
+
+    records: List[SweepRecord]
+    skipped: List[SkippedCell] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def reports(self) -> List[StretchReport]:
+        """The :class:`StretchReport` of every computed cell."""
+        return [r.report for r in self.records if r.report is not None]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Flat metric rows, one per computed cell."""
+        return [r.as_row() for r in self.records]
+
+    def to_table(self) -> str:
+        """The sweep as a formatted text table."""
+        from repro.viz.tables import format_table
+
+        return format_table(self.rows())
+
+
+# ----------------------------------------------------------------------
+# The sweep runner
+# ----------------------------------------------------------------------
+_Task = Tuple[int, int, str, Tuple[str, ...], bool, bool, int, int, bool]
+
+
+def _run_cell(task: _Task):
+    """Compute one (universe, curve) cell; top-level for pickling."""
+    (
+        d,
+        side,
+        spec_text,
+        metrics,
+        with_report,
+        include_allpairs,
+        allpairs_samples,
+        seed,
+        strict,
+    ) = task
+    universe = Universe(d=d, side=side)
+    spec = CurveSpec.parse(spec_text)
+    try:
+        curve = spec.make(universe)
+    except (ValueError, TypeError) as exc:
+        # TypeError covers bad spec kwargs ("z:bogus=1"); one bad cell
+        # must not crash the rest of the sweep.
+        if strict:
+            raise ValueError(
+                f"curve {spec.label!r} failed to construct on "
+                f"{universe}: {exc}"
+            ) from exc
+        return SkippedCell(
+            spec=spec.label,
+            d=d,
+            side=side,
+            reason=f"construction error: {exc}",
+        )
+    ctx = MetricContext(curve)
+    values = {name: METRICS[name](ctx) for name in metrics}
+    report = None
+    if with_report:
+        report = stretch_report(
+            curve,
+            include_allpairs=include_allpairs,
+            allpairs_samples=allpairs_samples,
+            seed=seed,
+            context=ctx,
+        )
+    return SweepRecord(
+        spec=spec.label,
+        curve_name=curve.name,
+        d=d,
+        side=side,
+        n=universe.n,
+        values=values,
+        report=report,
+    )
+
+
+@dataclass
+class Sweep:
+    """A declared curve × universe × metric sweep.
+
+    Universes come from the cross product ``dims × sides`` and/or an
+    explicit ``universes`` list.  ``curves=None`` selects every
+    registered curve applicable to each universe (sorted by name, like
+    the legacy ``survey()``); otherwise curves is a list of names or
+    ``"name:key=val"`` spec strings, kept in the given order.
+
+    ``metrics`` names entries of :data:`METRICS`.  ``reports=True``
+    additionally builds a full :class:`StretchReport` per cell (sharing
+    the cell's cached intermediates, so this costs nothing extra for the
+    default metric set).  ``processes`` > 1 distributes cells over a
+    process pool.
+    """
+
+    dims: Optional[Sequence[int]] = None
+    sides: Optional[Sequence[int]] = None
+    universes: Optional[Sequence[Universe]] = None
+    curves: Optional[Sequence[Union[str, CurveSpec]]] = None
+    metrics: Sequence[str] = DEFAULT_METRICS
+    reports: bool = True
+    include_allpairs: bool = False
+    allpairs_samples: int = 50_000
+    seed: int = 0
+    strict: bool = False
+    processes: Optional[int] = None
+
+    def resolved_universes(self) -> List[Universe]:
+        """The universe list the sweep will visit, in order."""
+        out: List[Universe] = []
+        if self.universes is not None:
+            out.extend(self.universes)
+        if self.dims is not None or self.sides is not None:
+            if self.dims is None or self.sides is None:
+                raise ValueError("dims and sides must be given together")
+            for d in self.dims:
+                for side in self.sides:
+                    out.append(Universe(d=d, side=side))
+        if not out:
+            raise ValueError(
+                "empty sweep: provide universes or dims+sides"
+            )
+        return out
+
+    def _specs_for(self, universe: Universe) -> List[CurveSpec]:
+        if self.curves is not None:
+            return [CurveSpec.parse(c) for c in self.curves]
+        return [CurveSpec(name) for name in available_curves()]
+
+    def _plan(self) -> Tuple[List[_Task], List[SkippedCell]]:
+        unknown = [m for m in self.metrics if m not in METRICS]
+        if unknown:
+            raise KeyError(
+                f"unknown metrics {unknown}; available: {sorted(METRICS)}"
+            )
+        tasks: List[_Task] = []
+        skipped: List[SkippedCell] = []
+        for universe in self.resolved_universes():
+            for spec in self._specs_for(universe):
+                applicable, reason = curve_applicability(
+                    spec.name, universe
+                )
+                if applicable is False:
+                    skipped.append(
+                        SkippedCell(
+                            spec=spec.label,
+                            d=universe.d,
+                            side=universe.side,
+                            reason=reason or "not applicable",
+                        )
+                    )
+                    continue
+                tasks.append(
+                    (
+                        universe.d,
+                        universe.side,
+                        spec.label,
+                        tuple(self.metrics),
+                        self.reports,
+                        self.include_allpairs,
+                        self.allpairs_samples,
+                        self.seed,
+                        self.strict,
+                    )
+                )
+        return tasks, skipped
+
+    def run(self) -> SweepResult:
+        """Execute the sweep and return structured results."""
+        tasks, skipped = self._plan()
+        if self.processes is not None and self.processes > 1 and tasks:
+            with ProcessPoolExecutor(
+                max_workers=min(self.processes, len(tasks))
+            ) as pool:
+                outcomes = list(pool.map(_run_cell, tasks))
+        else:
+            outcomes = [_run_cell(task) for task in tasks]
+        records: List[SweepRecord] = []
+        for outcome in outcomes:
+            if isinstance(outcome, SkippedCell):
+                skipped.append(outcome)
+            else:
+                records.append(outcome)
+        return SweepResult(records=records, skipped=skipped)

@@ -68,3 +68,144 @@ class TestRegistry:
             from repro.curves import registry
 
             registry._REGISTRY.pop("simple-alias", None)
+
+
+class TestOverwriteGuard:
+    def test_duplicate_registration_raises(self):
+        from repro.curves.simple import SimpleCurve
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_curve("simple", SimpleCurve)
+
+    def test_overwrite_explicitly_allowed(self):
+        from repro.curves import registry
+        from repro.curves.simple import SimpleCurve
+        from repro.curves.snake import SnakeCurve
+
+        register_curve("overwrite-probe", SimpleCurve)
+        try:
+            register_curve("overwrite-probe", SnakeCurve, overwrite=True)
+            u = Universe(d=2, side=4)
+            assert make_curve("overwrite-probe", u).name == "snake"
+        finally:
+            registry._REGISTRY.pop("overwrite-probe", None)
+
+    def test_decorator_form(self):
+        from repro.curves import registry
+        from repro.curves.simple import SimpleCurve
+
+        @register_curve("decorated-probe", dims=(2,))
+        class Decorated(SimpleCurve):
+            name = "decorated"
+
+        try:
+            assert "decorated-probe" in available_curves()
+            u = Universe(d=2, side=4)
+            assert make_curve("decorated-probe", u).name == "decorated"
+            # The decorator returns the class untouched.
+            assert Decorated.name == "decorated"
+        finally:
+            registry._REGISTRY.pop("decorated-probe", None)
+
+
+class TestCapabilities:
+    def test_builtin_capabilities_declared(self):
+        from repro.curves.registry import curve_capabilities
+
+        assert curve_capabilities("z").side_bases == (2,)
+        assert curve_capabilities("peano").dims == (2,)
+        assert curve_capabilities("peano").side_bases == (3,)
+        assert curve_capabilities("simple").dims is None
+
+    def test_applicability_without_instantiation(self):
+        from repro.curves import registry
+        from repro.curves.registry import curve_applicability
+
+        calls = []
+
+        def factory(universe, **kwargs):
+            calls.append(universe)
+            raise AssertionError("must not be called")
+
+        register_curve("probe-2d-only", factory, dims=(2,))
+        try:
+            u3 = Universe(d=3, side=4)
+            applicable, reason = curve_applicability("probe-2d-only", u3)
+            assert applicable is False
+            assert "d=3" in reason
+            zoo = curves_for_universe(u3, names=["probe-2d-only"])
+            assert zoo == {}
+            assert calls == []  # filtered declaratively, never built
+        finally:
+            registry._REGISTRY.pop("probe-2d-only", None)
+
+    def test_unknown_capabilities_fall_back(self):
+        from repro.curves.registry import curve_applicability
+        from repro.curves import registry
+        from repro.curves.simple import SimpleCurve
+
+        register_curve("no-caps-probe", SimpleCurve)
+        try:
+            applicable, reason = curve_applicability(
+                "no-caps-probe", Universe(d=2, side=4)
+            )
+            assert applicable is None and reason is None
+        finally:
+            registry._REGISTRY.pop("no-caps-probe", None)
+
+    def test_skipped_reasons_reported(self):
+        skipped = {}
+        zoo = curves_for_universe(Universe(d=2, side=9), skipped=skipped)
+        assert "z" in skipped and "2^m" in skipped["z"]
+        assert "moore" in skipped
+        assert set(zoo).isdisjoint(skipped)
+
+
+class TestStrictMode:
+    def _register_buggy(self):
+        from repro.curves.registry import CurveCapabilities
+
+        def buggy(universe, **kwargs):
+            raise ValueError("internal construction bug")
+
+        register_curve(
+            "buggy-probe", buggy, capabilities=CurveCapabilities()
+        )
+
+    def test_construction_bug_skipped_and_reported_by_default(self):
+        from repro.curves import registry
+
+        self._register_buggy()
+        try:
+            skipped = {}
+            u = Universe(d=2, side=4)
+            zoo = curves_for_universe(
+                u, names=["z", "buggy-probe"], skipped=skipped
+            )
+            assert "z" in zoo and "buggy-probe" not in zoo
+            assert "construction error" in skipped["buggy-probe"]
+        finally:
+            registry._REGISTRY.pop("buggy-probe", None)
+
+    def test_strict_raises_on_construction_bug(self):
+        from repro.curves import registry
+
+        self._register_buggy()
+        try:
+            u = Universe(d=2, side=4)
+            with pytest.raises(ValueError, match="failed to construct"):
+                curves_for_universe(
+                    u, names=["buggy-probe"], strict=True
+                )
+        finally:
+            registry._REGISTRY.pop("buggy-probe", None)
+
+    def test_strict_clean_on_builtin_zoo(self):
+        # Builtin capabilities exactly characterize admissibility, so
+        # strict mode never trips on the standard registry.
+        for universe in (
+            Universe(d=2, side=8),
+            Universe(d=2, side=9),
+            Universe(d=3, side=4),
+        ):
+            assert curves_for_universe(universe, strict=True)

@@ -115,3 +115,55 @@ class TestCommands:
         )
         assert proc.returncode == 0
         assert "Theorem 1" in proc.stdout
+
+
+class TestSweepCommand:
+    def test_sweep_defaults(self, capsys):
+        assert main(["sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "davg" in out
+        assert "z" in out
+
+    def test_sweep_grid_and_specs(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--dims", "2,3",
+                    "--sides", "4,8",
+                    "--curves", "z,random:seed=3",
+                    "--metrics", "davg,davg_ratio",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "random:seed=3" in out
+        assert "davg_ratio" in out
+
+    def test_sweep_reports_skipped(self, capsys):
+        assert (
+            main(["sweep", "--sides", "9", "--curves", "z,peano"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "peano" in out
+        assert "skipped z" in out
+
+    def test_sweep_unknown_metric_errors(self, capsys):
+        assert main(["sweep", "--metrics", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown metrics" in err
+
+    def test_sweep_processes(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--sides", "4",
+                    "--curves", "z,simple",
+                    "--processes", "2",
+                ]
+            )
+            == 0
+        )
+        assert "z" in capsys.readouterr().out

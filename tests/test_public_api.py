@@ -11,6 +11,7 @@ SUBPACKAGES = [
     "repro.grid",
     "repro.curves",
     "repro.core",
+    "repro.engine",
     "repro.analysis",
     "repro.apps",
     "repro.viz",
