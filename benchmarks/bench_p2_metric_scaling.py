@@ -129,6 +129,51 @@ def test_p2_multimetric_engine_speedup(results_writer):
     assert speedup > 1.1, f"expected engine speedup, got {speedup:.2f}x"
 
 
+def test_p2_pooled_multimetric_no_regression(results_writer):
+    """The ContextPool path keeps the multi-metric speedup (no regression).
+
+    PR 2 moved sweeps onto a shared :class:`repro.engine.ContextPool`;
+    the pooled context must deliver the same bit-for-bit values and the
+    same order of speedup over per-metric recomputation as a private
+    context does.
+    """
+    from repro.engine.pool import ContextPool
+
+    universe = CASES["d2_k10"]
+    curve = ZCurve(universe)
+    curve.key_grid()  # both paths start from a built key grid
+
+    def naive() -> tuple:
+        return (
+            _uncached(curve).davg(),
+            _uncached(curve).dmax(),
+            _uncached(curve).davg_ratio(),
+            tuple(int(v) for v in _uncached(curve).lambda_sums()),
+            float(_uncached(curve).nn_distance_values().mean()),
+            float(_uncached(curve).per_cell_avg_stretch().max()),
+            int(_uncached(curve).per_cell_max_stretch().max()),
+        )
+
+    def pooled() -> tuple:
+        return _full_metric_set(ContextPool().get(curve))
+
+    naive_time, naive_values = _best_of(naive)
+    pooled_time, pooled_values = _best_of(pooled)
+    assert pooled_values == naive_values  # bit-for-bit identical metrics
+
+    speedup = naive_time / pooled_time
+    results_writer(
+        "p2_pool_speedup",
+        "P2 — full NN metric set through a ContextPool context on "
+        f"{universe}\n\n"
+        f"per-metric recompute (seed): {naive_time * 1e3:8.2f} ms\n"
+        f"pooled MetricContext:        {pooled_time * 1e3:8.2f} ms\n"
+        f"speedup:                     {speedup:8.2f}x\n",
+    )
+    print(f"\npooled multi-metric speedup: {speedup:.2f}x")
+    assert speedup > 1.1, f"pooled path regressed: {speedup:.2f}x"
+
+
 def test_p2_context_computes_each_intermediate_once():
     universe = CASES["d2_k8"]
     ctx = MetricContext(ZCurve(universe))

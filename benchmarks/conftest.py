@@ -5,6 +5,11 @@ its table to ``benchmarks/results/<exp>.txt`` and asserts the paper's
 *shape* claim (who wins, by what factor, where limits sit).  Timing is
 reported through pytest-benchmark; experiment payloads run once via
 ``benchmark.pedantic`` so the expensive sweeps are not repeated.
+
+Sweep-shaped benches additionally record the engine's aggregate cache
+counters (hits / misses / computes / derivations) into the
+pytest-benchmark ``extra_info`` payload, so ``--benchmark-json`` runs
+track cache effectiveness alongside wall-clock over time.
 """
 
 from __future__ import annotations
@@ -16,13 +21,27 @@ import pytest
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
+def cache_stats_payload(stats) -> dict:
+    """A :class:`repro.engine.CacheStats` as a JSON-friendly dict."""
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "hit_rate": round(stats.hit_rate, 4),
+        "computes": stats.total_computes,
+        "derived": stats.total_derived,
+        "evictions": stats.evictions,
+    }
+
+
 @pytest.fixture
-def run_sweep():
+def run_sweep(request):
     """Run a declarative curve × universe sweep (engine-backed).
 
     The sweep-shaped benches all share this entry point, so their
     orchestration loop lives in :class:`repro.engine.Sweep` instead of
-    being hand-rolled per bench.
+    being hand-rolled per bench.  When the test also uses the
+    ``benchmark`` fixture, the sweep's engine cache counters are stored
+    under ``extra_info["engine_cache"]`` in the benchmark JSON.
     """
     from repro.engine.sweep import Sweep
 
@@ -33,7 +52,17 @@ def run_sweep():
             metrics=tuple(metrics) if metrics is not None else (),
             **kwargs,
         )
-        return sweep.run()
+        result = sweep.run()
+        if result.cache_stats is not None:
+            try:
+                bench = request.getfixturevalue("benchmark")
+            except Exception:
+                bench = None
+            if bench is not None:
+                bench.extra_info["engine_cache"] = cache_stats_payload(
+                    result.cache_stats
+                )
+        return result
 
     return run
 

@@ -9,13 +9,23 @@ Public API highlights
   :mod:`repro.curves`).
 * Metrics: :class:`repro.MetricContext` — one cached compute core per
   (curve, universe) exposing ``D^avg``, ``D^max``, ``Λ_i`` sums, per-cell
-  grids and all-pairs stretch over shared intermediates.  The classic
-  free functions (:func:`repro.average_average_nn_stretch`, …) remain as
-  thin wrappers over it.
+  grids, all-pairs stretch, the inverse permutation and windowed
+  curve-shift arrays over shared intermediates.  Every function in
+  :mod:`repro.analysis` and :mod:`repro.apps` accepts a curve *or* a
+  context, and the classic free functions
+  (:func:`repro.average_average_nn_stretch`, …) remain as thin wrappers.
+* Pooling: :class:`repro.ContextPool` — shares contexts across curves
+  of a universe (curve-independent intermediates computed once) and
+  derives transform-curve arrays (reversed/reflected/axis-permuted)
+  from their inner curve's cache.
 * Sweeps: :class:`repro.Sweep` — declarative curve × universe × metric
-  runs (``"random:seed=3"``-style curve specs, capability-aware curve
-  selection, optional process parallelism) behind :func:`repro.survey`
-  and the CLI.
+  runs (``"random:seed=3"``-style curve specs,
+  ``"dilation:window=16"``-style metric specs over the pluggable
+  :data:`repro.engine.METRICS` registry, capability-aware curve
+  selection, pooled execution, optional process parallelism) behind
+  :func:`repro.survey` and the CLI.  Policy: new metrics land in the
+  engine (as context functions registered via
+  :func:`repro.register_metric`).
 * Bounds: :func:`repro.davg_lower_bound` (Theorem 1) and the closed
   forms in :mod:`repro.core.asymptotics`.
 
@@ -28,9 +38,11 @@ Quickstart
 True
 >>> result = Sweep(dims=[2], sides=[8, 16],  # declarative sweep
 ...                curves=["z", "hilbert", "random:seed=3"],
-...                metrics=["davg", "davg_ratio"]).run()
+...                metrics=["davg", "dilation:window=16"]).run()
 >>> len(result.records)
 6
+>>> result.cache_stats.total_computes > 0    # pooled engine counters
+True
 """
 
 from repro.grid.universe import Universe
@@ -73,12 +85,17 @@ from repro.core import (
     theorem1_certificate,
 )
 from repro.engine import (
+    CacheStats,
+    ContextPool,
     CurveSpec,
     MetricContext,
+    MetricSpec,
     Sweep,
     SweepResult,
     get_context,
     parse_curve_spec,
+    parse_metric_spec,
+    register_metric,
 )
 
 __version__ = "1.0.0"
@@ -121,9 +138,14 @@ __all__ = [
     "survey",
     "theorem1_certificate",
     "MetricContext",
+    "CacheStats",
+    "ContextPool",
     "get_context",
     "Sweep",
     "SweepResult",
     "CurveSpec",
+    "MetricSpec",
     "parse_curve_spec",
+    "parse_metric_spec",
+    "register_metric",
 ]

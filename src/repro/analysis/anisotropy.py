@@ -16,8 +16,7 @@ from fractions import Fraction
 
 import numpy as np
 
-from repro.core.stretch import lambda_sums
-from repro.curves.base import SpaceFillingCurve
+from repro.engine.context import get_context
 
 __all__ = [
     "axis_fractions",
@@ -27,18 +26,21 @@ __all__ = [
 ]
 
 
-def axis_fractions(curve: SpaceFillingCurve) -> np.ndarray:
-    """``Λ_i / Σ_j Λ_j`` per dimension (sums to 1)."""
-    lam = lambda_sums(curve).astype(np.float64)
+def axis_fractions(curve) -> np.ndarray:
+    """``Λ_i / Σ_j Λ_j`` per dimension (sums to 1).
+
+    ``curve`` may be a curve or a :class:`repro.engine.MetricContext`.
+    """
+    lam = get_context(curve).lambda_sums().astype(np.float64)
     total = lam.sum()
     if total <= 0:
         raise ValueError("degenerate universe (no NN pairs)")
     return lam / total
 
 
-def anisotropy_index(curve: SpaceFillingCurve) -> float:
+def anisotropy_index(curve) -> float:
     """``max_i Λ_i / min_i Λ_i`` — 1.0 means perfectly isotropic."""
-    lam = lambda_sums(curve).astype(np.float64)
+    lam = get_context(curve).lambda_sums().astype(np.float64)
     if lam.min() <= 0:
         raise ValueError("degenerate universe (axis with no pairs)")
     return float(lam.max() / lam.min())

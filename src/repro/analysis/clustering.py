@@ -5,6 +5,11 @@ maximal runs of consecutive curve indices needed to cover the region's
 cells.  Moon et al. analyze this for the Hilbert curve; the paper's
 Section II stresses that clustering and stretch are **different** metrics
 — our A2 bench shows they rank curves differently.
+
+Functions accept a curve or a :class:`repro.engine.MetricContext`; box
+keys are read straight off the context's cached key grid (no per-query
+coordinate materialization or curve evaluation).  ``"clusters:box=4"``
+is also a registered sweep metric (:data:`repro.engine.METRICS`).
 """
 
 from __future__ import annotations
@@ -13,18 +18,23 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.curves.base import SpaceFillingCurve
-from repro.grid.coords import coords_to_rank
+from repro.engine.context import get_context
 
-__all__ = ["rectangle_cells", "cluster_count", "expected_clusters"]
+__all__ = [
+    "box_bounds",
+    "box_keys",
+    "rectangle_cells",
+    "cluster_count",
+    "expected_clusters",
+]
 
 
-def rectangle_cells(
+def box_bounds(
     universe, lo: Sequence[int], hi: Sequence[int]
-) -> np.ndarray:
-    """Coordinates of all cells in the half-open box ``[lo, hi)``.
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validated ``(lo, hi)`` arrays of the half-open box ``[lo, hi)``.
 
-    Returns shape ``(volume, d)``; raises for empty or out-of-range boxes.
+    Raises for wrong shape, out-of-range or empty boxes.
     """
     lo_arr = np.asarray(lo, dtype=np.int64)
     hi_arr = np.asarray(hi, dtype=np.int64)
@@ -34,21 +44,44 @@ def rectangle_cells(
         raise ValueError("box extends outside the universe")
     if np.any(hi_arr <= lo_arr):
         raise ValueError("box must be non-empty (hi > lo per axis)")
+    return lo_arr, hi_arr
+
+
+def box_keys(ctx, lo: Sequence[int], hi: Sequence[int]) -> np.ndarray:
+    """Sorted curve keys of the box ``[lo, hi)``, off the cached key grid.
+
+    ``ctx`` is a :class:`repro.engine.MetricContext` (or anything
+    :func:`get_context` accepts).  The shared primitive behind the
+    cluster count and the range-query index.
+    """
+    ctx = get_context(ctx)
+    lo_arr, hi_arr = box_bounds(ctx.universe, lo, hi)
+    box = tuple(slice(int(a), int(b)) for a, b in zip(lo_arr, hi_arr))
+    return np.sort(ctx.key_grid()[box], axis=None)
+
+
+def rectangle_cells(
+    universe, lo: Sequence[int], hi: Sequence[int]
+) -> np.ndarray:
+    """Coordinates of all cells in the half-open box ``[lo, hi)``.
+
+    Returns shape ``(volume, d)``; raises for empty or out-of-range boxes.
+    """
+    lo_arr, hi_arr = box_bounds(universe, lo, hi)
     axes = [np.arange(a, b, dtype=np.int64) for a, b in zip(lo_arr, hi_arr)]
     mesh = np.meshgrid(*axes, indexing="ij")
     return np.stack([m.reshape(-1) for m in mesh], axis=-1)
 
 
 def cluster_count(
-    curve: SpaceFillingCurve, lo: Sequence[int], hi: Sequence[int]
+    curve, lo: Sequence[int], hi: Sequence[int]
 ) -> int:
     """Number of maximal consecutive-key runs covering the box ``[lo, hi)``.
 
     This is Moon et al.'s clustering number: each run corresponds to one
     contiguous read when the data is laid out in curve order.
     """
-    cells = rectangle_cells(curve.universe, lo, hi)
-    keys = np.sort(curve.index(cells))
+    keys = box_keys(curve, lo, hi)
     if keys.size == 0:
         return 0
     breaks = int((np.diff(keys) > 1).sum())
@@ -56,7 +89,7 @@ def cluster_count(
 
 
 def expected_clusters(
-    curve: SpaceFillingCurve,
+    curve,
     box_shape: Sequence[int],
     n_samples: int = 200,
     seed: int = 0,
@@ -66,7 +99,8 @@ def expected_clusters(
     Moon et al.'s quantity of interest for query workloads.  Placement is
     uniform over all in-bounds positions.
     """
-    universe = curve.universe
+    ctx = get_context(curve)
+    universe = ctx.universe
     shape = np.asarray(box_shape, dtype=np.int64)
     if shape.shape != (universe.d,):
         raise ValueError(f"box_shape must have {universe.d} entries")
@@ -79,5 +113,5 @@ def expected_clusters(
         lo = np.array(
             [rng.integers(0, m + 1) for m in max_lo], dtype=np.int64
         )
-        total += cluster_count(curve, lo, lo + shape)
+        total += cluster_count(ctx, lo, lo + shape)
     return total / n_samples

@@ -10,9 +10,14 @@ asymptotic claim.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
-__all__ = ["ConvergencePoint", "convergence_study", "is_converging"]
+__all__ = [
+    "ConvergencePoint",
+    "convergence_study",
+    "metric_convergence_study",
+    "is_converging",
+]
 
 
 @dataclass(frozen=True)
@@ -64,6 +69,44 @@ def convergence_study(
             )
         )
     return points
+
+
+def metric_convergence_study(
+    parameters: Sequence[int],
+    curve: str,
+    metric: str,
+    reference: Callable[[int], float],
+    d: int = 2,
+    pool: Optional["ContextPool"] = None,
+) -> list[ConvergencePoint]:
+    """:func:`convergence_study` of a registered engine metric along ``k``.
+
+    ``curve`` and ``metric`` are engine spec strings (``"z"``,
+    ``"random:seed=3"``; ``"davg"``, ``"dilation:window=16"``), evaluated
+    on ``Universe.power_of_two(d, k)`` for each parameter ``k``.  All
+    contexts come from one shared :class:`repro.engine.ContextPool`, so
+    the sweep reuses intermediates the same way a declarative
+    :class:`repro.engine.Sweep` does.
+    """
+    from repro.engine.pool import ContextPool
+    from repro.engine.sweep import CurveSpec, MetricSpec
+    from repro.grid.universe import Universe
+
+    if pool is None:
+        pool = ContextPool()
+    curve_spec = CurveSpec.parse(curve)
+    metric_fn = MetricSpec.parse(metric).bind()
+
+    def measure(k: int) -> float:
+        universe = Universe.power_of_two(d=d, k=k)
+        return float(metric_fn(pool.get(curve_spec.make(universe))))
+
+    return convergence_study(
+        parameters,
+        measure,
+        reference,
+        lambda k: Universe.power_of_two(d=d, k=k).n,
+    )
 
 
 def is_converging(

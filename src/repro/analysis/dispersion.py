@@ -21,8 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.stretch import per_cell_avg_stretch
-from repro.curves.base import SpaceFillingCurve
+from repro.engine.context import get_context
 
 __all__ = ["StretchDispersion", "stretch_dispersion", "gini"]
 
@@ -60,14 +59,19 @@ class StretchDispersion:
 
 
 def stretch_dispersion(
-    curve: SpaceFillingCurve,
+    curve,
     quantiles: Sequence[float] = (0.5, 0.9, 0.99),
 ) -> StretchDispersion:
-    """Compute dispersion statistics of ``δ^avg_π`` over all cells."""
-    field = per_cell_avg_stretch(curve).reshape(-1)
+    """Compute dispersion statistics of ``δ^avg_π`` over all cells.
+
+    ``curve`` may be a curve or a :class:`repro.engine.MetricContext`;
+    the per-cell field comes from the context's cache.
+    """
+    ctx = get_context(curve)
+    field = ctx.per_cell_avg_stretch().reshape(-1)
     q50, q90, q99 = (float(np.quantile(field, q)) for q in quantiles)
     return StretchDispersion(
-        curve_name=curve.name,
+        curve_name=ctx.curve.name,
         mean=float(field.mean()),
         std=float(field.std()),
         gini=gini(field),

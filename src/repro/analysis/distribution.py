@@ -5,6 +5,9 @@
 full distribution of ``∆π`` over NN pairs: quantiles and the CCDF
 ``P(∆π > w)``, which equals the *miss rate* of a curve-window neighbor
 search with half-width ``w``.
+
+Functions accept a curve or a :class:`repro.engine.MetricContext`; the
+NN distance pool is the context's cached ``nn_distance_values`` array.
 """
 
 from __future__ import annotations
@@ -13,8 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.stretch import nn_distance_values
-from repro.curves.base import SpaceFillingCurve
+from repro.engine.context import get_context
 
 __all__ = [
     "nn_distance_quantiles",
@@ -24,10 +26,10 @@ __all__ = [
 
 
 def nn_distance_quantiles(
-    curve: SpaceFillingCurve, qs: Sequence[float] = (0.5, 0.9, 0.99, 1.0)
+    curve, qs: Sequence[float] = (0.5, 0.9, 0.99, 1.0)
 ) -> dict[float, float]:
     """Quantiles of ``∆π`` over all unordered NN pairs."""
-    values = nn_distance_values(curve)
+    values = get_context(curve).nn_distance_values()
     out = {}
     for q in qs:
         if not 0.0 <= q <= 1.0:
@@ -37,21 +39,21 @@ def nn_distance_quantiles(
 
 
 def nn_distance_ccdf(
-    curve: SpaceFillingCurve, windows: Sequence[int]
+    curve, windows: Sequence[int]
 ) -> dict[int, float]:
     """``P(∆π > w)`` over NN pairs, for each window ``w``.
 
     This is exactly the fraction of nearest-neighbor interactions a
     curve-window search of half-width ``w`` would miss.
     """
-    values = nn_distance_values(curve)
+    values = get_context(curve).nn_distance_values()
     total = values.size
     return {
         int(w): float((values > w).sum()) / total for w in windows
     }
 
 
-def window_for_recall(curve: SpaceFillingCurve, recall: float) -> int:
+def window_for_recall(curve, recall: float) -> int:
     """Smallest window ``w`` with ``P(∆π ≤ w) ≥ recall``.
 
     The application-level cost of a curve: better NN-stretch ⇒ smaller
@@ -59,6 +61,6 @@ def window_for_recall(curve: SpaceFillingCurve, recall: float) -> int:
     """
     if not 0.0 < recall <= 1.0:
         raise ValueError(f"recall must be in (0,1], got {recall}")
-    values = np.sort(nn_distance_values(curve))
+    values = np.sort(get_context(curve).nn_distance_values())
     rank = int(np.ceil(recall * values.size)) - 1
     return int(values[rank])

@@ -7,61 +7,63 @@ other?  For the 2-D Hilbert curve ``∆(α,β) ≤ 3·√(|i−j|) − 2``; for 
 curve no such square-root law holds (consecutive keys can be Θ(side)
 apart).  Section II of the paper stresses these metrics are *different*
 from the stretch; bench A6 demonstrates it numerically.
+
+All functions accept either a curve or a
+:class:`repro.engine.MetricContext`; the windowed curve-shift distance
+arrays are cached on the context, so profiles and repeated queries
+reuse them.  ``"dilation:window=16"`` is also a registered sweep metric
+(:data:`repro.engine.METRICS`).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.curves.base import SpaceFillingCurve
-from repro.grid.metrics import euclidean, manhattan
+from repro.engine.context import get_context
 
 __all__ = ["window_dilation", "worst_window_pairs", "dilation_profile"]
 
 
 def window_dilation(
-    curve: SpaceFillingCurve, window: int, metric: str = "manhattan"
+    curve, window: int, metric: str = "manhattan"
 ) -> int | float:
     """Max grid distance between cells exactly ``window`` apart on the curve.
 
     ``max_α ∆(π^{-1}(t), π^{-1}(t+window))`` — the worst-case grid jump
-    of a fixed-size curve step.
+    of a fixed-size curve step.  ``curve`` may be a curve or a
+    :class:`repro.engine.MetricContext`.
     """
-    if window < 1 or window >= curve.universe.n:
-        raise ValueError(f"window must be in [1, n), got {window}")
-    path = curve.order()
-    a, b = path[:-window], path[window:]
+    ctx = get_context(curve)
+    dist = ctx.window_shift_distances(window, metric)
     if metric == "manhattan":
-        return int(manhattan(a, b).max())
-    if metric == "euclidean":
-        return float(euclidean(a, b).max())
-    raise ValueError("metric must be 'manhattan' or 'euclidean'")
+        return int(dist.max())
+    return float(dist.max())
 
 
 def worst_window_pairs(
-    curve: SpaceFillingCurve, window: int
+    curve, window: int
 ) -> tuple[np.ndarray, np.ndarray]:
     """The cell pairs attaining :func:`window_dilation` (Manhattan).
 
     Returns two ``(m, d)`` arrays of the worst pairs' endpoints.
     """
-    if window < 1 or window >= curve.universe.n:
-        raise ValueError(f"window must be in [1, n), got {window}")
-    path = curve.order()
+    ctx = get_context(curve)
+    dist = ctx.window_shift_distances(window, "manhattan")
+    path = ctx.order()
     a, b = path[:-window], path[window:]
-    dist = manhattan(a, b)
     worst = dist == dist.max()
     return a[worst], b[worst]
 
 
 def dilation_profile(
-    curve: SpaceFillingCurve, windows: list[int], metric: str = "manhattan"
+    curve, windows: list[int], metric: str = "manhattan"
 ) -> dict[int, float]:
     """:func:`window_dilation` evaluated over a list of window sizes.
 
     For a Hilbert curve the profile grows like ``O(window^{1/d})``; for
     the Z curve it saturates near the grid diameter at window 1 already.
     """
+    ctx = get_context(curve)
     return {
-        w: float(window_dilation(curve, w, metric=metric)) for w in windows
+        w: float(window_dilation(ctx, w, metric=metric)) for w in windows
     }

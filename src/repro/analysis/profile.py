@@ -10,31 +10,36 @@ over uniformly random pairs at each grid distance r: how the stretch
 decays from the NN regime (r = 1, the paper's focus) to the diameter.
 Exact (chunked all-pairs) for small universes; seeded sampling for
 large ones.
+
+Functions accept a curve or a :class:`repro.engine.MetricContext`; keys
+come from the context's cached rank-ordered flat key array instead of
+re-evaluating the curve.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.curves.base import SpaceFillingCurve
+from repro.engine.context import get_context
 from repro.grid.metrics import pairwise_manhattan
 
 __all__ = ["stretch_profile_exact", "stretch_profile_sampled"]
 
 
 def stretch_profile_exact(
-    curve: SpaceFillingCurve, chunk: int = 1024
+    curve, chunk: int = 1024
 ) -> dict[int, float]:
     """Exact ``profile(r)`` for every realized Manhattan distance r.
 
     ``O(n²)`` chunked; intended for universes up to ~10⁴ cells.
     """
-    universe = curve.universe
+    ctx = get_context(curve)
+    universe = ctx.universe
     n = universe.n
     if n < 2:
         raise ValueError("need n >= 2")
     cells = universe.all_coords()
-    keys = curve.index(cells).astype(np.float64)
+    keys = ctx.flat_keys().astype(np.float64)
     max_r = universe.d * (universe.side - 1)
     sums = np.zeros(max_r + 1, dtype=np.float64)
     counts = np.zeros(max_r + 1, dtype=np.int64)
@@ -59,7 +64,7 @@ def stretch_profile_exact(
 
 
 def stretch_profile_sampled(
-    curve: SpaceFillingCurve,
+    curve,
     n_pairs: int = 200_000,
     seed: int = 0,
 ) -> dict[int, float]:
@@ -69,7 +74,8 @@ def stretch_profile_sampled(
     extreme distances get noisy estimates — use the exact variant for
     assertions.
     """
-    universe = curve.universe
+    ctx = get_context(curve)
+    universe = ctx.universe
     n = universe.n
     if n < 2:
         raise ValueError("need n >= 2")
@@ -83,7 +89,8 @@ def stretch_profile_sampled(
     a = rank_to_coords(first, universe)
     b = rank_to_coords(second, universe)
     dist = np.abs(a - b).sum(axis=1)
-    ratio = np.abs(curve.index(a) - curve.index(b)) / dist
+    keys = ctx.flat_keys()
+    ratio = np.abs(keys[first] - keys[second]) / dist
     max_r = int(dist.max())
     sums = np.bincount(dist, weights=ratio, minlength=max_r + 1)
     counts = np.bincount(dist, minlength=max_r + 1)

@@ -18,8 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.apps.partition import partition_by_curve
-from repro.curves.base import SpaceFillingCurve
-from repro.grid.neighbors import axis_pair_index_arrays
+from repro.engine.context import get_context
 
 __all__ = ["HaloExchange", "halo_exchange"]
 
@@ -41,19 +40,23 @@ class HaloExchange:
 
 
 def halo_exchange(
-    curve: SpaceFillingCurve,
+    curve,
     n_parts: int,
     weights: np.ndarray | None = None,
 ) -> HaloExchange:
     """Partition by ``curve`` and tally the halo-exchange cost.
 
+    ``curve`` may be a curve or a :class:`repro.engine.MetricContext`;
+    the key grid and NN pair enumeration come from the context.
+
     A ghost transfer is a (sender, receiver, cell) triple: receiver
     owns a cell whose neighbor `cell` is owned by sender.  A cell sent
     to the same receiver for several of its neighbors counts once.
     """
-    universe = curve.universe
-    labels = partition_by_curve(curve, n_parts, weights)
-    keys = curve.key_grid()
+    ctx = get_context(curve)
+    universe = ctx.universe
+    labels = partition_by_curve(ctx, n_parts, weights)
+    keys = ctx.key_grid()
 
     # Collect directed (sender_part, receiver_part, sender_cell_key)
     # triples for every cut NN pair, in both directions.
@@ -61,7 +64,7 @@ def halo_exchange(
     receivers = []
     cells = []
     for axis in range(universe.d):
-        lo, hi = axis_pair_index_arrays(universe, axis)
+        lo, hi = ctx.axis_pair_slices(axis)
         a_lab = labels[lo].reshape(-1)
         b_lab = labels[hi].reshape(-1)
         a_key = keys[lo].reshape(-1)
@@ -95,7 +98,7 @@ def halo_exchange(
         (pair_ids // n_parts).astype(np.int64), minlength=n_parts
     )
     return HaloExchange(
-        curve_name=curve.name,
+        curve_name=ctx.curve.name,
         n_parts=n_parts,
         ghost_cells=ghost_cells,
         messages=messages,

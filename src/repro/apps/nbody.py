@@ -38,18 +38,21 @@ class ParticleStore:
     Parameters
     ----------
     curve:
-        The ordering SFC.
+        The ordering SFC (or its :class:`repro.engine.MetricContext`).
     positions:
         ``(m, d)`` integer cell coordinates (multiple particles may share
         a cell).
     """
 
-    def __init__(self, curve: SpaceFillingCurve, positions: np.ndarray) -> None:
-        self.curve = curve
-        pos = curve.universe.validate_coords(positions)
+    def __init__(self, curve, positions: np.ndarray) -> None:
+        from repro.grid.coords import coords_to_rank
+
+        ctx = get_context(curve)
+        self.curve = ctx.curve
+        pos = ctx.universe.validate_coords(positions)
         if pos.ndim != 2:
             raise ValueError("positions must be a (m, d) array")
-        keys = curve.index(pos)
+        keys = ctx.flat_keys()[coords_to_rank(pos, ctx.universe)]
         sort = np.argsort(keys, kind="stable")
         self.positions = pos[sort]
         self.keys = keys[sort]
@@ -60,19 +63,20 @@ class ParticleStore:
     @classmethod
     def uniform_random(
         cls,
-        curve: SpaceFillingCurve,
+        curve,
         n_particles: int,
         seed: int = 0,
     ) -> "ParticleStore":
         """Particles uniform over cells (with replacement)."""
+        ctx = get_context(curve)
         rng = np.random.default_rng(seed)
         pos = rng.integers(
             0,
-            curve.universe.side,
-            size=(n_particles, curve.universe.d),
+            ctx.universe.side,
+            size=(n_particles, ctx.universe.d),
             dtype=np.int64,
         )
-        return cls(curve, pos)
+        return cls(ctx, pos)
 
     def window_candidates(self, index: int, window: int) -> np.ndarray:
         """Indices of particles within ±``window`` array slots of particle ``index``.

@@ -9,6 +9,11 @@ processor.  Quality measures:
   different parts (proxy for communication volume).  A curve with small
   NN-stretch keeps neighbors in the same segment, so the stretch metrics
   of the paper directly control this cost (bench A3).
+
+Curve-consuming entry points accept a curve or a
+:class:`repro.engine.MetricContext`; the key grid comes from the
+context's cache.  ``"partition:parts=8"`` is also a registered sweep
+metric (:data:`repro.engine.METRICS`).
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.curves.base import SpaceFillingCurve
+from repro.engine.context import get_context
 from repro.grid.neighbors import axis_pair_index_arrays
 
 __all__ = [
@@ -32,7 +37,7 @@ __all__ = [
 
 
 def partition_by_curve(
-    curve: SpaceFillingCurve,
+    curve,
     n_parts: int,
     weights: np.ndarray | None = None,
 ) -> np.ndarray:
@@ -41,7 +46,7 @@ def partition_by_curve(
     Parameters
     ----------
     curve:
-        The ordering SFC.
+        The ordering SFC (or its :class:`repro.engine.MetricContext`).
     n_parts:
         Number of processors; must satisfy ``1 <= n_parts <= n``.
     weights:
@@ -54,11 +59,12 @@ def partition_by_curve(
     -------
     Dense grid of part labels in ``[0, n_parts)``.
     """
-    universe = curve.universe
+    ctx = get_context(curve)
+    universe = ctx.universe
     n = universe.n
     if not 1 <= n_parts <= n:
         raise ValueError(f"n_parts must be in [1, {n}], got {n_parts}")
-    keys = curve.key_grid()
+    keys = ctx.key_grid()
     if weights is None:
         # Equal-count split of the curve order.
         labels_along_curve = (
@@ -177,18 +183,19 @@ class PartitionQuality:
 
 
 def partition_quality(
-    curve: SpaceFillingCurve,
+    curve,
     n_parts: int,
     weights: np.ndarray | None = None,
 ) -> PartitionQuality:
     """Partition by ``curve`` and summarize balance and communication."""
     from repro.grid.neighbors import nn_pair_count
 
-    labels = partition_by_curve(curve, n_parts, weights)
+    ctx = get_context(curve)
+    labels = partition_by_curve(ctx, n_parts, weights)
     return PartitionQuality(
-        curve_name=curve.name,
+        curve_name=ctx.curve.name,
         n_parts=n_parts,
         imbalance=load_imbalance(labels, n_parts, weights),
-        edge_cut=edge_cut(curve.universe, labels),
-        total_nn_pairs=nn_pair_count(curve.universe),
+        edge_cut=edge_cut(ctx.universe, labels),
+        total_nn_pairs=nn_pair_count(ctx.universe),
     )

@@ -9,6 +9,12 @@ the standard one for sequential devices:
 The number of runs is exactly the Moon et al. clustering number; the
 scan volume is the box volume (runs are exact covers, no over-read).
 Bench A5 compares curves under this model.
+
+The index is backed by a :class:`repro.engine.MetricContext` (a bare
+curve is coerced): box keys come from the cached key grid and run
+contents from the cached inverse permutation, so repeated queries do no
+curve evaluation at all.  ``"rangequery:box=4"`` is also a registered
+sweep metric (:data:`repro.engine.METRICS`).
 """
 
 from __future__ import annotations
@@ -18,8 +24,9 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.analysis.clustering import rectangle_cells
-from repro.curves.base import SpaceFillingCurve
+from repro.analysis.clustering import box_keys
+from repro.engine.context import get_context
+from repro.grid.coords import rank_to_coords
 
 __all__ = ["SFCIndex", "QueryCost"]
 
@@ -43,17 +50,19 @@ class SFCIndex:
 
     Records are identified with cells; the index answers rectangular
     queries with the exact list of curve-key runs covering the box.
+    Accepts a curve or an existing :class:`repro.engine.MetricContext`.
     """
 
     def __init__(
         self,
-        curve: SpaceFillingCurve,
+        curve,
         seek_cost: float = 10.0,
         scan_cost: float = 1.0,
     ) -> None:
         if seek_cost < 0 or scan_cost < 0:
             raise ValueError("costs must be non-negative")
-        self.curve = curve
+        self._ctx = get_context(curve)
+        self.curve = self._ctx.curve
         self.seek_cost = seek_cost
         self.scan_cost = scan_cost
 
@@ -61,8 +70,7 @@ class SFCIndex:
         self, lo: Sequence[int], hi: Sequence[int]
     ) -> list[tuple[int, int]]:
         """Inclusive key runs ``[(start, end), …]`` covering box ``[lo, hi)``."""
-        cells = rectangle_cells(self.curve.universe, lo, hi)
-        keys = np.sort(self.curve.index(cells))
+        keys = box_keys(self._ctx, lo, hi)
         runs: list[tuple[int, int]] = []
         start = prev = int(keys[0])
         for key in keys[1:]:
@@ -85,7 +93,8 @@ class SFCIndex:
         keys = np.concatenate(
             [np.arange(a, b + 1, dtype=np.int64) for a, b in runs]
         )
-        return self.curve.coords(keys)
+        ranks = self._ctx.inverse_permutation()[keys]
+        return rank_to_coords(ranks, self._ctx.universe)
 
     def query_cost(
         self, lo: Sequence[int], hi: Sequence[int]
@@ -109,7 +118,7 @@ class SFCIndex:
         """Mean total cost over uniformly placed boxes of a fixed shape."""
         from repro.analysis.sampling import sample_rectangles
 
-        universe = self.curve.universe
+        universe = self._ctx.universe
         boxes = sample_rectangles(
             universe.side, universe.d, box_shape, n_samples, seed
         )

@@ -49,12 +49,15 @@ class DriftCost:
 
 
 def drift_step_cost(
-    curve: SpaceFillingCurve,
+    curve,
     n_particles: int = 1000,
     steps: int = 10,
     seed: int = 0,
 ) -> DriftCost:
     """Simulate random unit drift and measure resort work per step.
+
+    ``curve`` may be a curve or a :class:`repro.engine.MetricContext`;
+    key lookups go through the context's cached rank-ordered key array.
 
     Each step every particle moves to a uniformly chosen grid neighbor
     (staying put if the move would leave the box).  After each step the
@@ -63,7 +66,11 @@ def drift_step_cost(
     """
     if n_particles < 1 or steps < 1:
         raise ValueError("need n_particles >= 1 and steps >= 1")
-    universe = curve.universe
+    from repro.grid.coords import coords_to_rank
+
+    ctx = get_context(curve)
+    universe = ctx.universe
+    flat_keys = ctx.flat_keys()
     rng = np.random.default_rng(seed)
     positions = rng.integers(
         0, universe.side, size=(n_particles, universe.d), dtype=np.int64
@@ -72,7 +79,7 @@ def drift_step_cost(
     total_rank = 0.0
     worst_rank = 0
     for _ in range(steps):
-        keys_before = curve.index(positions)
+        keys_before = flat_keys[coords_to_rank(positions, universe)]
         order_before = np.argsort(keys_before, kind="stable")
         ranks_before = np.empty(n_particles, dtype=np.int64)
         ranks_before[order_before] = np.arange(n_particles)
@@ -84,7 +91,7 @@ def drift_step_cost(
         in_bounds = universe.contains(moved)
         positions = np.where(in_bounds[:, None], moved, positions)
 
-        keys_after = curve.index(positions)
+        keys_after = flat_keys[coords_to_rank(positions, universe)]
         order_after = np.argsort(keys_after, kind="stable")
         ranks_after = np.empty(n_particles, dtype=np.int64)
         ranks_after[order_after] = np.arange(n_particles)
@@ -95,7 +102,7 @@ def drift_step_cost(
         total_rank += float(rank_shift.mean())
         worst_rank = max(worst_rank, int(rank_shift.max()))
     return DriftCost(
-        curve_name=curve.name,
+        curve_name=ctx.curve.name,
         n_particles=n_particles,
         steps=steps,
         mean_key_displacement=total_key / steps,

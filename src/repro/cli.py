@@ -4,7 +4,12 @@ Subcommands
 -----------
 * ``survey``    — stretch metrics for every applicable curve on a grid.
 * ``sweep``     — declarative curve × universe × metric sweep
-  (``--dims 2,3 --sides 8,16 --curves z,random:seed=3``).
+  (``--dims 2,3 --sides 8,16 --curves z,random:seed=3
+  --metrics davg,dilation:window=16,partition:parts=8``).
+* ``metrics``   — list the registered sweep metrics (name, params,
+  description), i.e. everything ``sweep --metrics`` accepts.
+* ``curves``    — list the registered curves with their declared
+  capabilities (supported dims / side bases).
 * ``bounds``    — the paper's lower bounds and closed forms for a grid.
 * ``render``    — ASCII render of a 2-D curve (Figures 3/4 style).
 * ``partition`` — domain-decomposition quality across curves.
@@ -98,6 +103,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="raise on curve construction errors instead of skipping",
     )
+    p_sweep.add_argument(
+        "--stats",
+        action="store_true",
+        help="print aggregate engine cache statistics after the table",
+    )
+    p_sweep.add_argument(
+        "--no-pool",
+        action="store_true",
+        help="disable the shared ContextPool (per-cell contexts)",
+    )
+
+    sub.add_parser(
+        "metrics", help="list registered sweep metrics (name, params, description)"
+    )
+
+    sub.add_parser(
+        "curves", help="list registered curves and their capabilities"
+    )
 
     p_bounds = sub.add_parser("bounds", help="paper lower bounds for a grid")
     add_grid_args(p_bounds)
@@ -181,6 +204,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         reports=False,
         processes=args.processes,
         strict=args.strict,
+        pooled=not args.no_pool,
     ).run()
     print(f"# sweep over dims={args.dims} sides={args.sides}")
     print(result.to_table())
@@ -191,6 +215,57 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"skipped {cell.spec} on d={cell.d} side={cell.side}: "
                 f"{cell.reason}"
             )
+    if args.stats:
+        print()
+        if result.cache_stats is None:
+            print("engine cache: unavailable (process-pool sweep)")
+        else:
+            print(f"engine cache: {result.cache_stats!r}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(METRICS):
+        entry = METRICS[name]
+        rows.append(
+            {
+                "metric": name,
+                "params": entry.signature or "-",
+                "description": entry.description or "-",
+            }
+        )
+    print("# registered sweep metrics (use as --metrics name:key=val,...)")
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_curves(args: argparse.Namespace) -> int:
+    from repro.curves.registry import curve_capabilities
+
+    rows = []
+    for name in available_curves():
+        caps = curve_capabilities(name)
+        if caps is None:
+            dims = side = "unknown"
+            min_side = "?"
+        else:
+            dims = (
+                ",".join(str(d) for d in caps.dims)
+                if caps.dims is not None
+                else "any"
+            )
+            side = (
+                " or ".join(f"{b}^m" for b in caps.side_bases)
+                if caps.side_bases is not None
+                else "any"
+            )
+            min_side = caps.min_side
+        rows.append(
+            {"curve": name, "dims": dims, "side": side, "min_side": min_side}
+        )
+    print("# registered curves and declared capabilities")
+    print(format_table(rows))
     return 0
 
 
@@ -231,11 +306,13 @@ def _cmd_render(args: argparse.Namespace) -> int:
 def _cmd_partition(args: argparse.Namespace) -> int:
     from repro.apps.partition import partition_quality
     from repro.curves.registry import curves_for_universe
+    from repro.engine.pool import ContextPool
 
     universe = Universe(d=args.d, side=args.side)
+    pool = ContextPool()
     rows = []
     for name, curve in curves_for_universe(universe).items():
-        q = partition_quality(curve, args.parts)
+        q = partition_quality(pool.get(curve), args.parts)
         rows.append(
             {
                 "curve": name,
@@ -325,6 +402,8 @@ def _cmd_heatmap(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "survey": _cmd_survey,
     "sweep": _cmd_sweep,
+    "metrics": _cmd_metrics,
+    "curves": _cmd_curves,
     "bounds": _cmd_bounds,
     "render": _cmd_render,
     "partition": _cmd_partition,

@@ -2,11 +2,16 @@
 
 * :mod:`repro.engine.context` — :class:`MetricContext`, one memory-bounded
   cached compute core per (curve, universe); every stretch metric as a
-  method over shared intermediates.
+  method over shared intermediates, plus the inverse-permutation /
+  flat-key / windowed-shift arrays the analysis and app layers consume.
+* :mod:`repro.engine.pool` — :class:`ContextPool`, sharing contexts
+  across curves of a universe and deriving transform curves' arrays
+  from their inner curve's cache.
 * :mod:`repro.engine.sweep` — :class:`Sweep`, the declarative
-  curve × universe × metric runner (curve-spec strings, capability-based
-  applicability, optional process parallelism) behind ``survey()`` and
-  the CLI.
+  curve × universe × metric runner (curve/metric spec strings,
+  capability-based applicability, pooled execution, optional process
+  parallelism) behind ``survey()`` and the CLI, and the pluggable
+  :data:`METRICS` registry where new metrics land.
 """
 
 from repro.engine.context import (
@@ -15,14 +20,18 @@ from repro.engine.context import (
     MetricContext,
     get_context,
 )
+from repro.engine.pool import ContextPool, transform_derivations
 from repro.engine.sweep import (
     METRICS,
     CurveSpec,
+    MetricEntry,
+    MetricSpec,
     SkippedCell,
     Sweep,
     SweepRecord,
     SweepResult,
     parse_curve_spec,
+    parse_metric_spec,
     register_metric,
 )
 
@@ -31,12 +40,17 @@ __all__ = [
     "CacheStats",
     "get_context",
     "DEFAULT_CACHE_BYTES",
+    "ContextPool",
+    "transform_derivations",
     "Sweep",
     "SweepRecord",
     "SweepResult",
     "SkippedCell",
     "CurveSpec",
+    "MetricSpec",
+    "MetricEntry",
     "parse_curve_spec",
+    "parse_metric_spec",
     "METRICS",
     "register_metric",
 ]

@@ -7,7 +7,10 @@ stretch) consumes the same handful of intermediates:
 * the per-axis **pair curve-distance arrays** ``∆π`` over ``G_{i}``
   (one ``O(n)`` slice-subtract per axis),
 * the **neighbor-count grid** ``|N(α)|``,
-* the derived per-cell sum / max grids.
+* the derived per-cell sum / max grids,
+* the **inverse permutation** (rank grid), the rank-ordered flat key
+  array, and the **windowed curve-shift distance arrays** consumed by
+  the analysis and application layers.
 
 Historically each free function in :mod:`repro.core.stretch` rebuilt
 these from scratch, so a full :func:`repro.core.summary.stretch_report`
@@ -27,7 +30,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple, Union
 
 import numpy as np
 
@@ -62,10 +65,57 @@ class CacheStats:
     evictions: int = 0
     #: How many times each intermediate's compute function actually ran.
     computes: Dict[str, int] = field(default_factory=dict)
+    #: How many times an intermediate was *derived* from another context
+    #: (cheap array transform of a base curve's cache) instead of
+    #: materialized from scratch; see :class:`repro.engine.ContextPool`.
+    derived: Dict[str, int] = field(default_factory=dict)
 
     def compute_count(self, key: str) -> int:
         """Times the named intermediate was materialized from scratch."""
         return self.computes.get(key, 0)
+
+    def derived_count(self, key: str) -> int:
+        """Times the named intermediate was derived from a base context."""
+        return self.derived.get(key, 0)
+
+    @property
+    def total_computes(self) -> int:
+        """Total from-scratch materializations across all intermediates."""
+        return sum(self.computes.values())
+
+    @property
+    def total_derived(self) -> int:
+        """Total derivations across all intermediates."""
+        return sum(self.derived.values())
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / (hits + misses)``; 0.0 before any lookup."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    @classmethod
+    def aggregate(cls, parts: "Iterable[CacheStats]") -> "CacheStats":
+        """Sum the counters of several stores into one summary."""
+        out = cls()
+        for part in parts:
+            out.hits += part.hits
+            out.misses += part.misses
+            out.evictions += part.evictions
+            for key, count in part.computes.items():
+                out.computes[key] = out.computes.get(key, 0) + count
+            for key, count in part.derived.items():
+                out.derived[key] = out.derived.get(key, 0) + count
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"hit_rate={self.hit_rate:.1%}, "
+            f"computes={self.total_computes}, "
+            f"derived={self.total_derived}, "
+            f"evictions={self.evictions})"
+        )
 
 
 class _BoundedStore:
@@ -93,14 +143,19 @@ class _BoundedStore:
         key: str,
         compute: Callable[[], np.ndarray],
         freeze: bool = True,
+        derive: Optional[Callable[[], np.ndarray]] = None,
     ) -> np.ndarray:
         if key in self._items:
             self.stats.hits += 1
             self._items.move_to_end(key)
             return self._items[key]
         self.stats.misses += 1
-        value = np.asarray(compute())
-        self.stats.computes[key] = self.stats.computes.get(key, 0) + 1
+        if derive is not None:
+            value = np.asarray(derive())
+            self.stats.derived[key] = self.stats.derived.get(key, 0) + 1
+        else:
+            value = np.asarray(compute())
+            self.stats.computes[key] = self.stats.computes.get(key, 0) + 1
         if freeze:
             value.flags.writeable = False
         if self.max_bytes != 0:
@@ -148,10 +203,20 @@ class MetricContext:
         self,
         curve: SpaceFillingCurve,
         max_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
+        universe_store: Optional[_BoundedStore] = None,
     ) -> None:
         self.curve = curve
         self.universe = curve.universe
         self._store = _BoundedStore(max_bytes)
+        #: Optional store shared by every context of the same universe
+        #: (wired by :class:`repro.engine.ContextPool`); holds
+        #: curve-independent intermediates such as ``neighbor_counts``.
+        self._universe_store = universe_store
+        #: Intermediate key → zero-arg factory deriving the array cheaply
+        #: from another curve's context (wired by the pool for
+        #: transform-derived curves).  Derived arrays are bit-for-bit
+        #: identical to from-scratch computation; only the cost differs.
+        self._derivations: Dict[str, Callable[[], np.ndarray]] = {}
         self._scalars: Dict[Tuple, object] = {}
 
     # ------------------------------------------------------------------
@@ -187,6 +252,14 @@ class MetricContext:
             self._scalars[key] = compute()
         return self._scalars[key]
 
+    def _cached(
+        self, key: str, compute: Callable[[], np.ndarray], freeze: bool = True
+    ) -> np.ndarray:
+        """Store lookup honoring any pool-installed derivation rule."""
+        return self._store.get_or_compute(
+            key, compute, freeze=freeze, derive=self._derivations.get(key)
+        )
+
     # ------------------------------------------------------------------
     # Shared intermediates
     # ------------------------------------------------------------------
@@ -197,13 +270,55 @@ class MetricContext:
         the engine and stays writable — freezing it here would flip the
         curve's public ``key_grid()`` read-only as a side effect.
         """
-        return self._store.get_or_compute(
-            "key_grid", self.curve.key_grid, freeze=False
-        )
+        return self._cached("key_grid", self.curve.key_grid, freeze=False)
 
     def order(self) -> np.ndarray:
         """Cells in curve order (cached on the curve itself)."""
         return self.curve.order()
+
+    def flat_keys(self) -> np.ndarray:
+        """Keys in cell-rank order: ``flat_keys()[rank(α)] = π(α)``.
+
+        The rank order is the simple-curve enumeration (axis 0 fastest),
+        matching :meth:`repro.grid.universe.Universe.all_coords`.
+        """
+        return self._cached(
+            "flat_keys",
+            lambda: self.key_grid().reshape(-1, order="F"),
+        )
+
+    def inverse_permutation(self) -> np.ndarray:
+        """The rank grid ``π^{-1}`` as ranks: ``inv[π(α)] = rank(α)``.
+
+        ``rank_to_coords(inv[keys], universe)`` recovers coordinates for
+        any key array — the cached inverse the range-query index and the
+        window metrics build on.
+        """
+
+        def compute() -> np.ndarray:
+            inverse = np.empty(self.universe.n, dtype=np.int64)
+            inverse[self.flat_keys()] = np.arange(
+                self.universe.n, dtype=np.int64
+            )
+            return inverse
+
+        return self._cached("inverse_perm", compute)
+
+    def axis_pair_slices(self, axis: int) -> tuple:
+        """``(lo, hi)`` slicing tuples over the NN pairs of ``G_{axis+1}``.
+
+        Memoized; downstream consumers (partitioning, halo exchange)
+        take these from the context instead of rebuilding the pair
+        enumeration themselves.
+        """
+        if not 0 <= axis < self.universe.d:
+            raise ValueError(
+                f"axis must be in [0, {self.universe.d}), got {axis}"
+            )
+        return self._scalar(
+            ("axis_slices", axis),
+            lambda: axis_pair_index_arrays(self.universe, axis),
+        )
 
     def axis_pair_curve_distances(self, axis: int) -> np.ndarray:
         """``∆π`` over the NN pairs of ``G_{axis+1}`` (cached per axis)."""
@@ -214,14 +329,47 @@ class MetricContext:
 
         def compute() -> np.ndarray:
             grid = self.key_grid()
-            lo, hi = axis_pair_index_arrays(self.universe, axis)
+            lo, hi = self.axis_pair_slices(axis)
             return np.abs(grid[hi] - grid[lo])
 
-        return self._store.get_or_compute(f"axis_dist[{axis}]", compute)
+        return self._cached(f"axis_dist[{axis}]", compute)
+
+    def window_shift_distances(
+        self, window: int, metric: str = "manhattan"
+    ) -> np.ndarray:
+        """Grid distances of all curve steps of size ``window`` (cached).
+
+        Entry ``t`` is ``∆(π^{-1}(t), π^{-1}(t+window))`` in the chosen
+        grid metric — the array behind the Gotsman–Lindenbaum window
+        dilation metrics in :mod:`repro.analysis.locality`.
+        """
+        if window < 1 or window >= self.universe.n:
+            raise ValueError(f"window must be in [1, n), got {window}")
+        if metric not in ("manhattan", "euclidean"):
+            raise ValueError("metric must be 'manhattan' or 'euclidean'")
+
+        def compute() -> np.ndarray:
+            from repro.grid.metrics import euclidean, manhattan
+
+            path = self.order()
+            a, b = path[:-window], path[window:]
+            return manhattan(a, b) if metric == "manhattan" else euclidean(a, b)
+
+        return self._cached(f"win_dist[{window},{metric}]", compute)
 
     def neighbor_counts(self) -> np.ndarray:
-        """Dense ``|N(α)|`` grid (cached)."""
-        return self._store.get_or_compute(
+        """Dense ``|N(α)|`` grid (cached; curve-independent).
+
+        When the context belongs to a :class:`repro.engine.ContextPool`,
+        this lives in the pool's per-universe store so every curve of
+        the universe shares one copy.
+        """
+        store = (
+            self._universe_store
+            if self._universe_store is not None
+            else self._store
+        )
+        return store.get_or_compute(
             "neighbor_counts", lambda: neighbor_count_grid(self.universe)
         )
 
@@ -236,7 +384,7 @@ class MetricContext:
             sums = np.zeros(self.universe.shape, dtype=np.int64)
             for axis in range(self.universe.d):
                 dist = self.axis_pair_curve_distances(axis)
-                lo, hi = axis_pair_index_arrays(self.universe, axis)
+                lo, hi = self.axis_pair_slices(axis)
                 sums[lo] += dist
                 sums[hi] += dist
             return sums
@@ -259,7 +407,7 @@ class MetricContext:
             best = np.zeros(self.universe.shape, dtype=np.int64)
             for axis in range(self.universe.d):
                 dist = self.axis_pair_curve_distances(axis)
-                lo, hi = axis_pair_index_arrays(self.universe, axis)
+                lo, hi = self.axis_pair_slices(axis)
                 np.maximum(best[lo], dist, out=best[lo])
                 np.maximum(best[hi], dist, out=best[hi])
             return best
@@ -398,8 +546,16 @@ class MetricContext:
         )
 
 
-def get_context(curve: SpaceFillingCurve) -> MetricContext:
+def get_context(
+    curve: Union[SpaceFillingCurve, MetricContext],
+) -> MetricContext:
     """The shared :class:`MetricContext` of ``curve`` (created lazily).
+
+    Also the coercion point of the whole downstream stack: every
+    function in :mod:`repro.analysis` and :mod:`repro.apps` accepts
+    either a bare curve or an existing context and calls this first, so
+    passing an already-built context (e.g. one obtained from a
+    :class:`repro.engine.ContextPool`) is a no-op that reuses its cache.
 
     The legacy free functions route through this, so repeated metric
     calls on the same curve reuse intermediates no matter which API
@@ -412,6 +568,8 @@ def get_context(curve: SpaceFillingCurve) -> MetricContext:
     custom budget (or ``max_bytes=0`` to disable caching), construct a
     private :class:`MetricContext` directly.
     """
+    if isinstance(curve, MetricContext):
+        return curve
     ctx = getattr(curve, "_metric_context", None)
     if ctx is None:
         ctx = MetricContext(curve, max_bytes=DEFAULT_CACHE_BYTES)

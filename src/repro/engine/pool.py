@@ -1,0 +1,205 @@
+"""The ContextPool: shared metric contexts across curves of a universe.
+
+A :class:`repro.engine.MetricContext` kills redundancy *within* one
+curve; a :class:`ContextPool` kills it *across* curves:
+
+* **Universe sharing** — curve-independent intermediates (today the
+  neighbor-count grid ``|N(α)|``) live in one per-universe store, so a
+  ten-curve sweep of a universe materializes them once instead of ten
+  times.
+* **Transform derivation** — the curves in
+  :mod:`repro.curves.transforms` are grid automorphisms of an inner
+  curve, so their key grids and per-axis ``∆π`` arrays are cheap array
+  transforms (negate / flip / transpose) of the inner curve's cached
+  arrays.  The pool wires those derivation rules into the derived
+  curve's context: the arrays produced are **bit-for-bit identical** to
+  from-scratch computation, but cost ``O(n)`` array ops instead of a
+  full curve evaluation, and are counted under
+  :attr:`CacheStats.derived` rather than ``computes``.
+
+:class:`repro.engine.Sweep` runs over a pool by default; the aggregate
+:attr:`ContextPool.stats` land on the sweep result (and behind
+``repro sweep --stats``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from repro.curves.base import SpaceFillingCurve
+from repro.engine.context import (
+    DEFAULT_CACHE_BYTES,
+    CacheStats,
+    MetricContext,
+    _BoundedStore,
+)
+from repro.grid.universe import Universe
+
+__all__ = ["ContextPool", "transform_derivations"]
+
+
+def transform_derivations(
+    curve: SpaceFillingCurve, base: MetricContext
+) -> Optional[Dict[str, Callable[[], np.ndarray]]]:
+    """Derivation rules for a transform-derived ``curve``, or ``None``.
+
+    ``base`` is the context of ``curve.inner``.  Each rule is a zero-arg
+    factory producing an intermediate bit-for-bit equal to what the
+    derived curve would compute from scratch, but built from the base
+    context's cached arrays:
+
+    * :class:`~repro.curves.transforms.ReversedCurve` —
+      ``π' = n−1−π`` so ``∆π'`` arrays are *the same objects* as the
+      base's; the key grid is an arithmetic complement.
+    * :class:`~repro.curves.transforms.ReflectedCurve` — reflection
+      flips the listed axes of both the key grid and every pair array.
+    * :class:`~repro.curves.transforms.AxisPermutedCurve` — axis
+      relabeling transposes the grids; the pairs along new axis ``i``
+      are the base pairs along axis ``perm^{-1}[i]``, transposed.
+    """
+    from repro.curves.transforms import (
+        AxisPermutedCurve,
+        ReflectedCurve,
+        ReversedCurve,
+    )
+
+    universe = curve.universe
+    rules: Dict[str, Callable[[], np.ndarray]] = {}
+    if isinstance(curve, ReversedCurve):
+        rules["key_grid"] = lambda: universe.n - 1 - base.key_grid()
+        for axis in range(universe.d):
+            rules[f"axis_dist[{axis}]"] = (
+                lambda a=axis: base.axis_pair_curve_distances(a)
+            )
+        return rules
+    if isinstance(curve, ReflectedCurve):
+        axes = tuple(curve.axes)
+        if not axes:  # reflecting no axes is the identity transform
+            rules["key_grid"] = lambda: base.key_grid().copy()
+            for axis in range(universe.d):
+                rules[f"axis_dist[{axis}]"] = (
+                    lambda a=axis: base.axis_pair_curve_distances(a)
+                )
+            return rules
+        rules["key_grid"] = lambda: np.ascontiguousarray(
+            np.flip(base.key_grid(), axis=axes)
+        )
+        for axis in range(universe.d):
+            rules[f"axis_dist[{axis}]"] = lambda a=axis: np.ascontiguousarray(
+                np.flip(base.axis_pair_curve_distances(a), axis=axes)
+            )
+        return rules
+    if isinstance(curve, AxisPermutedCurve):
+        # grid'[x] = grid[y] with y[k] = x[perm[k]]  ⇔  transpose(inv).
+        inv = tuple(int(v) for v in np.argsort(curve.perm))
+        rules["key_grid"] = lambda: np.ascontiguousarray(
+            base.key_grid().transpose(inv)
+        )
+        for axis in range(universe.d):
+            # Bumping new axis i bumps base axis inv[i]: the pair array
+            # along i is the base pair array along inv[i], transposed.
+            rules[f"axis_dist[{axis}]"] = lambda a=axis: np.ascontiguousarray(
+                base.axis_pair_curve_distances(inv[a]).transpose(inv)
+            )
+        return rules
+    return None
+
+
+class ContextPool:
+    """A family of :class:`MetricContext`\\ s with shared state.
+
+    ``get(curve)`` returns the pool's context for that curve object,
+    creating it on first sight.  Contexts of the same universe share one
+    store for curve-independent intermediates, and transform-derived
+    curves (``curve.inner``) get derivation rules against their inner
+    curve's context (created transitively).  ``get`` also accepts an
+    existing :class:`MetricContext` and returns it unchanged, so the
+    pool composes with the ``get_context`` coercion used throughout
+    :mod:`repro.analysis` and :mod:`repro.apps`.
+
+    The pool holds strong references to its curves: its lifetime should
+    be scoped to a unit of work (one sweep, one report), not global.
+
+    >>> from repro import Universe, ZCurve
+    >>> from repro.engine import ContextPool
+    >>> pool = ContextPool()
+    >>> ctx = pool.get(ZCurve(Universe.power_of_two(d=2, k=3)))
+    >>> pool.get(ctx.curve) is ctx
+    True
+    """
+
+    def __init__(
+        self,
+        max_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
+        derive_transforms: bool = True,
+    ) -> None:
+        self.max_bytes = max_bytes
+        self.derive_transforms = derive_transforms
+        self._contexts: Dict[int, MetricContext] = {}
+        # Strong curve refs: keep id() keys stable for the pool's life.
+        self._curves: Dict[int, SpaceFillingCurve] = {}
+        self._universe_stores: Dict[Universe, _BoundedStore] = {}
+
+    def __len__(self) -> int:
+        return len(self._contexts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ContextPool({len(self._contexts)} contexts, "
+            f"{len(self._universe_stores)} universes, {self.stats!r})"
+        )
+
+    def universe_store(self, universe: Universe) -> _BoundedStore:
+        """The shared store for curve-independent state of ``universe``."""
+        store = self._universe_stores.get(universe)
+        if store is None:
+            store = _BoundedStore(self.max_bytes)
+            self._universe_stores[universe] = store
+        return store
+
+    def get(
+        self, curve: Union[SpaceFillingCurve, MetricContext]
+    ) -> MetricContext:
+        """The pooled context of ``curve`` (contexts pass through)."""
+        if isinstance(curve, MetricContext):
+            return curve
+        ctx = self._contexts.get(id(curve))
+        if ctx is not None:
+            return ctx
+        ctx = MetricContext(
+            curve,
+            max_bytes=self.max_bytes,
+            universe_store=self.universe_store(curve.universe),
+        )
+        if self.derive_transforms:
+            inner = getattr(curve, "inner", None)
+            if isinstance(inner, SpaceFillingCurve):
+                rules = transform_derivations(curve, self.get(inner))
+                if rules:
+                    ctx._derivations.update(rules)
+        self._contexts[id(curve)] = ctx
+        self._curves[id(curve)] = curve
+        return ctx
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregate counters over all member contexts + shared stores."""
+        return CacheStats.aggregate(
+            [ctx.stats for ctx in self._contexts.values()]
+            + [store.stats for store in self._universe_stores.values()]
+        )
+
+    @property
+    def cache_bytes(self) -> int:
+        """Total bytes held across all member and shared stores."""
+        return sum(
+            ctx.cache_bytes for ctx in self._contexts.values()
+        ) + sum(store.nbytes for store in self._universe_stores.values())
+
+    def clear(self) -> None:
+        """Drop every context, curve reference and shared store."""
+        self._contexts.clear()
+        self._curves.clear()
+        self._universe_stores.clear()

@@ -6,23 +6,34 @@ Every benchmark, example and CLI table in this repo is some flavor of
 
     Sweep(dims=[2, 3], sides=[16, 32],
           curves=["hilbert", "z", "random:seed=3"],
-          metrics=["davg", "dmax", "davg_ratio"]).run()
+          metrics=["davg", "dilation:window=16", "partition:parts=8"]).run()
 
 * **Curve specs** are strings ``name[:key=val[,key=val...]]`` parsed
   into registry kwargs (``"random:seed=3"`` →
   ``make_curve("random", u, seed=3)``); see :class:`CurveSpec`.
-* **Metrics** are names in the :data:`METRICS` registry, each a function
-  of a :class:`repro.engine.MetricContext`, so every metric of a cell
-  shares one cached set of intermediates.
+* **Metric specs** use the same grammar over the :data:`METRICS`
+  registry (``"dilation:window=16"``); see :class:`MetricSpec`.  Each
+  registered metric is a function of a
+  :class:`repro.engine.MetricContext` (plus declared parameters), so
+  every metric of a cell shares one cached set of intermediates —
+  stretch, clustering, dilation and the application metrics all pull
+  from the same context.
 * **Applicability** uses the curve registry's capability metadata;
   skipped (universe, curve) cells are reported on the result, and
   ``strict=True`` raises on genuine construction errors.
+* Serial sweeps run over a shared :class:`repro.engine.ContextPool`
+  (``pooled=False`` opts out), so curve-independent intermediates are
+  computed once per universe and transform-derived curves reuse their
+  inner curve's arrays; the pool's aggregate
+  :class:`repro.engine.CacheStats` land on the result.
 * ``processes=N`` fans the (universe, curve) cells out over a process
-  pool — each cell is independent, so the sweep parallelizes trivially.
+  pool — each cell is independent, so the sweep parallelizes trivially
+  (contexts cannot be shared across processes; cells still share
+  intermediates internally).
 
 :func:`repro.core.summary.survey` is now a thin wrapper over ``Sweep``;
 the structured :class:`SweepResult` additionally carries per-metric
-value dicts and a ready-to-print table.
+value dicts, a ready-to-print table, and the engine cache counters.
 """
 
 from __future__ import annotations
@@ -37,12 +48,16 @@ from repro.curves.registry import (
     curve_applicability,
     make_curve,
 )
-from repro.engine.context import MetricContext
+from repro.engine.context import CacheStats, MetricContext
+from repro.engine.pool import ContextPool
 from repro.grid.universe import Universe
 
 __all__ = [
     "CurveSpec",
+    "MetricSpec",
+    "MetricEntry",
     "parse_curve_spec",
+    "parse_metric_spec",
     "METRICS",
     "register_metric",
     "Sweep",
@@ -53,7 +68,7 @@ __all__ = [
 
 
 # ----------------------------------------------------------------------
-# Curve specs
+# Spec grammar (shared by curve and metric specs)
 # ----------------------------------------------------------------------
 def _coerce(text: str) -> object:
     """Parse a spec value: int, then float, then bool, else string."""
@@ -76,46 +91,47 @@ def _render(value: object) -> str:
     return str(value)
 
 
-@dataclass(frozen=True)
-class CurveSpec:
-    """A curve name plus constructor kwargs, round-trippable to a string.
+def _parse_spec_text(
+    spec: str, kind: str
+) -> Tuple[str, Tuple[Tuple[str, object], ...]]:
+    """Parse ``name[:key=val,...]`` into (name, kwargs tuple)."""
+    text = spec.strip()
+    if not text:
+        raise ValueError(f"empty {kind} spec")
+    name, _, tail = text.partition(":")
+    name = name.strip()
+    if not name:
+        raise ValueError(f"{kind} spec {spec!r} has no name")
+    kwargs: List[Tuple[str, object]] = []
+    if tail:
+        for part in tail.split(","):
+            key, eq, raw = part.partition("=")
+            key = key.strip()
+            if not eq or not key:
+                raise ValueError(
+                    f"bad {kind} spec {spec!r}: expected key=value, "
+                    f"got {part!r}"
+                )
+            kwargs.append((key, _coerce(raw.strip())))
+    return name, tuple(kwargs)
 
-    >>> CurveSpec.parse("random:seed=3")
-    CurveSpec(name='random', kwargs=(('seed', 3),))
-    >>> str(CurveSpec.parse("random:seed=3"))
-    'random:seed=3'
-    """
+
+@dataclass(frozen=True)
+class _Spec:
+    """A name plus kwargs, round-trippable to ``name:key=val,...``."""
+
+    #: Spec flavor used in error messages ("curve" / "metric").
+    _kind = "spec"
 
     name: str
     kwargs: Tuple[Tuple[str, object], ...] = ()
 
     @classmethod
-    def parse(cls, spec: Union[str, "CurveSpec"]) -> "CurveSpec":
-        if isinstance(spec, CurveSpec):
+    def parse(cls, spec):
+        if isinstance(spec, cls):
             return spec
-        text = spec.strip()
-        if not text:
-            raise ValueError("empty curve spec")
-        name, _, tail = text.partition(":")
-        name = name.strip()
-        if not name:
-            raise ValueError(f"curve spec {spec!r} has no name")
-        kwargs: List[Tuple[str, object]] = []
-        if tail:
-            for part in tail.split(","):
-                key, eq, raw = part.partition("=")
-                key = key.strip()
-                if not eq or not key:
-                    raise ValueError(
-                        f"bad curve spec {spec!r}: expected key=value, "
-                        f"got {part!r}"
-                    )
-                kwargs.append((key, _coerce(raw.strip())))
-        return cls(name=name, kwargs=tuple(kwargs))
-
-    def make(self, universe: Universe):
-        """Instantiate the spec'd curve on ``universe``."""
-        return make_curve(self.name, universe, **dict(self.kwargs))
+        name, kwargs = _parse_spec_text(spec, cls._kind)
+        return cls(name=name, kwargs=kwargs)
 
     @property
     def label(self) -> str:
@@ -129,24 +145,137 @@ class CurveSpec:
         return self.label
 
 
+@dataclass(frozen=True)
+class CurveSpec(_Spec):
+    """A curve name plus constructor kwargs.
+
+    >>> CurveSpec.parse("random:seed=3")
+    CurveSpec(name='random', kwargs=(('seed', 3),))
+    >>> str(CurveSpec.parse("random:seed=3"))
+    'random:seed=3'
+    """
+
+    _kind = "curve"
+
+    def make(self, universe: Universe):
+        """Instantiate the spec'd curve on ``universe``."""
+        return make_curve(self.name, universe, **dict(self.kwargs))
+
+
+@dataclass(frozen=True)
+class MetricSpec(_Spec):
+    """A metric name plus parameters, e.g. ``"dilation:window=16"``.
+
+    >>> MetricSpec.parse("dilation:window=16").kwargs
+    (('window', 16),)
+    """
+
+    _kind = "metric"
+
+    def bind(self) -> "Callable[[MetricContext], object]":
+        """Resolve against :data:`METRICS` into a context function."""
+        if self.name not in METRICS:
+            raise KeyError(
+                f"unknown metrics [{self.label!r}]; "
+                f"available: {sorted(METRICS)}"
+            )
+        return METRICS[self.name].bind(dict(self.kwargs))
+
+
 def parse_curve_spec(spec: Union[str, CurveSpec]) -> CurveSpec:
     """Parse ``"name:key=val,..."`` into a :class:`CurveSpec`."""
     return CurveSpec.parse(spec)
 
 
+def parse_metric_spec(spec: Union[str, MetricSpec]) -> MetricSpec:
+    """Parse ``"name:key=val,..."`` into a :class:`MetricSpec`."""
+    return MetricSpec.parse(spec)
+
+
 # ----------------------------------------------------------------------
 # Metric registry
 # ----------------------------------------------------------------------
-MetricFn = Callable[[MetricContext], object]
+MetricFn = Callable[..., object]
 
-#: Declarative metric names → functions of a :class:`MetricContext`.
-METRICS: Dict[str, MetricFn] = {}
+
+@dataclass(frozen=True)
+class MetricEntry:
+    """One registered sweep metric: function + declared parameters."""
+
+    name: str
+    fn: MetricFn
+    description: str = ""
+    #: Accepted parameters as ``(name, default)`` pairs; metric-spec
+    #: kwargs outside this set are rejected at plan time.
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def signature(self) -> str:
+        """Human-readable parameter list, e.g. ``"window=1,metric=..."``."""
+        return ",".join(f"{k}={_render(v)}" for k, v in self.params)
+
+    def bind(self, kwargs: Dict[str, object]) -> MetricFn:
+        """The metric as a one-arg context function with bound params.
+
+        Validates both parameter *names* and *value types* (against each
+        declared default), so a bad spec fails at plan time with a clean
+        ``ValueError`` instead of mid-sweep with an arbitrary exception.
+        """
+        allowed = dict(self.params)
+        unknown = sorted(set(kwargs) - set(allowed))
+        if unknown:
+            accepts = self.signature or "no parameters"
+            raise ValueError(
+                f"metric {self.name!r} got unknown parameter(s) "
+                f"{unknown}; accepts {accepts}"
+            )
+        for key, value in kwargs.items():
+            default = allowed[key]
+            if isinstance(default, bool):
+                ok = isinstance(value, bool)
+            elif isinstance(default, float):
+                # ints are acceptable where a float is expected
+                ok = isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                )
+            elif isinstance(default, int):
+                ok = isinstance(value, int) and not isinstance(value, bool)
+            elif isinstance(default, str):
+                ok = isinstance(value, str)
+            else:
+                ok = True
+            if not ok:
+                raise ValueError(
+                    f"metric {self.name!r} parameter {key!r} expects "
+                    f"{type(default).__name__} (default {_render(default)}), "
+                    f"got {value!r}"
+                )
+        if not kwargs:
+            return self.fn
+        fn = self.fn
+        return lambda ctx: fn(ctx, **kwargs)
+
+
+#: Declarative metric names → :class:`MetricEntry` (functions of a
+#: :class:`MetricContext` plus declared parameters).
+METRICS: Dict[str, MetricEntry] = {}
 
 
 def register_metric(
-    name: str, fn: Optional[MetricFn] = None, *, overwrite: bool = False
+    name: str,
+    fn: Optional[MetricFn] = None,
+    *,
+    overwrite: bool = False,
+    description: str = "",
+    params: Sequence[Tuple[str, object]] = (),
 ):
-    """Register a sweep metric (direct call or decorator form)."""
+    """Register a sweep metric (direct call or decorator form).
+
+    ``fn`` takes a :class:`MetricContext` plus the keyword parameters
+    declared in ``params`` (as ``(name, default)`` pairs).  Policy: new
+    metrics land here — as a :class:`MetricContext`-consuming function —
+    rather than as free functions in the analysis/apps layers.
+    """
 
     def _register(f: MetricFn) -> MetricFn:
         if not overwrite and name in METRICS:
@@ -154,7 +283,12 @@ def register_metric(
                 f"metric {name!r} is already registered; pass "
                 "overwrite=True to replace it"
             )
-        METRICS[name] = f
+        METRICS[name] = MetricEntry(
+            name=name,
+            fn=f,
+            description=description,
+            params=tuple(params),
+        )
         return f
 
     if fn is None:
@@ -175,16 +309,105 @@ def _allpairs_metric(grid_metric: str) -> MetricFn:
     return fn
 
 
-register_metric("davg", lambda ctx: ctx.davg())
-register_metric("dmax", lambda ctx: ctx.dmax())
-register_metric("lower_bound", lambda ctx: ctx.lower_bound())
-register_metric("davg_ratio", lambda ctx: ctx.davg_ratio())
+def _dilation_metric(ctx: MetricContext, window: int = 1, metric: str = "manhattan"):
+    from repro.analysis.locality import window_dilation
+
+    return window_dilation(ctx, window, metric=metric)
+
+
+def _partition_metric(ctx: MetricContext, parts: int = 8) -> float:
+    from repro.apps.partition import partition_quality
+
+    return partition_quality(ctx, parts).cut_fraction
+
+
+def _clusters_metric(
+    ctx: MetricContext, box: int = 4, samples: int = 100, seed: int = 0
+) -> float:
+    from repro.analysis.clustering import expected_clusters
+
+    return expected_clusters(
+        ctx, (box,) * ctx.universe.d, n_samples=samples, seed=seed
+    )
+
+
+def _rangequery_metric(
+    ctx: MetricContext,
+    box: int = 4,
+    samples: int = 50,
+    seed: int = 0,
+    seek: float = 10.0,
+    scan: float = 1.0,
+) -> float:
+    from repro.apps.rangequery import SFCIndex
+
+    index = SFCIndex(ctx, seek_cost=seek, scan_cost=scan)
+    return index.average_query_cost(
+        (box,) * ctx.universe.d, n_samples=samples, seed=seed
+    )
+
+
 register_metric(
-    "lambdas", lambda ctx: tuple(int(v) for v in ctx.lambda_sums())
+    "davg", lambda ctx: ctx.davg(),
+    description="average-average NN stretch D^avg (Definition 2), exact",
 )
-register_metric("allpairs_manhattan", _allpairs_metric("manhattan"))
-register_metric("allpairs_euclidean", _allpairs_metric("euclidean"))
-register_metric("nn_mean", lambda ctx: float(ctx.nn_distance_values().mean()))
+register_metric(
+    "dmax", lambda ctx: ctx.dmax(),
+    description="average-maximum NN stretch D^max (Definition 4), exact",
+)
+register_metric(
+    "lower_bound", lambda ctx: ctx.lower_bound(),
+    description="Theorem 1 universal lower bound on D^avg",
+)
+register_metric(
+    "davg_ratio", lambda ctx: ctx.davg_ratio(),
+    description="D^avg / lower bound — the paper's optimality ratio",
+)
+register_metric(
+    "lambdas",
+    lambda ctx: tuple(int(v) for v in ctx.lambda_sums()),
+    description="Lemma 5 per-dimension stretch totals (Λ_1..Λ_d)",
+)
+register_metric(
+    "allpairs_manhattan", _allpairs_metric("manhattan"),
+    description="all-pairs stretch, Manhattan (exact ≤4096 cells, else sampled)",
+)
+register_metric(
+    "allpairs_euclidean", _allpairs_metric("euclidean"),
+    description="all-pairs stretch, Euclidean (exact ≤4096 cells, else sampled)",
+)
+register_metric(
+    "nn_mean", lambda ctx: float(ctx.nn_distance_values().mean()),
+    description="mean ∆π over NN pairs (expected key shift of a unit move)",
+)
+register_metric(
+    "dilation", _dilation_metric,
+    description="window dilation: max grid distance of a fixed curve-index "
+    "step (Gotsman-Lindenbaum reverse metric)",
+    params=(("window", 1), ("metric", "manhattan")),
+)
+register_metric(
+    "partition", _partition_metric,
+    description="edge-cut fraction of the p-way contiguous curve partition "
+    "(communication fraction)",
+    params=(("parts", 8),),
+)
+register_metric(
+    "clusters", _clusters_metric,
+    description="Moon et al. expected cluster count over random cubic boxes",
+    params=(("box", 4), ("samples", 100), ("seed", 0)),
+)
+register_metric(
+    "rangequery", _rangequery_metric,
+    description="mean seek+scan I/O cost of random cubic box queries",
+    params=(
+        ("box", 4),
+        ("samples", 50),
+        ("seed", 0),
+        ("seek", 10.0),
+        ("scan", 1.0),
+    ),
+)
 
 #: Metric set matching the legacy ``survey()`` columns.
 DEFAULT_METRICS: Tuple[str, ...] = (
@@ -239,6 +462,9 @@ class SweepResult:
 
     records: List[SweepRecord]
     skipped: List[SkippedCell] = field(default_factory=list)
+    #: Aggregate engine cache counters of the run (``None`` for
+    #: process-pool sweeps, where contexts live in the workers).
+    cache_stats: Optional[CacheStats] = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -268,7 +494,11 @@ class SweepResult:
 _Task = Tuple[int, int, str, Tuple[str, ...], bool, bool, int, int, bool]
 
 
-def _run_cell(task: _Task):
+def _run_cell(
+    task: _Task,
+    pool: Optional[ContextPool] = None,
+    stats_sink: Optional[List[CacheStats]] = None,
+):
     """Compute one (universe, curve) cell; top-level for pickling."""
     (
         d,
@@ -299,8 +529,13 @@ def _run_cell(task: _Task):
             side=side,
             reason=f"construction error: {exc}",
         )
-    ctx = MetricContext(curve)
-    values = {name: METRICS[name](ctx) for name in metrics}
+    ctx = pool.get(curve) if pool is not None else MetricContext(curve)
+    if pool is None and stats_sink is not None:
+        stats_sink.append(ctx.stats)
+    values = {}
+    for text in metrics:
+        metric_spec = MetricSpec.parse(text)
+        values[metric_spec.label] = metric_spec.bind()(ctx)
     report = None
     if with_report:
         report = stretch_report(
@@ -331,24 +566,27 @@ class Sweep:
     the legacy ``survey()``); otherwise curves is a list of names or
     ``"name:key=val"`` spec strings, kept in the given order.
 
-    ``metrics`` names entries of :data:`METRICS`.  ``reports=True``
+    ``metrics`` names entries of :data:`METRICS`, optionally
+    parameterized (``"dilation:window=16"``).  ``reports=True``
     additionally builds a full :class:`StretchReport` per cell (sharing
     the cell's cached intermediates, so this costs nothing extra for the
-    default metric set).  ``processes`` > 1 distributes cells over a
-    process pool.
+    default metric set).  Serial runs share one
+    :class:`repro.engine.ContextPool` (disable with ``pooled=False``);
+    ``processes`` > 1 distributes cells over a process pool instead.
     """
 
     dims: Optional[Sequence[int]] = None
     sides: Optional[Sequence[int]] = None
     universes: Optional[Sequence[Universe]] = None
     curves: Optional[Sequence[Union[str, CurveSpec]]] = None
-    metrics: Sequence[str] = DEFAULT_METRICS
+    metrics: Sequence[Union[str, MetricSpec]] = DEFAULT_METRICS
     reports: bool = True
     include_allpairs: bool = False
     allpairs_samples: int = 50_000
     seed: int = 0
     strict: bool = False
     processes: Optional[int] = None
+    pooled: bool = True
 
     def resolved_universes(self) -> List[Universe]:
         """The universe list the sweep will visit, in order."""
@@ -373,11 +611,15 @@ class Sweep:
         return [CurveSpec(name) for name in available_curves()]
 
     def _plan(self) -> Tuple[List[_Task], List[SkippedCell]]:
-        unknown = [m for m in self.metrics if m not in METRICS]
+        specs = [MetricSpec.parse(m) for m in self.metrics]
+        unknown = [s.label for s in specs if s.name not in METRICS]
         if unknown:
             raise KeyError(
                 f"unknown metrics {unknown}; available: {sorted(METRICS)}"
             )
+        for spec in specs:  # validate params eagerly, before any work
+            spec.bind()
+        metric_texts = tuple(s.label for s in specs)
         tasks: List[_Task] = []
         skipped: List[SkippedCell] = []
         for universe in self.resolved_universes():
@@ -400,7 +642,7 @@ class Sweep:
                         universe.d,
                         universe.side,
                         spec.label,
-                        tuple(self.metrics),
+                        metric_texts,
                         self.reports,
                         self.include_allpairs,
                         self.allpairs_samples,
@@ -413,17 +655,39 @@ class Sweep:
     def run(self) -> SweepResult:
         """Execute the sweep and return structured results."""
         tasks, skipped = self._plan()
+        cache_stats: Optional[CacheStats] = None
         if self.processes is not None and self.processes > 1 and tasks:
             with ProcessPoolExecutor(
                 max_workers=min(self.processes, len(tasks))
-            ) as pool:
-                outcomes = list(pool.map(_run_cell, tasks))
+            ) as executor:
+                outcomes = list(executor.map(_run_cell, tasks))
         else:
-            outcomes = [_run_cell(task) for task in tasks]
+            # One pool per universe: cross-curve sharing happens within
+            # a universe, and plan order groups cells by universe, so a
+            # finished universe's contexts are dead weight — scoping the
+            # pool bounds peak memory to one universe's curve set.
+            sink: List[CacheStats] = []
+            outcomes = []
+            pool: Optional[ContextPool] = None
+            pool_universe = None
+            for task in tasks:
+                if self.pooled and (task[0], task[1]) != pool_universe:
+                    if pool is not None:
+                        sink.append(pool.stats)
+                    pool = ContextPool()
+                    pool_universe = (task[0], task[1])
+                outcomes.append(
+                    _run_cell(task, pool=pool, stats_sink=sink)
+                )
+            if pool is not None:
+                sink.append(pool.stats)
+            cache_stats = CacheStats.aggregate(sink)
         records: List[SweepRecord] = []
         for outcome in outcomes:
             if isinstance(outcome, SkippedCell):
                 skipped.append(outcome)
             else:
                 records.append(outcome)
-        return SweepResult(records=records, skipped=skipped)
+        return SweepResult(
+            records=records, skipped=skipped, cache_stats=cache_stats
+        )

@@ -111,3 +111,31 @@ class TestExpectedClusters:
         assert clusters_s < clusters_z  # simple wins clustering
         # while stretch ranks them the other way:
         assert average_average_nn_stretch(z) < average_average_nn_stretch(s)
+
+
+class TestContextAcceptance:
+    def test_cluster_count_accepts_context(self, u2_8):
+        from repro.engine.context import get_context
+
+        curve = HilbertCurve(u2_8)
+        ctx = get_context(curve)
+        assert cluster_count(ctx, (1, 2), (5, 7)) == cluster_count(
+            curve, (1, 2), (5, 7)
+        )
+
+    def test_expected_clusters_accepts_context(self, u2_8):
+        from repro.engine.context import get_context
+
+        curve = ZCurve(u2_8)
+        assert expected_clusters(
+            get_context(curve), (2, 2), 20, seed=5
+        ) == expected_clusters(curve, (2, 2), 20, seed=5)
+
+    def test_no_curve_evaluation_after_grid_built(self, u2_8):
+        """Cluster counts come off the cached key grid (one build)."""
+        from repro.engine.context import MetricContext
+
+        ctx = MetricContext(ZCurve(u2_8))
+        expected_clusters(ctx, (3, 3), 30, seed=1)
+        assert ctx.stats.compute_count("key_grid") == 1
+        assert ctx.stats.hits >= 29

@@ -83,3 +83,44 @@ class TestIsConverging:
     def test_empty_raises(self):
         with pytest.raises(ValueError):
             is_converging([])
+
+
+class TestMetricConvergenceStudy:
+    def test_engine_backed_measure(self):
+        from repro.analysis.convergence import metric_convergence_study
+        from repro.core.asymptotics import davg_z_limit
+        from repro.engine.context import MetricContext
+        from repro.engine.pool import ContextPool
+        from repro.curves.zcurve import ZCurve
+        from repro.grid.universe import Universe
+
+        pool = ContextPool()
+        points = metric_convergence_study(
+            [2, 3, 4],
+            curve="z",
+            metric="davg",
+            reference=lambda k: davg_z_limit(4**k, 2),
+            d=2,
+            pool=pool,
+        )
+        assert [pt.n for pt in points] == [16, 64, 256]
+        assert len(pool) == 3
+        for pt in points:
+            u = Universe.power_of_two(d=2, k=pt.parameter)
+            assert pt.measured == MetricContext(ZCurve(u)).davg()
+        # Theorem 2's ~ claim: the ratio approaches 1 from these sizes on.
+        gaps = [pt.gap for pt in points]
+        assert gaps[-1] < gaps[0]
+
+    def test_parameterized_metric_spec(self):
+        from repro.analysis.convergence import metric_convergence_study
+
+        points = metric_convergence_study(
+            [2, 3],
+            curve="hilbert",
+            metric="dilation:window=1",
+            reference=lambda k: 1.0,
+            d=2,
+        )
+        # A continuous curve has dilation exactly 1 at window 1.
+        assert all(pt.ratio == 1.0 for pt in points)

@@ -73,3 +73,33 @@ class TestDilationProfile:
         sharp contrast bench A6 reports."""
         profile = dilation_profile(ZCurve(u2_8), [1])
         assert profile[1] >= 7
+
+
+class TestContextAcceptance:
+    def test_context_and_curve_agree(self, u2_8):
+        from repro.engine.context import get_context
+
+        curve = ZCurve(u2_8)
+        ctx = get_context(curve)
+        for window in (1, 3, 7):
+            assert window_dilation(ctx, window) == window_dilation(
+                curve, window
+            )
+
+    def test_profile_caches_window_arrays(self, u2_8):
+        from repro.engine.context import MetricContext
+
+        ctx = MetricContext(HilbertCurve(u2_8))
+        dilation_profile(ctx, [1, 2, 4])
+        dilation_profile(ctx, [1, 2, 4])
+        for window in (1, 2, 4):
+            key = f"win_dist[{window},manhattan]"
+            assert ctx.stats.compute_count(key) == 1
+
+    def test_worst_pairs_from_context(self, u2_8):
+        from repro.engine.context import get_context
+
+        z = ZCurve(u2_8)
+        a1, b1 = worst_window_pairs(z, 2)
+        a2, b2 = worst_window_pairs(get_context(z), 2)
+        assert np.array_equal(a1, a2) and np.array_equal(b1, b2)

@@ -167,3 +167,28 @@ class TestCurveComparison:
         cut_z = partition_quality(ZCurve(u), 32).edge_cut
         cut_s = partition_quality(SimpleCurve(u), 32).edge_cut
         assert cut_z < cut_s
+
+
+class TestContextAcceptance:
+    def test_partition_accepts_context(self, u2_8):
+        from repro.engine.context import get_context
+
+        curve = ZCurve(u2_8)
+        via_curve = partition_by_curve(curve, 4)
+        via_ctx = partition_by_curve(get_context(curve), 4)
+        assert np.array_equal(via_curve, via_ctx)
+
+    def test_quality_accepts_context(self, u2_8):
+        from repro.engine.context import get_context
+
+        curve = HilbertCurve(u2_8)
+        assert partition_quality(get_context(curve), 8) == partition_quality(
+            curve, 8
+        )
+
+    def test_halo_accepts_context(self, u2_8):
+        from repro.apps.halo import halo_exchange
+        from repro.engine.context import get_context
+
+        curve = ZCurve(u2_8)
+        assert halo_exchange(get_context(curve), 4) == halo_exchange(curve, 4)

@@ -91,3 +91,25 @@ class TestQueryCost:
         ) - SFCIndex(z, seek_cost=50.0).average_query_cost((3, 3), 20, seed=1)
         assert dear_seek_gap > cheap_seek_gap
         assert cheap_seek_gap == pytest.approx(0.0)  # same volume read
+
+
+class TestContextAcceptance:
+    def test_index_accepts_context(self, u2_8):
+        from repro.engine.context import get_context
+        from repro.curves.zcurve import ZCurve
+
+        curve = ZCurve(u2_8)
+        via_curve = SFCIndex(curve).query_runs((1, 2), (5, 7))
+        via_ctx = SFCIndex(get_context(curve)).query_runs((1, 2), (5, 7))
+        assert via_curve == via_ctx
+
+    def test_queries_reuse_cached_inverse(self, u2_8):
+        from repro.engine.context import MetricContext
+        from repro.curves.zcurve import ZCurve
+
+        ctx = MetricContext(ZCurve(u2_8))
+        index = SFCIndex(ctx)
+        index.query_cells((0, 0), (3, 3))
+        index.query_cells((2, 2), (6, 6))
+        assert ctx.stats.compute_count("inverse_perm") == 1
+        assert ctx.stats.compute_count("key_grid") == 1

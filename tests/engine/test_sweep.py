@@ -219,3 +219,77 @@ class TestMetricRegistry:
             )
         finally:
             METRICS.pop("test_only_metric", None)
+
+
+class TestMetricSpec:
+    def test_bare_name(self):
+        from repro.engine.sweep import MetricSpec
+
+        spec = MetricSpec.parse("davg")
+        assert spec.name == "davg"
+        assert spec.kwargs == ()
+        assert str(spec) == "davg"
+
+    def test_params_parsed(self):
+        from repro.engine.sweep import MetricSpec
+
+        spec = MetricSpec.parse("dilation:window=16,metric=euclidean")
+        assert dict(spec.kwargs) == {"window": 16, "metric": "euclidean"}
+
+    @pytest.mark.parametrize(
+        "text", ["davg", "dilation:window=16", "partition:parts=8"]
+    )
+    def test_round_trip(self, text):
+        from repro.engine.sweep import MetricSpec, parse_metric_spec
+
+        spec = MetricSpec.parse(text)
+        assert parse_metric_spec(str(spec)) == spec
+        assert str(spec) == text
+
+    def test_bind_unknown_name_raises(self):
+        from repro.engine.sweep import MetricSpec
+
+        with pytest.raises(KeyError, match="unknown metrics"):
+            MetricSpec.parse("nope").bind()
+
+    def test_bind_validates_params(self, u2_8):
+        from repro.engine.sweep import MetricSpec
+        from repro.engine.context import MetricContext
+        from repro.curves.zcurve import ZCurve
+
+        fn = MetricSpec.parse("dilation:window=3").bind()
+        ctx = MetricContext(ZCurve(u2_8))
+        from repro.analysis.locality import window_dilation
+
+        assert fn(ctx) == window_dilation(ctx, 3)
+
+    def test_registered_entry_metadata(self):
+        from repro.engine.sweep import METRICS
+
+        entry = METRICS["dilation"]
+        assert entry.signature == "window=1,metric=manhattan"
+        assert "dilation" in entry.description
+
+    def test_register_with_params(self, u2_8):
+        from repro.engine.sweep import METRICS, Sweep, register_metric
+
+        @register_metric(
+            "test_scaled_davg",
+            description="davg times a factor",
+            params=(("factor", 2),),
+        )
+        def metric(ctx, factor=2):
+            return ctx.davg() * factor
+
+        try:
+            result = Sweep(
+                universes=[u2_8], curves=["z"],
+                metrics=("davg", "test_scaled_davg:factor=3"),
+                reports=False,
+            ).run()
+            (record,) = result.records
+            assert record.values["test_scaled_davg:factor=3"] == (
+                3 * record.values["davg"]
+            )
+        finally:
+            METRICS.pop("test_scaled_davg", None)

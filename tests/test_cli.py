@@ -167,3 +167,77 @@ class TestSweepCommand:
             == 0
         )
         assert "z" in capsys.readouterr().out
+
+
+class TestRegistryCommands:
+    def test_metrics_lists_registry(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "dilation" in out
+        assert "window=1" in out
+        assert "partition" in out
+        assert "parts=8" in out
+        assert "Definition 2" in out
+
+    def test_curves_lists_capabilities(self, capsys):
+        assert main(["curves"]) == 0
+        out = capsys.readouterr().out
+        assert "hilbert" in out
+        assert "2^m" in out
+        assert "3^m" in out  # peano
+        assert "min_side" in out
+
+
+class TestSweepMetricSpecs:
+    def test_sweep_parameterized_metrics(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--sides", "8",
+                    "--curves", "z,hilbert",
+                    "--metrics", "davg,dilation:window=16,partition:parts=8",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "dilation:window=16" in out
+        assert "partition:parts=8" in out
+
+    def test_sweep_stats_flag(self, capsys):
+        assert (
+            main(
+                ["sweep", "--sides", "4", "--curves", "z,simple", "--stats"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "engine cache:" in out
+        assert "hit_rate=" in out
+
+    def test_sweep_no_pool(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--sides", "4",
+                    "--curves", "z",
+                    "--no-pool",
+                    "--stats",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "engine cache:" in out
+
+    def test_sweep_bad_metric_param_errors(self, capsys):
+        assert main(["sweep", "--metrics", "davg:bogus=1"]) == 2
+        err = capsys.readouterr().err
+        assert "parameter" in err
+
+    def test_sweep_bad_metric_value_errors(self, capsys):
+        assert main(["sweep", "--metrics", "dilation:window=1.5"]) == 2
+        err = capsys.readouterr().err
+        assert "expects int" in err
