@@ -14,6 +14,8 @@ track cache effectiveness alongside wall-clock over time.
 
 from __future__ import annotations
 
+import time
+import tracemalloc
 from pathlib import Path
 
 import pytest
@@ -65,6 +67,43 @@ def run_sweep(request):
         return result
 
     return run
+
+
+@pytest.fixture
+def peak_memory(request):
+    """Measure a callable's allocation peak (tracemalloc) + wall-clock.
+
+    Returns ``measure(label, fn) -> (value, peak_bytes, seconds)``.
+    Every measurement lands under ``extra_info["peak_memory"][label]``
+    in the benchmark JSON when the test also uses the ``benchmark``
+    fixture — how bench_p3 records dense-vs-chunked footprints over
+    time.  tracemalloc tracks NumPy's buffers, so unlike ``ru_maxrss``
+    (monotone per process) the peak resets per measured phase.
+    """
+    payload: dict = {}
+
+    def measure(label: str, fn):
+        tracemalloc.start()
+        try:
+            start = time.perf_counter()
+            value = fn()
+            seconds = time.perf_counter() - start
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        payload[label] = {
+            "peak_bytes": int(peak),
+            "seconds": round(seconds, 4),
+        }
+        # Only attach to a benchmark the test itself declared (and
+        # therefore runs): instantiating an unused benchmark fixture
+        # here would both warn and suppress the JSON output.
+        if "benchmark" in request.fixturenames:
+            bench = request.getfixturevalue("benchmark")
+            bench.extra_info["peak_memory"] = payload
+        return value, peak, seconds
+
+    return measure
 
 
 @pytest.fixture

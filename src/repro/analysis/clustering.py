@@ -52,10 +52,15 @@ def box_keys(ctx, lo: Sequence[int], hi: Sequence[int]) -> np.ndarray:
 
     ``ctx`` is a :class:`repro.engine.MetricContext` (or anything
     :func:`get_context` accepts).  The shared primitive behind the
-    cluster count and the range-query index.
+    cluster count and the range-query index.  Chunked contexts evaluate
+    the curve on the box's cells directly (``O(volume)``, no dense
+    grid); the sorted keys are identical either way.
     """
     ctx = get_context(ctx)
     lo_arr, hi_arr = box_bounds(ctx.universe, lo, hi)
+    if ctx.chunked:
+        cells = rectangle_cells(ctx.universe, lo_arr, hi_arr)
+        return np.sort(ctx.curve.index(cells), axis=None)
     box = tuple(slice(int(a), int(b)) for a, b in zip(lo_arr, hi_arr))
     return np.sort(ctx.key_grid()[box], axis=None)
 

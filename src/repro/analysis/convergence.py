@@ -78,6 +78,7 @@ def metric_convergence_study(
     reference: Callable[[int], float],
     d: int = 2,
     pool: Optional["ContextPool"] = None,
+    chunk_cells: Optional[int] = None,
 ) -> list[ConvergencePoint]:
     """:func:`convergence_study` of a registered engine metric along ``k``.
 
@@ -87,13 +88,19 @@ def metric_convergence_study(
     contexts come from one shared :class:`repro.engine.ContextPool`, so
     the sweep reuses intermediates the same way a declarative
     :class:`repro.engine.Sweep` does.
+
+    ``chunk_cells`` runs every context in the engine's chunked mode —
+    the knob that lets a convergence study climb past the dense-grid
+    ceiling toward the asymptotic regimes the paper reasons about
+    (values are bit-for-bit identical to the dense mode where both run).
+    Ignored when an explicit ``pool`` is supplied.
     """
     from repro.engine.pool import ContextPool
     from repro.engine.sweep import CurveSpec, MetricSpec
     from repro.grid.universe import Universe
 
     if pool is None:
-        pool = ContextPool()
+        pool = ContextPool(chunk_cells=chunk_cells)
     curve_spec = CurveSpec.parse(curve)
     metric_fn = MetricSpec.parse(metric).bind()
 

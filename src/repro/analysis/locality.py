@@ -31,13 +31,11 @@ def window_dilation(
 
     ``max_α ∆(π^{-1}(t), π^{-1}(t+window))`` — the worst-case grid jump
     of a fixed-size curve step.  ``curve`` may be a curve or a
-    :class:`repro.engine.MetricContext`.
+    :class:`repro.engine.MetricContext`; chunked contexts reduce
+    block-wise over :meth:`~repro.engine.MetricContext.iter_window_pairs`
+    with values identical to the dense path.
     """
-    ctx = get_context(curve)
-    dist = ctx.window_shift_distances(window, metric)
-    if metric == "manhattan":
-        return int(dist.max())
-    return float(dist.max())
+    return get_context(curve).window_dilation(window, metric=metric)
 
 
 def worst_window_pairs(
@@ -48,6 +46,17 @@ def worst_window_pairs(
     Returns two ``(m, d)`` arrays of the worst pairs' endpoints.
     """
     ctx = get_context(curve)
+    if ctx.chunked:
+        from repro.grid.metrics import manhattan
+
+        best = ctx.window_dilation(window)
+        firsts, seconds = [], []
+        for _, _, a, b in ctx.iter_window_pairs(window):
+            worst = manhattan(a, b) == best
+            if worst.any():
+                firsts.append(a[worst])
+                seconds.append(b[worst])
+        return np.concatenate(firsts), np.concatenate(seconds)
     dist = ctx.window_shift_distances(window, "manhattan")
     path = ctx.order()
     a, b = path[:-window], path[window:]

@@ -62,6 +62,12 @@ def partition_by_curve(
     ctx = get_context(curve)
     universe = ctx.universe
     n = universe.n
+    if ctx.chunked:
+        raise ValueError(
+            "partition_by_curve materializes a dense label grid and is "
+            "unavailable in chunked mode; partition_quality computes "
+            "balance and edge cut block-wise"
+        )
     if not 1 <= n_parts <= n:
         raise ValueError(f"n_parts must be in [1, {n}], got {n_parts}")
     keys = ctx.key_grid()
@@ -178,8 +184,54 @@ class PartitionQuality:
 
     @property
     def cut_fraction(self) -> float:
-        """Fraction of NN pairs crossing parts (communication fraction)."""
+        """Fraction of NN pairs crossing parts (communication fraction).
+
+        0.0 on degenerate universes with no NN pairs at all.
+        """
+        if self.total_nn_pairs == 0:
+            return 0.0
         return self.edge_cut / self.total_nn_pairs
+
+
+def _uniform_part_sizes(n: int, n_parts: int) -> np.ndarray:
+    """Cell counts of the equal-count curve split, without labels.
+
+    Part ``p`` holds the curve positions ``j`` with
+    ``(j * n_parts) // n == p``, i.e. ``ceil(p·n/n_parts) <= j <
+    ceil((p+1)·n/n_parts)`` — the same counts ``np.bincount`` reports
+    for the dense label grid.
+    """
+    bounds = (
+        np.arange(n_parts + 1, dtype=np.int64) * n + n_parts - 1
+    ) // n_parts
+    return np.diff(bounds)
+
+
+def _edge_cut_chunked(ctx, n_parts: int) -> int:
+    """Equal-count-split edge cut via key slabs (no dense labels).
+
+    The part of a cell is ``(key * n_parts) // n`` — exactly the label
+    the dense path assigns — so counting label mismatches across the
+    slab-wise NN pairs reproduces :func:`edge_cut` bit-for-bit while
+    holding one slab (plus a carried boundary plane) at a time.
+    """
+    from repro.engine.chunked import slab_axis_slices
+
+    universe = ctx.universe
+    d, side, n = universe.d, universe.side, universe.n
+    cut = 0
+    prev_labels = None
+    for lo, hi, slab in ctx.iter_key_slabs():
+        labels = (slab * n_parts) // n
+        for axis in range(1, d):
+            sel_lo, sel_hi = slab_axis_slices(d, side, axis)
+            cut += int((labels[sel_lo] != labels[sel_hi]).sum())
+        if hi - lo > 1:
+            cut += int((labels[1:] != labels[:-1]).sum())
+        if prev_labels is not None:
+            cut += int((labels[:1] != prev_labels).sum())
+        prev_labels = labels[-1:].copy()
+    return cut
 
 
 def partition_quality(
@@ -187,10 +239,37 @@ def partition_quality(
     n_parts: int,
     weights: np.ndarray | None = None,
 ) -> PartitionQuality:
-    """Partition by ``curve`` and summarize balance and communication."""
+    """Partition by ``curve`` and summarize balance and communication.
+
+    Chunked contexts are supported for the uniform (unweighted) split:
+    balance comes from the closed-form part sizes and the edge cut from
+    a block-wise sweep, both identical to the dense computation.
+    """
     from repro.grid.neighbors import nn_pair_count
 
     ctx = get_context(curve)
+    if ctx.chunked:
+        if weights is not None:
+            raise ValueError(
+                "weighted partitioning needs the dense engine mode "
+                "(chunked contexts cannot materialize the per-cell "
+                "weight order)"
+            )
+        universe = ctx.universe
+        n = universe.n
+        if not 1 <= n_parts <= n:
+            raise ValueError(
+                f"n_parts must be in [1, {n}], got {n_parts}"
+            )
+        loads = _uniform_part_sizes(n, n_parts).astype(np.float64)
+        mean = loads.sum() / n_parts
+        return PartitionQuality(
+            curve_name=ctx.curve.name,
+            n_parts=n_parts,
+            imbalance=float(loads.max() / mean),
+            edge_cut=_edge_cut_chunked(ctx, n_parts),
+            total_nn_pairs=nn_pair_count(universe),
+        )
     labels = partition_by_curve(ctx, n_parts, weights)
     return PartitionQuality(
         curve_name=ctx.curve.name,

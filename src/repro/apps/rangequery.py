@@ -93,6 +93,10 @@ class SFCIndex:
         keys = np.concatenate(
             [np.arange(a, b + 1, dtype=np.int64) for a, b in runs]
         )
+        if self._ctx.chunked:
+            # No dense inverse in chunked mode; invert the run's keys
+            # directly (O(cells read) for analytically invertible curves).
+            return self._ctx.curve.coords(keys)
         ranks = self._ctx.inverse_permutation()[keys]
         return rank_to_coords(ranks, self._ctx.universe)
 

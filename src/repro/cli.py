@@ -113,6 +113,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the shared ContextPool (per-cell contexts)",
     )
+    p_sweep.add_argument(
+        "--chunk-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the engine in chunked mode with N cells per block "
+        "(0 forces dense; default: auto-select chunked when the dense "
+        "key grid would exceed the cache budget)",
+    )
 
     sub.add_parser(
         "metrics", help="list registered sweep metrics (name, params, description)"
@@ -196,6 +205,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     metrics = tuple(args.metrics)
     if args.allpairs:
         metrics += ("allpairs_manhattan", "allpairs_euclidean")
+    # A process sweep cannot pool; the CLI user made no pooling choice
+    # to warn about, so opt out explicitly instead of surfacing the
+    # API-level RuntimeWarning (whose remedy names a Python kwarg).
+    pooled = not args.no_pool
+    if args.processes is not None and args.processes > 1:
+        pooled = False
     result = Sweep(
         dims=args.dims,
         sides=args.sides,
@@ -204,7 +219,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         reports=False,
         processes=args.processes,
         strict=args.strict,
-        pooled=not args.no_pool,
+        pooled=pooled,
+        chunk_cells=args.chunk_cells,
     ).run()
     print(f"# sweep over dims={args.dims} sides={args.sides}")
     print(result.to_table())

@@ -99,7 +99,7 @@ def stretch_report(
         davg=davg,
         dmax=dmax,
         lower_bound=bound,
-        davg_ratio=davg / bound,
+        davg_ratio=ctx.davg_ratio(),
         lambdas=tuple(int(v) for v in ctx.lambda_sums()),
         allpairs_manhattan=ap_m,
         allpairs_euclidean=ap_e,

@@ -134,6 +134,32 @@ class SpaceFillingCurve(abc.ABC):
             f"side={self.universe.side})"
         )
 
+    # ------------------------------------------------------------------
+    # Canonical identity (context sharing)
+    # ------------------------------------------------------------------
+    def cache_key(self) -> tuple:
+        """Hashable identity of the mapping ``π`` this curve realizes.
+
+        Two curves with equal cache keys are guaranteed to map every
+        cell to the same key, so shared infrastructure (notably
+        :class:`repro.engine.ContextPool`) can serve them from one
+        :class:`repro.engine.MetricContext`.  The key is
+        ``(type, universe, token)``; parameterized subclasses fold their
+        constructor state in via :meth:`_cache_token`.
+        """
+        return (type(self), self.universe, self._cache_token())
+
+    def _cache_token(self) -> object:
+        """Constructor state distinguishing otherwise-equal instances.
+
+        ``None`` for deterministic parameter-free curves (the type and
+        universe pin the mapping down).  Subclasses with parameters
+        (seeds, reflected axes, axis permutations, explicit tables)
+        must override this; returning a token that collides across
+        genuinely different mappings would silently alias their caches.
+        """
+        return None
+
 
 def check_bijection(key_grid: np.ndarray, n: int) -> bool:
     """True iff the flattened key grid is a permutation of ``0..n−1``."""
@@ -191,6 +217,17 @@ class PermutationCurve(SpaceFillingCurve):
         self._key_grid_cache = grid
         if name is not None:
             self.name = name
+
+    #: Deterministic subclasses (mapping fully determined by type +
+    #: universe) set this True to re-enable context sharing across
+    #: instances; raw permutation tables stay instance-keyed because
+    #: proving two tables equal would cost an O(n) comparison.
+    _deterministic = False
+
+    def _cache_token(self) -> object:
+        if self._deterministic:
+            return None
+        return ("instance", id(self))
 
     def _index_impl(self, coords: np.ndarray) -> np.ndarray:
         grid = self.key_grid()

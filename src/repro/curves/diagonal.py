@@ -21,6 +21,7 @@ class DiagonalCurve(PermutationCurve):
     """Anti-diagonal sweep curve."""
 
     name = "diagonal"
+    _deterministic = True  # mapping pinned by type + universe
 
     def __init__(self, universe: Universe) -> None:
         cells = universe.all_coords()

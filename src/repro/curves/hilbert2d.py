@@ -51,6 +51,7 @@ class RecursiveHilbert2D(PermutationCurve):
     """2-D Hilbert curve built by quadrant recursion; side must be 2^k."""
 
     name = "hilbert2d-recursive"
+    _deterministic = True  # mapping pinned by type + universe
 
     def __init__(self, universe: Universe) -> None:
         if universe.d != 2:

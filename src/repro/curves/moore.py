@@ -48,6 +48,7 @@ class MooreCurve(PermutationCurve):
     """Closed Hilbert loop; requires ``d == 2`` and ``side = 2^k, k>=1``."""
 
     name = "moore"
+    _deterministic = True  # mapping pinned by type + universe
 
     def __init__(self, universe: Universe) -> None:
         if universe.d != 2:

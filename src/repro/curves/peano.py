@@ -50,6 +50,7 @@ class PeanoCurve(PermutationCurve):
     """Peano curve; requires ``d == 2`` and ``side = 3^k``."""
 
     name = "peano"
+    _deterministic = True  # mapping pinned by type + universe
 
     def __init__(self, universe: Universe) -> None:
         if universe.d != 2:

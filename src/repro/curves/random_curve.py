@@ -42,3 +42,8 @@ class RandomCurve(PermutationCurve):
         )
         super().__init__(universe, key_grid=grid, name=self.name)
         self.seed = seed
+
+    def _cache_token(self) -> object:
+        # The seed pins the permutation down, so equal-seed instances
+        # on equal universes can share one metric context.
+        return ("seed", int(self.seed))

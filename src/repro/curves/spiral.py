@@ -46,6 +46,7 @@ class SpiralCurve(PermutationCurve):
     """Inward spiral; requires ``d == 2``, any side."""
 
     name = "spiral"
+    _deterministic = True  # mapping pinned by type + universe
 
     def __init__(self, universe: Universe) -> None:
         if universe.d != 2:

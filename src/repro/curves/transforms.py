@@ -42,6 +42,9 @@ class AxisPermutedCurve(SpaceFillingCurve):
         self.perm = perm_arr
         self.name = f"{inner.name}-perm{''.join(map(str, perm_arr.tolist()))}"
 
+    def _cache_token(self) -> object:
+        return ("perm", tuple(int(v) for v in self.perm), self.inner.cache_key())
+
     def _index_impl(self, coords: np.ndarray) -> np.ndarray:
         return self.inner.index(coords[..., self.perm])
 
@@ -71,6 +74,9 @@ class ReflectedCurve(SpaceFillingCurve):
         self.axes = axes_list
         self.name = f"{inner.name}-reflect{''.join(map(str, axes_list))}"
 
+    def _cache_token(self) -> object:
+        return ("reflect", tuple(self.axes), self.inner.cache_key())
+
     def _reflect(self, coords: np.ndarray) -> np.ndarray:
         out = coords.copy()
         for axis in self.axes:
@@ -95,6 +101,9 @@ class ReversedCurve(SpaceFillingCurve):
         super().__init__(inner.universe)
         self.inner = inner
         self.name = f"{inner.name}-reversed"
+
+    def _cache_token(self) -> object:
+        return ("reversed", self.inner.cache_key())
 
     def _index_impl(self, coords: np.ndarray) -> np.ndarray:
         return self.universe.n - 1 - self.inner.index(coords)

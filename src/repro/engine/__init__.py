@@ -4,23 +4,39 @@
   cached compute core per (curve, universe); every stretch metric as a
   method over shared intermediates, plus the inverse-permutation /
   flat-key / windowed-shift arrays the analysis and app layers consume.
-* :mod:`repro.engine.pool` — :class:`ContextPool`, sharing contexts
-  across curves of a universe and deriving transform curves' arrays
-  from their inner curve's cache.
+  ``chunk_cells=...`` switches the context into **chunked mode**: state
+  is produced as iterators of fixed-size blocks (LRU-cached under the
+  same ``max_bytes`` budget) and every metric reduces block-wise with
+  values bit-for-bit equal to the dense path — the door to universes
+  whose dense ``(side,)*d`` arrays would not fit the budget.
+* :mod:`repro.engine.chunked` — the block-streaming machinery
+  (``pairwise_sum_stream`` replicating NumPy's summation order, the
+  one-pass NN reduction, per-slab neighbor counts).
+* :mod:`repro.engine.pool` — :class:`ContextPool`, sharing one context
+  per *canonical curve spec* of a universe and deriving transform
+  curves' arrays (dense) or blocks (chunked) from their inner curve's
+  cache.
 * :mod:`repro.engine.sweep` — :class:`Sweep`, the declarative
-  curve × universe × metric runner (curve/metric spec strings,
-  capability-based applicability, pooled execution, optional process
-  parallelism) behind ``survey()`` and the CLI, and the pluggable
-  :data:`METRICS` registry where new metrics land.
+  curve × universe × metric runner (curve/metric spec strings with
+  plan-time parameter validation, capability-based applicability,
+  pooled execution, optional process parallelism with aggregated
+  worker cache stats, automatic chunked-mode selection via
+  ``chunk_cells`` / ``max_bytes``) behind ``survey()`` and the CLI,
+  and the pluggable :data:`METRICS` registry where new metrics land.
 """
 
+from repro.engine.chunked import DEFAULT_CHUNK_CELLS
 from repro.engine.context import (
     DEFAULT_CACHE_BYTES,
     CacheStats,
     MetricContext,
     get_context,
 )
-from repro.engine.pool import ContextPool, transform_derivations
+from repro.engine.pool import (
+    ContextPool,
+    chunked_transform_derivations,
+    transform_derivations,
+)
 from repro.engine.sweep import (
     METRICS,
     CurveSpec,
@@ -40,8 +56,10 @@ __all__ = [
     "CacheStats",
     "get_context",
     "DEFAULT_CACHE_BYTES",
+    "DEFAULT_CHUNK_CELLS",
     "ContextPool",
     "transform_derivations",
+    "chunked_transform_derivations",
     "Sweep",
     "SweepRecord",
     "SweepResult",

@@ -1,0 +1,224 @@
+"""Block-streaming helpers behind the engine's chunked execution mode.
+
+A chunked :class:`repro.engine.MetricContext` never materializes a dense
+``(side,)*d`` array.  The key space is walked in fixed-size blocks in
+one of three orders, each serving a different consumer:
+
+* **grid slabs** along axis 0 (C order) — the unit of the NN-pair
+  reductions (``D^avg``, ``D^max``, ``Λ_i``, partition edge cuts).  A
+  slab is ``planes × side^{d-1}`` cells; only the last hyperplane of
+  the previous slab is carried across a slab boundary, so working
+  memory is ``O(block)``.
+* **rank blocks** (simple-curve order) — the ``flat_keys`` stream.
+* **key blocks** (curve order) — the inverse-permutation and
+  window-shift streams.
+
+Bit-for-bit parity with the dense path is engineered, not hoped for:
+
+* integer reductions (``Λ`` sums, maxima, edge cuts, cluster counts)
+  are order-independent, so any block partition gives the dense value;
+* integer *means* (``D^max``, ``nn_mean``) agree with ``np.mean``
+  because every partial sum of integer-valued float64s below ``2^53``
+  is exact, making NumPy's summation order immaterial;
+* the one genuinely order-sensitive reduction — the float mean behind
+  ``D^avg`` — replicates NumPy's pairwise summation exactly:
+  :func:`pairwise_sum_stream` splits the logical array at the offsets
+  ``np.add.reduce`` uses (half, rounded down to a multiple of 8) and
+  reduces aligned segments with ``np.add.reduce`` itself, so the
+  chunked path performs the identical sequence of float additions
+  while buffering only ``O(leaf)`` values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_CHUNK_CELLS",
+    "pairwise_sum_stream",
+    "slab_neighbor_counts",
+    "slab_axis_slices",
+    "nn_block_reduction",
+]
+
+#: Default block size (cells) when chunked mode is auto-selected.
+DEFAULT_CHUNK_CELLS = 1 << 20
+
+#: Largest segment handed to one ``np.add.reduce`` call by
+#: :func:`pairwise_sum_stream`; bounds the stream's buffer.
+_PW_LEAF = 1 << 15
+
+
+class _BlockCursor:
+    """Sequential float64 reader over a stream of array blocks."""
+
+    def __init__(self, blocks: Iterable[np.ndarray]) -> None:
+        self._blocks = iter(blocks)
+        self._buffer: List[np.ndarray] = []
+        self._available = 0
+
+    def take(self, count: int) -> np.ndarray:
+        """The next ``count`` values as one contiguous float64 array."""
+        while self._available < count:
+            block = np.asarray(next(self._blocks), dtype=np.float64)
+            flat = block.reshape(-1)
+            if flat.size:
+                self._buffer.append(flat)
+                self._available += flat.size
+        if len(self._buffer) == 1 and self._buffer[0].size == count:
+            out = self._buffer.pop()
+            self._available = 0
+            return out
+        joined = np.concatenate(self._buffer)
+        out, rest = joined[:count], joined[count:]
+        self._buffer = [rest] if rest.size else []
+        self._available = rest.size
+        return out
+
+
+def pairwise_sum_stream(
+    blocks: Iterable[np.ndarray], total: int, leaf: int = _PW_LEAF
+) -> float:
+    """``np.add.reduce`` over a streamed array, bit-for-bit.
+
+    ``blocks`` yields consecutive pieces (any sizes) of a logical
+    float64 array of ``total`` elements.  The reduction recurses with
+    NumPy's own pairwise split rule (``n2 = n//2`` rounded down to a
+    multiple of 8, applied while ``n`` exceeds the leaf size) and
+    reduces each aligned segment with one ``np.add.reduce`` call, which
+    performs the same operations the segment would see inside a single
+    full-array reduction.  The result therefore equals
+    ``np.add.reduce(np.concatenate(blocks))`` exactly while holding at
+    most ``O(leaf + block)`` values.
+    """
+    if total == 0:
+        return 0.0
+    cursor = _BlockCursor(blocks)
+    leaf = max(int(leaf), 8)
+
+    def reduce(count: int):
+        if count <= leaf:
+            return np.add.reduce(cursor.take(count))
+        half = count // 2
+        half -= half % 8
+        return reduce(half) + reduce(count - half)
+
+    return float(reduce(total))
+
+
+def slab_neighbor_counts(universe, lo: int, hi: int) -> np.ndarray:
+    """``|N(α)|`` for the cells with ``x_0 ∈ [lo, hi)``, as a slab.
+
+    Equals ``neighbor_count_grid(universe)[lo:hi]`` for ``side >= 2``
+    without materializing the dense grid.
+    """
+    d, side = universe.d, universe.side
+    counts = np.full((hi - lo,) + (side,) * (d - 1), 2 * d, dtype=np.int64)
+    x0 = np.arange(lo, hi, dtype=np.int64)
+    on_edge = ((x0 == 0) | (x0 == side - 1)).astype(np.int64)
+    counts -= on_edge.reshape((hi - lo,) + (1,) * (d - 1))
+    edge = np.arange(side, dtype=np.int64)
+    on_edge = ((edge == 0) | (edge == side - 1)).astype(np.int64)
+    for axis in range(1, d):
+        shape = [1] * d
+        shape[axis] = side
+        counts -= on_edge.reshape(shape)
+    return counts
+
+
+def slab_axis_slices(d: int, side: int, axis: int) -> Tuple[tuple, tuple]:
+    """Slab slicing tuples for the NN pairs along grid ``axis >= 1``.
+
+    Applied to a slab from
+    :meth:`repro.engine.MetricContext.iter_key_slabs`, ``slab[lo]`` and
+    ``slab[hi]`` are the aligned endpoints of every within-slab pair
+    along ``axis`` (axis-0 pairs instead span consecutive planes and
+    slab boundaries).
+    """
+    lo = tuple(
+        slice(0, side - 1) if i == axis else slice(None) for i in range(d)
+    )
+    hi = tuple(
+        slice(1, side) if i == axis else slice(None) for i in range(d)
+    )
+    return lo, hi
+
+
+def nn_block_reduction(ctx) -> dict:
+    """All NN-stretch scalars of ``ctx`` in one pass over key slabs.
+
+    Returns ``{"davg", "dmax", "lambdas", "nn_sum"}`` with values
+    bit-for-bit equal to the dense metric methods (see the module
+    docstring for why).  Requires ``side >= 2``; the degenerate cases
+    are handled by the calling metric methods.
+    """
+    universe = ctx.universe
+    d, side, n = universe.d, universe.side, universe.n
+    lambdas = [0] * d
+    state = {"max_total": 0}
+
+    def avg_planes() -> Iterator[np.ndarray]:
+        """Per-cell average-stretch values, streamed in C order.
+
+        Every plane of per-cell sums is finalized once all its pair
+        contributions arrived: planes ``[lo, hi-1)`` of a slab within
+        the slab, the last plane when the next slab (or the end of the
+        grid) supplies the axis-0 boundary pairs.
+        """
+        prev_keys = None
+        pending_sums = None
+        pending_max = None
+        pending_x0 = -1
+        for lo, hi, slab in ctx.iter_key_slabs():
+            thickness = hi - lo
+            sums = np.zeros(slab.shape, dtype=np.int64)
+            best = np.zeros(slab.shape, dtype=np.int64)
+            for axis in range(1, d):
+                lo_s, hi_s = slab_axis_slices(d, side, axis)
+                dist = np.abs(slab[hi_s] - slab[lo_s])
+                lambdas[axis] += int(dist.sum())
+                sums[lo_s] += dist
+                sums[hi_s] += dist
+                np.maximum(best[lo_s], dist, out=best[lo_s])
+                np.maximum(best[hi_s], dist, out=best[hi_s])
+            if thickness > 1:
+                dist0 = np.abs(slab[1:] - slab[:-1])
+                lambdas[0] += int(dist0.sum())
+                sums[:-1] += dist0
+                sums[1:] += dist0
+                np.maximum(best[:-1], dist0, out=best[:-1])
+                np.maximum(best[1:], dist0, out=best[1:])
+            if prev_keys is not None:
+                boundary = np.abs(slab[:1] - prev_keys)
+                lambdas[0] += int(boundary.sum())
+                sums[:1] += boundary
+                np.maximum(best[:1], boundary, out=best[:1])
+                pending_sums += boundary
+                np.maximum(pending_max, boundary, out=pending_max)
+                counts = slab_neighbor_counts(
+                    universe, pending_x0, pending_x0 + 1
+                )
+                state["max_total"] += int(pending_max.sum())
+                yield (pending_sums / counts).reshape(-1)
+            if thickness > 1:
+                counts = slab_neighbor_counts(universe, lo, hi - 1)
+                state["max_total"] += int(best[:-1].sum())
+                yield (sums[:-1] / counts).reshape(-1)
+            prev_keys = np.ascontiguousarray(slab[-1:])
+            pending_sums = sums[-1:].copy()
+            pending_max = best[-1:].copy()
+            pending_x0 = hi - 1
+        if pending_sums is not None:
+            counts = slab_neighbor_counts(universe, pending_x0, pending_x0 + 1)
+            state["max_total"] += int(pending_max.sum())
+            yield (pending_sums / counts).reshape(-1)
+
+    davg = pairwise_sum_stream(avg_planes(), n) / n
+    return {
+        "davg": davg,
+        "dmax": float(state["max_total"]) / n,
+        "lambdas": tuple(lambdas),
+        "nn_sum": sum(lambdas),
+    }

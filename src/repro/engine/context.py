@@ -24,6 +24,25 @@ the caching for free.
 Cached arrays are returned **read-only** (``writeable=False``): callers
 share the cache, so in-place mutation would silently corrupt every later
 metric.  Copy first if you need a scratch buffer.
+
+**Chunked mode** (``chunk_cells=...``) serves universes whose dense
+``(side,)*d`` arrays would not fit the cache budget (or memory): the key
+grid, flat keys, inverse permutation and per-axis NN-distance state are
+produced as iterators of fixed-size blocks
+(:meth:`MetricContext.iter_key_slabs`, :meth:`~MetricContext.iter_key_blocks`,
+:meth:`~MetricContext.iter_inverse_blocks`,
+:meth:`~MetricContext.iter_window_pairs`), recently used blocks are kept
+in the same ``max_bytes`` LRU store, and every metric method reduces
+block-wise with values bit-for-bit equal to the dense path (see
+:mod:`repro.engine.chunked` for how that equality is engineered).
+Memory model: ``max_bytes`` bounds what is *retained*, ``chunk_cells``
+bounds what is *materialized at once*.  Methods that inherently return a
+dense ``O(n)`` array raise in chunked mode and name the block iterator
+to use instead.  The ``O(block)`` guarantee holds for procedural curves
+(Z, Gray, Hilbert, snake, simple); table-backed curves
+(:class:`repro.curves.base.PermutationCurve` subclasses such as
+``random`` or ``peano``) are already defined by a dense table and gain
+no memory over the dense mode.
 """
 
 from __future__ import annotations
@@ -204,9 +223,19 @@ class MetricContext:
         curve: SpaceFillingCurve,
         max_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
         universe_store: Optional[_BoundedStore] = None,
+        chunk_cells: Optional[int] = None,
     ) -> None:
+        if chunk_cells is not None and chunk_cells < 1:
+            raise ValueError(
+                f"chunk_cells must be >= 1, got {chunk_cells}"
+            )
         self.curve = curve
         self.universe = curve.universe
+        #: Block size (cells) of the chunked execution mode; ``None``
+        #: selects the dense mode.  In chunked mode no dense ``O(n)``
+        #: array is materialized: state is streamed in blocks and
+        #: recently used blocks are retained under ``max_bytes``.
+        self.chunk_cells = chunk_cells
         self._store = _BoundedStore(max_bytes)
         #: Optional store shared by every context of the same universe
         #: (wired by :class:`repro.engine.ContextPool`); holds
@@ -217,6 +246,12 @@ class MetricContext:
         #: transform-derived curves).  Derived arrays are bit-for-bit
         #: identical to from-scratch computation; only the cost differs.
         self._derivations: Dict[str, Callable[[], np.ndarray]] = {}
+        #: Chunked-mode analogue of ``_derivations``: block kind →
+        #: ``(lo, hi) -> array`` factory deriving a block from another
+        #: context (wired by the pool, e.g. for reversed curves).
+        self._chunk_derivations: Dict[
+            str, Callable[[int, int], np.ndarray]
+        ] = {}
         self._scalars: Dict[Tuple, object] = {}
 
     # ------------------------------------------------------------------
@@ -240,11 +275,16 @@ class MetricContext:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"MetricContext({self.curve!r})"
 
-    def _require_neighbors(self) -> None:
-        if self.universe.side < 2:
+    @property
+    def chunked(self) -> bool:
+        """True when the context runs in chunked (block-streaming) mode."""
+        return self.chunk_cells is not None
+
+    def _require_dense(self, name: str, alternative: str) -> None:
+        if self.chunked:
             raise ValueError(
-                "stretch metrics need side >= 2 (no nearest neighbors "
-                "otherwise)"
+                f"{name}() materializes a dense O(n) array and is "
+                f"unavailable in chunked mode; use {alternative} instead"
             )
 
     def _scalar(self, key: Tuple, compute: Callable[[], object]) -> object:
@@ -270,10 +310,14 @@ class MetricContext:
         the engine and stays writable — freezing it here would flip the
         curve's public ``key_grid()`` read-only as a side effect.
         """
+        self._require_dense("key_grid", "iter_key_slabs()")
         return self._cached("key_grid", self.curve.key_grid, freeze=False)
 
     def order(self) -> np.ndarray:
         """Cells in curve order (cached on the curve itself)."""
+        self._require_dense(
+            "order", "iter_window_pairs() or curve.coords on key blocks"
+        )
         return self.curve.order()
 
     def flat_keys(self) -> np.ndarray:
@@ -282,6 +326,7 @@ class MetricContext:
         The rank order is the simple-curve enumeration (axis 0 fastest),
         matching :meth:`repro.grid.universe.Universe.all_coords`.
         """
+        self._require_dense("flat_keys", "iter_key_blocks()")
         return self._cached(
             "flat_keys",
             lambda: self.key_grid().reshape(-1, order="F"),
@@ -294,6 +339,7 @@ class MetricContext:
         any key array — the cached inverse the range-query index and the
         window metrics build on.
         """
+        self._require_dense("inverse_permutation", "iter_inverse_blocks()")
 
         def compute() -> np.ndarray:
             inverse = np.empty(self.universe.n, dtype=np.int64)
@@ -326,6 +372,10 @@ class MetricContext:
             raise ValueError(
                 f"axis must be in [0, {self.universe.d}), got {axis}"
             )
+        self._require_dense(
+            "axis_pair_curve_distances",
+            "the block-wise metric methods (davg/dmax/lambda_sums)",
+        )
 
         def compute() -> np.ndarray:
             grid = self.key_grid()
@@ -347,6 +397,10 @@ class MetricContext:
             raise ValueError(f"window must be in [1, n), got {window}")
         if metric not in ("manhattan", "euclidean"):
             raise ValueError("metric must be 'manhattan' or 'euclidean'")
+        self._require_dense(
+            "window_shift_distances",
+            "iter_window_pairs(window) or window_dilation(window)",
+        )
 
         def compute() -> np.ndarray:
             from repro.grid.metrics import euclidean, manhattan
@@ -364,6 +418,9 @@ class MetricContext:
         this lives in the pool's per-universe store so every curve of
         the universe shares one copy.
         """
+        self._require_dense(
+            "neighbor_counts", "repro.engine.chunked.slab_neighbor_counts"
+        )
         store = (
             self._universe_store
             if self._universe_store is not None
@@ -374,11 +431,157 @@ class MetricContext:
         )
 
     # ------------------------------------------------------------------
+    # Block iteration (the chunked mode's public surface; also usable in
+    # dense mode, where each iterator yields one full-size block)
+    # ------------------------------------------------------------------
+    def _slab_ranges(self) -> list:
+        """Axis-0 plane ranges ``(lo, hi)`` of the slab partition."""
+        side, d = self.universe.side, self.universe.d
+        if not self.chunked:
+            return [(0, side)]
+        plane = side ** (d - 1)
+        per_slab = max(1, self.chunk_cells // plane)
+        return [
+            (lo, min(side, lo + per_slab))
+            for lo in range(0, side, per_slab)
+        ]
+
+    def _span_ranges(self) -> list:
+        """1-D ranges ``(start, stop)`` of the flat block partition."""
+        n = self.universe.n
+        if not self.chunked:
+            return [(0, n)]
+        return [
+            (start, min(n, start + self.chunk_cells))
+            for start in range(0, n, self.chunk_cells)
+        ]
+
+    def _cached_block(
+        self, kind: str, lo: int, hi: int, compute: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        """LRU-cached block, honoring pool-installed block derivations."""
+        derive_fn = self._chunk_derivations.get(kind)
+        derive = None if derive_fn is None else (lambda: derive_fn(lo, hi))
+        return self._store.get_or_compute(
+            f"{kind}[{lo}:{hi}]", compute, derive=derive
+        )
+
+    def _key_slab(self, lo: int, hi: int) -> np.ndarray:
+        """Key-grid slab for ``x_0 ∈ [lo, hi)``, computed per block."""
+
+        def compute() -> np.ndarray:
+            side, d = self.universe.side, self.universe.d
+            axes = [np.arange(lo, hi, dtype=np.int64)]
+            axes += [np.arange(side, dtype=np.int64)] * (d - 1)
+            mesh = np.meshgrid(*axes, indexing="ij")
+            coords = np.stack([m.reshape(-1) for m in mesh], axis=-1)
+            keys = self.curve.index(coords)
+            return keys.reshape((hi - lo,) + (side,) * (d - 1))
+
+        return self._cached_block("key_slab", lo, hi, compute)
+
+    def _key_block(self, start: int, stop: int) -> np.ndarray:
+        """Flat keys for ranks ``[start, stop)``, computed per block."""
+
+        def compute() -> np.ndarray:
+            from repro.grid.coords import rank_to_coords
+
+            ranks = np.arange(start, stop, dtype=np.int64)
+            return self.curve.index(rank_to_coords(ranks, self.universe))
+
+        return self._cached_block("key_block", start, stop, compute)
+
+    def _inverse_block(self, start: int, stop: int) -> np.ndarray:
+        """Ranks of keys ``[start, stop)``, computed per block."""
+
+        def compute() -> np.ndarray:
+            from repro.grid.coords import coords_to_rank
+
+            keys = np.arange(start, stop, dtype=np.int64)
+            return coords_to_rank(self.curve.coords(keys), self.universe)
+
+        return self._cached_block("inverse_block", start, stop, compute)
+
+    def iter_key_slabs(self):
+        """Yield ``(lo, hi, slab)``: the key grid for ``x_0 ∈ [lo, hi)``.
+
+        Slabs walk the grid along axis 0 (C order); ``slab`` has shape
+        ``(hi - lo,) + (side,) * (d - 1)`` and equals
+        ``key_grid()[lo:hi]`` bit-for-bit.  In dense mode one slab
+        covering the whole grid is yielded; in chunked mode each slab
+        holds roughly ``chunk_cells`` cells and is LRU-cached under the
+        ``max_bytes`` budget.
+        """
+        if not self.chunked:
+            yield 0, self.universe.side, self.key_grid()
+            return
+        for lo, hi in self._slab_ranges():
+            yield lo, hi, self._key_slab(lo, hi)
+
+    def iter_key_blocks(self):
+        """Yield ``(start, stop, keys)`` blocks of :meth:`flat_keys`.
+
+        Blocks cover ranks ``[start, stop)`` in simple-curve order; the
+        concatenation equals ``flat_keys()`` bit-for-bit.
+        """
+        if not self.chunked:
+            yield 0, self.universe.n, self.flat_keys()
+            return
+        for start, stop in self._span_ranges():
+            yield start, stop, self._key_block(start, stop)
+
+    def iter_inverse_blocks(self):
+        """Yield ``(start, stop, ranks)`` blocks of the rank-of-key map.
+
+        ``ranks[i]`` is the rank of the cell with key ``start + i``; the
+        concatenation equals ``inverse_permutation()`` bit-for-bit.  In
+        chunked mode this uses ``curve.coords`` per block — ``O(block)``
+        for curves with an analytic inverse.
+        """
+        if not self.chunked:
+            yield 0, self.universe.n, self.inverse_permutation()
+            return
+        for start, stop in self._span_ranges():
+            yield start, stop, self._inverse_block(start, stop)
+
+    def iter_window_pairs(self, window: int):
+        """Yield ``(t0, t1, a, b)`` coordinate blocks of curve steps.
+
+        ``a`` and ``b`` are the cells at curve positions ``[t0, t1)``
+        and ``[t0 + window, t1 + window)`` — the pairs behind the
+        Gotsman–Lindenbaum window metrics.  Blocks are not cached (two
+        shifted coordinate streams would double the block footprint for
+        a single-pass consumer).
+        """
+        n = self.universe.n
+        if window < 1 or window >= n:
+            raise ValueError(f"window must be in [1, n), got {window}")
+        if not self.chunked:
+            path = self.order()
+            yield 0, n - window, path[:-window], path[window:]
+            return
+        step = self.chunk_cells
+        for t0 in range(0, n - window, step):
+            t1 = min(n - window, t0 + step)
+            idx = np.arange(t0, t1, dtype=np.int64)
+            a = self.curve.coords(idx)
+            b = self.curve.coords(idx + window)
+            yield t0, t1, a, b
+
+    def _chunked_nn_stats(self) -> dict:
+        """Memoized one-pass NN reduction (chunked mode only)."""
+        from repro.engine.chunked import nn_block_reduction
+
+        return self._scalar(
+            ("chunked_nn",), lambda: nn_block_reduction(self)
+        )
+
+    # ------------------------------------------------------------------
     # Per-cell grids
     # ------------------------------------------------------------------
     def per_cell_stretch_sums(self) -> tuple[np.ndarray, np.ndarray]:
         """Per-cell ``(Σ_{β∈N(α)} ∆π(α,β), |N(α)|)`` as dense grids."""
-        self._require_neighbors()
+        self._require_dense("per_cell_stretch_sums", "davg()")
 
         def compute() -> np.ndarray:
             sums = np.zeros(self.universe.shape, dtype=np.int64)
@@ -393,15 +596,24 @@ class MetricContext:
         return sums, self.neighbor_counts()
 
     def per_cell_avg_stretch(self) -> np.ndarray:
-        """Dense grid of ``δ^avg_π(α)`` (Definition 1)."""
+        """Dense grid of ``δ^avg_π(α)`` (Definition 1).
+
+        On a degenerate universe (``side == 1``: no NN pairs) the
+        per-cell average over the empty neighbor set is defined as 0.
+        """
         sums, counts = self.per_cell_stretch_sums()
+        if self.universe.side < 2:
+            return self._store.get_or_compute(
+                "per_cell_avg",
+                lambda: np.zeros(self.universe.shape, dtype=np.float64),
+            )
         return self._store.get_or_compute(
             "per_cell_avg", lambda: sums / counts
         )
 
     def per_cell_max_stretch(self) -> np.ndarray:
-        """Dense grid of ``δ^max_π(α)`` (Definition 3)."""
-        self._require_neighbors()
+        """Dense grid of ``δ^max_π(α)`` (Definition 3; 0 for side == 1)."""
+        self._require_dense("per_cell_max_stretch", "dmax()")
 
         def compute() -> np.ndarray:
             best = np.zeros(self.universe.shape, dtype=np.int64)
@@ -415,8 +627,15 @@ class MetricContext:
         return self._store.get_or_compute("per_cell_max", compute)
 
     def nn_distance_values(self) -> np.ndarray:
-        """Flat ``∆π`` over all unordered NN pairs (each once)."""
-        self._require_neighbors()
+        """Flat ``∆π`` over all unordered NN pairs (each once).
+
+        Empty (not an error) on degenerate universes with no NN pairs.
+        """
+        if self.universe.side < 2:
+            empty = np.empty(0, dtype=np.int64)
+            empty.flags.writeable = False
+            return empty
+        self._require_dense("nn_distance_values", "nn_mean()")
 
         def compute() -> np.ndarray:
             parts = [
@@ -431,8 +650,22 @@ class MetricContext:
     # Scalar metrics
     # ------------------------------------------------------------------
     def lambda_sums(self) -> np.ndarray:
-        """``[Λ_1(π), …, Λ_d(π)]`` (Lemma 5 per-dimension totals)."""
-        self._require_neighbors()
+        """``[Λ_1(π), …, Λ_d(π)]`` (Lemma 5 per-dimension totals).
+
+        Zeros on degenerate universes (no NN pairs to sum over).
+        """
+        if self.universe.side < 2:
+            zeros = np.zeros(self.universe.d, dtype=np.int64)
+            zeros.flags.writeable = False
+            return zeros
+        if self.chunked:
+
+            def compute() -> np.ndarray:
+                return np.array(
+                    self._chunked_nn_stats()["lambdas"], dtype=np.int64
+                )
+
+            return self._store.get_or_compute("lambda_sums", compute)
 
         def compute() -> np.ndarray:
             return np.array(
@@ -446,27 +679,101 @@ class MetricContext:
         return self._store.get_or_compute("lambda_sums", compute)
 
     def davg(self) -> float:
-        """``D^avg(π)`` (Definition 2), exact."""
+        """``D^avg(π)`` (Definition 2), exact.
+
+        0.0 on degenerate universes (the average over each empty
+        neighbor set is defined as 0).
+        """
+        if self.universe.side < 2:
+            return 0.0
+        if self.chunked:
+            return self._scalar(
+                ("davg",), lambda: self._chunked_nn_stats()["davg"]
+            )
         return self._scalar(
             ("davg",), lambda: float(self.per_cell_avg_stretch().mean())
         )
 
     def dmax(self) -> float:
-        """``D^max(π)`` (Definition 4), exact."""
+        """``D^max(π)`` (Definition 4), exact; 0.0 when side == 1."""
+        if self.universe.side < 2:
+            return 0.0
+        if self.chunked:
+            return self._scalar(
+                ("dmax",), lambda: self._chunked_nn_stats()["dmax"]
+            )
         return self._scalar(
             ("dmax",), lambda: float(self.per_cell_max_stretch().mean())
         )
 
+    def nn_mean(self) -> float:
+        """Mean ``∆π`` over all NN pairs (0.0 when there are none)."""
+        if self.universe.side < 2:
+            return 0.0
+        if self.chunked:
+            from repro.grid.neighbors import nn_pair_count
+
+            return self._scalar(
+                ("nn_mean",),
+                lambda: float(self._chunked_nn_stats()["nn_sum"])
+                / nn_pair_count(self.universe),
+            )
+        return self._scalar(
+            ("nn_mean",), lambda: float(self.nn_distance_values().mean())
+        )
+
     def lower_bound(self) -> float:
-        """Theorem 1 lower bound on ``D^avg`` for this universe."""
+        """Theorem 1 lower bound on ``D^avg``; 0.0 for the 1-cell grid."""
+        if self.universe.n < 2:
+            return 0.0
         return self._scalar(
             ("lower_bound",),
             lambda: davg_lower_bound(self.universe.n, self.universe.d),
         )
 
     def davg_ratio(self) -> float:
-        """``D^avg / LB`` — the paper's optimality ratio."""
-        return self.davg() / self.lower_bound()
+        """``D^avg / LB`` — the paper's optimality ratio.
+
+        Defined as 1.0 on the 1-cell universe, where measured value and
+        bound are both trivially 0.
+        """
+        bound = self.lower_bound()
+        if bound == 0.0:
+            return 1.0 if self.davg() == 0.0 else float("inf")
+        return self.davg() / bound
+
+    def window_dilation(self, window: int, metric: str = "manhattan"):
+        """Max grid distance of a curve step of exactly ``window``.
+
+        The Gotsman–Lindenbaum reverse metric; works in both modes
+        (block-wise in chunked mode) and returns 0 on the 1-cell
+        universe, where no step exists.
+        """
+        if metric not in ("manhattan", "euclidean"):
+            raise ValueError("metric must be 'manhattan' or 'euclidean'")
+        if self.universe.n < 2:
+            return 0 if metric == "manhattan" else 0.0
+        if not self.chunked:
+            dist = self.window_shift_distances(window, metric)
+            return int(dist.max()) if metric == "manhattan" else float(
+                dist.max()
+            )
+
+        def compute():
+            from repro.grid.metrics import euclidean, manhattan
+
+            fn = manhattan if metric == "manhattan" else euclidean
+            best = None
+            for _, _, a, b in self.iter_window_pairs(window):
+                block_best = fn(a, b).max()
+                best = (
+                    block_best
+                    if best is None
+                    else max(best, block_best)
+                )
+            return int(best) if metric == "manhattan" else float(best)
+
+        return self._scalar(("window_dilation", window, metric), compute)
 
     # ------------------------------------------------------------------
     # All-pairs stretch (Section V-B)
@@ -474,7 +781,12 @@ class MetricContext:
     def allpairs_exact(
         self, metric: str = "manhattan", chunk: int = 1024
     ) -> float:
-        """Exact ``str_{avg,m}(π)``, memoized per grid metric."""
+        """Exact ``str_{avg,m}(π)``, memoized per grid metric.
+
+        0.0 on the 1-cell universe (average over zero pairs).
+        """
+        if self.universe.n < 2:
+            return 0.0
         return self._scalar(
             ("allpairs_exact", metric),
             lambda: average_allpairs_stretch_exact(self.curve, metric, chunk),
@@ -487,6 +799,10 @@ class MetricContext:
         seed: int = 0,
     ) -> AllPairsEstimate:
         """Sampled ``str_{avg,m}(π)``, memoized per (budget, metric, seed)."""
+        if self.universe.n < 2:
+            return AllPairsEstimate(
+                mean=0.0, stderr=0.0, n_pairs=0, metric=metric
+            )
         return self._scalar(
             ("allpairs_sampled", n_pairs, metric, seed),
             lambda: average_allpairs_stretch_sampled(
@@ -501,6 +817,7 @@ class MetricContext:
         self, axis: int
     ) -> dict[int, tuple[int, np.ndarray]]:
         """Split ``G_{axis+1}`` into the Lemma 5 groups ``G_{i,j}``."""
+        self._require_dense("gij_decomposition", "the dense mode")
         # Late import: core.stretch imports this module for its wrappers.
         from repro.core.stretch import trailing_ones
 

@@ -37,7 +37,11 @@ from repro.engine.context import (
 )
 from repro.grid.universe import Universe
 
-__all__ = ["ContextPool", "transform_derivations"]
+__all__ = [
+    "ContextPool",
+    "transform_derivations",
+    "chunked_transform_derivations",
+]
 
 
 def transform_derivations(
@@ -107,17 +111,56 @@ def transform_derivations(
     return None
 
 
+def chunked_transform_derivations(
+    curve: SpaceFillingCurve, base: MetricContext
+) -> Optional[Dict[str, Callable[[int, int], np.ndarray]]]:
+    """Per-block derivation rules for a transform curve in chunked mode.
+
+    The chunked analogue of :func:`transform_derivations`: each rule
+    maps a block range ``(lo, hi)`` to the derived curve's block, built
+    from the inner context's (cached) blocks and bit-for-bit equal to
+    direct computation.  Implemented for
+    :class:`~repro.curves.transforms.ReversedCurve` (``π' = n−1−π``:
+    every block is the arithmetic complement of the base block; inverse
+    blocks are mirrored base blocks).  The other transforms need no
+    rule — their ``index``/``coords`` delegate to the inner curve on
+    transformed coordinates, which is already ``O(block)``.
+    """
+    from repro.curves.transforms import ReversedCurve
+
+    if not isinstance(curve, ReversedCurve):
+        return None
+    n = curve.universe.n
+    return {
+        "key_slab": lambda lo, hi: n - 1 - base._key_slab(lo, hi),
+        "key_block": lambda lo, hi: n - 1 - base._key_block(lo, hi),
+        "inverse_block": lambda lo, hi: np.ascontiguousarray(
+            base._inverse_block(n - hi, n - lo)[::-1]
+        ),
+    }
+
+
 class ContextPool:
     """A family of :class:`MetricContext`\\ s with shared state.
 
-    ``get(curve)`` returns the pool's context for that curve object,
-    creating it on first sight.  Contexts of the same universe share one
-    store for curve-independent intermediates, and transform-derived
-    curves (``curve.inner``) get derivation rules against their inner
-    curve's context (created transitively).  ``get`` also accepts an
-    existing :class:`MetricContext` and returns it unchanged, so the
-    pool composes with the ``get_context`` coercion used throughout
-    :mod:`repro.analysis` and :mod:`repro.apps`.
+    ``get(curve)`` returns the pool's context for the curve's
+    *canonical spec* — the key is
+    :meth:`repro.curves.base.SpaceFillingCurve.cache_key`
+    ``(type, universe, parameters)`` — so two separately instantiated
+    but equivalent curves (e.g. two ``ZCurve`` objects on equal
+    universes, or two ``RandomCurve(seed=3)``) share one context and
+    one cached intermediate set.  Contexts of the same universe
+    additionally share one store for curve-independent intermediates,
+    and transform-derived curves (``curve.inner``) get derivation rules
+    against their inner curve's context (created transitively).
+    ``get`` also accepts an existing :class:`MetricContext` and returns
+    it unchanged, so the pool composes with the ``get_context``
+    coercion used throughout :mod:`repro.analysis` and
+    :mod:`repro.apps`.
+
+    ``chunk_cells`` puts every pooled context into the engine's chunked
+    mode; transform derivation then happens per block (see
+    :func:`chunked_transform_derivations`).
 
     The pool holds strong references to its curves: its lifetime should
     be scoped to a unit of work (one sweep, one report), not global.
@@ -134,12 +177,15 @@ class ContextPool:
         self,
         max_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
         derive_transforms: bool = True,
+        chunk_cells: Optional[int] = None,
     ) -> None:
         self.max_bytes = max_bytes
         self.derive_transforms = derive_transforms
-        self._contexts: Dict[int, MetricContext] = {}
-        # Strong curve refs: keep id() keys stable for the pool's life.
-        self._curves: Dict[int, SpaceFillingCurve] = {}
+        self.chunk_cells = chunk_cells
+        self._contexts: Dict[tuple, MetricContext] = {}
+        # Strong curve refs: PermutationCurve cache keys embed id(), so
+        # the referenced objects must outlive the pool's key map.
+        self._curves: Dict[tuple, SpaceFillingCurve] = {}
         self._universe_stores: Dict[Universe, _BoundedStore] = {}
 
     def __len__(self) -> int:
@@ -162,25 +208,33 @@ class ContextPool:
     def get(
         self, curve: Union[SpaceFillingCurve, MetricContext]
     ) -> MetricContext:
-        """The pooled context of ``curve`` (contexts pass through)."""
+        """The pooled context of ``curve``'s spec (contexts pass through)."""
         if isinstance(curve, MetricContext):
             return curve
-        ctx = self._contexts.get(id(curve))
+        key = curve.cache_key()
+        ctx = self._contexts.get(key)
         if ctx is not None:
             return ctx
         ctx = MetricContext(
             curve,
             max_bytes=self.max_bytes,
             universe_store=self.universe_store(curve.universe),
+            chunk_cells=self.chunk_cells,
         )
         if self.derive_transforms:
             inner = getattr(curve, "inner", None)
             if isinstance(inner, SpaceFillingCurve):
-                rules = transform_derivations(curve, self.get(inner))
-                if rules:
-                    ctx._derivations.update(rules)
-        self._contexts[id(curve)] = ctx
-        self._curves[id(curve)] = curve
+                base = self.get(inner)
+                if self.chunk_cells is not None:
+                    rules = chunked_transform_derivations(curve, base)
+                    if rules:
+                        ctx._chunk_derivations.update(rules)
+                else:
+                    rules = transform_derivations(curve, base)
+                    if rules:
+                        ctx._derivations.update(rules)
+        self._contexts[key] = ctx
+        self._curves[key] = curve
         return ctx
 
     @property

@@ -28,8 +28,13 @@ Every benchmark, example and CLI table in this repo is some flavor of
   :class:`repro.engine.CacheStats` land on the result.
 * ``processes=N`` fans the (universe, curve) cells out over a process
   pool — each cell is independent, so the sweep parallelizes trivially
-  (contexts cannot be shared across processes; cells still share
-  intermediates internally).
+  (contexts cannot be shared across processes — a warning flags the
+  bypassed pooling — but each worker's cache stats are piped back and
+  aggregated on the result).
+* ``chunk_cells`` (or the automatic selection against ``max_bytes``)
+  runs cells in the engine's **chunked mode**, so universes whose dense
+  ``(side,)*d`` key grid would blow the cache budget still sweep, with
+  block-wise metric reductions bit-for-bit equal to the dense path.
 
 :func:`repro.core.summary.survey` is now a thin wrapper over ``Sweep``;
 the structured :class:`SweepResult` additionally carries per-metric
@@ -38,6 +43,7 @@ value dicts, a ready-to-print table, and the engine cache counters.
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -48,7 +54,12 @@ from repro.curves.registry import (
     curve_applicability,
     make_curve,
 )
-from repro.engine.context import CacheStats, MetricContext
+from repro.engine.chunked import DEFAULT_CHUNK_CELLS
+from repro.engine.context import (
+    DEFAULT_CACHE_BYTES,
+    CacheStats,
+    MetricContext,
+)
 from repro.engine.pool import ContextPool
 from repro.grid.universe import Universe
 
@@ -208,6 +219,11 @@ class MetricEntry:
     #: Accepted parameters as ``(name, default)`` pairs; metric-spec
     #: kwargs outside this set are rejected at plan time.
     params: Tuple[Tuple[str, object], ...] = ()
+    #: Optional value validator (called with the explicit kwargs after
+    #: the type checks).  Must raise an actionable ``ValueError`` for
+    #: out-of-domain values, so ``"dilation:window=0"`` fails at plan
+    #: time instead of deep inside NumPy mid-sweep.
+    validate: Optional[Callable[[Dict[str, object]], None]] = None
 
     @property
     def signature(self) -> str:
@@ -250,6 +266,8 @@ class MetricEntry:
                     f"{type(default).__name__} (default {_render(default)}), "
                     f"got {value!r}"
                 )
+        if self.validate is not None:
+            self.validate(dict(kwargs))
         if not kwargs:
             return self.fn
         fn = self.fn
@@ -268,6 +286,7 @@ def register_metric(
     overwrite: bool = False,
     description: str = "",
     params: Sequence[Tuple[str, object]] = (),
+    validate: Optional[Callable[[Dict[str, object]], None]] = None,
 ):
     """Register a sweep metric (direct call or decorator form).
 
@@ -288,6 +307,7 @@ def register_metric(
             fn=f,
             description=description,
             params=tuple(params),
+            validate=validate,
         )
         return f
 
@@ -295,6 +315,31 @@ def register_metric(
         return _register
     _register(fn)
     return None
+
+
+def _min_validator(metric_name: str, **minimums):
+    """A :class:`MetricEntry` validator enforcing per-param minimums."""
+
+    def validate(params: Dict[str, object]) -> None:
+        for key, minimum in minimums.items():
+            value = params.get(key)
+            if value is not None and value < minimum:
+                raise ValueError(
+                    f"metric {metric_name!r} parameter {key!r} must be "
+                    f">= {minimum}, got {value}"
+                )
+
+    return validate
+
+
+def _validate_dilation(params: Dict[str, object]) -> None:
+    _min_validator("dilation", window=1)(params)
+    metric = params.get("metric")
+    if metric is not None and metric not in ("manhattan", "euclidean"):
+        raise ValueError(
+            "metric 'dilation' parameter 'metric' must be 'manhattan' "
+            f"or 'euclidean', got {metric!r}"
+        )
 
 
 def _allpairs_metric(grid_metric: str) -> MetricFn:
@@ -377,7 +422,7 @@ register_metric(
     description="all-pairs stretch, Euclidean (exact ≤4096 cells, else sampled)",
 )
 register_metric(
-    "nn_mean", lambda ctx: float(ctx.nn_distance_values().mean()),
+    "nn_mean", lambda ctx: ctx.nn_mean(),
     description="mean ∆π over NN pairs (expected key shift of a unit move)",
 )
 register_metric(
@@ -385,17 +430,20 @@ register_metric(
     description="window dilation: max grid distance of a fixed curve-index "
     "step (Gotsman-Lindenbaum reverse metric)",
     params=(("window", 1), ("metric", "manhattan")),
+    validate=_validate_dilation,
 )
 register_metric(
     "partition", _partition_metric,
     description="edge-cut fraction of the p-way contiguous curve partition "
     "(communication fraction)",
     params=(("parts", 8),),
+    validate=_min_validator("partition", parts=1),
 )
 register_metric(
     "clusters", _clusters_metric,
     description="Moon et al. expected cluster count over random cubic boxes",
     params=(("box", 4), ("samples", 100), ("seed", 0)),
+    validate=_min_validator("clusters", box=1, samples=1),
 )
 register_metric(
     "rangequery", _rangequery_metric,
@@ -406,6 +454,9 @@ register_metric(
         ("seed", 0),
         ("seek", 10.0),
         ("scan", 1.0),
+    ),
+    validate=_min_validator(
+        "rangequery", box=1, samples=1, seek=0, scan=0
     ),
 )
 
@@ -462,8 +513,9 @@ class SweepResult:
 
     records: List[SweepRecord]
     skipped: List[SkippedCell] = field(default_factory=list)
-    #: Aggregate engine cache counters of the run (``None`` for
-    #: process-pool sweeps, where contexts live in the workers).
+    #: Aggregate engine cache counters of the run.  Process-pool sweeps
+    #: pipe each worker's per-cell stats back through the executor and
+    #: aggregate them here, so the counters cover every execution mode.
     cache_stats: Optional[CacheStats] = None
 
     def __len__(self) -> int:
@@ -491,7 +543,19 @@ class SweepResult:
 # ----------------------------------------------------------------------
 # The sweep runner
 # ----------------------------------------------------------------------
-_Task = Tuple[int, int, str, Tuple[str, ...], bool, bool, int, int, bool]
+_Task = Tuple[
+    int,
+    int,
+    str,
+    Tuple[str, ...],
+    bool,
+    bool,
+    int,
+    int,
+    bool,
+    Optional[int],
+    Optional[int],
+]
 
 
 def _run_cell(
@@ -510,6 +574,8 @@ def _run_cell(
         allpairs_samples,
         seed,
         strict,
+        chunk_cells,
+        max_bytes,
     ) = task
     universe = Universe(d=d, side=side)
     spec = CurveSpec.parse(spec_text)
@@ -529,7 +595,13 @@ def _run_cell(
             side=side,
             reason=f"construction error: {exc}",
         )
-    ctx = pool.get(curve) if pool is not None else MetricContext(curve)
+    ctx = (
+        pool.get(curve)
+        if pool is not None
+        else MetricContext(
+            curve, max_bytes=max_bytes, chunk_cells=chunk_cells
+        )
+    )
     if pool is None and stats_sink is not None:
         stats_sink.append(ctx.stats)
     values = {}
@@ -556,6 +628,19 @@ def _run_cell(
     )
 
 
+def _run_cell_with_stats(task: _Task):
+    """Process-pool entry point: one cell plus its worker cache stats.
+
+    Returning the per-cell :class:`CacheStats` lets the parent
+    aggregate engine counters across workers — without this, process
+    sweeps silently reported no cache statistics at all.
+    """
+    sink: List[CacheStats] = []
+    outcome = _run_cell(task, pool=None, stats_sink=sink)
+    stats = CacheStats.aggregate(sink) if sink else CacheStats()
+    return outcome, stats
+
+
 @dataclass
 class Sweep:
     """A declared curve × universe × metric sweep.
@@ -571,8 +656,19 @@ class Sweep:
     additionally builds a full :class:`StretchReport` per cell (sharing
     the cell's cached intermediates, so this costs nothing extra for the
     default metric set).  Serial runs share one
-    :class:`repro.engine.ContextPool` (disable with ``pooled=False``);
-    ``processes`` > 1 distributes cells over a process pool instead.
+    :class:`repro.engine.ContextPool` per universe (disable with
+    ``pooled=False``); ``processes`` > 1 distributes cells over a
+    process pool instead (each worker builds private contexts — a
+    warning flags the bypassed pooling unless ``pooled=False`` opts
+    out — and the workers' cache stats are aggregated on the result).
+
+    **Memory model**: ``max_bytes`` is each context's LRU budget for
+    retained intermediates; ``chunk_cells`` bounds what is materialized
+    at once.  With the default ``chunk_cells=None`` the engine's
+    chunked mode is auto-selected per universe whenever the dense
+    ``(side,)*d`` key grid alone would exceed ``max_bytes``; an
+    explicit positive ``chunk_cells`` forces chunked execution with
+    that block size, and ``chunk_cells=0`` forces the dense mode.
     """
 
     dims: Optional[Sequence[int]] = None
@@ -587,6 +683,30 @@ class Sweep:
     strict: bool = False
     processes: Optional[int] = None
     pooled: bool = True
+    chunk_cells: Optional[int] = None
+    max_bytes: Optional[int] = DEFAULT_CACHE_BYTES
+
+    def resolve_chunk_cells(self, universe: Universe) -> Optional[int]:
+        """The block size to use for ``universe`` (``None`` = dense).
+
+        Explicit ``chunk_cells`` wins (0 forcing dense); otherwise
+        chunked mode is selected exactly when the universe's dense
+        int64 key grid would not fit the ``max_bytes`` cache budget,
+        with the block scaled so one block's working set (keys, block
+        coordinates and reduction temporaries — roughly 64 bytes/cell)
+        also fits the budget.
+        """
+        if self.chunk_cells is not None:
+            if self.chunk_cells < 0:
+                raise ValueError(
+                    "chunk_cells must be >= 0 (0 forces the dense "
+                    f"mode), got {self.chunk_cells}"
+                )
+            return self.chunk_cells if self.chunk_cells > 0 else None
+        if self.max_bytes is not None and universe.n * 8 > self.max_bytes:
+            scaled = self.max_bytes // 64
+            return int(min(DEFAULT_CHUNK_CELLS, max(1024, scaled)))
+        return None
 
     def resolved_universes(self) -> List[Universe]:
         """The universe list the sweep will visit, in order."""
@@ -648,6 +768,8 @@ class Sweep:
                         self.allpairs_samples,
                         self.seed,
                         self.strict,
+                        self.resolve_chunk_cells(universe),
+                        self.max_bytes,
                     )
                 )
         return tasks, skipped
@@ -657,10 +779,22 @@ class Sweep:
         tasks, skipped = self._plan()
         cache_stats: Optional[CacheStats] = None
         if self.processes is not None and self.processes > 1 and tasks:
+            if self.pooled:
+                warnings.warn(
+                    "Sweep(processes=N) cannot share a ContextPool "
+                    "across worker processes; each cell builds a "
+                    "private context (pass pooled=False to acknowledge)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             with ProcessPoolExecutor(
                 max_workers=min(self.processes, len(tasks))
             ) as executor:
-                outcomes = list(executor.map(_run_cell, tasks))
+                pairs = list(executor.map(_run_cell_with_stats, tasks))
+            outcomes = [outcome for outcome, _ in pairs]
+            cache_stats = CacheStats.aggregate(
+                stats for _, stats in pairs
+            )
         else:
             # One pool per universe: cross-curve sharing happens within
             # a universe, and plan order groups cells by universe, so a
@@ -674,7 +808,9 @@ class Sweep:
                 if self.pooled and (task[0], task[1]) != pool_universe:
                     if pool is not None:
                         sink.append(pool.stats)
-                    pool = ContextPool()
+                    pool = ContextPool(
+                        max_bytes=self.max_bytes, chunk_cells=task[9]
+                    )
                     pool_universe = (task[0], task[1])
                 outcomes.append(
                     _run_cell(task, pool=pool, stats_sink=sink)

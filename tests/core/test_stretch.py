@@ -93,9 +93,12 @@ class TestLambdaSums:
         z = ZCurve(u2_8)
         assert lambda_sums(z).sum() == nn_distance_values(z).sum()
 
-    def test_requires_side_ge_2(self):
-        with pytest.raises(ValueError, match="side >= 2"):
-            lambda_sums(SimpleCurve(Universe(d=2, side=1)))
+    def test_degenerate_side_one_is_zero(self):
+        # A side-1 universe has no NN pairs: the per-dimension totals
+        # are defined (all zero) instead of raising, so sweeps over
+        # degenerate universes complete.
+        lam = lambda_sums(SimpleCurve(Universe(d=2, side=1)))
+        assert lam.tolist() == [0, 0]
 
 
 class TestPerCellStretch:

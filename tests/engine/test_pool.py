@@ -24,10 +24,52 @@ class TestPoolIdentity:
         assert pool.get(curve) is pool.get(curve)
         assert len(pool) == 1
 
-    def test_distinct_curves_distinct_contexts(self, u2_8):
+    def test_equivalent_curves_share_one_context(self, u2_8):
+        # The pool is keyed by (universe, canonical curve spec): two
+        # separately instantiated but equivalent curves share a context.
         pool = ContextPool()
-        assert pool.get(ZCurve(u2_8)) is not pool.get(ZCurve(u2_8))
-        assert len(pool) == 2
+        first = pool.get(ZCurve(u2_8))
+        assert pool.get(ZCurve(u2_8)) is first
+        assert len(pool) == 1
+
+    def test_inequivalent_curves_distinct_contexts(self, u2_8, u3_4):
+        from repro.curves.random_curve import RandomCurve
+        from repro.curves.snake import SnakeCurve
+
+        pool = ContextPool()
+        assert pool.get(ZCurve(u2_8)) is not pool.get(SnakeCurve(u2_8))
+        assert pool.get(ZCurve(u2_8)) is not pool.get(ZCurve(u3_4))
+        assert pool.get(RandomCurve(u2_8, seed=1)) is not pool.get(
+            RandomCurve(u2_8, seed=2)
+        )
+
+    def test_equivalent_specs_reuse_cached_work(self, u2_8):
+        pool = ContextPool()
+        pool.get(ZCurve(u2_8)).davg()
+        before = pool.stats.total_computes
+        assert pool.get(ZCurve(u2_8)).davg() == pool.get(ZCurve(u2_8)).davg()
+        assert pool.stats.total_computes == before
+
+    def test_random_curves_share_by_seed(self, u2_8):
+        from repro.curves.random_curve import RandomCurve
+
+        pool = ContextPool()
+        assert pool.get(RandomCurve(u2_8, seed=3)) is pool.get(
+            RandomCurve(u2_8, seed=3)
+        )
+
+    def test_explicit_permutations_stay_instance_keyed(self, u2_8):
+        # Raw key-grid curves are not provably equal without an O(n)
+        # comparison, so they deliberately do not alias.
+        import numpy as np
+
+        from repro.curves.base import PermutationCurve
+
+        grid = ZCurve(u2_8).key_grid().copy()
+        pool = ContextPool()
+        a = PermutationCurve(u2_8, key_grid=grid)
+        b = PermutationCurve(u2_8, key_grid=np.array(grid))
+        assert pool.get(a) is not pool.get(b)
 
     def test_context_passthrough(self, u2_8):
         pool = ContextPool()
@@ -322,16 +364,38 @@ class TestPooledSweep:
                 metrics=("davg:window=2",),
             ).run()
 
-    def test_process_sweep_has_no_stats(self, u2_8):
-        result = Sweep(
-            universes=[u2_8],
-            curves=["z", "simple"],
-            metrics=("davg",),
-            reports=False,
-            processes=2,
-        ).run()
-        assert result.cache_stats is None
+    def test_process_sweep_aggregates_worker_stats(self, u2_8):
+        # Worker cache stats are piped back through the executor and
+        # aggregated; a warning flags the silently bypassed pooling.
+        with pytest.warns(RuntimeWarning, match="ContextPool"):
+            result = Sweep(
+                universes=[u2_8],
+                curves=["z", "simple"],
+                metrics=("davg",),
+                reports=False,
+                processes=2,
+            ).run()
+        assert result.cache_stats is not None
+        assert result.cache_stats.total_computes > 0
+        # each worker context builds its own key grid (no sharing)
+        assert result.cache_stats.compute_count("key_grid") == 2
         assert len(result.records) == 2
+
+    def test_process_sweep_pooled_false_no_warning(self, u2_8):
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            result = Sweep(
+                universes=[u2_8],
+                curves=["z"],
+                metrics=("davg",),
+                reports=False,
+                processes=2,
+                pooled=False,
+            ).run()
+        assert not caught
+        assert result.cache_stats is not None
 
 
 class TestMetricParamValueValidation:

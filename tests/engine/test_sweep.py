@@ -55,6 +55,25 @@ class TestCurveSpec:
         with pytest.raises(ValueError):
             parse_curve_spec(bad)
 
+    @pytest.mark.parametrize(
+        "messy,canonical",
+        [
+            (" z ", "z"),
+            ("z : seed=1", "z:seed=1"),
+            (" random : seed = 3 ", "random:seed=3"),
+            ("foo: a=1 , b = 2.5 ", "foo:a=1,b=2.5"),
+        ],
+    )
+    def test_stray_whitespace_normalized(self, messy, canonical):
+        spec = CurveSpec.parse(messy)
+        assert str(spec) == canonical
+        assert CurveSpec.parse(str(spec)) == spec  # round-trips clean
+
+    def test_whitespace_values_coerced(self):
+        spec = CurveSpec.parse("random: seed = 3")
+        assert dict(spec.kwargs) == {"seed": 3}
+        assert isinstance(dict(spec.kwargs)["seed"], int)
+
     def test_spec_instantiates_with_kwargs(self, u2_8):
         curve = CurveSpec.parse("random:seed=42").make(u2_8)
         assert curve.seed == 42
@@ -190,8 +209,42 @@ class TestParallel:
             reports=False,
         )
         serial = Sweep(**kwargs).run()
-        parallel = Sweep(**kwargs, processes=2).run()
+        parallel = Sweep(**kwargs, processes=2, pooled=False).run()
         assert serial.records == parallel.records
+
+
+class TestPlanTimeParamValidation:
+    """Out-of-domain metric params fail at plan time, not mid-sweep."""
+
+    @pytest.mark.parametrize(
+        "bad,match",
+        [
+            ("dilation:window=0", "window"),
+            ("dilation:window=-4", "window"),
+            ("dilation:metric=chebyshev", "manhattan"),
+            ("partition:parts=0", "parts"),
+            ("partition:parts=-3", "parts"),
+            ("clusters:box=-1", "box"),
+            ("clusters:samples=0", "samples"),
+            ("rangequery:seek=-1", "seek"),
+            ("rangequery:box=0", "box"),
+        ],
+    )
+    def test_bad_values_raise_before_any_work(self, u2_8, bad, match):
+        with pytest.raises(ValueError, match=match):
+            Sweep(
+                universes=[u2_8], curves=["z"], metrics=(bad,)
+            ).run()
+
+    def test_boundary_values_accepted(self, u2_8):
+        result = Sweep(
+            universes=[u2_8],
+            curves=["z"],
+            metrics=("dilation:window=1", "partition:parts=1"),
+            reports=False,
+        ).run()
+        (record,) = result.records
+        assert record.values["partition:parts=1"] == 0.0
 
 
 class TestMetricRegistry:
