@@ -17,7 +17,10 @@ Public API highlights
 * Pooling: :class:`repro.ContextPool` — shares contexts across curves
   of a universe (curve-independent intermediates computed once) and
   derives transform-curve arrays (reversed/reflected/axis-permuted)
-  from their inner curve's cache.
+  from their inner curve's cache.  Process sweeps extend the sharing
+  across workers: :class:`repro.SharedGridStore` publishes one grid
+  set per curve spec into shared memory and workers attach zero-copy
+  views (see ``docs/parallelism.md``).
 * Sweeps: :class:`repro.Sweep` — declarative curve × universe × metric
   runs (``"random:seed=3"``-style curve specs,
   ``"dilation:window=16"``-style metric specs over the pluggable
@@ -90,6 +93,7 @@ from repro.engine import (
     CurveSpec,
     MetricContext,
     MetricSpec,
+    SharedGridStore,
     Sweep,
     SweepResult,
     get_context,
@@ -140,6 +144,7 @@ __all__ = [
     "MetricContext",
     "CacheStats",
     "ContextPool",
+    "SharedGridStore",
     "get_context",
     "Sweep",
     "SweepResult",

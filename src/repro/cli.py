@@ -65,11 +65,46 @@ def build_parser() -> argparse.ArgumentParser:
     def csv_ints(text: str) -> list[int]:
         return [int(part) for part in text.split(",") if part.strip()]
 
-    def csv_strs(text: str) -> list[str]:
-        return [part.strip() for part in text.split(",") if part.strip()]
+    def csv_specs(text: str) -> list[str]:
+        """Split a spec list on commas, keeping multi-parameter specs whole.
+
+        Spec parameters are comma-separated too
+        (``reflected:inner=hilbert,axes=0``), so a chunk starting with
+        ``key=`` cannot open a new spec — names never contain ``=``, and
+        in a fresh spec any ``=`` follows the ``name:`` prefix — and is
+        rejoined to the spec before it.  The value may itself contain a
+        colon (``inner=random:seed=3``), so the test is whether ``=``
+        appears before the first ``:``, not whether ``:`` is absent.
+        """
+
+        def continues_previous(part: str) -> bool:
+            eq, colon = part.find("="), part.find(":")
+            return eq != -1 and (colon == -1 or eq < colon)
+
+        specs: list[str] = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if specs and continues_previous(part):
+                specs[-1] += f",{part}"
+            else:
+                specs.append(part)
+        return specs
 
     p_sweep = sub.add_parser(
-        "sweep", help="declarative curve x universe x metric sweep"
+        "sweep",
+        help="declarative curve x universe x metric sweep",
+        description=(
+            "Declarative curve x universe x metric sweep over the "
+            "metric engine.  Execution modes are auto-selected: the "
+            "engine switches to chunked (block-streaming) execution "
+            "for any universe whose dense key grid would exceed the "
+            "cache budget, and process sweeps (--processes N) publish "
+            "one shared-memory grid set per curve spec so workers "
+            "attach zero-copy views instead of recomputing "
+            "(--no-shared opts out)."
+        ),
     )
     p_sweep.add_argument(
         "--dims", type=csv_ints, default=[2], help="dimensions, e.g. 2,3"
@@ -79,13 +114,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--curves",
-        type=csv_strs,
+        type=csv_specs,
         default=None,
         help="curve specs, e.g. z,hilbert,random:seed=3 (default: all)",
     )
     p_sweep.add_argument(
         "--metrics",
-        type=csv_strs,
+        type=csv_specs,
         default=list(DEFAULT_METRICS),
         help=f"metric names among {sorted(METRICS)}",
     )
@@ -96,7 +131,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--processes",
         type=int,
         default=None,
-        help="fan cells out over N worker processes",
+        help="fan cells out over N worker processes (grids are shared "
+        "through shared memory unless --no-shared is given)",
+    )
+    p_sweep.add_argument(
+        "--shared",
+        dest="shared",
+        action="store_true",
+        default=None,
+        help="force the shared-memory grid store for process sweeps "
+        "(default: used automatically whenever --processes > 1)",
+    )
+    p_sweep.add_argument(
+        "--no-shared",
+        dest="shared",
+        action="store_false",
+        help="disable the shared-memory grid store; every worker "
+        "rebuilds its key grids privately",
     )
     p_sweep.add_argument(
         "--strict",
@@ -120,15 +171,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run the engine in chunked mode with N cells per block "
         "(0 forces dense; default: auto-select chunked when the dense "
-        "key grid would exceed the cache budget)",
+        "key grid would exceed the cache budget; chunked cells never "
+        "use the shared grid store)",
     )
 
-    sub.add_parser(
+    p_metrics = sub.add_parser(
         "metrics", help="list registered sweep metrics (name, params, description)"
     )
+    p_metrics.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit the Markdown reference page (docs/reference/metrics.md)",
+    )
 
-    sub.add_parser(
+    p_curves = sub.add_parser(
         "curves", help="list registered curves and their capabilities"
+    )
+    p_curves.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit the Markdown reference page (docs/reference/curves.md)",
     )
 
     p_bounds = sub.add_parser("bounds", help="paper lower bounds for a grid")
@@ -205,11 +267,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     metrics = tuple(args.metrics)
     if args.allpairs:
         metrics += ("allpairs_manhattan", "allpairs_euclidean")
-    # A process sweep cannot pool; the CLI user made no pooling choice
-    # to warn about, so opt out explicitly instead of surfacing the
-    # API-level RuntimeWarning (whose remedy names a Python kwarg).
+    shared = "auto" if args.shared is None else args.shared
+    # A --no-shared process sweep cannot pool; the CLI user made no
+    # pooling choice to warn about, so opt out explicitly instead of
+    # surfacing the API-level RuntimeWarning (whose remedy names a
+    # Python kwarg).  With the shared store active, worker contexts do
+    # resolve through shared state, so pooling stays on.
     pooled = not args.no_pool
-    if args.processes is not None and args.processes > 1:
+    if (
+        args.processes is not None
+        and args.processes > 1
+        and shared is False
+    ):
         pooled = False
     result = Sweep(
         dims=args.dims,
@@ -221,6 +290,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         strict=args.strict,
         pooled=pooled,
         chunk_cells=args.chunk_cells,
+        shared=shared,
     ).run()
     print(f"# sweep over dims={args.dims} sides={args.sides}")
     print(result.to_table())
@@ -240,6 +310,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+_GENERATED_BANNER = (
+    "<!-- Auto-generated by `python -m repro {command} --markdown`; "
+    "do not edit by hand.  CI regenerates this file and fails on "
+    "drift. -->"
+)
+
+
+def _markdown_table(headers: list[str], rows: list[list[str]]) -> str:
+    """A GitHub-flavored Markdown table (cells pipe-escaped)."""
+    def esc(cell: object) -> str:
+        return str(cell).replace("|", "\\|")
+
+    lines = [
+        "| " + " | ".join(esc(h) for h in headers) + " |",
+        "|" + "|".join(" --- " for _ in headers) + "|",
+    ]
+    lines += [
+        "| " + " | ".join(esc(c) for c in row) + " |" for row in rows
+    ]
+    return "\n".join(lines)
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     rows = []
     for name in sorted(METRICS):
@@ -251,12 +343,45 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                 "description": entry.description or "-",
             }
         )
+    if args.markdown:
+        print("# Sweep metric reference")
+        print()
+        print(_GENERATED_BANNER.format(command="metrics"))
+        print()
+        print(
+            "Every metric is a function of a `MetricContext` registered "
+            "in `repro.engine.sweep.METRICS`; parameterize it in sweep "
+            "specs as `name:key=val,...` (e.g. `dilation:window=16`). "
+            "Out-of-domain parameter values fail at plan time."
+        )
+        print()
+        print(
+            _markdown_table(
+                ["metric", "parameters (defaults)", "description"],
+                [
+                    [f"`{r['metric']}`", f"`{r['params']}`", r["description"]]
+                    for r in rows
+                ],
+            )
+        )
+        return 0
     print("# registered sweep metrics (use as --metrics name:key=val,...)")
     print(format_table(rows))
     return 0
 
 
-def _cmd_curves(args: argparse.Namespace) -> int:
+def _curve_doc(name: str) -> str:
+    """First docstring line of the registered factory (class or function)."""
+    import inspect
+
+    from repro.curves.registry import _require
+
+    doc = inspect.getdoc(_require(name).factory) or ""
+    first = doc.splitlines()[0].strip() if doc else ""
+    return first or "-"
+
+
+def _curve_rows() -> list[dict[str, object]]:
     from repro.curves.registry import curve_capabilities
 
     rows = []
@@ -280,6 +405,98 @@ def _cmd_curves(args: argparse.Namespace) -> int:
         rows.append(
             {"curve": name, "dims": dims, "side": side, "min_side": min_side}
         )
+    return rows
+
+
+def _cmd_curves(args: argparse.Namespace) -> int:
+    import inspect
+
+    from repro.curves.registry import _require, curve_is_hidden
+
+    rows = _curve_rows()
+    if args.markdown:
+        print("# Curve reference")
+        print()
+        print(_GENERATED_BANNER.format(command="curves"))
+        print()
+        print(
+            "Curves registered in `repro.curves.registry`; instantiate "
+            "with `make_curve(name, universe, **kwargs)` or reference "
+            "them in sweep specs as `name:key=val,...` "
+            "(e.g. `random:seed=3`)."
+        )
+        print()
+        md_rows = []
+        for row in rows:
+            name = str(row["curve"])
+            factory = _require(name).factory
+            init = factory.__init__ if inspect.isclass(factory) else factory
+            params = [
+                f"{p.name}={p.default!r}"
+                for p in inspect.signature(init).parameters.values()
+                if p.name not in ("self", "universe")
+                and p.kind is not inspect.Parameter.VAR_KEYWORD
+                and p.default is not inspect.Parameter.empty
+            ]
+            md_rows.append(
+                [
+                    f"`{name}`",
+                    row["dims"],
+                    row["side"],
+                    row["min_side"],
+                    f"`{','.join(params)}`" if params else "-",
+                    _curve_doc(name),
+                ]
+            )
+        print(
+            _markdown_table(
+                [
+                    "curve",
+                    "dims",
+                    "side",
+                    "min side",
+                    "parameters (defaults)",
+                    "description",
+                ],
+                md_rows,
+            )
+        )
+        print()
+        print("## Transform wrappers")
+        print()
+        print(
+            "Hidden registrations (not part of `curves=None` sweeps): "
+            "each wraps an `inner` curve spec and is metric-invariant "
+            "by the paper's Section IV-B argument.  Nested `inner` "
+            "specs may carry one parameter of their own "
+            "(`reversed:inner=random:seed=3`)."
+        )
+        print()
+        wrapper_rows = []
+        for name in available_curves(include_hidden=True):
+            if not curve_is_hidden(name):
+                continue
+            factory = _require(name).factory
+            params = [
+                f"{p.name}={p.default!r}"
+                for p in inspect.signature(factory).parameters.values()
+                if p.name != "universe"
+                and p.default is not inspect.Parameter.empty
+            ]
+            wrapper_rows.append(
+                [
+                    f"`{name}`",
+                    f"`{','.join(params)}`" if params else "-",
+                    _curve_doc(name),
+                ]
+            )
+        print(
+            _markdown_table(
+                ["wrapper", "parameters (defaults)", "description"],
+                wrapper_rows,
+            )
+        )
+        return 0
     print("# registered curves and declared capabilities")
     print(format_table(rows))
     return 0

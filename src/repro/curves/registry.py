@@ -42,6 +42,7 @@ __all__ = [
     "register_curve",
     "make_curve",
     "available_curves",
+    "curve_is_hidden",
     "curve_capabilities",
     "curve_applicability",
     "curves_for_universe",
@@ -93,6 +94,7 @@ class CurveCapabilities:
 class _Entry:
     factory: CurveFactory
     capabilities: Optional[CurveCapabilities]
+    hidden: bool = False
 
 
 _REGISTRY: Dict[str, _Entry] = {}
@@ -107,6 +109,7 @@ def register_curve(
     dims: Optional[Iterable[int]] = None,
     side_bases: Optional[Iterable[int]] = None,
     min_side: int = 1,
+    hidden: bool = False,
 ):
     """Register a curve factory under ``name``.
 
@@ -119,6 +122,12 @@ def register_curve(
     the ``dims`` / ``side_bases`` / ``min_side`` shorthands; omitting
     all of them registers the curve with *unknown* capabilities, for
     which applicability falls back to instantiate-and-catch.
+
+    ``hidden=True`` keeps the name resolvable by :func:`make_curve`
+    (and therefore usable in explicit sweep specs) without listing it
+    in :func:`available_curves` — used for the transform wrappers,
+    which only make sense with an explicit ``inner=...`` argument and
+    would otherwise pollute every curves=None sweep.
     """
     if capabilities is None and (
         dims is not None or side_bases is not None or min_side != 1
@@ -135,7 +144,7 @@ def register_curve(
                 f"curve {name!r} is already registered; pass "
                 "overwrite=True to replace it"
             )
-        _REGISTRY[name] = _Entry(fac, capabilities)
+        _REGISTRY[name] = _Entry(fac, capabilities, hidden)
         return fac
 
     if factory is None:
@@ -144,9 +153,18 @@ def register_curve(
     return None
 
 
-def available_curves() -> list[str]:
-    """Sorted names of all registered curves."""
-    return sorted(_REGISTRY)
+def available_curves(include_hidden: bool = False) -> list[str]:
+    """Sorted names of registered curves (hidden wrappers opt-in)."""
+    return sorted(
+        name
+        for name, entry in _REGISTRY.items()
+        if include_hidden or not entry.hidden
+    )
+
+
+def curve_is_hidden(name: str) -> bool:
+    """True when ``name`` is registered but kept out of default listings."""
+    return _require(name).hidden
 
 
 def curve_capabilities(name: str) -> Optional[CurveCapabilities]:
@@ -233,6 +251,57 @@ def curves_for_universe(
     return out
 
 
+# ----------------------------------------------------------------------
+# Transform wrappers (hidden: resolvable by explicit spec only)
+# ----------------------------------------------------------------------
+def _inner_curve(universe: Universe, inner) -> SpaceFillingCurve:
+    """Resolve a nested ``inner`` spec (``"hilbert"``, ``"random:seed=3"``).
+
+    Nested specs reuse the sweep grammar; because the *outer* spec is
+    split on commas first, a nested spec may carry at most one
+    ``key=value`` pair of its own.
+    """
+    from repro.engine.sweep import CurveSpec  # late: sweep imports us
+
+    return CurveSpec.parse(str(inner)).make(universe)
+
+
+def _axis_list(value) -> list[int]:
+    """Parse an axis list given as an int (``0``) or string (``"0-1"``)."""
+    if isinstance(value, int):
+        return [value]
+    return [int(part) for part in str(value).split("-") if part != ""]
+
+
+def _reversed_factory(universe: Universe, inner="z") -> SpaceFillingCurve:
+    """Traverse the inner curve backwards: ``pi'(x) = n - 1 - pi(x)``."""
+    from repro.curves.transforms import ReversedCurve
+
+    return ReversedCurve(_inner_curve(universe, inner))
+
+
+def _reflected_factory(
+    universe: Universe, inner="z", axes=0
+) -> SpaceFillingCurve:
+    """Reflect the listed grid axes (``"0-1"`` or a single int) first."""
+    from repro.curves.transforms import ReflectedCurve
+
+    return ReflectedCurve(
+        _inner_curve(universe, inner), axes=_axis_list(axes)
+    )
+
+
+def _axisperm_factory(
+    universe: Universe, inner="z", perm="1-0"
+) -> SpaceFillingCurve:
+    """Relabel grid axes by the listed permutation (e.g. ``"1-0"``)."""
+    from repro.curves.transforms import AxisPermutedCurve
+
+    return AxisPermutedCurve(
+        _inner_curve(universe, inner), perm=_axis_list(perm)
+    )
+
+
 register_curve("z", ZCurve, side_bases=(2,))
 register_curve("simple", SimpleCurve, capabilities=CurveCapabilities())
 register_curve("snake", SnakeCurve, capabilities=CurveCapabilities())
@@ -243,3 +312,6 @@ register_curve("spiral", SpiralCurve, dims=(2,))
 register_curve("peano", PeanoCurve, dims=(2,), side_bases=(3,))
 register_curve("moore", MooreCurve, dims=(2,), side_bases=(2,), min_side=2)
 register_curve("random", RandomCurve, capabilities=CurveCapabilities())
+register_curve("reversed", _reversed_factory, hidden=True)
+register_curve("reflected", _reflected_factory, hidden=True)
+register_curve("axisperm", _axisperm_factory, hidden=True)

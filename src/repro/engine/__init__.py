@@ -16,13 +16,19 @@
   per *canonical curve spec* of a universe and deriving transform
   curves' arrays (dense) or blocks (chunked) from their inner curve's
   cache.
+* :mod:`repro.engine.shm` — :class:`SharedGridStore`, shared-memory
+  segments holding one grid set (key grid, flat keys, inverse
+  permutation, neighbor counts) per canonical spec, published by a
+  process sweep's parent and attached by its workers as zero-copy
+  read-only views (counted in :attr:`CacheStats.shared`).
 * :mod:`repro.engine.sweep` — :class:`Sweep`, the declarative
   curve × universe × metric runner (curve/metric spec strings with
   plan-time parameter validation, capability-based applicability,
-  pooled execution, optional process parallelism with aggregated
-  worker cache stats, automatic chunked-mode selection via
-  ``chunk_cells`` / ``max_bytes``) behind ``survey()`` and the CLI,
-  and the pluggable :data:`METRICS` registry where new metrics land.
+  pooled execution, process parallelism with shared-memory grids and
+  aggregated worker cache stats, spec-keyed dedup of identical cells,
+  automatic chunked-mode selection via ``chunk_cells`` /
+  ``max_bytes``) behind ``survey()`` and the CLI, and the pluggable
+  :data:`METRICS` registry where new metrics land.
 """
 
 from repro.engine.chunked import DEFAULT_CHUNK_CELLS
@@ -36,6 +42,12 @@ from repro.engine.pool import (
     ContextPool,
     chunked_transform_derivations,
     transform_derivations,
+)
+from repro.engine.shm import (
+    SHARED_KINDS,
+    SharedGridStore,
+    shared_key,
+    universe_key,
 )
 from repro.engine.sweep import (
     METRICS,
@@ -60,6 +72,10 @@ __all__ = [
     "ContextPool",
     "transform_derivations",
     "chunked_transform_derivations",
+    "SHARED_KINDS",
+    "SharedGridStore",
+    "shared_key",
+    "universe_key",
     "Sweep",
     "SweepRecord",
     "SweepResult",

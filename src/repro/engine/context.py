@@ -43,6 +43,17 @@ to use instead.  The ``O(block)`` guarantee holds for procedural curves
 (:class:`repro.curves.base.PermutationCurve` subclasses such as
 ``random`` or ``peano``) are already defined by a dense table and gain
 no memory over the dense mode.
+
+**Shared mode** (process sweeps): a context wired to a
+:class:`repro.engine.shm.SharedGridStore` (via
+:class:`repro.engine.ContextPool`) resolves its key grid, flat keys,
+inverse permutation and neighbor counts as zero-copy read-only views
+of parent-published shared-memory segments before computing anything
+locally; resolutions are counted in :attr:`CacheStats.shared` and the
+views are retained outside the ``max_bytes`` budget (their pages are
+mapped once machine-wide, not owned by this process).  See
+``docs/memory-model.md`` for the full retention / materialization /
+duplication picture.
 """
 
 from __future__ import annotations
@@ -77,7 +88,17 @@ DEFAULT_CACHE_BYTES = 256 * 2**20
 
 @dataclass
 class CacheStats:
-    """Counters for the intermediate store (test + tuning hooks)."""
+    """Counters for the intermediate store (test + tuning hooks).
+
+    Aggregation sums counters across stores — how a sweep folds every
+    worker's (and the publishing parent's) counters into one summary:
+
+    >>> a = CacheStats(hits=2, misses=1, computes={"key_grid": 1})
+    >>> b = CacheStats(hits=1, misses=1, shared={"key_grid": 1})
+    >>> total = CacheStats.aggregate([a, b])
+    >>> total.hits, total.compute_count("key_grid"), total.total_shared
+    (3, 1, 1)
+    """
 
     hits: int = 0
     misses: int = 0
@@ -88,6 +109,10 @@ class CacheStats:
     #: (cheap array transform of a base curve's cache) instead of
     #: materialized from scratch; see :class:`repro.engine.ContextPool`.
     derived: Dict[str, int] = field(default_factory=dict)
+    #: How many times an intermediate was resolved as a zero-copy view
+    #: of a :class:`repro.engine.SharedGridStore` segment published by
+    #: the sweep parent, instead of being computed in this process.
+    shared: Dict[str, int] = field(default_factory=dict)
 
     def compute_count(self, key: str) -> int:
         """Times the named intermediate was materialized from scratch."""
@@ -96,6 +121,10 @@ class CacheStats:
     def derived_count(self, key: str) -> int:
         """Times the named intermediate was derived from a base context."""
         return self.derived.get(key, 0)
+
+    def shared_count(self, key: str) -> int:
+        """Times the named intermediate was attached from shared memory."""
+        return self.shared.get(key, 0)
 
     @property
     def total_computes(self) -> int:
@@ -106,6 +135,11 @@ class CacheStats:
     def total_derived(self) -> int:
         """Total derivations across all intermediates."""
         return sum(self.derived.values())
+
+    @property
+    def total_shared(self) -> int:
+        """Total shared-memory attachments across all intermediates."""
+        return sum(self.shared.values())
 
     @property
     def hit_rate(self) -> float:
@@ -125,6 +159,8 @@ class CacheStats:
                 out.computes[key] = out.computes.get(key, 0) + count
             for key, count in part.derived.items():
                 out.derived[key] = out.derived.get(key, 0) + count
+            for key, count in part.shared.items():
+                out.shared[key] = out.shared.get(key, 0) + count
         return out
 
     def __repr__(self) -> str:
@@ -133,6 +169,7 @@ class CacheStats:
             f"hit_rate={self.hit_rate:.1%}, "
             f"computes={self.total_computes}, "
             f"derived={self.total_derived}, "
+            f"shared={self.total_shared}, "
             f"evictions={self.evictions})"
         )
 
@@ -144,17 +181,24 @@ class _BoundedStore:
     (every lookup recomputes) — useful for benchmarking the uncached
     path.  Stored arrays are frozen (``writeable=False``) because they
     are shared across all metrics of the context.
+
+    Arrays resolved through a ``shared`` factory (zero-copy views of a
+    :class:`repro.engine.shm.SharedGridStore` segment) are retained in
+    a side table that does **not** count against ``max_bytes``: their
+    pages belong to a machine-wide shared mapping, not to this
+    process's private budget, and evicting a view would save nothing.
     """
 
     def __init__(self, max_bytes: Optional[int]) -> None:
         self.max_bytes = max_bytes
         self.stats = CacheStats()
         self._items: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._views: Dict[str, np.ndarray] = {}
         self._bytes = 0
 
     @property
     def nbytes(self) -> int:
-        """Total bytes currently held."""
+        """Total bytes currently held (shared views excluded)."""
         return self._bytes
 
     def get_or_compute(
@@ -163,12 +207,25 @@ class _BoundedStore:
         compute: Callable[[], np.ndarray],
         freeze: bool = True,
         derive: Optional[Callable[[], np.ndarray]] = None,
+        shared: Optional[Callable[[], Optional[np.ndarray]]] = None,
     ) -> np.ndarray:
         if key in self._items:
             self.stats.hits += 1
             self._items.move_to_end(key)
             return self._items[key]
+        if key in self._views:
+            self.stats.hits += 1
+            return self._views[key]
         self.stats.misses += 1
+        if shared is not None:
+            value = shared()
+            if value is not None:
+                # Zero-copy view of a parent-published segment: counted
+                # separately, retained outside the LRU budget.
+                self.stats.shared[key] = self.stats.shared.get(key, 0) + 1
+                if self.max_bytes != 0:
+                    self._views[key] = value
+                return value
         if derive is not None:
             value = np.asarray(derive())
             self.stats.derived[key] = self.stats.derived.get(key, 0) + 1
@@ -199,6 +256,7 @@ class _BoundedStore:
 
     def clear(self) -> None:
         self._items.clear()
+        self._views.clear()
         self._bytes = 0
 
 
@@ -252,6 +310,16 @@ class MetricContext:
         self._chunk_derivations: Dict[
             str, Callable[[int, int], np.ndarray]
         ] = {}
+        #: Intermediate key → zero-arg factory resolving the array as a
+        #: zero-copy view of a parent-published shared-memory segment
+        #: (wired by a :class:`repro.engine.ContextPool` holding a
+        #: :class:`repro.engine.shm.SharedGridStore`).  A factory
+        #: returning ``None`` means "not published" and falls through
+        #: to derivation / local compute.  Resolutions are counted in
+        #: :attr:`CacheStats.shared`.
+        self._shared_sources: Dict[
+            str, Callable[[], Optional[np.ndarray]]
+        ] = {}
         self._scalars: Dict[Tuple, object] = {}
 
     # ------------------------------------------------------------------
@@ -295,9 +363,18 @@ class MetricContext:
     def _cached(
         self, key: str, compute: Callable[[], np.ndarray], freeze: bool = True
     ) -> np.ndarray:
-        """Store lookup honoring any pool-installed derivation rule."""
+        """Store lookup honoring pool-installed shared/derivation rules.
+
+        Resolution order is cheapest-first: an already-cached array,
+        then a zero-copy shared-memory view, then a derivation from a
+        base context, then local compute.
+        """
         return self._store.get_or_compute(
-            key, compute, freeze=freeze, derive=self._derivations.get(key)
+            key,
+            compute,
+            freeze=freeze,
+            derive=self._derivations.get(key),
+            shared=self._shared_sources.get(key),
         )
 
     # ------------------------------------------------------------------
@@ -427,7 +504,9 @@ class MetricContext:
             else self._store
         )
         return store.get_or_compute(
-            "neighbor_counts", lambda: neighbor_count_grid(self.universe)
+            "neighbor_counts",
+            lambda: neighbor_count_grid(self.universe),
+            shared=self._shared_sources.get("neighbor_counts"),
         )
 
     # ------------------------------------------------------------------

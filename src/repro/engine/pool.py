@@ -162,6 +162,14 @@ class ContextPool:
     mode; transform derivation then happens per block (see
     :func:`chunked_transform_derivations`).
 
+    ``shared_store`` plugs in a :class:`repro.engine.shm.SharedGridStore`
+    (typically attached inside a process-sweep worker): dense-mode
+    contexts then resolve their key grid, flat keys, inverse permutation
+    and neighbor counts as zero-copy views of the parent-published
+    segments before falling back to local compute, counted under
+    :attr:`repro.engine.CacheStats.shared`.  Chunked contexts ignore the
+    store — they exist precisely to avoid dense ``O(n)`` arrays.
+
     The pool holds strong references to its curves: its lifetime should
     be scoped to a unit of work (one sweep, one report), not global.
 
@@ -178,10 +186,12 @@ class ContextPool:
         max_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
         derive_transforms: bool = True,
         chunk_cells: Optional[int] = None,
+        shared_store: Optional[object] = None,
     ) -> None:
         self.max_bytes = max_bytes
         self.derive_transforms = derive_transforms
         self.chunk_cells = chunk_cells
+        self.shared_store = shared_store
         self._contexts: Dict[tuple, MetricContext] = {}
         # Strong curve refs: PermutationCurve cache keys embed id(), so
         # the referenced objects must outlive the pool's key map.
@@ -221,6 +231,8 @@ class ContextPool:
             universe_store=self.universe_store(curve.universe),
             chunk_cells=self.chunk_cells,
         )
+        if self.shared_store is not None and self.chunk_cells is None:
+            self._wire_shared(ctx, curve)
         if self.derive_transforms:
             inner = getattr(curve, "inner", None)
             if isinstance(inner, SpaceFillingCurve):
@@ -236,6 +248,29 @@ class ContextPool:
         self._contexts[key] = ctx
         self._curves[key] = curve
         return ctx
+
+    def _wire_shared(
+        self, ctx: MetricContext, curve: SpaceFillingCurve
+    ) -> None:
+        """Point ``ctx`` at the parent-published shared-memory segments.
+
+        Instance-keyed curves have no process-stable spec key and are
+        left on the local compute path; specs the parent did not publish
+        resolve to ``None`` at lookup time and likewise fall through.
+        """
+        from repro.engine.shm import SHARED_KINDS, shared_key, universe_key
+
+        store = self.shared_store
+        skey = shared_key(curve)
+        if skey is not None:
+            for kind in SHARED_KINDS:
+                ctx._shared_sources[kind] = (
+                    lambda k=skey, kd=kind: store.get(k, kd)
+                )
+        ukey = universe_key(curve.universe)
+        ctx._shared_sources["neighbor_counts"] = (
+            lambda: store.get(ukey, "neighbor_counts")
+        )
 
     @property
     def stats(self) -> CacheStats:

@@ -1,0 +1,306 @@
+"""Shared-memory grid store: one key-grid set per spec, many processes.
+
+A process-pool sweep (``Sweep(processes=N)``) historically rebuilt every
+curve's key grid privately in each worker — the exact redundancy the
+paper's shared-structure argument says to exploit: all stretch metrics
+of a cell reduce over *one* permutation's key grid.  The
+:class:`SharedGridStore` removes it:
+
+* the **parent** computes one grid set per canonical curve spec — the
+  dense key grid, the rank-ordered flat keys and the inverse
+  permutation — and copies each into a
+  :class:`multiprocessing.shared_memory.SharedMemory` segment;
+* the **workers** receive the segment manifest through the executor
+  initializer and attach **zero-copy read-only NumPy views** instead of
+  recomputing; resolutions are counted under
+  :attr:`repro.engine.CacheStats.shared`;
+* after the sweep the parent **unlinks** every segment (in a
+  ``finally``, so segments are reclaimed even when a worker raises or
+  dies mid-run).
+
+Entries are keyed by :func:`shared_key` — a process-stable rendering of
+:meth:`repro.curves.base.SpaceFillingCurve.cache_key` — so two
+separately constructed but equivalent curves (parent's and worker's)
+resolve to the same segments.  Instance-keyed curves (explicit
+permutation tables, whose identity cannot be re-derived in another
+process) return ``None`` from :func:`shared_key` and simply fall back
+to local computation.
+
+Attached views index shared pages: a worker never pays the curve
+evaluation again, and the grid's memory is mapped once machine-wide
+instead of once per worker.
+
+>>> import numpy as np
+>>> store = SharedGridStore.create()
+>>> store.put(("demo",), "key_grid", np.arange(4, dtype=np.int64))
+>>> twin = SharedGridStore.attach(store.manifest())
+>>> view = twin.get(("demo",), "key_grid")
+>>> bool((view == np.arange(4)).all()) and not view.flags.writeable
+True
+>>> twin.get(("demo",), "flat_keys") is None   # absent kind -> local compute
+True
+>>> twin.close(); store.unlink()
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.curves.base import SpaceFillingCurve
+from repro.grid.universe import Universe
+
+__all__ = [
+    "SHARED_KINDS",
+    "SharedGridStore",
+    "shared_key",
+    "universe_key",
+]
+
+#: The per-spec intermediates a shared store publishes, in publish
+#: order.  Each is resolvable by a worker context before local compute:
+#: ``key_grid`` (dense ``(side,)*d``), ``flat_keys`` (rank order) and
+#: ``inverse_perm`` (rank of each key).
+SHARED_KINDS: Tuple[str, ...] = ("key_grid", "flat_keys", "inverse_perm")
+
+
+class _Unshareable(Exception):
+    """Raised while stabilizing a cache key that embeds instance state."""
+
+
+def _stable(part: object) -> object:
+    """``part`` of a cache key rendered process-stable, or raise."""
+    if isinstance(part, type):
+        # Types hash by identity, which differs across interpreter
+        # processes under the spawn start method; the qualified name is
+        # stable and just as unique.
+        return f"{part.__module__}.{part.__qualname__}"
+    if isinstance(part, Universe):
+        return ("universe", part.d, part.side)
+    if isinstance(part, tuple):
+        if part and part[0] == "instance":
+            # PermutationCurve tables are keyed by id(); another
+            # process cannot reproduce the key, so the spec cannot be
+            # matched to a published segment.
+            raise _Unshareable
+        return tuple(_stable(p) for p in part)
+    if part is None or isinstance(part, (str, int, float, bool)):
+        return part
+    raise _Unshareable
+
+
+def shared_key(curve: SpaceFillingCurve) -> Optional[tuple]:
+    """Process-stable store key of ``curve``'s canonical spec.
+
+    ``None`` when the curve is instance-keyed (its
+    :meth:`~repro.curves.base.SpaceFillingCurve.cache_key` embeds
+    ``id()``-based state a worker process cannot reproduce) — such
+    curves are computed locally, never shared.
+
+    >>> from repro import Universe, ZCurve
+    >>> u = Universe.power_of_two(d=2, k=2)
+    >>> shared_key(ZCurve(u)) == shared_key(ZCurve(u))
+    True
+    >>> from repro.curves.base import PermutationCurve
+    >>> import numpy as np
+    >>> table = PermutationCurve(u, order=u.all_coords())
+    >>> shared_key(table) is None
+    True
+    """
+    try:
+        return _stable(curve.cache_key())  # type: ignore[return-value]
+    except _Unshareable:
+        return None
+
+
+def universe_key(universe: Universe) -> tuple:
+    """Store key for curve-independent state of ``universe``."""
+    return ("universe", universe.d, universe.side)
+
+
+class SharedGridStore:
+    """Keyed shared-memory segments holding read-only NumPy arrays.
+
+    One store has two lives: the **owner** (sweep parent) fills it with
+    :meth:`put` and eventually calls :meth:`unlink`; **attached** copies
+    (workers) are built from :meth:`manifest` via :meth:`attach` and
+    resolve arrays with :meth:`get`.  Entries are keyed by
+    ``(spec_key, kind)`` where ``spec_key`` comes from
+    :func:`shared_key` / :func:`universe_key` and ``kind`` names the
+    intermediate (see :data:`SHARED_KINDS`).
+
+    Lifecycle rules:
+
+    * ``put`` copies the array into a fresh segment exactly once per
+      key (re-publishing an existing key raises — aliasing two arrays
+      under one key would silently corrupt every attached reader);
+    * ``get`` returns a zero-copy read-only view, or ``None`` when the
+      key was never published (callers fall back to local compute);
+    * ``unlink`` (owner) removes every segment from the system; it is
+      idempotent and tolerates segments that already vanished, so a
+      ``finally:`` call is always safe;
+    * ``close`` (workers) drops this process's handles without touching
+      the underlying segments.
+    """
+
+    def __init__(
+        self,
+        manifest: Optional[Dict[tuple, Tuple[str, tuple, str]]] = None,
+        owner: bool = False,
+    ) -> None:
+        #: ``(spec_key, kind) -> (segment_name, shape, dtype_str)``.
+        self._entries: Dict[tuple, Tuple[str, tuple, str]] = dict(
+            manifest or {}
+        )
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._views: Dict[tuple, np.ndarray] = {}
+        self.owner = owner
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls) -> "SharedGridStore":
+        """A fresh owning store (the sweep parent's side)."""
+        return cls(owner=True)
+
+    @classmethod
+    def attach(
+        cls, manifest: Dict[tuple, Tuple[str, tuple, str]]
+    ) -> "SharedGridStore":
+        """A non-owning store resolving a published :meth:`manifest`.
+
+        Segments are attached lazily on first :meth:`get`, so a worker
+        only maps the specs its cells actually touch.
+        """
+        return cls(manifest=manifest, owner=False)
+
+    def manifest(self) -> Dict[tuple, Tuple[str, tuple, str]]:
+        """Picklable description of every entry (pass to workers)."""
+        return dict(self._entries)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    @property
+    def segment_names(self) -> Tuple[str, ...]:
+        """Names of every published segment (test / cleanup hook)."""
+        return tuple(name for name, _, _ in self._entries.values())
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across all published arrays."""
+        return sum(
+            int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+            for _, shape, dtype in self._entries.values()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        role = "owner" if self.owner else "attached"
+        return (
+            f"SharedGridStore({role}, {len(self._entries)} entries, "
+            f"{self.nbytes / 2**20:.1f} MiB)"
+        )
+
+    # ------------------------------------------------------------------
+    # Owner side
+    # ------------------------------------------------------------------
+    def put(self, spec_key: tuple, kind: str, array: np.ndarray) -> None:
+        """Copy ``array`` into a new segment under ``(spec_key, kind)``."""
+        if not self.owner:
+            raise ValueError("only the owning store can publish segments")
+        entry_key = (spec_key, kind)
+        if entry_key in self._entries:
+            raise ValueError(f"entry {entry_key!r} is already published")
+        arr = np.ascontiguousarray(array)
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(1, arr.nbytes)
+        )
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=segment.buf)
+        view[...] = arr
+        view.flags.writeable = False
+        self._segments[segment.name] = segment
+        self._entries[entry_key] = (segment.name, arr.shape, arr.dtype.str)
+        self._views[entry_key] = view
+
+    # ------------------------------------------------------------------
+    # Reader side
+    # ------------------------------------------------------------------
+    def get(self, spec_key: tuple, kind: str) -> Optional[np.ndarray]:
+        """Zero-copy read-only view of an entry, or ``None`` if absent.
+
+        Also returns ``None`` when the manifest names a segment that no
+        longer exists (e.g. the parent already unlinked it) — callers
+        treat that as a cache miss and compute locally.
+        """
+        entry_key = (spec_key, kind)
+        view = self._views.get(entry_key)
+        if view is not None:
+            return view
+        entry = self._entries.get(entry_key)
+        if entry is None:
+            return None
+        name, shape, dtype = entry
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            return None
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+        view.flags.writeable = False
+        self._segments[name] = segment
+        self._views[entry_key] = view
+        return view
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's handles; the segments themselves survive.
+
+        A handle whose view is still referenced elsewhere cannot be
+        unmapped (the exported buffer pins it); such handles are left
+        for process teardown, which is exactly what happens to worker
+        processes exiting after a sweep.
+        """
+        self._views.clear()
+        for segment in self._segments.values():
+            try:
+                segment.close()
+            except BufferError:  # a live view pins the mapping
+                pass
+        self._segments.clear()
+
+    def unlink(self) -> None:
+        """Remove every segment from the system (owner cleanup).
+
+        Safe to call unconditionally in ``finally``: missing segments
+        (already unlinked, or never created because publishing failed
+        midway) are skipped, and attached readers keep working until
+        they drop their mappings — unlink only removes the name.
+        """
+        self._views.clear()
+        for name, _, _ in self._entries.values():
+            segment = self._segments.pop(name, None)
+            if segment is None:
+                try:
+                    segment = shared_memory.SharedMemory(name=name)
+                except FileNotFoundError:
+                    continue
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - view still alive
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._entries.clear()
+        self._segments.clear()

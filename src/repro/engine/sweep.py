@@ -27,10 +27,16 @@ Every benchmark, example and CLI table in this repo is some flavor of
   inner curve's arrays; the pool's aggregate
   :class:`repro.engine.CacheStats` land on the result.
 * ``processes=N`` fans the (universe, curve) cells out over a process
-  pool — each cell is independent, so the sweep parallelizes trivially
-  (contexts cannot be shared across processes — a warning flags the
-  bypassed pooling — but each worker's cache stats are piped back and
-  aggregated on the result).
+  pool — each cell is independent, so the sweep parallelizes trivially.
+  With ``shared`` on (the ``"auto"`` default), the parent precomputes
+  one grid set per canonical curve spec into
+  :class:`repro.engine.shm.SharedGridStore` segments and the workers
+  attach zero-copy views instead of rebuilding every key grid privately
+  (counted in :attr:`repro.engine.CacheStats.shared`); identical cells
+  are deduplicated spec-keyed before any work runs.  ``shared=False``
+  restores fully private workers — then a warning flags the bypassed
+  pooling unless ``pooled=False`` acknowledges it.  Either way each
+  worker's cache stats are piped back and aggregated on the result.
 * ``chunk_cells`` (or the automatic selection against ``max_bytes``)
   runs cells in the engine's **chunked mode**, so universes whose dense
   ``(side,)*d`` key grid would blow the cache budget still sweep, with
@@ -49,6 +55,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.summary import StretchReport, stretch_report
+from repro.curves.base import SpaceFillingCurve
 from repro.curves.registry import (
     available_curves,
     curve_applicability,
@@ -562,6 +569,7 @@ def _run_cell(
     task: _Task,
     pool: Optional[ContextPool] = None,
     stats_sink: Optional[List[CacheStats]] = None,
+    shared_store=None,
 ):
     """Compute one (universe, curve) cell; top-level for pickling."""
     (
@@ -595,14 +603,24 @@ def _run_cell(
             side=side,
             reason=f"construction error: {exc}",
         )
-    ctx = (
-        pool.get(curve)
-        if pool is not None
-        else MetricContext(
+    cell_pool: Optional[ContextPool] = None
+    if pool is not None:
+        ctx = pool.get(curve)
+    elif shared_store is not None:
+        # Shared-mode worker: a cell-scoped pool wires this context (and
+        # any transform base contexts, created transitively) to the
+        # parent-published shared-memory segments.
+        cell_pool = ContextPool(
+            max_bytes=max_bytes,
+            chunk_cells=chunk_cells,
+            shared_store=shared_store,
+        )
+        ctx = cell_pool.get(curve)
+    else:
+        ctx = MetricContext(
             curve, max_bytes=max_bytes, chunk_cells=chunk_cells
         )
-    )
-    if pool is None and stats_sink is not None:
+    if pool is None and cell_pool is None and stats_sink is not None:
         stats_sink.append(ctx.stats)
     values = {}
     for text in metrics:
@@ -617,6 +635,10 @@ def _run_cell(
             seed=seed,
             context=ctx,
         )
+    if cell_pool is not None and stats_sink is not None:
+        # Aggregated after the metrics ran so transitively created base
+        # contexts (transform derivation) are included.
+        stats_sink.append(cell_pool.stats)
     return SweepRecord(
         spec=spec.label,
         curve_name=curve.name,
@@ -628,17 +650,100 @@ def _run_cell(
     )
 
 
+#: Worker-process handle on the parent's published segments, set by
+#: :func:`_worker_attach_shared` through the executor initializer.
+_WORKER_SHARED_STORE = None
+
+
+def _worker_attach_shared(manifest) -> None:
+    """Executor initializer: attach the parent's shared-grid manifest."""
+    global _WORKER_SHARED_STORE
+    from repro.engine.shm import SharedGridStore
+
+    _WORKER_SHARED_STORE = SharedGridStore.attach(manifest)
+
+
 def _run_cell_with_stats(task: _Task):
     """Process-pool entry point: one cell plus its worker cache stats.
 
     Returning the per-cell :class:`CacheStats` lets the parent
     aggregate engine counters across workers — without this, process
-    sweeps silently reported no cache statistics at all.
+    sweeps silently reported no cache statistics at all.  When the
+    sweep published a :class:`repro.engine.shm.SharedGridStore`, the
+    cell resolves grids through it (see :func:`_worker_attach_shared`).
     """
     sink: List[CacheStats] = []
-    outcome = _run_cell(task, pool=None, stats_sink=sink)
+    outcome = _run_cell(
+        task, pool=None, stats_sink=sink, shared_store=_WORKER_SHARED_STORE
+    )
     stats = CacheStats.aggregate(sink) if sink else CacheStats()
     return outcome, stats
+
+
+def _publish_shared(tasks: List[_Task], max_bytes: Optional[int]):
+    """Precompute one grid set per canonical spec into shared memory.
+
+    Returns ``(store, stats)``: the owning
+    :class:`repro.engine.shm.SharedGridStore` and the publishing pool's
+    :class:`CacheStats` (folded into the sweep result, so parent-side
+    computes and transform derivations stay visible).  Chunked-mode
+    cells are skipped — materializing a beyond-budget dense grid in the
+    parent would defeat the point of chunking — as are instance-keyed
+    specs and cells whose curve fails to construct (the worker will
+    report those as skipped).  Publishing reuses a per-universe
+    :class:`ContextPool`, so transform curves' grids are *derived* from
+    their inner curve's arrays instead of evaluated from scratch.
+
+    Publish policy: **base** specs get the full grid set (key grid,
+    flat keys, inverse permutation) — everything a worker would need a
+    curve evaluation or an ``O(n)`` scatter to rebuild.  **Transform-
+    derived** specs (``curve.inner``) get their key grid only: their
+    flat keys / inverse permutation are a single cheap vector op away
+    from the published grid, so shipping them too would spend more
+    parent time and shared memory than the workers save (workers fall
+    back to computing them *from the zero-copy grid view*, never from
+    a curve evaluation).
+    """
+    from repro.engine.shm import SharedGridStore, shared_key, universe_key
+
+    store = SharedGridStore.create()
+    stats: List[CacheStats] = []
+    pool: Optional[ContextPool] = None
+    pool_universe = None
+    try:
+        for task in tasks:
+            d, side, spec_text, chunk_cells = task[0], task[1], task[2], task[9]
+            if chunk_cells is not None:
+                continue
+            universe = Universe(d=d, side=side)
+            if pool is None or pool_universe != (d, side):
+                if pool is not None:
+                    stats.append(pool.stats)
+                pool = ContextPool(max_bytes=max_bytes)
+                pool_universe = (d, side)
+            try:
+                curve = CurveSpec.parse(spec_text).make(universe)
+            except (ValueError, TypeError):
+                continue
+            skey = shared_key(curve)
+            if skey is None or (skey, "key_grid") in store:
+                continue
+            ctx = pool.get(curve)
+            store.put(skey, "key_grid", ctx.key_grid())
+            if not isinstance(
+                getattr(curve, "inner", None), SpaceFillingCurve
+            ):
+                store.put(skey, "flat_keys", ctx.flat_keys())
+                store.put(skey, "inverse_perm", ctx.inverse_permutation())
+            ukey = universe_key(universe)
+            if (ukey, "neighbor_counts") not in store and universe.side >= 2:
+                store.put(ukey, "neighbor_counts", ctx.neighbor_counts())
+    except BaseException:
+        store.unlink()  # publishing died midway: leak nothing
+        raise
+    if pool is not None:
+        stats.append(pool.stats)
+    return store, CacheStats.aggregate(stats)
 
 
 @dataclass
@@ -658,9 +763,23 @@ class Sweep:
     default metric set).  Serial runs share one
     :class:`repro.engine.ContextPool` per universe (disable with
     ``pooled=False``); ``processes`` > 1 distributes cells over a
-    process pool instead (each worker builds private contexts — a
-    warning flags the bypassed pooling unless ``pooled=False`` opts
-    out — and the workers' cache stats are aggregated on the result).
+    process pool instead, and the workers' cache stats are aggregated
+    on the result.
+
+    **Process-pool sharing** (``shared``): with ``"auto"`` (the
+    default) or ``True``, a process sweep publishes one grid set per
+    canonical curve spec — key grid, flat keys, inverse permutation,
+    plus per-universe neighbor counts — into
+    :class:`repro.engine.shm.SharedGridStore` segments before the
+    executor starts; workers attach zero-copy views instead of
+    recomputing (counted under :attr:`CacheStats.shared`), and the
+    parent unlinks every segment when the sweep finishes, even on
+    worker failure.  Identical (universe, curve, metrics) cells are
+    deduplicated before any work runs, in every execution mode.
+    ``shared=False`` keeps workers fully private — each cell rebuilds
+    its grids, and a warning flags the bypassed pooling unless
+    ``pooled=False`` acknowledges it.  Serial sweeps ignore ``shared``
+    (the in-process pool already shares everything).
 
     **Memory model**: ``max_bytes`` is each context's LRU budget for
     retained intermediates; ``chunk_cells`` bounds what is materialized
@@ -669,6 +788,18 @@ class Sweep:
     ``(side,)*d`` key grid alone would exceed ``max_bytes``; an
     explicit positive ``chunk_cells`` forces chunked execution with
     that block size, and ``chunk_cells=0`` forces the dense mode.
+    Chunked cells never use the shared store — they exist precisely to
+    avoid materializing dense ``O(n)`` arrays — and fall back to the
+    PR-3 private-context behavior inside workers.
+
+    >>> from repro import Universe
+    >>> result = Sweep(universes=[Universe(d=2, side=4)],
+    ...                curves=["z", "snake"], metrics=("davg",),
+    ...                reports=False).run()
+    >>> [r.spec for r in result.records]
+    ['z', 'snake']
+    >>> result.records[0].values["davg"] > 0
+    True
     """
 
     dims: Optional[Sequence[int]] = None
@@ -685,6 +816,10 @@ class Sweep:
     pooled: bool = True
     chunk_cells: Optional[int] = None
     max_bytes: Optional[int] = DEFAULT_CACHE_BYTES
+    #: Shared-memory grid store policy for process sweeps: ``"auto"``
+    #: (share whenever ``processes`` > 1), ``True`` (same, stated
+    #: explicitly) or ``False`` (fully private workers).
+    shared: Union[bool, str] = "auto"
 
     def resolve_chunk_cells(self, universe: Universe) -> Optional[int]:
         """The block size to use for ``universe`` (``None`` = dense).
@@ -774,37 +909,80 @@ class Sweep:
                 )
         return tasks, skipped
 
+    def _shared_active(self) -> bool:
+        """Whether a process sweep should publish a shared grid store."""
+        # Identity checks: 0/1 equal False/True but must not pass as
+        # opt-out/opt-in ("shared=0" silently *enabling* sharing was a
+        # review catch).
+        if not any(self.shared is v for v in (True, False, "auto")):
+            raise ValueError(
+                'shared must be True, False or "auto", '
+                f"got {self.shared!r}"
+            )
+        return self.shared is not False
+
     def run(self) -> SweepResult:
         """Execute the sweep and return structured results."""
         tasks, skipped = self._plan()
+        # Spec-keyed result reuse: identical (universe, curve, metrics)
+        # cells are computed once and their outcome reused positionally.
+        unique_tasks = list(dict.fromkeys(tasks))
         cache_stats: Optional[CacheStats] = None
+        outcome_of: Dict[_Task, object] = {}
         if self.processes is not None and self.processes > 1 and tasks:
-            if self.pooled:
+            shared_active = self._shared_active()
+            if self.pooled and not shared_active:
                 warnings.warn(
-                    "Sweep(processes=N) cannot share a ContextPool "
-                    "across worker processes; each cell builds a "
-                    "private context (pass pooled=False to acknowledge)",
+                    "Sweep(processes=N, shared=False) cannot share a "
+                    "ContextPool across worker processes; each cell "
+                    "builds a private context (pass pooled=False to "
+                    "acknowledge, or drop shared=False to publish a "
+                    "shared grid store)",
                     RuntimeWarning,
                     stacklevel=2,
                 )
-            with ProcessPoolExecutor(
-                max_workers=min(self.processes, len(tasks))
-            ) as executor:
-                pairs = list(executor.map(_run_cell_with_stats, tasks))
-            outcomes = [outcome for outcome, _ in pairs]
+            store = None
+            parent_stats: List[CacheStats] = []
+            initializer = None
+            initargs = ()
+            if shared_active:
+                store, publish_stats = _publish_shared(
+                    unique_tasks, self.max_bytes
+                )
+                parent_stats.append(publish_stats)
+                initializer = _worker_attach_shared
+                initargs = (store.manifest(),)
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.processes, len(unique_tasks)),
+                    initializer=initializer,
+                    initargs=initargs,
+                ) as executor:
+                    pairs = list(
+                        executor.map(_run_cell_with_stats, unique_tasks)
+                    )
+            finally:
+                # Unlink even when a worker raised or died: shared
+                # segments must never outlive the sweep.
+                if store is not None:
+                    store.unlink()
+            outcome_of = {
+                task: outcome
+                for task, (outcome, _) in zip(unique_tasks, pairs)
+            }
             cache_stats = CacheStats.aggregate(
-                stats for _, stats in pairs
+                parent_stats + [stats for _, stats in pairs]
             )
         else:
+            self._shared_active()  # validate the value even when unused
             # One pool per universe: cross-curve sharing happens within
             # a universe, and plan order groups cells by universe, so a
             # finished universe's contexts are dead weight — scoping the
             # pool bounds peak memory to one universe's curve set.
             sink: List[CacheStats] = []
-            outcomes = []
             pool: Optional[ContextPool] = None
             pool_universe = None
-            for task in tasks:
+            for task in unique_tasks:
                 if self.pooled and (task[0], task[1]) != pool_universe:
                     if pool is not None:
                         sink.append(pool.stats)
@@ -812,14 +990,15 @@ class Sweep:
                         max_bytes=self.max_bytes, chunk_cells=task[9]
                     )
                     pool_universe = (task[0], task[1])
-                outcomes.append(
-                    _run_cell(task, pool=pool, stats_sink=sink)
+                outcome_of[task] = _run_cell(
+                    task, pool=pool, stats_sink=sink
                 )
             if pool is not None:
                 sink.append(pool.stats)
             cache_stats = CacheStats.aggregate(sink)
         records: List[SweepRecord] = []
-        for outcome in outcomes:
+        for task in tasks:
+            outcome = outcome_of[task]
             if isinstance(outcome, SkippedCell):
                 skipped.append(outcome)
             else:

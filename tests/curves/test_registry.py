@@ -209,3 +209,62 @@ class TestStrictMode:
             Universe(d=3, side=4),
         ):
             assert curves_for_universe(universe, strict=True)
+
+
+class TestHiddenTransformWrappers:
+    """The transform wrappers resolve by explicit spec only."""
+
+    def test_hidden_names_resolvable_but_unlisted(self):
+        from repro.curves.registry import curve_is_hidden
+
+        public = available_curves()
+        for name in ("reversed", "reflected", "axisperm"):
+            assert name not in public
+            assert name in available_curves(include_hidden=True)
+            assert curve_is_hidden(name)
+        assert not curve_is_hidden("z")
+
+    def test_reversed_factory_wraps_inner(self):
+        from repro.curves.transforms import ReversedCurve
+
+        u = Universe.power_of_two(d=2, k=3)
+        curve = make_curve("reversed", u, inner="hilbert")
+        assert isinstance(curve, ReversedCurve)
+        assert curve.inner.name == "hilbert"
+
+    def test_reflected_axes_forms(self):
+        u = Universe.power_of_two(d=2, k=3)
+        assert make_curve("reflected", u, inner="z", axes=1).axes == [1]
+        assert make_curve("reflected", u, inner="z", axes="0-1").axes == [0, 1]
+
+    def test_axisperm_perm_string(self):
+        u = Universe.power_of_two(d=3, k=2)
+        curve = make_curve("axisperm", u, inner="z", perm="2-0-1")
+        assert list(curve.perm) == [2, 0, 1]
+
+    def test_nested_inner_spec(self):
+        u = Universe.power_of_two(d=2, k=3)
+        curve = make_curve("reversed", u, inner="random:seed=7")
+        assert curve.inner.seed == 7
+
+    def test_transform_metrics_invariant(self):
+        """Section IV-B: the wrappers preserve every stretch metric."""
+        from repro.engine import get_context
+
+        u = Universe.power_of_two(d=2, k=3)
+        base = get_context(make_curve("hilbert", u))
+        for spec in (
+            ("reversed", {"inner": "hilbert"}),
+            ("reflected", {"inner": "hilbert", "axes": "0-1"}),
+            ("axisperm", {"inner": "hilbert", "perm": "1-0"}),
+        ):
+            ctx = get_context(make_curve(spec[0], u, **spec[1]))
+            assert ctx.davg() == base.davg()
+            assert ctx.dmax() == base.dmax()
+
+    def test_hidden_wrappers_absent_from_default_sweeps(self):
+        u = Universe.power_of_two(d=2, k=2)
+        assert not any(
+            name in ("reversed", "reflected", "axisperm")
+            for name in curves_for_universe(u)
+        )

@@ -366,7 +366,8 @@ class TestPooledSweep:
 
     def test_process_sweep_aggregates_worker_stats(self, u2_8):
         # Worker cache stats are piped back through the executor and
-        # aggregated; a warning flags the silently bypassed pooling.
+        # aggregated; with shared=False a warning flags the bypassed
+        # pooling (the shared grid store would make pooling effective).
         with pytest.warns(RuntimeWarning, match="ContextPool"):
             result = Sweep(
                 universes=[u2_8],
@@ -374,11 +375,34 @@ class TestPooledSweep:
                 metrics=("davg",),
                 reports=False,
                 processes=2,
+                shared=False,
             ).run()
         assert result.cache_stats is not None
         assert result.cache_stats.total_computes > 0
         # each worker context builds its own key grid (no sharing)
         assert result.cache_stats.compute_count("key_grid") == 2
+        assert result.cache_stats.total_shared == 0
+        assert len(result.records) == 2
+
+    def test_process_sweep_shared_store_no_warning(self, u2_8):
+        # The default shared="auto" publishes a grid store, so pooling
+        # is effective and the bypass warning must stay silent.
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            result = Sweep(
+                universes=[u2_8],
+                curves=["z", "simple"],
+                metrics=("davg",),
+                reports=False,
+                processes=2,
+            ).run()
+        assert not caught
+        # grids computed once each by the publishing parent, attached
+        # (not recomputed) by the workers
+        assert result.cache_stats.compute_count("key_grid") == 2
+        assert result.cache_stats.shared_count("key_grid") == 2
         assert len(result.records) == 2
 
     def test_process_sweep_pooled_false_no_warning(self, u2_8):

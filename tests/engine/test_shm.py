@@ -1,0 +1,385 @@
+"""Tests for the shared-memory grid store and shared process sweeps."""
+
+from __future__ import annotations
+
+import warnings
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.curves.base import PermutationCurve
+from repro.curves.zcurve import ZCurve
+from repro.engine import (
+    SHARED_KINDS,
+    CacheStats,
+    ContextPool,
+    SharedGridStore,
+    Sweep,
+    shared_key,
+    universe_key,
+)
+
+SHM_DIR = Path("/dev/shm")
+
+
+def shm_segments() -> set:
+    """Names currently present in the system shared-memory directory."""
+    if not SHM_DIR.is_dir():  # pragma: no cover - non-Linux fallback
+        return set()
+    return {p.name for p in SHM_DIR.iterdir()}
+
+
+class TestSharedGridStore:
+    def test_put_get_roundtrip_zero_copy(self):
+        store = SharedGridStore.create()
+        try:
+            grid = np.arange(12, dtype=np.int64).reshape(3, 4)
+            store.put(("spec",), "key_grid", grid)
+            twin = SharedGridStore.attach(store.manifest())
+            view = twin.get(("spec",), "key_grid")
+            assert view.shape == (3, 4) and view.dtype == np.int64
+            np.testing.assert_array_equal(view, grid)
+            assert not view.flags.writeable
+            # repeated get returns the same cached view (one attach)
+            assert twin.get(("spec",), "key_grid") is view
+            twin.close()
+        finally:
+            store.unlink()
+
+    def test_absent_entry_returns_none(self):
+        store = SharedGridStore.create()
+        try:
+            store.put(("spec",), "key_grid", np.arange(4))
+            twin = SharedGridStore.attach(store.manifest())
+            assert twin.get(("spec",), "flat_keys") is None
+            assert twin.get(("other",), "key_grid") is None
+            twin.close()
+        finally:
+            store.unlink()
+
+    def test_duplicate_publish_raises(self):
+        store = SharedGridStore.create()
+        try:
+            store.put(("spec",), "key_grid", np.arange(4))
+            with pytest.raises(ValueError, match="already published"):
+                store.put(("spec",), "key_grid", np.arange(4))
+        finally:
+            store.unlink()
+
+    def test_attached_store_cannot_publish(self):
+        store = SharedGridStore.create()
+        try:
+            twin = SharedGridStore.attach(store.manifest())
+            with pytest.raises(ValueError, match="owning"):
+                twin.put(("spec",), "key_grid", np.arange(4))
+        finally:
+            store.unlink()
+
+    def test_unlink_removes_segments_and_is_idempotent(self):
+        store = SharedGridStore.create()
+        store.put(("spec",), "key_grid", np.arange(8, dtype=np.int64))
+        (name,) = store.segment_names
+        store.unlink()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        store.unlink()  # second call is a no-op, not an error
+
+    def test_get_after_unlink_is_a_miss(self):
+        store = SharedGridStore.create()
+        store.put(("spec",), "key_grid", np.arange(8))
+        manifest = store.manifest()
+        store.unlink()
+        twin = SharedGridStore.attach(manifest)
+        assert twin.get(("spec",), "key_grid") is None
+
+    def test_len_contains_nbytes(self):
+        store = SharedGridStore.create()
+        try:
+            assert len(store) == 0
+            store.put(("spec",), "key_grid", np.zeros(10, dtype=np.int64))
+            assert len(store) == 1
+            assert (("spec",), "key_grid") in store
+            assert (("spec",), "flat_keys") not in store
+            assert store.nbytes == 80
+        finally:
+            store.unlink()
+
+
+class TestSharedKeys:
+    def test_equivalent_curves_same_key(self, u2_8):
+        assert shared_key(ZCurve(u2_8)) == shared_key(ZCurve(u2_8))
+
+    def test_different_universe_different_key(self, u2_8, u3_4):
+        assert shared_key(ZCurve(u2_8)) != shared_key(ZCurve(u3_4))
+
+    def test_instance_keyed_curve_unshareable(self, u2_8):
+        table = PermutationCurve(u2_8, order=u2_8.all_coords())
+        assert shared_key(table) is None
+
+    def test_transform_of_instance_keyed_curve_unshareable(self, u2_8):
+        from repro.curves.transforms import ReversedCurve
+
+        table = PermutationCurve(u2_8, order=u2_8.all_coords())
+        assert shared_key(ReversedCurve(table)) is None
+
+    def test_seeded_random_curve_shareable(self, u2_8):
+        from repro.curves.random_curve import RandomCurve
+
+        assert shared_key(RandomCurve(u2_8, seed=3)) == shared_key(
+            RandomCurve(u2_8, seed=3)
+        )
+        assert shared_key(RandomCurve(u2_8, seed=3)) != shared_key(
+            RandomCurve(u2_8, seed=4)
+        )
+
+    def test_key_is_picklable(self, u2_8):
+        import pickle
+
+        key = shared_key(ZCurve(u2_8))
+        assert pickle.loads(pickle.dumps(key)) == key
+
+    def test_universe_key(self, u2_8):
+        assert universe_key(u2_8) == ("universe", 2, 8)
+
+
+class TestPoolSharedWiring:
+    def test_context_resolves_through_store(self, u2_8):
+        store = SharedGridStore.create()
+        try:
+            source = ZCurve(u2_8)
+            key = shared_key(source)
+            store.put(key, "key_grid", source.key_grid())
+            pool = ContextPool(shared_store=store)
+            ctx = pool.get(ZCurve(u2_8))
+            grid = ctx.key_grid()
+            np.testing.assert_array_equal(grid, source.key_grid())
+            assert ctx.stats.shared_count("key_grid") == 1
+            assert ctx.stats.compute_count("key_grid") == 0
+            # second lookup is a plain cache hit, not a re-attach
+            ctx.key_grid()
+            assert ctx.stats.shared_count("key_grid") == 1
+            assert ctx.stats.hits >= 1
+        finally:
+            store.unlink()
+
+    def test_unpublished_spec_falls_back_to_compute(self, u2_8):
+        store = SharedGridStore.create()
+        try:
+            pool = ContextPool(shared_store=store)
+            ctx = pool.get(ZCurve(u2_8))
+            np.testing.assert_array_equal(
+                ctx.key_grid(), ZCurve(u2_8).key_grid()
+            )
+            assert ctx.stats.compute_count("key_grid") == 1
+            assert ctx.stats.total_shared == 0
+        finally:
+            store.unlink()
+
+    def test_chunked_pool_ignores_store(self, u2_8):
+        store = SharedGridStore.create()
+        try:
+            source = ZCurve(u2_8)
+            store.put(shared_key(source), "key_grid", source.key_grid())
+            pool = ContextPool(shared_store=store, chunk_cells=16)
+            ctx = pool.get(ZCurve(u2_8))
+            assert ctx._shared_sources == {}
+            assert ctx.davg() == ContextPool().get(ZCurve(u2_8)).davg()
+        finally:
+            store.unlink()
+
+    def test_shared_views_do_not_count_against_budget(self, u2_8):
+        store = SharedGridStore.create()
+        try:
+            source = ZCurve(u2_8)
+            store.put(shared_key(source), "key_grid", source.key_grid())
+            pool = ContextPool(shared_store=store)
+            ctx = pool.get(ZCurve(u2_8))
+            before = ctx.cache_bytes
+            ctx.key_grid()
+            assert ctx.cache_bytes == before  # view lives off-budget
+        finally:
+            store.unlink()
+
+
+SWEEP_KWARGS = dict(
+    curves=["z", "hilbert", "random:seed=3", "reversed:inner=hilbert"],
+    metrics=("davg", "dmax", "nn_mean", "lambdas"),
+    reports=False,
+)
+
+
+class TestSharedSweep:
+    def test_shared_matches_private_and_serial_bit_for_bit(self, u2_8):
+        serial = Sweep(universes=[u2_8], **SWEEP_KWARGS).run()
+        shared = Sweep(
+            universes=[u2_8], **SWEEP_KWARGS, processes=2, shared=True
+        ).run()
+        private = Sweep(
+            universes=[u2_8],
+            **SWEEP_KWARGS,
+            processes=2,
+            shared=False,
+            pooled=False,
+        ).run()
+        assert serial.records == shared.records == private.records
+
+    def test_shared_counts_on_result(self, u2_8):
+        result = Sweep(
+            universes=[u2_8], **SWEEP_KWARGS, processes=2
+        ).run()
+        stats = result.cache_stats
+        assert stats.shared_count("key_grid") >= 4
+        assert stats.shared_count("neighbor_counts") >= 1
+        # the parent published each spec's grid exactly once
+        assert stats.compute_count("key_grid") <= 3
+        # transform derivation happened (parent publish or worker axis
+        # arrays), so the counters mix shared and derived sources
+        assert stats.total_derived > 0
+
+    def test_aggregate_over_mixed_shared_and_derived_workers(self, u2_8):
+        result = Sweep(
+            universes=[u2_8],
+            curves=["hilbert", "reversed:inner=hilbert"],
+            metrics=("davg", "dmax"),
+            reports=False,
+            processes=2,
+        ).run()
+        stats = result.cache_stats
+        assert isinstance(stats, CacheStats)
+        assert stats.total_shared > 0 and stats.total_derived > 0
+        rebuilt = CacheStats.aggregate([stats, CacheStats()])
+        assert rebuilt.shared == stats.shared
+        assert rebuilt.derived == stats.derived
+
+    def test_segments_cleaned_after_sweep(self, u2_8):
+        before = shm_segments()
+        Sweep(universes=[u2_8], **SWEEP_KWARGS, processes=2).run()
+        assert shm_segments() == before
+
+    def test_segments_cleaned_after_worker_exception(self, u2_8):
+        before = shm_segments()
+        with pytest.raises(ValueError, match="failed to construct"):
+            Sweep(
+                universes=[u2_8],
+                curves=["z", "z:bogus=1"],
+                metrics=("davg",),
+                reports=False,
+                processes=2,
+                strict=True,
+            ).run()
+        assert shm_segments() == before
+
+    def test_duplicate_cells_deduplicated(self, u2_8):
+        result = Sweep(
+            universes=[u2_8],
+            curves=["z", "z"],
+            metrics=("davg",),
+            reports=False,
+            processes=2,
+            shared=False,
+            pooled=False,
+        ).run()
+        assert len(result.records) == 2
+        assert result.records[0] == result.records[1]
+        # the duplicate cell was reused, not recomputed
+        assert result.cache_stats.compute_count("key_grid") == 1
+
+    def test_duplicate_cells_deduplicated_serially(self, u2_8):
+        result = Sweep(
+            universes=[u2_8],
+            curves=["z", "z"],
+            metrics=("davg",),
+            reports=False,
+            pooled=False,
+        ).run()
+        assert len(result.records) == 2
+        assert result.cache_stats.compute_count("key_grid") == 1
+
+    def test_chunked_shared_interop_bit_for_bit(self):
+        # max_bytes below the dense grid forces chunked mode; shared
+        # mode must leave those cells on the chunked path and still
+        # produce dense-identical values.
+        universe = Universe(d=2, side=64)
+        kwargs = dict(
+            universes=[universe],
+            curves=["z", "gray"],
+            metrics=("davg", "dmax", "nn_mean"),
+            reports=False,
+        )
+        dense = Sweep(**kwargs).run()
+        before = shm_segments()
+        chunked_shared = Sweep(
+            **kwargs, max_bytes=16 * 1024, processes=2, shared=True
+        ).run()
+        assert shm_segments() == before
+        assert dense.records == chunked_shared.records
+        stats = chunked_shared.cache_stats
+        assert stats.total_shared == 0  # nothing published for chunked cells
+        assert any(k.startswith("key_slab") for k in stats.computes)
+
+    def test_instance_keyed_curves_still_sweep(self, u2_8):
+        # random: shareable by seed; the sweep must not choke on a
+        # spec mix where only some cells are publishable.
+        result = Sweep(
+            universes=[u2_8],
+            curves=["random:seed=1", "z"],
+            metrics=("davg",),
+            reports=False,
+            processes=2,
+        ).run()
+        assert len(result.records) == 2
+
+    @pytest.mark.parametrize("bad", ["maybe", 0, 1, None])
+    def test_bad_shared_value_raises(self, u2_8, bad):
+        # 0/1 equal False/True but must not pass as opt-out/opt-in
+        with pytest.raises(ValueError, match="shared"):
+            Sweep(
+                universes=[u2_8],
+                curves=["z"],
+                metrics=("davg",),
+                shared=bad,
+            ).run()
+
+    def test_shared_ignored_serially(self, u2_8):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = Sweep(
+                universes=[u2_8],
+                curves=["z"],
+                metrics=("davg",),
+                reports=False,
+                shared=True,
+            ).run()
+        assert result.cache_stats.total_shared == 0
+
+    def test_all_shared_kinds_resolve_with_parity(self, u2_8):
+        # Publish the full grid set the way the sweep parent does and
+        # verify every kind resolves shared, bit-for-bit.
+        store = SharedGridStore.create()
+        try:
+            source = ContextPool().get(ZCurve(u2_8))
+            key = shared_key(source.curve)
+            store.put(key, "key_grid", source.key_grid())
+            store.put(key, "flat_keys", source.flat_keys())
+            store.put(key, "inverse_perm", source.inverse_permutation())
+            ctx = ContextPool(shared_store=store).get(ZCurve(u2_8))
+            np.testing.assert_array_equal(
+                ctx.key_grid(), source.key_grid()
+            )
+            np.testing.assert_array_equal(
+                ctx.flat_keys(), source.flat_keys()
+            )
+            np.testing.assert_array_equal(
+                ctx.inverse_permutation(), source.inverse_permutation()
+            )
+            assert set(ctx.stats.shared) == {
+                "key_grid",
+                "flat_keys",
+                "inverse_perm",
+            } == set(SHARED_KINDS)
+            assert ctx.stats.total_computes == 0
+        finally:
+            store.unlink()

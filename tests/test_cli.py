@@ -168,6 +168,102 @@ class TestSweepCommand:
         )
         assert "z" in capsys.readouterr().out
 
+    def test_sweep_processes_shared_default_no_warning(self, capsys):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # pooling-bypass must not fire
+            assert (
+                main(
+                    [
+                        "sweep",
+                        "--sides", "8",
+                        "--curves", "z,hilbert",
+                        "--processes", "2",
+                        "--stats",
+                    ]
+                )
+                == 0
+            )
+        out = capsys.readouterr().out
+        assert "shared=" in out  # CacheStats repr carries shared counter
+
+    def test_sweep_no_shared_opts_out(self, capsys):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # CLI opts out of pooling too
+            assert (
+                main(
+                    [
+                        "sweep",
+                        "--sides", "4",
+                        "--curves", "z",
+                        "--processes", "2",
+                        "--no-shared",
+                    ]
+                )
+                == 0
+            )
+        assert "z" in capsys.readouterr().out
+
+    def test_sweep_multi_kwarg_specs_survive_comma_split(self, capsys):
+        # A bare key=value chunk belongs to the preceding spec, for
+        # both --curves and --metrics.
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--sides", "8",
+                    "--curves", "z,reflected:inner=hilbert,axes=0",
+                    "--metrics", "davg,dilation:window=4,metric=euclidean",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "reflected:inner=hilbert,axes=0" in out
+        assert "dilation:window=4,metric=euclidean" in out
+
+    def test_spec_split_handles_colon_inside_value(self):
+        # kwarg order must not matter: a key=value chunk whose value
+        # carries a colon (nested spec) still continues the prior spec.
+        from repro.cli import build_parser
+
+        ns = build_parser().parse_args(
+            [
+                "sweep",
+                "--curves", "reflected:axes=0,inner=random:seed=3,z",
+            ]
+        )
+        assert ns.curves == [
+            "reflected:axes=0,inner=random:seed=3",
+            "z",
+        ]
+
+    def test_sweep_transform_spec(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--sides", "8",
+                    "--curves", "hilbert,reversed:inner=hilbert",
+                    "--metrics", "davg",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "reversed:inner=hilbert" in out
+
+    def test_sweep_help_describes_auto_selection(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--help"])
+        out = capsys.readouterr().out
+        assert "--shared" in out and "--no-shared" in out
+        assert "auto-select" in out  # chunked auto-selection described
+        assert "shared memory" in out
+
 
 class TestRegistryCommands:
     def test_metrics_lists_registry(self, capsys):
@@ -186,6 +282,23 @@ class TestRegistryCommands:
         assert "2^m" in out
         assert "3^m" in out  # peano
         assert "min_side" in out
+        assert "reversed" not in out  # hidden wrappers stay out
+
+    def test_metrics_markdown_reference(self, capsys):
+        assert main(["metrics", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Sweep metric reference")
+        assert "Auto-generated" in out
+        assert "| `davg` |" in out
+        assert "`window=1,metric=manhattan`" in out
+
+    def test_curves_markdown_reference(self, capsys):
+        assert main(["curves", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Curve reference")
+        assert "| `hilbert` |" in out
+        assert "## Transform wrappers" in out
+        assert "| `reversed` |" in out  # hidden wrappers documented here
 
 
 class TestSweepMetricSpecs:
