@@ -1,0 +1,127 @@
+"""P5 — thread-parallel block reductions inside one metric cell.
+
+PR 3 made every metric a block-wise reduction and PR 4 parallelized
+*across* sweep cells; each individual cell still reduced its blocks
+serially on one core.  The :mod:`repro.engine.threads` layer fans the
+block iterators out to a thread pool — the NumPy block kernels release
+the GIL — with an order-preserving merge, so a single cell's metric
+set scales across cores while staying **bit-for-bit identical** to the
+dense path.
+
+This bench runs the full NN metric set plus a window dilation on a
+side=1024 Hilbert cell three ways — dense (reference values), serial
+chunked, threaded chunked (``threads=4``) — and asserts the point of
+the feature:
+
+* every threaded value equals the dense value **bit-for-bit** (the
+  parity flag recorded in the benchmark JSON), and
+* with enough hardware, ``threads=4`` beats serial chunked by >= 1.5x
+  wall-clock (measured >= 2x on unloaded 4-core machines).
+
+The speedup assertion is gated on the cores this process may actually
+use (``sched_getaffinity``): thread-level parallelism physically
+cannot beat serial on fewer cores than workers, so a 1-core CI
+container records the numbers (and still enforces parity) without
+asserting an impossibility.
+"""
+
+import os
+import time
+
+from repro import Universe
+from repro.curves.hilbert import HilbertCurve
+from repro.engine.context import MetricContext
+from repro.engine.sweep import MetricSpec
+
+from _bench_utils import run_once
+
+#: 1024^2 cells: the regime where the serial chunked NN pass spends
+#: ~100% of its time inside GIL-releasing NumPy block kernels.
+UNIVERSE = Universe.power_of_two(d=2, k=10)
+CHUNK_CELLS = 65536
+THREADS = 4
+MIN_SPEEDUP = 1.5
+
+#: The multi-metric cell: the one-pass NN scalars plus a windowed
+#: dilation (a second, independent block stream).
+METRIC_SPECS = (
+    "davg",
+    "dmax",
+    "lambdas",
+    "nn_mean",
+    "dilation:window=1024",
+)
+
+AVAILABLE_CORES = (
+    len(os.sched_getaffinity(0))
+    if hasattr(os, "sched_getaffinity")
+    else (os.cpu_count() or 1)
+)
+
+
+def _run_cell(**context_kwargs):
+    """All metrics on a fresh context; returns (values, seconds)."""
+    ctx = MetricContext(HilbertCurve(UNIVERSE), **context_kwargs)
+    fns = [(spec, MetricSpec.parse(spec).bind()) for spec in METRIC_SPECS]
+    start = time.perf_counter()
+    values = {spec: fn(ctx) for spec, fn in fns}
+    seconds = time.perf_counter() - start
+    return values, seconds
+
+
+def test_p5_threaded_block_reduction(benchmark, results_writer):
+    """Acceptance: bit-for-bit vs dense; >=1.5x vs serial chunked."""
+    dense_values, t_dense = _run_cell()
+    serial_values, t_serial = _run_cell(chunk_cells=CHUNK_CELLS)
+    threaded_values, t_threaded = run_once(
+        benchmark, _run_cell, chunk_cells=CHUNK_CELLS, threads=THREADS
+    )
+
+    parity = threaded_values == dense_values == serial_values
+    speedup = t_serial / t_threaded
+    benchmark.extra_info["threaded_cell"] = {
+        "universe": str(UNIVERSE),
+        "metrics": list(METRIC_SPECS),
+        "chunk_cells": CHUNK_CELLS,
+        "threads": THREADS,
+        "available_cores": AVAILABLE_CORES,
+        "t_dense_s": round(t_dense, 3),
+        "t_serial_chunked_s": round(t_serial, 3),
+        "t_threaded_s": round(t_threaded, 3),
+        "speedup": round(speedup, 2),
+        "bit_for_bit_parity": parity,
+    }
+    gated = AVAILABLE_CORES >= THREADS
+    results_writer(
+        "p5_threaded_cell",
+        f"P5 — threaded block reductions on {UNIVERSE}, hilbert, "
+        f"metrics {', '.join(METRIC_SPECS)}\n"
+        f"(chunk_cells={CHUNK_CELLS}, threads={THREADS}, "
+        f"{AVAILABLE_CORES} usable cores; values bit-for-bit equal "
+        f"to the dense path: {parity})\n\n"
+        f"dense           wall: {t_dense:7.3f} s\n"
+        f"serial chunked  wall: {t_serial:7.3f} s\n"
+        f"threaded x{THREADS}     wall: {t_threaded:7.3f} s   "
+        f"speedup vs serial chunked: {speedup:5.2f}x"
+        f"{'' if gated else '   (speedup not asserted: too few cores)'}\n",
+    )
+    print(
+        f"\nserial chunked {t_serial:.3f}s vs threads={THREADS} "
+        f"{t_threaded:.3f}s ({speedup:.2f}x) on {AVAILABLE_CORES} "
+        f"cores; parity={parity}"
+    )
+    assert parity, (
+        f"threaded values diverged: {threaded_values} vs {dense_values}"
+    )
+    if gated:
+        assert speedup >= MIN_SPEEDUP, (
+            f"threaded speedup {speedup:.2f}x below {MIN_SPEEDUP}x "
+            f"on {AVAILABLE_CORES} cores"
+        )
+
+
+def test_p5_threaded_dense_parity_large():
+    """Dense-mode threading on the same cell is also bit-for-bit."""
+    dense_values, _ = _run_cell()
+    threaded_values, _ = _run_cell(threads=THREADS)
+    assert threaded_values == dense_values

@@ -25,7 +25,9 @@ Public API highlights
   runs (``"random:seed=3"``-style curve specs,
   ``"dilation:window=16"``-style metric specs over the pluggable
   :data:`repro.engine.METRICS` registry, capability-aware curve
-  selection, pooled execution, optional process parallelism) behind
+  selection, pooled execution, optional process parallelism, and
+  thread-parallel block reductions inside each cell via
+  ``threads="auto"|N`` — bit-for-bit identical to serial) behind
   :func:`repro.survey` and the CLI.  Policy: new metrics land in the
   engine (as context functions registered via
   :func:`repro.register_metric`).

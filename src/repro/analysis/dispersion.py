@@ -38,7 +38,10 @@ def gini(values: np.ndarray) -> float:
         return 0.0
     n = arr.size
     index = np.arange(1, n + 1)
-    return float((2 * index - n - 1) @ arr / (n * total))
+    # Clamp: the exact value lies in [0, 1), but for an all-equal
+    # sample the alternating-sign dot product cancels to within float
+    # error of zero and can land epsilon-negative.
+    return float(max(0.0, (2 * index - n - 1) @ arr / (n * total)))
 
 
 @dataclass(frozen=True)

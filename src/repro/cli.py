@@ -103,7 +103,9 @@ def build_parser() -> argparse.ArgumentParser:
             "cache budget, and process sweeps (--processes N) publish "
             "one shared-memory grid set per curve spec so workers "
             "attach zero-copy views instead of recomputing "
-            "(--no-shared opts out)."
+            "(--no-shared opts out).  --threads N additionally "
+            "parallelizes each cell's block reductions over worker "
+            "threads, bit-for-bit identical to serial."
         ),
     )
     p_sweep.add_argument(
@@ -133,6 +135,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="fan cells out over N worker processes (grids are shared "
         "through shared memory unless --no-shared is given)",
+    )
+
+    def threads_spec(text: str):
+        return text if text == "auto" else int(text)
+
+    p_sweep.add_argument(
+        "--threads",
+        type=threads_spec,
+        default=None,
+        metavar="N|auto",
+        help="worker threads per cell for block-parallel metric "
+        "reductions (results bit-for-bit identical to serial); "
+        "'auto' sizes threads so processes x threads <= cores",
     )
     p_sweep.add_argument(
         "--shared",
@@ -291,6 +306,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         pooled=pooled,
         chunk_cells=args.chunk_cells,
         shared=shared,
+        threads=args.threads,
     ).run()
     print(f"# sweep over dims={args.dims} sides={args.sides}")
     print(result.to_table())

@@ -18,6 +18,8 @@ inverse via argsort when no analytic inverse exists.
 from __future__ import annotations
 
 import abc
+import itertools
+import threading
 from typing import Optional
 
 import numpy as np
@@ -173,6 +175,21 @@ def check_bijection(key_grid: np.ndarray, n: int) -> bool:
     return bool(seen.all())
 
 
+#: Process-wide source of never-reused instance tokens for
+#: instance-keyed curves.  ``id()`` was used historically, but ids are
+#: recycled: a table curve garbage-collected while a ContextPool still
+#: held its context could alias a *new* table allocated at the same
+#: address, silently serving it the dead curve's cached metrics.  A
+#: monotonic counter can never collide.
+_INSTANCE_TOKENS = itertools.count()
+_INSTANCE_TOKEN_LOCK = threading.Lock()
+
+
+def _next_instance_token() -> int:
+    with _INSTANCE_TOKEN_LOCK:
+        return next(_INSTANCE_TOKENS)
+
+
 class PermutationCurve(SpaceFillingCurve):
     """An SFC given by an explicit key grid or cell order.
 
@@ -192,6 +209,7 @@ class PermutationCurve(SpaceFillingCurve):
         name: Optional[str] = None,
     ) -> None:
         super().__init__(universe)
+        self._instance_token = _next_instance_token()
         if (key_grid is None) == (order is None):
             raise ValueError("provide exactly one of key_grid or order")
         if key_grid is not None:
@@ -225,9 +243,13 @@ class PermutationCurve(SpaceFillingCurve):
     _deterministic = False
 
     def _cache_token(self) -> object:
+        # The token is a never-reused counter, not id(): an id can be
+        # recycled after gc, aliasing two different tables in any
+        # cache that outlives the first curve (the ContextPool holds
+        # contexts keyed by this token for its whole lifetime).
         if self._deterministic:
             return None
-        return ("instance", id(self))
+        return ("instance", self._instance_token)
 
     def _index_impl(self, coords: np.ndarray) -> np.ndarray:
         grid = self.key_grid()

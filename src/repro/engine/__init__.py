@@ -12,6 +12,12 @@
 * :mod:`repro.engine.chunked` — the block-streaming machinery
   (``pairwise_sum_stream`` replicating NumPy's summation order, the
   one-pass NN reduction, per-slab neighbor counts).
+* :mod:`repro.engine.threads` — :class:`BlockScheduler`, fanning the
+  block iterators of one context out over a thread pool (the NumPy
+  block kernels release the GIL) with per-thread scratch buffers and
+  an order-preserving merge, so threaded results stay bit-for-bit
+  identical to the serial paths; ``MetricContext(threads=N)`` /
+  ``Sweep(threads="auto")`` switch it on.
 * :mod:`repro.engine.pool` — :class:`ContextPool`, sharing one context
   per *canonical curve spec* of a universe and deriving transform
   curves' arrays (dense) or blocks (chunked) from their inner curve's
@@ -49,6 +55,11 @@ from repro.engine.shm import (
     shared_key,
     universe_key,
 )
+from repro.engine.threads import (
+    BlockScheduler,
+    ScratchBuffers,
+    resolve_threads,
+)
 from repro.engine.sweep import (
     METRICS,
     CurveSpec,
@@ -69,6 +80,9 @@ __all__ = [
     "get_context",
     "DEFAULT_CACHE_BYTES",
     "DEFAULT_CHUNK_CELLS",
+    "BlockScheduler",
+    "ScratchBuffers",
+    "resolve_threads",
     "ContextPool",
     "transform_derivations",
     "chunked_transform_derivations",

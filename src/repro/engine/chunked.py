@@ -40,6 +40,7 @@ __all__ = [
     "pairwise_sum_stream",
     "slab_neighbor_counts",
     "slab_axis_slices",
+    "accumulate_block_pairs",
     "nn_block_reduction",
 ]
 
@@ -108,23 +109,42 @@ def pairwise_sum_stream(
     return float(reduce(total))
 
 
-def slab_neighbor_counts(universe, lo: int, hi: int) -> np.ndarray:
+def slab_neighbor_counts(
+    universe, lo: int, hi: int, out: np.ndarray = None
+) -> np.ndarray:
     """``|N(α)|`` for the cells with ``x_0 ∈ [lo, hi)``, as a slab.
 
     Equals ``neighbor_count_grid(universe)[lo:hi]`` for ``side >= 2``
-    without materializing the dense grid.
+    without materializing the dense grid.  Boundary cells are handled
+    by decrementing the edge hyperplanes in place, so the kernel is
+    allocation-free when ``out`` (a reusable int64 buffer of the slab
+    shape) is supplied.
     """
     d, side = universe.d, universe.side
-    counts = np.full((hi - lo,) + (side,) * (d - 1), 2 * d, dtype=np.int64)
-    x0 = np.arange(lo, hi, dtype=np.int64)
-    on_edge = ((x0 == 0) | (x0 == side - 1)).astype(np.int64)
-    counts -= on_edge.reshape((hi - lo,) + (1,) * (d - 1))
-    edge = np.arange(side, dtype=np.int64)
-    on_edge = ((edge == 0) | (edge == side - 1)).astype(np.int64)
+    shape = (hi - lo,) + (side,) * (d - 1)
+    if out is None:
+        counts = np.empty(shape, dtype=np.int64)
+    else:
+        if out.shape != shape:
+            raise ValueError(
+                f"out has shape {out.shape}, expected {shape}"
+            )
+        counts = out
+    counts[...] = 2 * d
+    if lo == 0:
+        counts[:1] -= 1
+    if hi == side:
+        counts[-1:] -= 1
     for axis in range(1, d):
-        shape = [1] * d
-        shape[axis] = side
-        counts -= on_edge.reshape(shape)
+        first = tuple(
+            slice(0, 1) if i == axis else slice(None) for i in range(d)
+        )
+        last = tuple(
+            slice(side - 1, side) if i == axis else slice(None)
+            for i in range(d)
+        )
+        counts[first] -= 1
+        counts[last] -= 1
     return counts
 
 
@@ -146,6 +166,49 @@ def slab_axis_slices(d: int, side: int, axis: int) -> Tuple[tuple, tuple]:
     return lo, hi
 
 
+def accumulate_block_pairs(
+    body: np.ndarray,
+    d: int,
+    side: int,
+    sums: np.ndarray,
+    best: np.ndarray,
+    lambdas: list,
+    scratch,
+) -> None:
+    """Fold every *within-block* NN pair of ``body`` into the partials.
+
+    ``body`` is a block of key planes (shape ``(t,) + (side,)*(d-1)``);
+    pairs along axes >= 1 and interior axis-0 pairs (both endpoints in
+    the block) update the per-cell ``sums``/``best`` grids and the
+    per-axis ``lambdas`` totals in place.  Boundary axis-0 pairs (one
+    endpoint outside the block) are the caller's job — the serial
+    reduction handles them with its carry, the threaded kernel with
+    its adjacent boundary planes — so this single ufunc chain is the
+    shared core of both, and a change here keeps them bit-for-bit
+    aligned by construction.  Distance temporaries live in ``scratch``
+    (a :class:`repro.engine.threads.ScratchBuffers`).
+    """
+    for axis in range(1, d):
+        lo_s, hi_s = slab_axis_slices(d, side, axis)
+        dist = scratch.take("pair_dist", body[hi_s].shape, np.int64)
+        np.subtract(body[hi_s], body[lo_s], out=dist)
+        np.abs(dist, out=dist)
+        lambdas[axis] += int(dist.sum())
+        sums[lo_s] += dist
+        sums[hi_s] += dist
+        np.maximum(best[lo_s], dist, out=best[lo_s])
+        np.maximum(best[hi_s], dist, out=best[hi_s])
+    if body.shape[0] > 1:
+        dist0 = scratch.take("pair_dist", body[1:].shape, np.int64)
+        np.subtract(body[1:], body[:-1], out=dist0)
+        np.abs(dist0, out=dist0)
+        lambdas[0] += int(dist0.sum())
+        sums[:-1] += dist0
+        sums[1:] += dist0
+        np.maximum(best[:-1], dist0, out=best[:-1])
+        np.maximum(best[1:], dist0, out=best[1:])
+
+
 def nn_block_reduction(ctx) -> dict:
     """All NN-stretch scalars of ``ctx`` in one pass over key slabs.
 
@@ -154,10 +217,14 @@ def nn_block_reduction(ctx) -> dict:
     docstring for why).  Requires ``side >= 2``; the degenerate cases
     are handled by the calling metric methods.
     """
+    # Lazy import: threads.py imports this module at its top level.
+    from repro.engine.threads import ScratchBuffers
+
     universe = ctx.universe
     d, side, n = universe.d, universe.side, universe.n
     lambdas = [0] * d
     state = {"max_total": 0}
+    scratch = ScratchBuffers()
 
     def avg_planes() -> Iterator[np.ndarray]:
         """Per-cell average-stretch values, streamed in C order.
@@ -165,53 +232,75 @@ def nn_block_reduction(ctx) -> dict:
         Every plane of per-cell sums is finalized once all its pair
         contributions arrived: planes ``[lo, hi-1)`` of a slab within
         the slab, the last plane when the next slab (or the end of the
-        grid) supplies the axis-0 boundary pairs.
+        grid) supplies the axis-0 boundary pairs.  All integer state
+        (sums, maxima, distances, the boundary-plane carry) lives in
+        reused scratch buffers; the only steady-state allocations are
+        the yielded float planes, which the pairwise-sum cursor may
+        hold across iterations and therefore cannot be recycled.
         """
+        plane_shape = None
         prev_keys = None
         pending_sums = None
         pending_max = None
         pending_x0 = -1
         for lo, hi, slab in ctx.iter_key_slabs():
             thickness = hi - lo
-            sums = np.zeros(slab.shape, dtype=np.int64)
-            best = np.zeros(slab.shape, dtype=np.int64)
-            for axis in range(1, d):
-                lo_s, hi_s = slab_axis_slices(d, side, axis)
-                dist = np.abs(slab[hi_s] - slab[lo_s])
-                lambdas[axis] += int(dist.sum())
-                sums[lo_s] += dist
-                sums[hi_s] += dist
-                np.maximum(best[lo_s], dist, out=best[lo_s])
-                np.maximum(best[hi_s], dist, out=best[hi_s])
-            if thickness > 1:
-                dist0 = np.abs(slab[1:] - slab[:-1])
-                lambdas[0] += int(dist0.sum())
-                sums[:-1] += dist0
-                sums[1:] += dist0
-                np.maximum(best[:-1], dist0, out=best[:-1])
-                np.maximum(best[1:], dist0, out=best[1:])
+            sums = scratch.take("sums", slab.shape, np.int64)
+            sums[...] = 0
+            best = scratch.take("best", slab.shape, np.int64)
+            best[...] = 0
+            accumulate_block_pairs(
+                slab, d, side, sums, best, lambdas, scratch
+            )
+            if plane_shape is None:
+                plane_shape = (1,) + slab.shape[1:]
             if prev_keys is not None:
-                boundary = np.abs(slab[:1] - prev_keys)
+                boundary = scratch.take("boundary", plane_shape, np.int64)
+                np.subtract(slab[:1], prev_keys, out=boundary)
+                np.abs(boundary, out=boundary)
                 lambdas[0] += int(boundary.sum())
                 sums[:1] += boundary
                 np.maximum(best[:1], boundary, out=best[:1])
                 pending_sums += boundary
                 np.maximum(pending_max, boundary, out=pending_max)
                 counts = slab_neighbor_counts(
-                    universe, pending_x0, pending_x0 + 1
+                    universe,
+                    pending_x0,
+                    pending_x0 + 1,
+                    out=scratch.take("plane_counts", plane_shape, np.int64),
                 )
                 state["max_total"] += int(pending_max.sum())
                 yield (pending_sums / counts).reshape(-1)
             if thickness > 1:
-                counts = slab_neighbor_counts(universe, lo, hi - 1)
+                counts = slab_neighbor_counts(
+                    universe,
+                    lo,
+                    hi - 1,
+                    out=scratch.take(
+                        "counts", sums[:-1].shape, np.int64
+                    ),
+                )
                 state["max_total"] += int(best[:-1].sum())
                 yield (sums[:-1] / counts).reshape(-1)
-            prev_keys = np.ascontiguousarray(slab[-1:])
-            pending_sums = sums[-1:].copy()
-            pending_max = best[-1:].copy()
+            if prev_keys is None:
+                prev_keys = scratch.take("prev_keys", plane_shape, np.int64)
+                pending_sums = scratch.take(
+                    "pending_sums", plane_shape, np.int64
+                )
+                pending_max = scratch.take(
+                    "pending_max", plane_shape, np.int64
+                )
+            np.copyto(prev_keys, slab[-1:])
+            np.copyto(pending_sums, sums[-1:])
+            np.copyto(pending_max, best[-1:])
             pending_x0 = hi - 1
         if pending_sums is not None:
-            counts = slab_neighbor_counts(universe, pending_x0, pending_x0 + 1)
+            counts = slab_neighbor_counts(
+                universe,
+                pending_x0,
+                pending_x0 + 1,
+                out=scratch.take("plane_counts", plane_shape, np.int64),
+            )
             state["max_total"] += int(pending_max.sum())
             yield (pending_sums / counts).reshape(-1)
 

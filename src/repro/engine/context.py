@@ -44,6 +44,15 @@ to use instead.  The ``O(block)`` guarantee holds for procedural curves
 ``random`` or ``peano``) are already defined by a dense table and gain
 no memory over the dense mode.
 
+**Threaded mode** (``threads=N`` / ``threads="auto"``): the block
+reductions behind the NN and window metrics fan out over a
+:class:`repro.engine.threads.BlockScheduler` thread pool — the NumPy
+block kernels release the GIL, so one context saturates several cores.
+Composes with both dense and chunked execution, and results stay
+bit-for-bit identical to the serial paths (the order-sensitive
+``D^avg`` mean is merged in block order through the same pairwise-sum
+replication the chunked mode uses).
+
 **Shared mode** (process sweeps): a context wired to a
 :class:`repro.engine.shm.SharedGridStore` (via
 :class:`repro.engine.ContextPool`) resolves its key grid, flat keys,
@@ -58,6 +67,7 @@ duplication picture.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Optional, Tuple, Union
@@ -187,6 +197,15 @@ class _BoundedStore:
     a side table that does **not** count against ``max_bytes``: their
     pages belong to a machine-wide shared mapping, not to this
     process's private budget, and evicting a view would save nothing.
+
+    The store is **thread-safe**: dict state and counters mutate under
+    a lock, while compute/derive factories run outside it so worker
+    threads materializing *different* blocks proceed concurrently
+    (the :class:`repro.engine.threads.BlockScheduler` regime).  Two
+    threads missing the *same* key may both run its factory — results
+    are deterministic, so this wastes a compute but never corrupts —
+    and the first insertion wins, keeping the handed-out object
+    identity stable.
     """
 
     def __init__(self, max_bytes: Optional[int]) -> None:
@@ -195,6 +214,7 @@ class _BoundedStore:
         self._items: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self._views: Dict[str, np.ndarray] = {}
         self._bytes = 0
+        self._lock = threading.Lock()
 
     @property
     def nbytes(self) -> int:
@@ -208,37 +228,82 @@ class _BoundedStore:
         freeze: bool = True,
         derive: Optional[Callable[[], np.ndarray]] = None,
         shared: Optional[Callable[[], Optional[np.ndarray]]] = None,
+        pin: bool = False,
     ) -> np.ndarray:
-        if key in self._items:
-            self.stats.hits += 1
-            self._items.move_to_end(key)
-            return self._items[key]
-        if key in self._views:
-            self.stats.hits += 1
-            return self._views[key]
-        self.stats.misses += 1
+        with self._lock:
+            if key in self._items:
+                self.stats.hits += 1
+                self._items.move_to_end(key)
+                return self._items[key]
+            if key in self._views:
+                self.stats.hits += 1
+                return self._views[key]
+            self.stats.misses += 1
         if shared is not None:
             value = shared()
             if value is not None:
                 # Zero-copy view of a parent-published segment: counted
                 # separately, retained outside the LRU budget.
-                self.stats.shared[key] = self.stats.shared.get(key, 0) + 1
-                if self.max_bytes != 0:
-                    self._views[key] = value
+                with self._lock:
+                    existing = self._views.get(key)
+                    if existing is not None:
+                        # A concurrent miss resolved the view first;
+                        # reclassify our lookup as the hit it
+                        # effectively was (the miss was provisional)
+                        # so hits + misses equals actual lookups and
+                        # shared counters stay one-per-intermediate.
+                        self.stats.misses -= 1
+                        self.stats.hits += 1
+                        return existing
+                    self.stats.shared[key] = (
+                        self.stats.shared.get(key, 0) + 1
+                    )
+                    if self.max_bytes != 0:
+                        self._views[key] = value
                 return value
         if derive is not None:
             value = np.asarray(derive())
-            self.stats.derived[key] = self.stats.derived.get(key, 0) + 1
+            with self._lock:
+                self.stats.derived[key] = self.stats.derived.get(key, 0) + 1
         else:
             value = np.asarray(compute())
-            self.stats.computes[key] = self.stats.computes.get(key, 0) + 1
+            with self._lock:
+                self.stats.computes[key] = (
+                    self.stats.computes.get(key, 0) + 1
+                )
         if freeze:
             value.flags.writeable = False
-        if self.max_bytes != 0:
-            self._items[key] = value
-            self._bytes += value.nbytes
-            self._evict()
+        with self._lock:
+            if self.max_bytes != 0:
+                if pin:
+                    # Pinned arrays (e.g. the curve-cached order path)
+                    # live in the off-budget side table: their memory
+                    # is owned elsewhere for the curve's lifetime, so
+                    # charging them to max_bytes would evict genuinely
+                    # reclaimable intermediates for zero savings.
+                    return self._views.setdefault(key, value)
+                if key in self._items:
+                    # A concurrent miss on the same key beat us to the
+                    # insert; serve its (identical) array.
+                    return self._items[key]
+                self._items[key] = value
+                self._bytes += value.nbytes
+                self._evict()
         return value
+
+    def peek(self, key: str) -> Optional[np.ndarray]:
+        """The cached array for ``key``, or ``None`` — never computes.
+
+        Silent: no counters move and the LRU order is untouched, so
+        opportunistic consumers (a threaded kernel checking whether a
+        neighbor block is already resident) do not distort the stats
+        the tests and tuning hooks read.
+        """
+        with self._lock:
+            value = self._items.get(key)
+            if value is not None:
+                return value
+            return self._views.get(key)
 
     def _evict(self) -> None:
         if self.max_bytes is None:
@@ -255,9 +320,10 @@ class _BoundedStore:
             self.stats.evictions += 1
 
     def clear(self) -> None:
-        self._items.clear()
-        self._views.clear()
-        self._bytes = 0
+        with self._lock:
+            self._items.clear()
+            self._views.clear()
+            self._bytes = 0
 
 
 class MetricContext:
@@ -282,7 +348,10 @@ class MetricContext:
         max_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
         universe_store: Optional[_BoundedStore] = None,
         chunk_cells: Optional[int] = None,
+        threads: Union[None, int, str] = None,
     ) -> None:
+        from repro.engine.threads import resolve_threads
+
         if chunk_cells is not None and chunk_cells < 1:
             raise ValueError(
                 f"chunk_cells must be >= 1, got {chunk_cells}"
@@ -294,6 +363,13 @@ class MetricContext:
         #: array is materialized: state is streamed in blocks and
         #: recently used blocks are retained under ``max_bytes``.
         self.chunk_cells = chunk_cells
+        #: Worker-thread count for block-parallel metric reductions
+        #: (``None``/1 = serial; ``"auto"`` = one per core).  Threaded
+        #: results are bit-for-bit identical to the serial paths; see
+        #: :mod:`repro.engine.threads`.
+        self.threads = resolve_threads(threads)
+        self._scheduler = None
+        self._scalar_lock = threading.RLock()
         self._store = _BoundedStore(max_bytes)
         #: Optional store shared by every context of the same universe
         #: (wired by :class:`repro.engine.ContextPool`); holds
@@ -348,6 +424,26 @@ class MetricContext:
         """True when the context runs in chunked (block-streaming) mode."""
         return self.chunk_cells is not None
 
+    @property
+    def threaded(self) -> bool:
+        """True when block reductions fan out over worker threads."""
+        return self.threads > 1
+
+    @property
+    def scheduler(self):
+        """The context's :class:`repro.engine.threads.BlockScheduler`.
+
+        Created lazily (a serial context never spawns a thread pool)
+        and reused across every threaded reduction of this context, so
+        worker threads and their scratch buffers amortize over all
+        metrics of a cell.
+        """
+        if self._scheduler is None:
+            from repro.engine.threads import BlockScheduler
+
+            self._scheduler = BlockScheduler(self.threads)
+        return self._scheduler
+
     def _require_dense(self, name: str, alternative: str) -> None:
         if self.chunked:
             raise ValueError(
@@ -356,18 +452,30 @@ class MetricContext:
             )
 
     def _scalar(self, key: Tuple, compute: Callable[[], object]) -> object:
-        if key not in self._scalars:
-            self._scalars[key] = compute()
-        return self._scalars[key]
+        # Reentrant lock: scalar computes nest (davg_ratio -> davg,
+        # lower_bound) and may fan work out to the block scheduler,
+        # whose workers never touch the scalar memo.  Holding the lock
+        # across the compute keeps concurrent callers (one ContextPool
+        # hammered from many threads) from duplicating a reduction.
+        with self._scalar_lock:
+            if key not in self._scalars:
+                self._scalars[key] = compute()
+            return self._scalars[key]
 
     def _cached(
-        self, key: str, compute: Callable[[], np.ndarray], freeze: bool = True
+        self,
+        key: str,
+        compute: Callable[[], np.ndarray],
+        freeze: bool = True,
+        pin: bool = False,
     ) -> np.ndarray:
         """Store lookup honoring pool-installed shared/derivation rules.
 
         Resolution order is cheapest-first: an already-cached array,
         then a zero-copy shared-memory view, then a derivation from a
-        base context, then local compute.
+        base context, then local compute.  ``pin`` retains a locally
+        computed array outside the LRU budget (for arrays whose memory
+        is owned elsewhere, e.g. the curve's own caches).
         """
         return self._store.get_or_compute(
             key,
@@ -375,6 +483,7 @@ class MetricContext:
             freeze=freeze,
             derive=self._derivations.get(key),
             shared=self._shared_sources.get(key),
+            pin=pin,
         )
 
     # ------------------------------------------------------------------
@@ -391,11 +500,24 @@ class MetricContext:
         return self._cached("key_grid", self.curve.key_grid, freeze=False)
 
     def order(self) -> np.ndarray:
-        """Cells in curve order (cached on the curve itself)."""
+        """Cells in curve order, ``(n, d)``.
+
+        Resolution order matches the other grid intermediates: a
+        parent-published shared-memory view first (process sweeps
+        publish ``order`` when a windowed metric is requested, counted
+        in :attr:`CacheStats.shared`), then the curve's own cache —
+        which computes the full inverse once and keeps the array on
+        the curve object, as it always did.
+        """
         self._require_dense(
             "order", "iter_window_pairs() or curve.coords on key blocks"
         )
-        return self.curve.order()
+        # freeze=False: curve.order() already returns its array
+        # read-only, and shared views arrive frozen.  pin=True: the
+        # locally computed array is the curve's own cache, pinned for
+        # the curve's lifetime — charging its (n, d) bytes against
+        # max_bytes would evict reclaimable intermediates for nothing.
+        return self._cached("order", self.curve.order, freeze=False, pin=True)
 
     def flat_keys(self) -> np.ndarray:
         """Keys in cell-rank order: ``flat_keys()[rank(α)] = π(α)``.
@@ -513,17 +635,33 @@ class MetricContext:
     # Block iteration (the chunked mode's public surface; also usable in
     # dense mode, where each iterator yields one full-size block)
     # ------------------------------------------------------------------
-    def _slab_ranges(self) -> list:
-        """Axis-0 plane ranges ``(lo, hi)`` of the slab partition."""
+    def _slab_thickness(self) -> int:
+        """Planes per canonical slab — the one source of the partition
+        arithmetic shared by :meth:`_slab_ranges` and :meth:`_slab_span`."""
         side, d = self.universe.side, self.universe.d
         if not self.chunked:
-            return [(0, side)]
-        plane = side ** (d - 1)
-        per_slab = max(1, self.chunk_cells // plane)
+            return side
+        return max(1, self.chunk_cells // side ** (d - 1))
+
+    def _slab_ranges(self) -> list:
+        """Axis-0 plane ranges ``(lo, hi)`` of the slab partition."""
+        side = self.universe.side
+        per_slab = self._slab_thickness()
         return [
             (lo, min(side, lo + per_slab))
             for lo in range(0, side, per_slab)
         ]
+
+    def _slab_span(self, x0: int) -> tuple:
+        """The canonical slab range ``(lo, hi)`` containing plane ``x0``.
+
+        Lets consumers address the LRU-cached slab a plane lives in
+        without scanning the range list.
+        """
+        side = self.universe.side
+        per_slab = self._slab_thickness()
+        lo = (x0 // per_slab) * per_slab
+        return lo, min(side, lo + per_slab)
 
     def _span_ranges(self) -> list:
         """1-D ranges ``(start, stop)`` of the flat block partition."""
@@ -545,19 +683,35 @@ class MetricContext:
             f"{kind}[{lo}:{hi}]", compute, derive=derive
         )
 
+    def _key_slab_values(self, lo: int, hi: int) -> np.ndarray:
+        """Key-grid slab for ``x_0 ∈ [lo, hi)``, uncached.
+
+        Honors pool-installed block derivations (a reversed curve's
+        slab is derived from its inner curve's cache) but bypasses the
+        LRU store — the entry point for off-partition reads such as
+        the threaded NN reduction's boundary planes, which must not
+        pollute the canonical slab partition's cache keys.
+        """
+        derive = self._chunk_derivations.get("key_slab")
+        if derive is not None:
+            return derive(lo, hi)
+        side, d = self.universe.side, self.universe.d
+        axes = [np.arange(lo, hi, dtype=np.int64)]
+        axes += [np.arange(side, dtype=np.int64)] * (d - 1)
+        mesh = np.meshgrid(*axes, indexing="ij")
+        coords = np.stack([m.reshape(-1) for m in mesh], axis=-1)
+        keys = self.curve.index(coords)
+        return keys.reshape((hi - lo,) + (side,) * (d - 1))
+
     def _key_slab(self, lo: int, hi: int) -> np.ndarray:
-        """Key-grid slab for ``x_0 ∈ [lo, hi)``, computed per block."""
+        """Key-grid slab for ``x_0 ∈ [lo, hi)``, LRU-cached per block.
 
-        def compute() -> np.ndarray:
-            side, d = self.universe.side, self.universe.d
-            axes = [np.arange(lo, hi, dtype=np.int64)]
-            axes += [np.arange(side, dtype=np.int64)] * (d - 1)
-            mesh = np.meshgrid(*axes, indexing="ij")
-            coords = np.stack([m.reshape(-1) for m in mesh], axis=-1)
-            keys = self.curve.index(coords)
-            return keys.reshape((hi - lo,) + (side,) * (d - 1))
-
-        return self._cached_block("key_slab", lo, hi, compute)
+        ``_cached_block`` resolves a pool-installed derivation first,
+        so the compute closure only ever runs the raw evaluation.
+        """
+        return self._cached_block(
+            "key_slab", lo, hi, lambda: self._key_slab_values(lo, hi)
+        )
 
     def _key_block(self, start: int, stop: int) -> np.ndarray:
         """Flat keys for ranks ``[start, stop)``, computed per block."""
@@ -655,6 +809,20 @@ class MetricContext:
             ("chunked_nn",), lambda: nn_block_reduction(self)
         )
 
+    def _threaded_nn_stats(self) -> dict:
+        """Memoized thread-parallel NN reduction (``threads > 1``).
+
+        One block-parallel pass produces every NN scalar (``davg``,
+        ``dmax``, ``Λ`` sums, NN-pair sum) with values bit-for-bit
+        equal to the serial paths; see
+        :func:`repro.engine.threads.threaded_nn_reduction`.
+        """
+        from repro.engine.threads import threaded_nn_reduction
+
+        return self._scalar(
+            ("threaded_nn",), lambda: threaded_nn_reduction(self)
+        )
+
     # ------------------------------------------------------------------
     # Per-cell grids
     # ------------------------------------------------------------------
@@ -737,6 +905,14 @@ class MetricContext:
             zeros = np.zeros(self.universe.d, dtype=np.int64)
             zeros.flags.writeable = False
             return zeros
+        if self.threaded:
+
+            def compute() -> np.ndarray:
+                return np.array(
+                    self._threaded_nn_stats()["lambdas"], dtype=np.int64
+                )
+
+            return self._store.get_or_compute("lambda_sums", compute)
         if self.chunked:
 
             def compute() -> np.ndarray:
@@ -765,6 +941,10 @@ class MetricContext:
         """
         if self.universe.side < 2:
             return 0.0
+        if self.threaded:
+            return self._scalar(
+                ("davg",), lambda: self._threaded_nn_stats()["davg"]
+            )
         if self.chunked:
             return self._scalar(
                 ("davg",), lambda: self._chunked_nn_stats()["davg"]
@@ -777,6 +957,10 @@ class MetricContext:
         """``D^max(π)`` (Definition 4), exact; 0.0 when side == 1."""
         if self.universe.side < 2:
             return 0.0
+        if self.threaded:
+            return self._scalar(
+                ("dmax",), lambda: self._threaded_nn_stats()["dmax"]
+            )
         if self.chunked:
             return self._scalar(
                 ("dmax",), lambda: self._chunked_nn_stats()["dmax"]
@@ -789,6 +973,14 @@ class MetricContext:
         """Mean ``∆π`` over all NN pairs (0.0 when there are none)."""
         if self.universe.side < 2:
             return 0.0
+        if self.threaded:
+            from repro.grid.neighbors import nn_pair_count
+
+            return self._scalar(
+                ("nn_mean",),
+                lambda: float(self._threaded_nn_stats()["nn_sum"])
+                / nn_pair_count(self.universe),
+            )
         if self.chunked:
             from repro.grid.neighbors import nn_pair_count
 
@@ -825,13 +1017,25 @@ class MetricContext:
         """Max grid distance of a curve step of exactly ``window``.
 
         The Gotsman–Lindenbaum reverse metric; works in both modes
-        (block-wise in chunked mode) and returns 0 on the 1-cell
-        universe, where no step exists.
+        (block-wise in chunked mode, block-parallel when
+        ``threads > 1``) and returns 0 on the 1-cell universe, where
+        no step exists.
         """
         if metric not in ("manhattan", "euclidean"):
             raise ValueError("metric must be 'manhattan' or 'euclidean'")
         if self.universe.n < 2:
             return 0 if metric == "manhattan" else 0.0
+        if window < 1 or window >= self.universe.n:
+            raise ValueError(
+                f"window must be in [1, n), got {window}"
+            )
+        if self.threaded:
+            from repro.engine.threads import threaded_window_max
+
+            return self._scalar(
+                ("window_dilation", window, metric),
+                lambda: threaded_window_max(self, window, metric),
+            )
         if not self.chunked:
             dist = self.window_shift_distances(window, metric)
             return int(dist.max()) if metric == "manhattan" else float(
@@ -895,8 +1099,26 @@ class MetricContext:
     def gij_decomposition(
         self, axis: int
     ) -> dict[int, tuple[int, np.ndarray]]:
-        """Split ``G_{axis+1}`` into the Lemma 5 groups ``G_{i,j}``."""
-        self._require_dense("gij_decomposition", "the dense mode")
+        """Split ``G_{axis+1}`` into the Lemma 5 groups ``G_{i,j}``.
+
+        Works in both modes: the chunked path walks key slabs and
+        groups each block's pair distances by the trailing-ones index
+        of the pair's coordinate along ``axis``, producing counts and
+        value arrays identical to the dense decomposition (group
+        membership depends only on that coordinate, and block order
+        preserves the dense C-order value enumeration).  Note the
+        *result* is inherently ``O(n)`` — it partitions every NN pair
+        along the axis — so decomposing a beyond-memory universe still
+        needs a consumer that reduces the groups streamwise.
+        """
+        if not 0 <= axis < self.universe.d:
+            raise ValueError(
+                f"axis must be in [0, {self.universe.d}), got {axis}"
+            )
+        if self.chunked:
+            return self._scalar(
+                ("gij", axis), lambda: self._gij_blockwise(axis)
+            )
         # Late import: core.stretch imports this module for its wrappers.
         from repro.core.stretch import trailing_ones
 
@@ -920,6 +1142,57 @@ class MetricContext:
             return out
 
         return self._scalar(("gij", axis), compute)
+
+    def _gij_blockwise(
+        self, axis: int
+    ) -> dict[int, tuple[int, np.ndarray]]:
+        """Block-wise Lemma 5 decomposition over key slabs.
+
+        Axis-0 pairs span consecutive planes (the boundary pair of
+        each slab is handled via a one-plane carry, exactly like the
+        NN reduction); pairs along higher axes live entirely inside a
+        slab.  Values are appended in slab order, which equals the
+        dense path's C-order enumeration.
+        """
+        from repro.core.stretch import trailing_ones
+        from repro.engine.chunked import slab_axis_slices
+
+        universe = self.universe
+        k = universe.k  # requires power-of-two side, as in the paper
+        d, side = universe.d, universe.side
+        groups = trailing_ones(np.arange(max(side - 1, 0), dtype=np.int64)) + 1
+        parts: dict[int, list] = {j: [] for j in range(1, k + 1)}
+        if axis == 0:
+            prev = None
+            for lo, hi, slab in self.iter_key_slabs():
+                if prev is not None:
+                    j0 = int(groups[lo - 1])
+                    parts[j0].append(np.abs(slab[:1] - prev).reshape(-1))
+                if hi - lo > 1:
+                    dist0 = np.abs(slab[1:] - slab[:-1])
+                    in_slab = groups[lo : hi - 1]
+                    for j in range(1, k + 1):
+                        picked = np.compress(in_slab == j, dist0, axis=0)
+                        if picked.size:
+                            parts[j].append(picked.reshape(-1))
+                prev = np.ascontiguousarray(slab[-1:])
+        else:
+            lo_s, hi_s = slab_axis_slices(d, side, axis)
+            for _, _, slab in self.iter_key_slabs():
+                dist = np.abs(slab[hi_s] - slab[lo_s])
+                for j in range(1, k + 1):
+                    picked = np.compress(groups == j, dist, axis=axis)
+                    if picked.size:
+                        parts[j].append(picked.reshape(-1))
+        out: dict[int, tuple[int, np.ndarray]] = {}
+        for j in range(1, k + 1):
+            values = (
+                np.concatenate(parts[j])
+                if parts[j]
+                else np.empty(0, dtype=np.int64)
+            )
+            out[j] = (int(values.size), values)
+        return out
 
     # ------------------------------------------------------------------
     # Reports

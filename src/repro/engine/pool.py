@@ -24,6 +24,7 @@ curve; a :class:`ContextPool` kills it *across* curves:
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Optional, Union
 
 import numpy as np
@@ -56,12 +57,15 @@ def transform_derivations(
 
     * :class:`~repro.curves.transforms.ReversedCurve` —
       ``π' = n−1−π`` so ``∆π'`` arrays are *the same objects* as the
-      base's; the key grid is an arithmetic complement.
+      base's; the key grid is an arithmetic complement and the curve
+      order is the base order walked backwards.
     * :class:`~repro.curves.transforms.ReflectedCurve` — reflection
-      flips the listed axes of both the key grid and every pair array.
+      flips the listed axes of the key grid and every pair array, and
+      maps the order's coordinates through the same reflection.
     * :class:`~repro.curves.transforms.AxisPermutedCurve` — axis
       relabeling transposes the grids; the pairs along new axis ``i``
-      are the base pairs along axis ``perm^{-1}[i]``, transposed.
+      are the base pairs along axis ``perm^{-1}[i]``, transposed; the
+      order's coordinate columns are scattered through ``perm``.
     """
     from repro.curves.transforms import (
         AxisPermutedCurve,
@@ -69,10 +73,18 @@ def transform_derivations(
         ReversedCurve,
     )
 
+    def frozen(array: np.ndarray) -> np.ndarray:
+        array.flags.writeable = False
+        return array
+
     universe = curve.universe
     rules: Dict[str, Callable[[], np.ndarray]] = {}
     if isinstance(curve, ReversedCurve):
         rules["key_grid"] = lambda: universe.n - 1 - base.key_grid()
+        # π'^{-1}(t) = π^{-1}(n−1−t): the base path, reversed.
+        rules["order"] = lambda: frozen(
+            np.ascontiguousarray(base.order()[::-1])
+        )
         for axis in range(universe.d):
             rules[f"axis_dist[{axis}]"] = (
                 lambda a=axis: base.axis_pair_curve_distances(a)
@@ -82,6 +94,7 @@ def transform_derivations(
         axes = tuple(curve.axes)
         if not axes:  # reflecting no axes is the identity transform
             rules["key_grid"] = lambda: base.key_grid().copy()
+            rules["order"] = lambda: frozen(base.order().copy())
             for axis in range(universe.d):
                 rules[f"axis_dist[{axis}]"] = (
                     lambda a=axis: base.axis_pair_curve_distances(a)
@@ -90,6 +103,16 @@ def transform_derivations(
         rules["key_grid"] = lambda: np.ascontiguousarray(
             np.flip(base.key_grid(), axis=axes)
         )
+
+        def reflected_order() -> np.ndarray:
+            # π'^{-1}(t) = reflect(π^{-1}(t)): same visit order, with
+            # the listed coordinate axes mirrored.
+            path = base.order().copy()
+            for axis in axes:
+                path[:, axis] = universe.side - 1 - path[:, axis]
+            return frozen(path)
+
+        rules["order"] = reflected_order
         for axis in range(universe.d):
             rules[f"axis_dist[{axis}]"] = lambda a=axis: np.ascontiguousarray(
                 np.flip(base.axis_pair_curve_distances(a), axis=axes)
@@ -98,9 +121,18 @@ def transform_derivations(
     if isinstance(curve, AxisPermutedCurve):
         # grid'[x] = grid[y] with y[k] = x[perm[k]]  ⇔  transpose(inv).
         inv = tuple(int(v) for v in np.argsort(curve.perm))
+        perm = tuple(int(v) for v in curve.perm)
         rules["key_grid"] = lambda: np.ascontiguousarray(
             base.key_grid().transpose(inv)
         )
+
+        def permuted_order() -> np.ndarray:
+            # coords'[..., perm] = base coords (the wrapper's inverse).
+            path = np.empty_like(base.order())
+            path[:, perm] = base.order()
+            return frozen(path)
+
+        rules["order"] = permuted_order
         for axis in range(universe.d):
             # Bumping new axis i bumps base axis inv[i]: the pair array
             # along i is the base pair array along inv[i], transposed.
@@ -131,8 +163,18 @@ def chunked_transform_derivations(
     if not isinstance(curve, ReversedCurve):
         return None
     n = curve.universe.n
+
+    def base_slab(lo: int, hi: int) -> np.ndarray:
+        # Canonical spans go through the base LRU (cached, reusable by
+        # the base's own reductions); off-partition reads — a threaded
+        # kernel's single-plane boundary lookups — bypass it, so the
+        # base store never fills with overlapping off-partition keys.
+        if (lo, hi) == base._slab_span(lo):
+            return base._key_slab(lo, hi)
+        return base._key_slab_values(lo, hi)
+
     return {
-        "key_slab": lambda lo, hi: n - 1 - base._key_slab(lo, hi),
+        "key_slab": lambda lo, hi: n - 1 - base_slab(lo, hi),
         "key_block": lambda lo, hi: n - 1 - base._key_block(lo, hi),
         "inverse_block": lambda lo, hi: np.ascontiguousarray(
             base._inverse_block(n - hi, n - lo)[::-1]
@@ -187,19 +229,34 @@ class ContextPool:
         derive_transforms: bool = True,
         chunk_cells: Optional[int] = None,
         shared_store: Optional[object] = None,
+        threads: Union[None, int, str] = None,
     ) -> None:
         self.max_bytes = max_bytes
         self.derive_transforms = derive_transforms
         self.chunk_cells = chunk_cells
         self.shared_store = shared_store
+        #: Worker-thread count handed to every member context (see
+        #: :class:`MetricContext`); ``None`` keeps contexts serial.
+        self.threads = threads
+        #: One scheduler shared by every member context: without it a
+        #: threaded multi-curve sweep would hold threads-per-curve
+        #: idle OS threads (each context lazily building its own
+        #: executor) for the pool's lifetime.
+        self._scheduler = None
         self._contexts: Dict[tuple, MetricContext] = {}
-        # Strong curve refs: PermutationCurve cache keys embed id(), so
-        # the referenced objects must outlive the pool's key map.
+        # Strong curve refs: instance-keyed curves (explicit
+        # PermutationCurve tables) stay alive with the pool so their
+        # contexts remain reachable through `get` for its lifetime.
         self._curves: Dict[tuple, SpaceFillingCurve] = {}
         self._universe_stores: Dict[Universe, _BoundedStore] = {}
+        # Reentrant: `get` recurses into itself for transform inners.
+        # The pool is hammered concurrently when per-cell contexts run
+        # threaded reductions or callers share one pool across threads.
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._contexts)
+        with self._lock:
+            return len(self._contexts)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -209,45 +266,62 @@ class ContextPool:
 
     def universe_store(self, universe: Universe) -> _BoundedStore:
         """The shared store for curve-independent state of ``universe``."""
-        store = self._universe_stores.get(universe)
-        if store is None:
-            store = _BoundedStore(self.max_bytes)
-            self._universe_stores[universe] = store
-        return store
+        with self._lock:
+            store = self._universe_stores.get(universe)
+            if store is None:
+                store = _BoundedStore(self.max_bytes)
+                self._universe_stores[universe] = store
+            return store
 
     def get(
         self, curve: Union[SpaceFillingCurve, MetricContext]
     ) -> MetricContext:
-        """The pooled context of ``curve``'s spec (contexts pass through)."""
+        """The pooled context of ``curve``'s spec (contexts pass through).
+
+        Thread-safe: concurrent callers racing on the same spec get
+        the same context object (creation and registration happen
+        under the pool lock).
+        """
         if isinstance(curve, MetricContext):
             return curve
         key = curve.cache_key()
-        ctx = self._contexts.get(key)
-        if ctx is not None:
+        with self._lock:
+            ctx = self._contexts.get(key)
+            if ctx is not None:
+                return ctx
+            ctx = MetricContext(
+                curve,
+                max_bytes=self.max_bytes,
+                universe_store=self.universe_store(curve.universe),
+                chunk_cells=self.chunk_cells,
+                threads=self.threads,
+            )
+            if ctx.threads > 1:
+                # All pooled contexts resolve the same thread count,
+                # so they can share one scheduler (and its worker
+                # threads / per-thread scratch buffers).
+                if self._scheduler is None:
+                    from repro.engine.threads import BlockScheduler
+
+                    self._scheduler = BlockScheduler(ctx.threads)
+                ctx._scheduler = self._scheduler
+            if self.shared_store is not None and self.chunk_cells is None:
+                self._wire_shared(ctx, curve)
+            if self.derive_transforms:
+                inner = getattr(curve, "inner", None)
+                if isinstance(inner, SpaceFillingCurve):
+                    base = self.get(inner)
+                    if self.chunk_cells is not None:
+                        rules = chunked_transform_derivations(curve, base)
+                        if rules:
+                            ctx._chunk_derivations.update(rules)
+                    else:
+                        rules = transform_derivations(curve, base)
+                        if rules:
+                            ctx._derivations.update(rules)
+            self._contexts[key] = ctx
+            self._curves[key] = curve
             return ctx
-        ctx = MetricContext(
-            curve,
-            max_bytes=self.max_bytes,
-            universe_store=self.universe_store(curve.universe),
-            chunk_cells=self.chunk_cells,
-        )
-        if self.shared_store is not None and self.chunk_cells is None:
-            self._wire_shared(ctx, curve)
-        if self.derive_transforms:
-            inner = getattr(curve, "inner", None)
-            if isinstance(inner, SpaceFillingCurve):
-                base = self.get(inner)
-                if self.chunk_cells is not None:
-                    rules = chunked_transform_derivations(curve, base)
-                    if rules:
-                        ctx._chunk_derivations.update(rules)
-                else:
-                    rules = transform_derivations(curve, base)
-                    if rules:
-                        ctx._derivations.update(rules)
-        self._contexts[key] = ctx
-        self._curves[key] = curve
-        return ctx
 
     def _wire_shared(
         self, ctx: MetricContext, curve: SpaceFillingCurve
@@ -274,21 +348,33 @@ class ContextPool:
 
     @property
     def stats(self) -> CacheStats:
-        """Aggregate counters over all member contexts + shared stores."""
+        """Aggregate counters over all member contexts + shared stores.
+
+        Snapshots the member lists under the pool lock so a stats read
+        racing a concurrent ``get`` cannot observe the registries
+        mid-mutation.
+        """
+        with self._lock:
+            contexts = list(self._contexts.values())
+            stores = list(self._universe_stores.values())
         return CacheStats.aggregate(
-            [ctx.stats for ctx in self._contexts.values()]
-            + [store.stats for store in self._universe_stores.values()]
+            [ctx.stats for ctx in contexts]
+            + [store.stats for store in stores]
         )
 
     @property
     def cache_bytes(self) -> int:
         """Total bytes held across all member and shared stores."""
-        return sum(
-            ctx.cache_bytes for ctx in self._contexts.values()
-        ) + sum(store.nbytes for store in self._universe_stores.values())
+        with self._lock:
+            contexts = list(self._contexts.values())
+            stores = list(self._universe_stores.values())
+        return sum(ctx.cache_bytes for ctx in contexts) + sum(
+            store.nbytes for store in stores
+        )
 
     def clear(self) -> None:
         """Drop every context, curve reference and shared store."""
-        self._contexts.clear()
-        self._curves.clear()
-        self._universe_stores.clear()
+        with self._lock:
+            self._contexts.clear()
+            self._curves.clear()
+            self._universe_stores.clear()

@@ -44,6 +44,7 @@ True
 
 from __future__ import annotations
 
+import threading
 from multiprocessing import shared_memory
 from typing import Dict, Optional, Tuple
 
@@ -59,11 +60,18 @@ __all__ = [
     "universe_key",
 ]
 
-#: The per-spec intermediates a shared store publishes, in publish
+#: The per-spec intermediates a shared store can publish, in publish
 #: order.  Each is resolvable by a worker context before local compute:
-#: ``key_grid`` (dense ``(side,)*d``), ``flat_keys`` (rank order) and
-#: ``inverse_perm`` (rank of each key).
-SHARED_KINDS: Tuple[str, ...] = ("key_grid", "flat_keys", "inverse_perm")
+#: ``key_grid`` (dense ``(side,)*d``), ``flat_keys`` (rank order),
+#: ``inverse_perm`` (rank of each key) and ``order`` (cells in curve
+#: order, ``(n, d)`` — published only when the sweep runs a windowed
+#: metric, since it costs ``d×`` the key grid's bytes).
+SHARED_KINDS: Tuple[str, ...] = (
+    "key_grid",
+    "flat_keys",
+    "inverse_perm",
+    "order",
+)
 
 
 class _Unshareable(Exception):
@@ -157,6 +165,12 @@ class SharedGridStore:
         self._segments: Dict[str, shared_memory.SharedMemory] = {}
         self._views: Dict[tuple, np.ndarray] = {}
         self.owner = owner
+        # Serializes attach/publish/cleanup.  Concurrent `get` calls on
+        # the same entry (block-scheduler worker threads of one cell's
+        # context) would otherwise attach the segment twice and drop
+        # one SharedMemory wrapper — whose __del__ unmaps pages a live
+        # view still points at.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Construction
@@ -218,18 +232,27 @@ class SharedGridStore:
         if not self.owner:
             raise ValueError("only the owning store can publish segments")
         entry_key = (spec_key, kind)
-        if entry_key in self._entries:
-            raise ValueError(f"entry {entry_key!r} is already published")
-        arr = np.ascontiguousarray(array)
-        segment = shared_memory.SharedMemory(
-            create=True, size=max(1, arr.nbytes)
-        )
-        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=segment.buf)
-        view[...] = arr
-        view.flags.writeable = False
-        self._segments[segment.name] = segment
-        self._entries[entry_key] = (segment.name, arr.shape, arr.dtype.str)
-        self._views[entry_key] = view
+        with self._lock:
+            if entry_key in self._entries:
+                raise ValueError(
+                    f"entry {entry_key!r} is already published"
+                )
+            arr = np.ascontiguousarray(array)
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(1, arr.nbytes)
+            )
+            view = np.ndarray(
+                arr.shape, dtype=arr.dtype, buffer=segment.buf
+            )
+            view[...] = arr
+            view.flags.writeable = False
+            self._segments[segment.name] = segment
+            self._entries[entry_key] = (
+                segment.name,
+                arr.shape,
+                arr.dtype.str,
+            )
+            self._views[entry_key] = view
 
     # ------------------------------------------------------------------
     # Reader side
@@ -240,24 +263,33 @@ class SharedGridStore:
         Also returns ``None`` when the manifest names a segment that no
         longer exists (e.g. the parent already unlinked it) — callers
         treat that as a cache miss and compute locally.
+
+        Thread-safe: one store is consulted by every worker thread of
+        a cell's block scheduler, and each segment must be attached
+        exactly once — a racing second attach would drop one
+        ``SharedMemory`` wrapper and unmap pages the surviving view
+        still indexes (a segfault, not an exception).
         """
         entry_key = (spec_key, kind)
-        view = self._views.get(entry_key)
-        if view is not None:
+        with self._lock:
+            view = self._views.get(entry_key)
+            if view is not None:
+                return view
+            entry = self._entries.get(entry_key)
+            if entry is None:
+                return None
+            name, shape, dtype = entry
+            try:
+                segment = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                return None
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=segment.buf
+            )
+            view.flags.writeable = False
+            self._segments[name] = segment
+            self._views[entry_key] = view
             return view
-        entry = self._entries.get(entry_key)
-        if entry is None:
-            return None
-        name, shape, dtype = entry
-        try:
-            segment = shared_memory.SharedMemory(name=name)
-        except FileNotFoundError:
-            return None
-        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
-        view.flags.writeable = False
-        self._segments[name] = segment
-        self._views[entry_key] = view
-        return view
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -270,13 +302,14 @@ class SharedGridStore:
         for process teardown, which is exactly what happens to worker
         processes exiting after a sweep.
         """
-        self._views.clear()
-        for segment in self._segments.values():
-            try:
-                segment.close()
-            except BufferError:  # a live view pins the mapping
-                pass
-        self._segments.clear()
+        with self._lock:
+            self._views.clear()
+            for segment in self._segments.values():
+                try:
+                    segment.close()
+                except BufferError:  # a live view pins the mapping
+                    pass
+            self._segments.clear()
 
     def unlink(self) -> None:
         """Remove every segment from the system (owner cleanup).
@@ -286,21 +319,22 @@ class SharedGridStore:
         midway) are skipped, and attached readers keep working until
         they drop their mappings — unlink only removes the name.
         """
-        self._views.clear()
-        for name, _, _ in self._entries.values():
-            segment = self._segments.pop(name, None)
-            if segment is None:
+        with self._lock:
+            self._views.clear()
+            for name, _, _ in self._entries.values():
+                segment = self._segments.pop(name, None)
+                if segment is None:
+                    try:
+                        segment = shared_memory.SharedMemory(name=name)
+                    except FileNotFoundError:
+                        continue
                 try:
-                    segment = shared_memory.SharedMemory(name=name)
-                except FileNotFoundError:
-                    continue
-            try:
-                segment.close()
-            except BufferError:  # pragma: no cover - view still alive
-                pass
-            try:
-                segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
-        self._entries.clear()
-        self._segments.clear()
+                    segment.close()
+                except BufferError:  # pragma: no cover - view still alive
+                    pass
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+            self._entries.clear()
+            self._segments.clear()

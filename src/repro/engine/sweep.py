@@ -562,7 +562,22 @@ _Task = Tuple[
     bool,
     Optional[int],
     Optional[int],
+    int,
 ]
+
+#: Metric names whose evaluation walks the curve order / windowed
+#: state; a shared-mode process sweep publishes ``order`` for its
+#: specs exactly when one of these is requested, so workers attach the
+#: curve path zero-copy instead of privately rebuilding the inverse.
+_ORDER_METRICS = frozenset({"dilation"})
+
+
+def _needs_order(metric_texts: Tuple[str, ...]) -> bool:
+    """Whether a cell's metric set consumes the curve-order array."""
+    return any(
+        MetricSpec.parse(text).name in _ORDER_METRICS
+        for text in metric_texts
+    )
 
 
 def _run_cell(
@@ -584,6 +599,7 @@ def _run_cell(
         strict,
         chunk_cells,
         max_bytes,
+        threads,
     ) = task
     universe = Universe(d=d, side=side)
     spec = CurveSpec.parse(spec_text)
@@ -614,11 +630,15 @@ def _run_cell(
             max_bytes=max_bytes,
             chunk_cells=chunk_cells,
             shared_store=shared_store,
+            threads=threads,
         )
         ctx = cell_pool.get(curve)
     else:
         ctx = MetricContext(
-            curve, max_bytes=max_bytes, chunk_cells=chunk_cells
+            curve,
+            max_bytes=max_bytes,
+            chunk_cells=chunk_cells,
+            threads=threads,
         )
     if pool is None and cell_pool is None and stats_sink is not None:
         stats_sink.append(ctx.stats)
@@ -702,7 +722,18 @@ def _publish_shared(tasks: List[_Task], max_bytes: Optional[int]):
     from the published grid, so shipping them too would spend more
     parent time and shared memory than the workers save (workers fall
     back to computing them *from the zero-copy grid view*, never from
-    a curve evaluation).
+    a curve evaluation).  The **curve order** array (``(n, d)``, the
+    state behind the windowed dilation metrics) is published exactly
+    when a cell requests an order-consuming metric — workers
+    historically rebuilt it privately per cell, and unconditional
+    publishing would cost ``d×`` the key grid's shared memory on
+    sweeps that never touch it.  Consistent with the grid policy, it
+    is published under the spec's *innermost base* curve only: a
+    transform's order is one vector op away (reverse / reflect /
+    column-permute, see
+    :func:`repro.engine.pool.transform_derivations`), so workers
+    derive it from the base's zero-copy view instead of the parent
+    shipping one ``(n, d)`` segment per family member.
     """
     from repro.engine.shm import SharedGridStore, shared_key, universe_key
 
@@ -710,6 +741,12 @@ def _publish_shared(tasks: List[_Task], max_bytes: Optional[int]):
     stats: List[CacheStats] = []
     pool: Optional[ContextPool] = None
     pool_universe = None
+    # One plan shares one metric set, so parse it once per distinct
+    # tuple instead of once per (universe, curve) task.
+    order_wanted = {
+        metric_texts: _needs_order(metric_texts)
+        for metric_texts in {task[3] for task in tasks}
+    }
     try:
         for task in tasks:
             d, side, spec_text, chunk_cells = task[0], task[1], task[2], task[9]
@@ -726,18 +763,36 @@ def _publish_shared(tasks: List[_Task], max_bytes: Optional[int]):
             except (ValueError, TypeError):
                 continue
             skey = shared_key(curve)
-            if skey is None or (skey, "key_grid") in store:
+            if skey is None:
                 continue
-            ctx = pool.get(curve)
-            store.put(skey, "key_grid", ctx.key_grid())
-            if not isinstance(
-                getattr(curve, "inner", None), SpaceFillingCurve
-            ):
-                store.put(skey, "flat_keys", ctx.flat_keys())
-                store.put(skey, "inverse_perm", ctx.inverse_permutation())
-            ukey = universe_key(universe)
-            if (ukey, "neighbor_counts") not in store and universe.side >= 2:
-                store.put(ukey, "neighbor_counts", ctx.neighbor_counts())
+            want_order = order_wanted[task[3]]
+            if (skey, "key_grid") not in store:
+                ctx = pool.get(curve)
+                store.put(skey, "key_grid", ctx.key_grid())
+                if not isinstance(
+                    getattr(curve, "inner", None), SpaceFillingCurve
+                ):
+                    store.put(skey, "flat_keys", ctx.flat_keys())
+                    store.put(
+                        skey, "inverse_perm", ctx.inverse_permutation()
+                    )
+                ukey = universe_key(universe)
+                if (
+                    (ukey, "neighbor_counts") not in store
+                    and universe.side >= 2
+                ):
+                    store.put(ukey, "neighbor_counts", ctx.neighbor_counts())
+            if want_order:
+                # Publish under the innermost base spec: workers
+                # derive a transform's order from the base view.
+                target = curve
+                while isinstance(
+                    getattr(target, "inner", None), SpaceFillingCurve
+                ):
+                    target = target.inner
+                okey = shared_key(target)
+                if okey is not None and (okey, "order") not in store:
+                    store.put(okey, "order", pool.get(target).order())
     except BaseException:
         store.unlink()  # publishing died midway: leak nothing
         raise
@@ -781,6 +836,15 @@ class Sweep:
     ``pooled=False`` acknowledges it.  Serial sweeps ignore ``shared``
     (the in-process pool already shares everything).
 
+    **Intra-cell threading** (``threads``): each cell's block
+    reductions can additionally fan out over a per-context thread pool
+    (:mod:`repro.engine.threads`) — the NumPy block kernels release
+    the GIL, so this composes with *every* execution mode, including
+    process sweeps (``"auto"`` sizes threads-per-cell so
+    ``processes × threads <= cores``).  Results stay bit-for-bit
+    identical; the worker-thread cache traffic lands in the same
+    aggregated :class:`CacheStats`.
+
     **Memory model**: ``max_bytes`` is each context's LRU budget for
     retained intermediates; ``chunk_cells`` bounds what is materialized
     at once.  With the default ``chunk_cells=None`` the engine's
@@ -820,6 +884,19 @@ class Sweep:
     #: (share whenever ``processes`` > 1), ``True`` (same, stated
     #: explicitly) or ``False`` (fully private workers).
     shared: Union[bool, str] = "auto"
+    #: Worker threads per cell for block-parallel metric reductions:
+    #: ``None`` (serial), a positive int, or ``"auto"`` — which sizes
+    #: threads-per-cell so ``processes × threads <= cores`` when a
+    #: process pool is also in play, and uses every core otherwise.
+    #: Threaded results are bit-for-bit identical to serial runs; see
+    #: :mod:`repro.engine.threads`.
+    threads: Union[None, int, str] = None
+
+    def resolve_thread_count(self) -> int:
+        """The concrete per-cell worker-thread count of this sweep."""
+        from repro.engine.threads import resolve_threads
+
+        return resolve_threads(self.threads, processes=self.processes)
 
     def resolve_chunk_cells(self, universe: Universe) -> Optional[int]:
         """The block size to use for ``universe`` (``None`` = dense).
@@ -875,6 +952,7 @@ class Sweep:
         for spec in specs:  # validate params eagerly, before any work
             spec.bind()
         metric_texts = tuple(s.label for s in specs)
+        thread_count = self.resolve_thread_count()
         tasks: List[_Task] = []
         skipped: List[SkippedCell] = []
         for universe in self.resolved_universes():
@@ -905,6 +983,7 @@ class Sweep:
                         self.strict,
                         self.resolve_chunk_cells(universe),
                         self.max_bytes,
+                        thread_count,
                     )
                 )
         return tasks, skipped
@@ -952,6 +1031,14 @@ class Sweep:
                 parent_stats.append(publish_stats)
                 initializer = _worker_attach_shared
                 initargs = (store.manifest(),)
+            # fork() in a multi-threaded parent is hazardous (a child
+            # inherits lock state from threads it does not have): join
+            # any idle block-scheduler workers left by earlier threaded
+            # contexts before the executor forks.  Schedulers rebuild
+            # their pools lazily on next use.
+            from repro.engine.threads import quiesce_schedulers
+
+            quiesce_schedulers()
             try:
                 with ProcessPoolExecutor(
                     max_workers=min(self.processes, len(unique_tasks)),
@@ -987,7 +1074,9 @@ class Sweep:
                     if pool is not None:
                         sink.append(pool.stats)
                     pool = ContextPool(
-                        max_bytes=self.max_bytes, chunk_cells=task[9]
+                        max_bytes=self.max_bytes,
+                        chunk_cells=task[9],
+                        threads=task[11],
                     )
                     pool_universe = (task[0], task[1])
                 outcome_of[task] = _run_cell(

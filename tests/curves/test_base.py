@@ -146,3 +146,43 @@ class TestContinuity:
         for zoo in (zoo_2d, zoo_3d):
             for name, curve in zoo.items():
                 assert curve.is_bijection(), name
+
+
+class TestInstanceCacheTokens:
+    """Instance-keyed cache tokens must never alias across lifetimes."""
+
+    def test_distinct_instances_distinct_keys(self):
+        u = Universe(d=2, side=2)
+        order = u.all_coords()
+        a = PermutationCurve(u, order=order)
+        b = PermutationCurve(u, order=order)
+        assert a.cache_key() != b.cache_key()
+
+    def test_token_survives_id_reuse(self):
+        """A gc'd table's token is never handed to a new table.
+
+        With id()-based tokens, allocating a new curve right after one
+        is collected can reuse the address and silently alias the dead
+        curve's pooled context; the monotonic token cannot collide.
+        """
+        import gc
+
+        u = Universe(d=2, side=2)
+        order = u.all_coords()
+        seen = set()
+        for _ in range(50):
+            curve = PermutationCurve(u, order=order)
+            token = curve._cache_token()
+            assert token not in seen, "instance token was reused"
+            seen.add(token)
+            del curve
+            gc.collect()
+
+    def test_deterministic_subclasses_still_share(self):
+        class Fixed(PermutationCurve):
+            _deterministic = True
+
+        u = Universe(d=2, side=2)
+        a = Fixed(u, order=u.all_coords())
+        b = Fixed(u, order=u.all_coords())
+        assert a.cache_key() == b.cache_key()

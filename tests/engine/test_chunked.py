@@ -77,6 +77,31 @@ class TestMetricParity:
                 MetricContext(SnakeCurve(u))
             )
 
+    @pytest.mark.parametrize("chunk", BLOCK_SIZES)
+    def test_gij_decomposition_blockwise(self, u2_8, chunk):
+        # The first formerly dense-only surface with a block path:
+        # counts and group value arrays (order included) must match.
+        dense = MetricContext(ZCurve(u2_8))
+        ctx = MetricContext(ZCurve(u2_8), chunk_cells=chunk)
+        for axis in range(u2_8.d):
+            expected = dense.gij_decomposition(axis)
+            got = ctx.gij_decomposition(axis)
+            assert got.keys() == expected.keys()
+            for j, (count, values) in expected.items():
+                assert got[j][0] == count
+                assert np.array_equal(got[j][1], values)
+
+    def test_gij_decomposition_3d_and_axis_validation(self, u3_4):
+        dense = MetricContext(ZCurve(u3_4))
+        ctx = MetricContext(ZCurve(u3_4), chunk_cells=5)
+        for axis in range(u3_4.d):
+            expected = dense.gij_decomposition(axis)
+            got = ctx.gij_decomposition(axis)
+            for j in expected:
+                assert np.array_equal(got[j][1], expected[j][1])
+        with pytest.raises(ValueError, match="axis"):
+            ctx.gij_decomposition(u3_4.d)
+
     def test_bit_for_bit_table_backed_curve(self, u2_8):
         # PermutationCurve-backed curves gain no memory but must agree.
         dense = MetricContext(RandomCurve(u2_8, seed=5))

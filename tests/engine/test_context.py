@@ -72,6 +72,38 @@ class TestBoundedStore:
         assert tight.dmax() == loose.dmax()
         assert np.array_equal(tight.lambda_sums(), loose.lambda_sums())
 
+    def test_order_is_pinned_off_budget(self, u2_8):
+        """order() must not charge (or evict) the LRU budget.
+
+        The locally computed array is the curve's own lifetime-pinned
+        cache, so evicting it reclaims nothing; inserting its (n, d)
+        bytes into the budget would wipe genuinely reclaimable
+        intermediates on large grids.
+        """
+        ctx = MetricContext(ZCurve(u2_8))
+        ctx.key_grid()
+        before_bytes = ctx.cache_bytes
+        before_evictions = ctx.stats.evictions
+        path = ctx.order()
+        assert path is ctx.curve.order()  # same pinned array, no copy
+        assert ctx.cache_bytes == before_bytes
+        assert ctx.stats.evictions == before_evictions
+        hits = ctx.stats.hits
+        ctx.order()  # second lookup is a store hit
+        assert ctx.stats.hits == hits + 1
+
+    def test_store_peek_is_silent(self, u2_8):
+        ctx = MetricContext(ZCurve(u2_8))
+        assert ctx._store.peek("key_grid") is None
+        grid = ctx.key_grid()
+        stats = (ctx.stats.hits, ctx.stats.misses, ctx.stats.total_computes)
+        assert ctx._store.peek("key_grid") is grid
+        assert (
+            ctx.stats.hits,
+            ctx.stats.misses,
+            ctx.stats.total_computes,
+        ) == stats
+
     def test_cached_arrays_read_only(self, u2_8):
         ctx = MetricContext(ZCurve(u2_8))
         arr = ctx.axis_pair_curve_distances(0)

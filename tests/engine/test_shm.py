@@ -365,6 +365,7 @@ class TestSharedSweep:
             store.put(key, "key_grid", source.key_grid())
             store.put(key, "flat_keys", source.flat_keys())
             store.put(key, "inverse_perm", source.inverse_permutation())
+            store.put(key, "order", source.order())
             ctx = ContextPool(shared_store=store).get(ZCurve(u2_8))
             np.testing.assert_array_equal(
                 ctx.key_grid(), source.key_grid()
@@ -375,11 +376,108 @@ class TestSharedSweep:
             np.testing.assert_array_equal(
                 ctx.inverse_permutation(), source.inverse_permutation()
             )
+            np.testing.assert_array_equal(ctx.order(), source.order())
             assert set(ctx.stats.shared) == {
                 "key_grid",
                 "flat_keys",
                 "inverse_perm",
+                "order",
             } == set(SHARED_KINDS)
             assert ctx.stats.total_computes == 0
+        finally:
+            store.unlink()
+
+
+class TestOrderPublishing:
+    """The ``order`` segment ships exactly when a windowed metric runs."""
+
+    METRICS_WITH_ORDER = ("davg", "dilation:window=3")
+    METRICS_WITHOUT_ORDER = ("davg", "dmax")
+
+    def _run(self, u2_8, metrics):
+        return Sweep(
+            universes=[u2_8],
+            curves=["z", "hilbert"],
+            metrics=metrics,
+            reports=False,
+            processes=2,
+            shared=True,
+        ).run()
+
+    def test_order_resolved_shared_for_dilation(self, u2_8):
+        result = self._run(u2_8, self.METRICS_WITH_ORDER)
+        stats = result.cache_stats
+        assert stats.shared_count("order") == 2  # one per curve cell
+        serial = Sweep(
+            universes=[u2_8],
+            curves=["z", "hilbert"],
+            metrics=self.METRICS_WITH_ORDER,
+            reports=False,
+        ).run()
+        assert result.records == serial.records
+
+    def test_order_not_published_without_windowed_metric(self, u2_8):
+        result = self._run(u2_8, self.METRICS_WITHOUT_ORDER)
+        assert result.cache_stats.shared_count("order") == 0
+
+    def test_transform_specs_derive_order_from_base_segment(self, u2_8):
+        result = Sweep(
+            universes=[u2_8],
+            curves=["hilbert", "reversed:inner=hilbert"],
+            metrics=("dilation:window=3",),
+            reports=False,
+            processes=2,
+            shared=True,
+        ).run()
+        stats = result.cache_stats
+        # One (n, d) order segment is published (under the base spec);
+        # the base cell and the reversed cell's transitively created
+        # base context both attach it, and the reversed spec's order
+        # is derived from that view rather than shipped or rebuilt.
+        assert stats.shared_count("order") == 2
+        assert stats.derived_count("order") == 1
+        assert stats.compute_count("order") == 1  # the parent's build
+
+    def test_segments_reclaimed_with_order_published(self, u2_8):
+        before = shm_segments()
+        self._run(u2_8, self.METRICS_WITH_ORDER)
+        assert shm_segments() == before
+
+
+class TestConcurrentAttach:
+    def test_racing_gets_share_one_attachment(self, u2_8):
+        """Concurrent get() must attach a segment exactly once.
+
+        A racing second attach would drop one SharedMemory wrapper,
+        whose teardown unmaps pages the surviving view still indexes —
+        historically a worker segfault under per-cell threading.
+        """
+        import threading
+
+        store = SharedGridStore.create()
+        try:
+            grid = ZCurve(u2_8).key_grid()
+            key = shared_key(ZCurve(u2_8))
+            store.put(key, "key_grid", grid)
+            twin = SharedGridStore.attach(store.manifest())
+            views = []
+            barrier = threading.Barrier(8)
+
+            def race():
+                barrier.wait()
+                views.append(twin.get(key, "key_grid"))
+
+            workers = [
+                threading.Thread(target=race) for _ in range(8)
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+            assert len({id(v) for v in views}) == 1  # one view object
+            assert len(twin._segments) == 1  # one attachment
+            for view in views:
+                np.testing.assert_array_equal(view, grid)
+            twin.close()
         finally:
             store.unlink()
