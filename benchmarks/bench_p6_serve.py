@@ -1,0 +1,159 @@
+"""P6 — the sweep service: warm repeats beat cold requests.
+
+``repro serve`` exists to amortize the engine's expensive state — key
+grids, NN arrays, metric memos — across requests instead of across the
+cells of one CLI invocation.  This bench stands up a real HTTP server
+(:class:`repro.serve.BackgroundServer`, the same stack ``repro serve``
+runs) and measures the feature's headline numbers end-to-end, socket
+included:
+
+* **cold**: the first ``POST /sweep`` for a 512x512 Hilbert/Gray cell
+  pair — the server builds both contexts from scratch;
+* **warm**: the identical request again — every array and scalar memo
+  is resident, so the server answers from its caches.
+
+Acceptance asserts the warm repeat is at least **2x** faster (in
+practice it is orders of magnitude faster — the point of a persistent
+service), that the responses are byte-identical, and that the cache
+counters prove the second request recomputed nothing.  A small-request
+loop reports sequential service throughput for trend tracking.
+"""
+
+import json
+import time
+import urllib.request
+
+from repro.serve import BackgroundServer, ServeConfig
+
+from _bench_utils import run_once
+
+#: 512^2 cells: key-grid construction dominates, the regime the
+#: persistent service amortizes.
+SIDE = 512
+CURVES = ("hilbert", "gray")
+METRIC_SET = ("davg", "dmax", "nn_mean")
+MIN_SPEEDUP = 2.0
+
+#: Small-cell request repeated for the throughput figure.
+SMALL_BODY = {
+    "dims": [2],
+    "sides": [16],
+    "curves": ["z"],
+    "metrics": ["davg"],
+}
+THROUGHPUT_REQUESTS = 200
+
+
+def _post(url: str, body: dict) -> bytes:
+    request = urllib.request.Request(
+        url + "/sweep",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=600) as response:
+        assert response.status == 200
+        return response.read()
+
+
+def _get_stats(url: str) -> dict:
+    with urllib.request.urlopen(url + "/stats", timeout=60) as response:
+        return json.loads(response.read())
+
+
+def test_p6_serve_warm_vs_cold(benchmark, results_writer):
+    """Acceptance: warm repeat >= 2x faster, byte-identical response."""
+    body = {
+        "dims": [2],
+        "sides": [SIDE],
+        "curves": list(CURVES),
+        "metrics": list(METRIC_SET),
+    }
+    config = ServeConfig(port=0, batch_window_s=0.001)
+
+    def serve_session():
+        with BackgroundServer(config) as server:
+            t0 = time.perf_counter()
+            cold_body = _post(server.url, body)
+            t_cold = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            warm_body = _post(server.url, body)
+            t_warm = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            for _ in range(THROUGHPUT_REQUESTS):
+                _post(server.url, SMALL_BODY)
+            t_loop = time.perf_counter() - t0
+
+            return cold_body, t_cold, warm_body, t_warm, t_loop, _get_stats(
+                server.url
+            )
+
+    cold_body, t_cold, warm_body, t_warm, t_loop, stats = run_once(
+        benchmark, serve_session
+    )
+
+    assert warm_body == cold_body  # byte-identical responses
+    records = json.loads(warm_body)["records"]
+    assert [r["spec"] for r in records] == list(CURVES)
+
+    # The cache counters prove the repeats recomputed nothing: one
+    # key-grid build per distinct curve across *all* requests of the
+    # session (the small z cell adds its one); every re-request is
+    # answered by the persistent contexts' memos.
+    computes = stats["cache"]["computes"]
+    assert computes["key_grid"] == len(CURVES) + 1
+    assert (
+        stats["counters"]["cells_planned"]
+        == 2 * len(CURVES) + THROUGHPUT_REQUESTS
+    )
+
+    speedup = t_cold / t_warm
+    throughput = THROUGHPUT_REQUESTS / t_loop
+    benchmark.extra_info["serve"] = {
+        "t_cold_s": round(t_cold, 4),
+        "t_warm_s": round(t_warm, 4),
+        "speedup": round(speedup, 1),
+        "small_requests_per_s": round(throughput, 1),
+        "cache": stats["cache"],
+        "counters": stats["counters"],
+    }
+    results_writer(
+        "p6_serve",
+        f"P6 — repro serve: {SIDE}x{SIDE} sweep of "
+        f"{', '.join(CURVES)} (metrics {', '.join(METRIC_SET)}) "
+        "over HTTP\n"
+        "(cold = first request builds engine state; warm = identical "
+        "repeat answered from the persistent pools)\n\n"
+        f"cold request:  {t_cold:8.3f} s\n"
+        f"warm repeat:   {t_warm:8.3f} s   speedup: {speedup:8.1f}x\n"
+        f"throughput:    {throughput:8.1f} small requests/s "
+        f"({THROUGHPUT_REQUESTS} sequential 16x16 cells)\n"
+        f"cache hit rate: {stats['cache']['hit_rate']:.1%}   "
+        f"key grids built: {computes['key_grid']}\n",
+    )
+    print(
+        f"\ncold {t_cold:.3f}s vs warm {t_warm:.4f}s ({speedup:.0f}x); "
+        f"{throughput:.0f} small req/s"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm repeat speedup {speedup:.2f}x below {MIN_SPEEDUP}x"
+    )
+
+
+def test_p6_serve_leaves_no_segments():
+    """A full serve session reclaims every shared-memory segment."""
+    from pathlib import Path
+
+    shm_dir = Path("/dev/shm")
+    before = {p.name for p in shm_dir.iterdir()}
+    with BackgroundServer(
+        ServeConfig(port=0, hot_set=(("hilbert", 2, 32),))
+    ) as server:
+        _post(
+            server.url,
+            {"dims": [2], "sides": [32], "metrics": ["davg"]},
+        )
+    after = {p.name for p in shm_dir.iterdir()}
+    assert after == before

@@ -103,6 +103,12 @@ def expected_clusters(
 
     Moon et al.'s quantity of interest for query workloads.  Placement is
     uniform over all in-bounds positions.
+
+    On a threaded context the per-box counts run on the context's
+    :class:`repro.engine.threads.BlockScheduler`.  The box placements
+    are drawn up front in the serial loop's RNG order, and the integer
+    count sum is order-free, so the threaded average is bit-for-bit
+    the serial one.
     """
     ctx = get_context(curve)
     universe = ctx.universe
@@ -113,10 +119,19 @@ def expected_clusters(
         raise ValueError("box_shape must fit in the universe")
     rng = np.random.default_rng(seed)
     max_lo = universe.side - shape  # inclusive upper bound per axis
-    total = 0
-    for _ in range(n_samples):
-        lo = np.array(
-            [rng.integers(0, m + 1) for m in max_lo], dtype=np.int64
-        )
-        total += cluster_count(ctx, lo, lo + shape)
+    placements = [
+        np.array([rng.integers(0, m + 1) for m in max_lo], dtype=np.int64)
+        for _ in range(n_samples)
+    ]
+    tasks = [
+        (lambda lo=lo: cluster_count(ctx, lo, lo + shape))
+        for lo in placements
+    ]
+    if ctx.threaded:
+        from repro.engine.threads import prepare_box_reads
+
+        prepare_box_reads(ctx)
+        total = sum(ctx.scheduler.imap(tasks))
+    else:
+        total = sum(fn() for fn in tasks)
     return total / n_samples

@@ -58,51 +58,72 @@ def partition_by_curve(
     Returns
     -------
     Dense grid of part labels in ``[0, n_parts)``.
+
+    Works on chunked contexts too: the label grid is assembled slab by
+    slab off the block key iterator (and, for weighted cuts, the curve-
+    order weight array is scattered slab by slab), so no dense *key*
+    grid is built.  The labels — like the weights — are inherently
+    ``O(n)``; asking for the label grid is asking for a dense array.
+    The per-element operations match the dense path exactly, so the
+    result is bit-for-bit identical.
     """
     ctx = get_context(curve)
     universe = ctx.universe
     n = universe.n
-    if ctx.chunked:
-        raise ValueError(
-            "partition_by_curve materializes a dense label grid and is "
-            "unavailable in chunked mode; partition_quality computes "
-            "balance and edge cut block-wise"
-        )
     if not 1 <= n_parts <= n:
         raise ValueError(f"n_parts must be in [1, {n}], got {n_parts}")
-    keys = ctx.key_grid()
+    labels_along_curve = _labels_along_curve(ctx, n_parts, weights)
+    labels = np.empty(universe.shape, dtype=np.int64)
+    if ctx.chunked:
+        for lo, hi, slab in ctx.iter_key_slabs():
+            labels[lo:hi] = labels_along_curve[slab]
+    else:
+        keys = ctx.key_grid()
+        labels.reshape(-1)[:] = labels_along_curve[keys.reshape(-1)]
+    return labels
+
+
+def _labels_along_curve(
+    ctx, n_parts: int, weights: np.ndarray | None
+) -> np.ndarray:
+    """Part label of each curve position (the 1-D cut of the order).
+
+    The weighted scatter (grid weights → curve-order weights) runs off
+    the dense key grid or, on a chunked context, slab by slab; either
+    way every element lands at the same position with the same value,
+    and the cumulative-sum cut math is shared, so both modes produce
+    the identical label array.
+    """
+    universe = ctx.universe
+    n = universe.n
+    equal_count = (np.arange(n, dtype=np.int64) * n_parts) // n
     if weights is None:
         # Equal-count split of the curve order.
-        labels_along_curve = (
-            np.arange(n, dtype=np.int64) * n_parts
-        ) // n
+        return equal_count
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != universe.shape:
+        raise ValueError(
+            f"weights shape {w.shape} != universe {universe.shape}"
+        )
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    order_weights = np.empty(n, dtype=np.float64)
+    if ctx.chunked:
+        for lo, hi, slab in ctx.iter_key_slabs():
+            order_weights[slab.reshape(-1)] = w[lo:hi].reshape(-1)
     else:
-        w = np.asarray(weights, dtype=np.float64)
-        if w.shape != universe.shape:
-            raise ValueError(
-                f"weights shape {w.shape} != universe {universe.shape}"
-            )
-        if np.any(w < 0):
-            raise ValueError("weights must be non-negative")
-        order_weights = np.empty(n, dtype=np.float64)
-        order_weights[keys.reshape(-1)] = w.reshape(-1)
-        cumulative = np.cumsum(order_weights)
-        total = cumulative[-1]
-        if total <= 0:
-            labels_along_curve = (
-                np.arange(n, dtype=np.int64) * n_parts
-            ) // n
-        else:
-            # Cell j goes to the part whose quota its prefix mass hits;
-            # use the midpoint convention (w_j/2) so single heavy cells
-            # do not all pile into the last part.
-            mids = cumulative - order_weights / 2.0
-            labels_along_curve = np.minimum(
-                (mids / total * n_parts).astype(np.int64), n_parts - 1
-            )
-    labels = np.empty(universe.shape, dtype=np.int64)
-    labels.reshape(-1)[:] = labels_along_curve[keys.reshape(-1)]
-    return labels
+        order_weights[ctx.key_grid().reshape(-1)] = w.reshape(-1)
+    cumulative = np.cumsum(order_weights)
+    total = cumulative[-1]
+    if total <= 0:
+        return equal_count
+    # Cell j goes to the part whose quota its prefix mass hits; use
+    # the midpoint convention (w_j/2) so single heavy cells do not
+    # all pile into the last part.
+    mids = cumulative - order_weights / 2.0
+    return np.minimum(
+        (mids / total * n_parts).astype(np.int64), n_parts - 1
+    )
 
 
 def load_imbalance(
@@ -241,20 +262,19 @@ def partition_quality(
 ) -> PartitionQuality:
     """Partition by ``curve`` and summarize balance and communication.
 
-    Chunked contexts are supported for the uniform (unweighted) split:
-    balance comes from the closed-form part sizes and the edge cut from
-    a block-wise sweep, both identical to the dense computation.
+    Chunked contexts are fully supported.  The uniform (unweighted)
+    split never touches a dense array: balance comes from the
+    closed-form part sizes and the edge cut from a block-wise sweep.
+    A weighted cut assembles the label grid slab by slab (the weights
+    are an ``O(n)`` dense input already, so the matching ``O(n)``
+    labels add no asymptotic cost) and scores it with the dense
+    helpers — the full-array ``np.bincount``/comparison reductions —
+    so the weighted quality is bit-for-bit the dense-mode result.
     """
     from repro.grid.neighbors import nn_pair_count
 
     ctx = get_context(curve)
-    if ctx.chunked:
-        if weights is not None:
-            raise ValueError(
-                "weighted partitioning needs the dense engine mode "
-                "(chunked contexts cannot materialize the per-cell "
-                "weight order)"
-            )
+    if ctx.chunked and weights is None:
         universe = ctx.universe
         n = universe.n
         if not 1 <= n_parts <= n:

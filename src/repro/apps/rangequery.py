@@ -119,14 +119,32 @@ class SFCIndex:
         n_samples: int = 100,
         seed: int = 0,
     ) -> float:
-        """Mean total cost over uniformly placed boxes of a fixed shape."""
+        """Mean total cost over uniformly placed boxes of a fixed shape.
+
+        On a threaded context the per-box costs are evaluated on the
+        context's scheduler; partial costs are merged in submission
+        order — the serial loop's order — so the float accumulation
+        performs the identical addition sequence and the threaded
+        average is bit-for-bit the serial one.
+        """
         from repro.analysis.sampling import sample_rectangles
 
         universe = self._ctx.universe
         boxes = sample_rectangles(
             universe.side, universe.d, box_shape, n_samples, seed
         )
+        tasks = [
+            (lambda lo=lo, hi=hi: self.query_cost(lo, hi).total)
+            for lo, hi in boxes
+        ]
+        if self._ctx.threaded:
+            from repro.engine.threads import prepare_box_reads
+
+            prepare_box_reads(self._ctx)
+            results = self._ctx.scheduler.imap(tasks)
+        else:
+            results = (fn() for fn in tasks)
         total = 0.0
-        for lo, hi in boxes:
-            total += self.query_cost(lo, hi).total
+        for value in results:
+            total += value
         return total / n_samples

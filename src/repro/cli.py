@@ -190,6 +190,76 @@ def build_parser() -> argparse.ArgumentParser:
         "use the shared grid store)",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="persistent sweep service over HTTP/JSON",
+        description=(
+            "Long-lived sweep service: POST /sweep accepts the repro "
+            "sweep grammar and returns JSON records bit-for-bit "
+            "identical to the CLI; the server keeps one ContextPool "
+            "and shared-memory grid store alive across requests, "
+            "dedups concurrent identical cells and micro-batches "
+            "bursts.  GET /stats exposes engine cache counters, "
+            "GET /healthz liveness.  See docs/serving.md."
+        ),
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8842,
+        help="TCP port (0 binds an ephemeral port; the bound address "
+        "is printed on startup)",
+    )
+    p_serve.add_argument(
+        "--hot-set",
+        default="",
+        metavar="SPEC@DxS[;...]",
+        help="curve/universe pairs warmed at startup, e.g. "
+        "'hilbert@2x64;random:seed=3@2x64' (';'-separated because "
+        "curve specs may contain commas)",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bound on concurrently in-flight canonical cells; "
+        "requests over the bound get 429 (default 64)",
+    )
+    p_serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="micro-batch collection window in milliseconds "
+        "(default 5)",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="default per-request timeout in seconds (requests may "
+        "override with timeout_s)",
+    )
+    p_serve.add_argument(
+        "--max-request-mib",
+        type=float,
+        default=1024.0,
+        metavar="MIB",
+        help="reject requests whose cells' estimated engine state "
+        "exceeds this many MiB (0 disables; default 1024)",
+    )
+    p_serve.add_argument(
+        "--threads",
+        type=threads_spec,
+        default=None,
+        metavar="N|auto",
+        help="default worker threads per cell for requests that do "
+        "not choose their own",
+    )
+
     p_metrics = sub.add_parser(
         "metrics", help="list registered sweep metrics (name, params, description)"
     )
@@ -628,6 +698,26 @@ def _cmd_optimal(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, parse_hot_set, run
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        hot_set=parse_hot_set(args.hot_set),
+        max_inflight=args.max_inflight,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        timeout_s=args.timeout,
+        max_request_bytes=(
+            None
+            if args.max_request_mib == 0
+            else int(args.max_request_mib * 2**20)
+        ),
+        threads=args.threads,
+    )
+    return run(config)
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.io import save_curve
 
@@ -651,6 +741,7 @@ def _cmd_heatmap(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "survey": _cmd_survey,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
     "metrics": _cmd_metrics,
     "curves": _cmd_curves,
     "bounds": _cmd_bounds,

@@ -59,10 +59,32 @@ def lemma2_sum_measured(curve: SpaceFillingCurve) -> int:
     return int(2 * (coeff * keys).sum())
 
 
+def _ratio_chunk_sum(
+    pairwise, cells: np.ndarray, keys: np.ndarray, start: int, stop: int
+) -> float:
+    """``Σ ∆π/m`` over the ordered pairs with first index in [start, stop).
+
+    The shared per-chunk core of the serial and threaded exact paths;
+    keeping it single-sourced is what makes their results bit-for-bit
+    identical (the merge order is the only other degree of freedom, and
+    both merge in chunk order).
+    """
+    grid_dist = pairwise(cells[start:stop], cells).astype(np.float64)
+    key_dist = np.abs(keys[start:stop, None] - keys[None, :])
+    ratio = np.divide(
+        key_dist,
+        grid_dist,
+        out=np.zeros_like(key_dist),
+        where=grid_dist > 0,
+    )
+    return float(ratio.sum())
+
+
 def average_allpairs_stretch_exact(
     curve: SpaceFillingCurve,
     metric: str = "manhattan",
     chunk: int = 1024,
+    scheduler=None,
 ) -> float:
     """Exact ``str_{avg,m}(π)`` by chunked pairwise evaluation.
 
@@ -74,6 +96,11 @@ def average_allpairs_stretch_exact(
         ``"manhattan"`` (the paper's ``∆``) or ``"euclidean"`` (``∆_E``).
     chunk:
         Row-chunk size bounding transient memory at ``O(chunk · n · d)``.
+    scheduler:
+        Optional :class:`repro.engine.threads.BlockScheduler`; when
+        given, row chunks are evaluated on its worker threads.  Partial
+        sums are merged in submission order — the serial loop's order —
+        so the result is bit-for-bit the serial one.
     """
     if metric not in _METRICS:
         raise ValueError(f"metric must be one of {sorted(_METRICS)}")
@@ -84,18 +111,20 @@ def average_allpairs_stretch_exact(
         raise ValueError("all-pairs stretch needs n >= 2")
     cells = universe.all_coords()
     keys = curve.index(cells).astype(np.float64)
+    spans = [
+        (start, min(start + chunk, n)) for start in range(0, n, chunk)
+    ]
     total = 0.0
-    for start in range(0, n, chunk):
-        stop = min(start + chunk, n)
-        grid_dist = pairwise(cells[start:stop], cells).astype(np.float64)
-        key_dist = np.abs(keys[start:stop, None] - keys[None, :])
-        ratio = np.divide(
-            key_dist,
-            grid_dist,
-            out=np.zeros_like(key_dist),
-            where=grid_dist > 0,
-        )
-        total += float(ratio.sum())
+    if scheduler is not None:
+        tasks = [
+            (lambda lo=lo, hi=hi: _ratio_chunk_sum(pairwise, cells, keys, lo, hi))
+            for lo, hi in spans
+        ]
+        for part in scheduler.imap(tasks):
+            total += part
+    else:
+        for lo, hi in spans:
+            total += _ratio_chunk_sum(pairwise, cells, keys, lo, hi)
     # `total` sums over ordered pairs (diagonal contributes 0); the
     # unordered-average definition equals total / (n(n-1)).
     return total / (n * (n - 1))
@@ -123,17 +152,50 @@ class AllPairsEstimate:
         return abs(value - self.mean) <= z * self.stderr
 
 
+def _sampled_ratios(
+    curve: SpaceFillingCurve,
+    first: np.ndarray,
+    second: np.ndarray,
+    metric: str,
+) -> np.ndarray:
+    """Stretch ratios of the ordered pairs ``(first[i], second[i])``.
+
+    Every operation is elementwise per pair, so evaluating a split of
+    the index arrays block by block and concatenating yields exactly
+    the full-array result — the property the threaded sampled path
+    relies on.
+    """
+    from repro.grid.coords import rank_to_coords
+
+    universe = curve.universe
+    a = rank_to_coords(first, universe)
+    b = rank_to_coords(second, universe)
+    if metric == "manhattan":
+        grid_dist = np.abs(a - b).sum(axis=1).astype(np.float64)
+    else:
+        diff = (a - b).astype(np.float64)
+        grid_dist = np.sqrt((diff * diff).sum(axis=1))
+    key_dist = np.abs(curve.index(a) - curve.index(b)).astype(np.float64)
+    return key_dist / grid_dist
+
+
 def average_allpairs_stretch_sampled(
     curve: SpaceFillingCurve,
     n_pairs: int = 100_000,
     metric: str = "manhattan",
     seed: int = 0,
+    scheduler=None,
 ) -> AllPairsEstimate:
     """Unbiased estimate of ``str_{avg,m}(π)`` from uniform random pairs.
 
     Pairs are drawn uniformly from ordered pairs with ``α ≠ β``; the
     ordered-pair average equals the unordered-pair average, so the
     estimator is unbiased for the paper's definition.
+
+    With a ``scheduler`` the (already drawn) pair arrays are split into
+    blocks evaluated on worker threads; the per-pair ratios are
+    elementwise, so the reassembled array — and hence the mean and
+    standard error — is bit-for-bit the serial result.
     """
     if metric not in _METRICS:
         raise ValueError(f"metric must be one of {sorted(_METRICS)}")
@@ -147,17 +209,28 @@ def average_allpairs_stretch_sampled(
     first = rng.integers(0, n, size=n_pairs, dtype=np.int64)
     # Uniform over β ≠ α via a shifted draw modulo n.
     second = (first + rng.integers(1, n, size=n_pairs, dtype=np.int64)) % n
-    from repro.grid.coords import rank_to_coords
-
-    a = rank_to_coords(first, universe)
-    b = rank_to_coords(second, universe)
-    if metric == "manhattan":
-        grid_dist = np.abs(a - b).sum(axis=1).astype(np.float64)
+    if scheduler is not None and scheduler.threads > 1:
+        # One single-element probe warms the curve's lazy evaluation
+        # caches before the fan-out (see threads._warm_curve_caches).
+        curve.index(np.zeros((1, universe.d), dtype=np.int64))
+        step = -(-n_pairs // (scheduler.threads * 4))
+        spans = [
+            (lo, min(lo + step, n_pairs))
+            for lo in range(0, n_pairs, step)
+        ]
+        blocks = scheduler.map(
+            [
+                (
+                    lambda lo=lo, hi=hi: _sampled_ratios(
+                        curve, first[lo:hi], second[lo:hi], metric
+                    )
+                )
+                for lo, hi in spans
+            ]
+        )
+        ratios = np.concatenate(blocks)
     else:
-        diff = (a - b).astype(np.float64)
-        grid_dist = np.sqrt((diff * diff).sum(axis=1))
-    key_dist = np.abs(curve.index(a) - curve.index(b)).astype(np.float64)
-    ratios = key_dist / grid_dist
+        ratios = _sampled_ratios(curve, first, second, metric)
     mean = float(ratios.mean())
     stderr = float(ratios.std(ddof=1) / np.sqrt(n_pairs))
     return AllPairsEstimate(

@@ -616,18 +616,32 @@ class MetricContext:
         When the context belongs to a :class:`repro.engine.ContextPool`,
         this lives in the pool's per-universe store so every curve of
         the universe shares one copy.
+
+        Available in chunked mode too: the grid is assembled slab by
+        slab with :func:`repro.engine.chunked.slab_neighbor_counts`
+        (each slab write is independent, so the result equals the dense
+        grid exactly).  The *result* is inherently ``O(n)`` — callers
+        exporting it accept a dense grid by asking for one.
         """
-        self._require_dense(
-            "neighbor_counts", "repro.engine.chunked.slab_neighbor_counts"
-        )
         store = (
             self._universe_store
             if self._universe_store is not None
             else self._store
         )
+
+        def compute() -> np.ndarray:
+            if not self.chunked:
+                return neighbor_count_grid(self.universe)
+            from repro.engine.chunked import slab_neighbor_counts
+
+            counts = np.empty(self.universe.shape, dtype=np.int64)
+            for lo, hi in self._slab_ranges():
+                slab_neighbor_counts(self.universe, lo, hi, out=counts[lo:hi])
+            return counts
+
         return store.get_or_compute(
             "neighbor_counts",
-            lambda: neighbor_count_grid(self.universe),
+            compute,
             shared=self._shared_sources.get("neighbor_counts"),
         )
 
@@ -826,9 +840,73 @@ class MetricContext:
     # ------------------------------------------------------------------
     # Per-cell grids
     # ------------------------------------------------------------------
+    def _per_cell_blockwise(self) -> tuple[np.ndarray, np.ndarray]:
+        """One slab pass assembling the dense per-cell sum/max grids.
+
+        The chunked-mode backend of the per-cell exports.  The *results*
+        are inherently ``O(n)`` dense grids (the caller asked for them);
+        what the pass avoids is any dense *intermediate*: it walks key
+        slabs, folds within-slab NN pairs with
+        :func:`repro.engine.chunked.accumulate_block_pairs` (the shared
+        pair core of the serial and threaded NN reductions) and handles
+        each axis-0 boundary pair against a carried plane.  All updates
+        are integer scatter-adds and maxima — order-free — so both grids
+        equal the dense path bit-for-bit.
+        """
+        from repro.engine.chunked import accumulate_block_pairs
+        from repro.engine.threads import ScratchBuffers
+
+        universe = self.universe
+        d, side = universe.d, universe.side
+        sums = np.zeros(universe.shape, dtype=np.int64)
+        best = np.zeros(universe.shape, dtype=np.int64)
+        lambdas = [0] * d  # discarded; the pair core also tallies these
+        scratch = ScratchBuffers()
+        plane_shape = (1,) + (side,) * (d - 1)
+        prev_keys = None
+        for lo, hi, slab in self.iter_key_slabs():
+            accumulate_block_pairs(
+                slab, d, side, sums[lo:hi], best[lo:hi], lambdas, scratch
+            )
+            if prev_keys is not None:
+                boundary = scratch.take("boundary", plane_shape, np.int64)
+                np.subtract(slab[:1], prev_keys, out=boundary)
+                np.abs(boundary, out=boundary)
+                sums[lo - 1 : lo] += boundary
+                sums[lo : lo + 1] += boundary
+                np.maximum(
+                    best[lo - 1 : lo], boundary, out=best[lo - 1 : lo]
+                )
+                np.maximum(
+                    best[lo : lo + 1], boundary, out=best[lo : lo + 1]
+                )
+            prev_keys = np.ascontiguousarray(slab[-1:])
+        return sums, best
+
+    def _per_cell_grids(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``(sums, best)`` grids from the chunked single pass.
+
+        Both grids come out of one slab walk, so they are computed (and
+        cached) together under their usual store keys.
+        """
+        sums = self._store.peek("per_cell_sums")
+        best = self._store.peek("per_cell_max")
+        if sums is None or best is None:
+            sums, best = self._per_cell_blockwise()
+            sums = self._store.get_or_compute("per_cell_sums", lambda: sums)
+            best = self._store.get_or_compute("per_cell_max", lambda: best)
+        return sums, best
+
     def per_cell_stretch_sums(self) -> tuple[np.ndarray, np.ndarray]:
-        """Per-cell ``(Σ_{β∈N(α)} ∆π(α,β), |N(α)|)`` as dense grids."""
-        self._require_dense("per_cell_stretch_sums", "davg()")
+        """Per-cell ``(Σ_{β∈N(α)} ∆π(α,β), |N(α)|)`` as dense grids.
+
+        Works in chunked mode as well — the grids are assembled slab by
+        slab without dense intermediates (see :meth:`_per_cell_blockwise`
+        for the parity argument); the returned arrays are inherently
+        ``O(n)``.
+        """
+        if self.chunked:
+            return self._per_cell_grids()[0], self.neighbor_counts()
 
         def compute() -> np.ndarray:
             sums = np.zeros(self.universe.shape, dtype=np.int64)
@@ -859,8 +937,14 @@ class MetricContext:
         )
 
     def per_cell_max_stretch(self) -> np.ndarray:
-        """Dense grid of ``δ^max_π(α)`` (Definition 3; 0 for side == 1)."""
-        self._require_dense("per_cell_max_stretch", "dmax()")
+        """Dense grid of ``δ^max_π(α)`` (Definition 3; 0 for side == 1).
+
+        Available in chunked mode via the slab-wise assembly (integer
+        maxima are order-free, so the grid matches the dense path
+        bit-for-bit); the result is inherently ``O(n)``.
+        """
+        if self.chunked:
+            return self._per_cell_grids()[1]
 
         def compute() -> np.ndarray:
             best = np.zeros(self.universe.shape, dtype=np.int64)
@@ -877,14 +961,20 @@ class MetricContext:
         """Flat ``∆π`` over all unordered NN pairs (each once).
 
         Empty (not an error) on degenerate universes with no NN pairs.
+        In chunked mode the per-axis distance arrays are assembled slab
+        by slab in the dense enumeration order (within-slab pairs land
+        at their dense offsets; axis-0 boundary pairs are filled from
+        the carried plane), so the concatenation is bit-for-bit the
+        dense array.  The result is inherently ``O(n·d)``.
         """
         if self.universe.side < 2:
             empty = np.empty(0, dtype=np.int64)
             empty.flags.writeable = False
             return empty
-        self._require_dense("nn_distance_values", "nn_mean()")
 
         def compute() -> np.ndarray:
+            if self.chunked:
+                return self._nn_values_blockwise()
             parts = [
                 self.axis_pair_curve_distances(axis).reshape(-1)
                 for axis in range(self.universe.d)
@@ -892,6 +982,36 @@ class MetricContext:
             return np.concatenate(parts)
 
         return self._store.get_or_compute("nn_values", compute)
+
+    def _nn_values_blockwise(self) -> np.ndarray:
+        """Chunked assembly behind :meth:`nn_distance_values`."""
+        from repro.engine.chunked import slab_axis_slices
+
+        universe = self.universe
+        d, side = universe.d, universe.side
+        parts = []
+        for axis in range(d):
+            shape = tuple(
+                side - 1 if i == axis else side for i in range(d)
+            )
+            parts.append(np.empty(shape, dtype=np.int64))
+        prev_keys = None
+        for lo, hi, slab in self.iter_key_slabs():
+            for axis in range(1, d):
+                lo_s, hi_s = slab_axis_slices(d, side, axis)
+                np.abs(
+                    slab[hi_s] - slab[lo_s], out=parts[axis][lo:hi]
+                )
+            if hi - lo > 1:
+                np.abs(
+                    slab[1:] - slab[:-1], out=parts[0][lo : hi - 1]
+                )
+            if prev_keys is not None:
+                np.abs(
+                    slab[:1] - prev_keys, out=parts[0][lo - 1 : lo]
+                )
+            prev_keys = np.ascontiguousarray(slab[-1:])
+        return np.concatenate([part.reshape(-1) for part in parts])
 
     # ------------------------------------------------------------------
     # Scalar metrics
@@ -1072,7 +1192,12 @@ class MetricContext:
             return 0.0
         return self._scalar(
             ("allpairs_exact", metric),
-            lambda: average_allpairs_stretch_exact(self.curve, metric, chunk),
+            lambda: average_allpairs_stretch_exact(
+                self.curve,
+                metric,
+                chunk,
+                scheduler=self.scheduler if self.threaded else None,
+            ),
         )
 
     def allpairs_sampled(
@@ -1089,7 +1214,11 @@ class MetricContext:
         return self._scalar(
             ("allpairs_sampled", n_pairs, metric, seed),
             lambda: average_allpairs_stretch_sampled(
-                self.curve, n_pairs, metric, seed
+                self.curve,
+                n_pairs,
+                metric,
+                seed,
+                scheduler=self.scheduler if self.threaded else None,
             ),
         )
 

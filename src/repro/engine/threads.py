@@ -63,6 +63,7 @@ __all__ = [
     "ScratchBuffers",
     "resolve_threads",
     "quiesce_schedulers",
+    "prepare_box_reads",
     "threaded_nn_reduction",
     "threaded_window_max",
 ]
@@ -328,6 +329,22 @@ def _warm_curve_caches(ctx, inverse: bool) -> None:
         ctx.curve.coords(np.zeros(1, dtype=np.int64))
     else:
         ctx.curve.index(np.zeros((1, ctx.universe.d), dtype=np.int64))
+
+
+def prepare_box_reads(ctx) -> None:
+    """Resolve the state box-sampling workers share, before fan-out.
+
+    The sampling loops threaded through the scheduler (cluster counts,
+    range-query costs) evaluate per-box kernels that read the dense key
+    grid — or, in chunked mode, call ``curve.index`` on rectangle
+    cells.  Both sit behind lazy caches whose cold first touch must not
+    be raced by N workers (N redundant ``O(n)`` builds); resolving them
+    once in the calling thread makes the fanned-out tasks pure readers.
+    """
+    if ctx.chunked:
+        _warm_curve_caches(ctx, inverse=False)
+    else:
+        ctx.key_grid()
 
 
 # ----------------------------------------------------------------------

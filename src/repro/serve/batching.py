@@ -1,0 +1,107 @@
+"""Micro-batching: cells arriving within a window run as one batch.
+
+Requests hitting a service cluster in bursts (a dashboard refresh, a
+parameter-scan client) each plan a handful of cells.  Executing every
+request's cells independently would interleave pool access and pay the
+executor hand-off per cell; instead the service enqueues each *new*
+canonical cell here, and the batcher drains everything that arrived
+within ``window_s`` into one list executed back-to-back on the compute
+executor — the engine-side analogue of running one larger ``Sweep``,
+sharing the same pools, schedulers and warm caches across the whole
+batch.
+
+The compute executor is a **single worker thread** on purpose: the
+engine parallelizes *inside* a cell (block-scheduler threads), so
+running batches sequentially keeps one cell's reduction from competing
+with another's for the same cores while the event loop stays free to
+accept, dedup and reject requests.
+
+Completion is reported per key through a ``finish(key, outcome)``
+callback scheduled on the event loop (the single-flight table resolves
+futures there), so this module stays free of request bookkeeping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Hashable, List, Optional, Tuple
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Collects enqueued cells and executes them in windowed batches."""
+
+    def __init__(
+        self,
+        run_batch: Callable[[list], list],
+        finish: Callable[[Hashable, object], None],
+        window_s: float = 0.005,
+        executor=None,
+    ) -> None:
+        #: Synchronous batch executor: ``run_batch(tasks) -> outcomes``
+        #: (one outcome per task, exception instances included — a
+        #: failing cell must not poison its batchmates).
+        self._run_batch = run_batch
+        self._finish = finish
+        self.window_s = window_s
+        self._executor = executor
+        self._pending: List[Tuple[Hashable, object]] = []
+        self._wake: Optional[asyncio.Event] = None
+        self._runner: Optional[asyncio.Task] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        #: Batches executed / cells batched / largest batch seen.
+        self.batches = 0
+        self.batched_cells = 0
+        self.max_batch = 0
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._runner = asyncio.create_task(
+            self._run(), name="repro-serve-batcher"
+        )
+
+    def enqueue(self, key: Hashable, task: object) -> None:
+        """Queue one cell (event-loop thread only)."""
+        self._pending.append((key, task))
+        self._wake.set()
+
+    async def aclose(self) -> None:
+        """Cancel the runner; pending cells are left to the caller to
+        fail (the service fails all open flights on shutdown)."""
+        if self._runner is not None:
+            self._runner.cancel()
+            try:
+                await self._runner
+            except asyncio.CancelledError:
+                pass
+            self._runner = None
+
+    async def _run(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            if self.window_s > 0:
+                # The batching window: everything enqueued while we
+                # sleep joins this batch.
+                await asyncio.sleep(self.window_s)
+            batch, self._pending = self._pending, []
+            if not batch:
+                continue
+            self.batches += 1
+            self.batched_cells += len(batch)
+            self.max_batch = max(self.max_batch, len(batch))
+            keys = [key for key, _ in batch]
+            tasks = [task for _, task in batch]
+            try:
+                outcomes = await self._loop.run_in_executor(
+                    self._executor, self._run_batch, tasks
+                )
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:  # safety net; run_batch
+                # catches per-cell errors itself
+                outcomes = [exc] * len(keys)
+            for key, outcome in zip(keys, outcomes):
+                self._finish(key, outcome)

@@ -1,0 +1,397 @@
+"""The sweep service core: persistent pools, warm start, admission.
+
+One :class:`SweepService` owns the engine state that ``repro sweep``
+rebuilds per invocation and keeps it for the process lifetime:
+
+* a :class:`repro.engine.ContextPool` per execution mode
+  ``(chunk_cells, threads)`` — every request computing a canonical
+  (curve, universe) spec resolves the *same* context, so key grids and
+  metric memos persist across requests;
+* one owning :class:`repro.engine.shm.SharedGridStore` holding the
+  warm-started hot set's grids as shared-memory segments (zero-copy
+  re-attachable if the LRU ever evicts, and visible in ``/stats`` as
+  the segments to watch for clean teardown);
+* the async request machinery — a :class:`SingleFlight` table keyed by
+  the engine's canonical ``_Task`` tuple and a :class:`MicroBatcher`
+  draining new cells to a single compute thread.
+
+Admission control happens *before* any engine work: oversized requests
+are rejected by a byte estimate (413), and requests that would push the
+in-flight cell count past ``max_inflight`` get a 429 with a retry hint
+— the bounded-queue backpressure the tentpole requires.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from repro.engine.context import DEFAULT_CACHE_BYTES, CacheStats
+from repro.engine.pool import ContextPool
+from repro.engine.shm import SharedGridStore, shared_key, universe_key
+from repro.engine.sweep import CurveSpec, SkippedCell, _run_cell
+from repro.engine.threads import resolve_threads
+from repro.grid.universe import Universe
+from repro.serve.batching import MicroBatcher
+from repro.serve.schemas import (
+    CellRecord,
+    CellSkip,
+    SweepRequest,
+    SweepResponse,
+)
+from repro.serve.singleflight import SingleFlight
+
+__all__ = ["ServeConfig", "SweepService", "parse_hot_set"]
+
+
+def parse_hot_set(text: str) -> Tuple[Tuple[str, int, int], ...]:
+    """Parse ``--hot-set``: ``;``-separated ``spec@DxS`` entries.
+
+    Curve specs may contain commas and colons (``random:seed=3``), so
+    entries are ``;``-separated and the geometry rides after the last
+    ``@``: ``"hilbert@2x64;random:seed=3@3x16"``.
+
+    >>> parse_hot_set("hilbert@2x64; z@3x16")
+    (('hilbert', 2, 64), ('z', 3, 16))
+    >>> parse_hot_set("")
+    ()
+    """
+    entries = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        spec, sep, geometry = chunk.rpartition("@")
+        if not sep or not spec:
+            raise ValueError(
+                f"hot-set entry {chunk!r} is not of the form spec@DxS"
+            )
+        d_text, sep, side_text = geometry.partition("x")
+        try:
+            d, side = int(d_text), int(side_text)
+        except ValueError:
+            raise ValueError(
+                f"hot-set geometry {geometry!r} is not DxS (e.g. 2x64)"
+            ) from None
+        if not sep or d < 1 or side < 1:
+            raise ValueError(
+                f"hot-set geometry {geometry!r} is not DxS (e.g. 2x64)"
+            )
+        entries.append((spec, d, side))
+    return tuple(entries)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything ``repro serve`` needs to run."""
+
+    host: str = "127.0.0.1"
+    port: int = 8842
+    #: ``(curve_spec, d, side)`` pairs warmed at startup.
+    hot_set: Tuple[Tuple[str, int, int], ...] = ()
+    #: Bound on concurrently in-flight canonical cells (backpressure).
+    max_inflight: int = 64
+    #: Micro-batch collection window (seconds).
+    batch_window_s: float = 0.005
+    #: Default per-request timeout; requests may lower/raise their own.
+    timeout_s: float = 30.0
+    #: Reject requests whose cells' estimated engine state exceeds
+    #: this (bytes); ``None`` disables the check.
+    max_request_bytes: Optional[int] = 1 << 30
+    #: Per-context LRU budget, as in ``Sweep.max_bytes``.
+    max_bytes: Optional[int] = DEFAULT_CACHE_BYTES
+    #: Default worker threads per cell for requests that don't choose.
+    threads: Union[None, int, str] = None
+
+
+class SweepService:
+    """Long-lived sweep engine behind the HTTP app.
+
+    Construction performs the warm start synchronously (the server
+    should not accept requests advertising a cold hot set);
+    :meth:`start` (async) brings up the batcher and executor, and
+    :meth:`aclose` tears everything down including the shared-memory
+    segments — the teardown the lifecycle tests assert on.
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.store = SharedGridStore.create()
+        self.flight = SingleFlight()
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "cells_planned": 0,
+            "cells_started": 0,
+            "served_from_warm": 0,
+            "timeouts": 0,
+            "rejected": 0,
+            "errors": 0,
+        }
+        self._pools: Dict[Tuple, ContextPool] = {}
+        self._pool_lock = threading.Lock()
+        self._warm_pairs: set = set()
+        self._default_threads = resolve_threads(config.threads)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self.batcher: Optional[MicroBatcher] = None
+        self._warm_start()
+
+    # ------------------------------------------------------------------
+    # Engine state
+    # ------------------------------------------------------------------
+    def _pool_for(
+        self, chunk_cells: Optional[int], threads: Optional[int]
+    ) -> ContextPool:
+        """The persistent pool of one execution mode (created once)."""
+        key = (chunk_cells, threads)
+        with self._pool_lock:
+            pool = self._pools.get(key)
+            if pool is None:
+                pool = ContextPool(
+                    max_bytes=self.config.max_bytes,
+                    chunk_cells=chunk_cells,
+                    shared_store=self.store,
+                    threads=threads,
+                )
+                self._pools[key] = pool
+            return pool
+
+    def _warm_start(self) -> None:
+        """Compute the hot set's grids and publish them to shared memory.
+
+        A hot entry that fails to parse or construct raises — a typo'd
+        hot set should stop the server at startup, not surface as
+        mysteriously cold requests later.
+        """
+        for spec_text, d, side in self.config.hot_set:
+            universe = Universe(d=d, side=side)
+            spec = CurveSpec.parse(spec_text)
+            curve = spec.make(universe)
+            pool = self._pool_for(None, self._default_threads)
+            ctx = pool.get(curve)
+            skey = shared_key(curve)
+            if skey is not None and (skey, "key_grid") not in self.store:
+                self.store.put(skey, "key_grid", ctx.key_grid())
+                if getattr(curve, "inner", None) is None:
+                    # Base specs get the full grid set; a transform's
+                    # flat keys / inverse are one vector op from the
+                    # grid (the process-sweep publish policy).
+                    self.store.put(skey, "flat_keys", ctx.flat_keys())
+                    self.store.put(
+                        skey, "inverse_perm", ctx.inverse_permutation()
+                    )
+            ukey = universe_key(universe)
+            if (ukey, "neighbor_counts") not in self.store:
+                self.store.put(
+                    ukey, "neighbor_counts", ctx.neighbor_counts()
+                )
+            self._warm_pairs.add((d, side, spec.label))
+
+    def run_batch(self, tasks: list) -> list:
+        """Execute one micro-batch on the compute thread.
+
+        Returns one outcome per task — a ``SweepRecord``, a
+        ``SkippedCell``, or the exception the cell raised (callers
+        map those per request; one bad cell must not fail its
+        batchmates).
+        """
+        outcomes = []
+        for task in tasks:
+            try:
+                pool = self._pool_for(task[9], task[11])
+                outcomes.append(_run_cell(task, pool=pool))
+            except Exception as exc:
+                outcomes.append(exc)
+        return outcomes
+
+    @staticmethod
+    def estimate_task_bytes(task) -> int:
+        """Rough resident engine state of one cell (admission check).
+
+        Chunked cells hold ~64 bytes per block cell (keys, coordinates,
+        reduction temporaries); dense cells hold the key grid plus the
+        same-order derived arrays (flat keys, inverse, per-cell grids).
+        """
+        d, side, chunk_cells = task[0], task[1], task[9]
+        n = side**d
+        if chunk_cells:
+            return min(n, chunk_cells) * 64
+        return n * 8 * 4
+
+    # ------------------------------------------------------------------
+    # Async lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        # Single compute thread: cells parallelize internally via the
+        # engine's block scheduler; see the batching module docstring.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-compute"
+        )
+        self.batcher = MicroBatcher(
+            self.run_batch,
+            self._finish_cell,
+            window_s=self.config.batch_window_s,
+            executor=self._executor,
+        )
+        await self.batcher.start()
+
+    def _finish_cell(self, key, outcome) -> None:
+        self.flight.resolve(key, outcome)
+
+    async def aclose(self) -> None:
+        """Stop the batcher, drain compute, unlink shared memory."""
+        if self.batcher is not None:
+            await self.batcher.aclose()
+        self.flight.fail_all(RuntimeError("server shutting down"))
+        if self._executor is not None:
+            # wait=True: a batch still computing must finish before the
+            # store unlinks (its contexts may read shared views).
+            self._executor.shutdown(wait=True)
+        self.store.unlink()
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    async def handle_sweep(self, request: SweepRequest) -> Tuple[int, dict]:
+        """``(status, payload)`` for one validated sweep request."""
+        self.counters["requests"] += 1
+        try:
+            sweep = request.to_sweep(
+                max_bytes=self.config.max_bytes,
+                default_threads=self.config.threads,
+            )
+            tasks, planned_skips = sweep._plan()
+        except (ValueError, KeyError) as exc:
+            self.counters["errors"] += 1
+            return 400, {"error": str(exc).strip("'\"")}
+        unique = list(dict.fromkeys(tasks))
+        self.counters["cells_planned"] += len(unique)
+        if self.config.max_request_bytes is not None:
+            estimate = sum(map(self.estimate_task_bytes, unique))
+            if estimate > self.config.max_request_bytes:
+                self.counters["rejected"] += 1
+                return 413, {
+                    "error": (
+                        f"request needs ~{estimate} bytes of engine "
+                        f"state, over the server's "
+                        f"{self.config.max_request_bytes}-byte budget; "
+                        "split the sweep or pass chunk_cells"
+                    )
+                }
+        if (
+            len(self.flight) + self.flight.new_keys(unique)
+            > self.config.max_inflight
+        ):
+            self.counters["rejected"] += 1
+            return 429, {
+                "error": (
+                    "server is at its in-flight cell bound "
+                    f"({self.config.max_inflight}); retry shortly"
+                ),
+                "retry_after_s": max(self.config.batch_window_s * 10, 0.1),
+            }
+        warm_hits = sum(
+            1
+            for task in unique
+            if (task[0], task[1], task[2]) in self._warm_pairs
+        )
+        self.counters["served_from_warm"] += warm_hits
+        deduped = 0
+        futures: Dict[object, asyncio.Future] = {}
+        for task in unique:
+            future, created = self.flight.admit(task, self._loop)
+            if created:
+                self.counters["cells_started"] += 1
+                self.batcher.enqueue(task, task)
+            else:
+                deduped += 1
+            futures[task] = future
+        timeout = (
+            request.timeout_s
+            if request.timeout_s is not None
+            else self.config.timeout_s
+        )
+        if futures:
+            # asyncio.wait (not wait_for+gather): futures are shared
+            # with concurrent requests through the single-flight table,
+            # and a timeout here must never cancel them under a request
+            # that is still waiting.
+            done, pending = await asyncio.wait(
+                set(futures.values()), timeout=timeout
+            )
+            if pending:
+                self.counters["timeouts"] += 1
+                return 504, {
+                    "error": (
+                        f"sweep timed out after {timeout}s; the "
+                        "computation continues server-side and a retry "
+                        "will reuse it"
+                    )
+                }
+        records = []
+        skipped = [CellSkip.from_skip(skip) for skip in planned_skips]
+        # Original task order, spec-keyed reuse positionally — exactly
+        # Sweep.run's assembly.
+        for task in tasks:
+            future = futures[task]
+            exc = future.exception()
+            if exc is not None:
+                self.counters["errors"] += 1
+                if isinstance(exc, (ValueError, KeyError)):
+                    return 400, {"error": str(exc).strip("'\"")}
+                return 500, {
+                    "error": f"{type(exc).__name__}: {exc}"
+                }
+            outcome = future.result()
+            if isinstance(outcome, SkippedCell):
+                skipped.append(CellSkip.from_skip(outcome))
+            else:
+                records.append(CellRecord.from_record(outcome))
+        response = SweepResponse(
+            records=tuple(records),
+            skipped=tuple(skipped),
+            deduped_cells=deduped,
+            served_from_warm=warm_hits,
+        )
+        return 200, response.to_dict()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats_payload(self) -> dict:
+        """The ``GET /stats`` body: engine counters + service counters."""
+        with self._pool_lock:
+            pools = list(self._pools.values())
+        stats = CacheStats.aggregate([pool.stats for pool in pools])
+        counters = dict(self.counters)
+        counters["deduped_cells"] = self.flight.coalesced
+        payload = {
+            "cache": {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "hit_rate": stats.hit_rate,
+                "evictions": stats.evictions,
+                "computes": dict(stats.computes),
+                "derived": dict(stats.derived),
+                "shared": dict(stats.shared),
+            },
+            "counters": counters,
+            "inflight": len(self.flight),
+            "pools": len(pools),
+            "warm_pairs": sorted(
+                f"{spec}@{d}x{side}" for d, side, spec in self._warm_pairs
+            ),
+            "shm": {
+                "segments": list(self.store.segment_names),
+                "nbytes": self.store.nbytes,
+            },
+        }
+        if self.batcher is not None:
+            payload["counters"]["batches"] = self.batcher.batches
+            payload["counters"]["batched_cells"] = self.batcher.batched_cells
+            payload["counters"]["max_batch"] = self.batcher.max_batch
+        return payload

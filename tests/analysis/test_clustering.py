@@ -139,3 +139,25 @@ class TestContextAcceptance:
         expected_clusters(ctx, (3, 3), 30, seed=1)
         assert ctx.stats.compute_count("key_grid") == 1
         assert ctx.stats.hits >= 29
+
+
+class TestThreadedClustering:
+    """expected_clusters on a threaded context (PR 6): placements are
+    pre-drawn in the serial RNG order and the integer count sum is
+    order-free, so the result is bit-for-bit the serial one."""
+
+    def test_threaded_matches_serial(self, u2_8):
+        from repro.engine.context import MetricContext
+
+        curve = ZCurve(u2_8)
+        serial = expected_clusters(curve, (3, 2), 60, seed=4)
+        for threads in (2, 4):
+            ctx = MetricContext(ZCurve(u2_8), threads=threads)
+            assert expected_clusters(ctx, (3, 2), 60, seed=4) == serial
+
+    def test_threaded_chunked_matches_serial(self, u2_8):
+        from repro.engine.context import MetricContext
+
+        serial = expected_clusters(ZCurve(u2_8), (2, 2), 40, seed=9)
+        ctx = MetricContext(ZCurve(u2_8), chunk_cells=7, threads=3)
+        assert expected_clusters(ctx, (2, 2), 40, seed=9) == serial

@@ -169,6 +169,54 @@ class TestCurveComparison:
         assert cut_z < cut_s
 
 
+class TestChunkedPartition:
+    """Chunked contexts partition (weighted included, PR 6) bit-for-bit
+    like the dense path."""
+
+    @pytest.mark.parametrize("chunk", (1, 7, 16, 100))
+    def test_unweighted_labels_match_dense(self, u2_8, chunk):
+        from repro.engine.context import MetricContext
+
+        dense = partition_by_curve(ZCurve(u2_8), 4)
+        ctx = MetricContext(ZCurve(u2_8), chunk_cells=chunk)
+        assert np.array_equal(partition_by_curve(ctx, 4), dense)
+
+    @pytest.mark.parametrize("chunk", (1, 7, 16, 100))
+    def test_weighted_labels_match_dense(self, u2_8, chunk):
+        from repro.engine.context import MetricContext
+
+        weights = np.ones(u2_8.shape)
+        weights[4:, :] = 10.0
+        dense = partition_by_curve(ZCurve(u2_8), 4, weights)
+        ctx = MetricContext(ZCurve(u2_8), chunk_cells=chunk)
+        assert np.array_equal(partition_by_curve(ctx, 4, weights), dense)
+
+    def test_weighted_quality_matches_dense(self, u2_8):
+        from repro.engine.context import MetricContext
+
+        rng = np.random.default_rng(3)
+        weights = rng.random(u2_8.shape)
+        dense = partition_quality(ZCurve(u2_8), 6, weights)
+        ctx = MetricContext(ZCurve(u2_8), chunk_cells=9)
+        assert partition_quality(ctx, 6, weights) == dense
+
+    def test_unweighted_quality_matches_dense(self, u2_8):
+        from repro.engine.context import MetricContext
+
+        dense = partition_quality(ZCurve(u2_8), 5)
+        ctx = MetricContext(ZCurve(u2_8), chunk_cells=9)
+        assert partition_quality(ctx, 5) == dense
+
+    def test_chunked_rejects_bad_parts(self, u2_8):
+        from repro.engine.context import MetricContext
+
+        ctx = MetricContext(ZCurve(u2_8), chunk_cells=8)
+        with pytest.raises(ValueError):
+            partition_by_curve(ctx, 0)
+        with pytest.raises(ValueError):
+            partition_by_curve(ctx, u2_8.n + 1, np.ones(u2_8.shape))
+
+
 class TestContextAcceptance:
     def test_partition_accepts_context(self, u2_8):
         from repro.engine.context import get_context

@@ -113,3 +113,26 @@ class TestContextAcceptance:
         index.query_cells((2, 2), (6, 6))
         assert ctx.stats.compute_count("inverse_perm") == 1
         assert ctx.stats.compute_count("key_grid") == 1
+
+
+class TestThreadedQueries:
+    """average_query_cost on a threaded context (PR 6): per-box costs
+    merge in submission order, so the float accumulation replays the
+    serial addition sequence bit for bit."""
+
+    def test_threaded_matches_serial(self, u2_8):
+        from repro.curves.zcurve import ZCurve
+        from repro.engine.context import MetricContext
+
+        serial = SFCIndex(ZCurve(u2_8)).average_query_cost((3, 3), 50, seed=2)
+        for threads in (2, 4):
+            ctx = MetricContext(ZCurve(u2_8), threads=threads)
+            assert SFCIndex(ctx).average_query_cost((3, 3), 50, seed=2) == serial
+
+    def test_threaded_chunked_matches_serial(self, u2_8):
+        from repro.curves.zcurve import ZCurve
+        from repro.engine.context import MetricContext
+
+        serial = SFCIndex(ZCurve(u2_8)).average_query_cost((2, 4), 30, seed=6)
+        ctx = MetricContext(ZCurve(u2_8), chunk_cells=9, threads=2)
+        assert SFCIndex(ctx).average_query_cost((2, 4), 30, seed=6) == serial

@@ -157,3 +157,42 @@ class TestSampledAllPairs:
         )
         assert np.isfinite(est.mean)
         assert est.mean == pytest.approx(1.0)  # only pair: (0,1), ratio 1
+
+
+class TestSchedulerParity:
+    """The scheduler parameter (PR 6) fans the serial loops out over
+    worker threads without changing a single bit of the result."""
+
+    @pytest.mark.parametrize("threads", (2, 4))
+    @pytest.mark.parametrize("metric", ("manhattan", "euclidean"))
+    def test_exact_threaded_matches_serial(self, threads, metric):
+        from repro.engine.threads import BlockScheduler
+
+        u = Universe(d=2, side=8)
+        z = ZCurve(u)
+        serial = average_allpairs_stretch_exact(z, metric, chunk=17)
+        scheduler = BlockScheduler(threads)
+        try:
+            threaded = average_allpairs_stretch_exact(
+                z, metric, chunk=17, scheduler=scheduler
+            )
+        finally:
+            scheduler.close()
+        assert threaded == serial
+
+    @pytest.mark.parametrize("threads", (2, 4))
+    def test_sampled_threaded_matches_serial(self, threads):
+        from repro.engine.threads import BlockScheduler
+
+        u = Universe(d=2, side=8)
+        z = RandomCurve(u, seed=7)
+        serial = average_allpairs_stretch_sampled(z, n_pairs=5_000, seed=2)
+        scheduler = BlockScheduler(threads)
+        try:
+            threaded = average_allpairs_stretch_sampled(
+                z, n_pairs=5_000, seed=2, scheduler=scheduler
+            )
+        finally:
+            scheduler.close()
+        assert threaded.mean == serial.mean
+        assert threaded.stderr == serial.stderr

@@ -164,6 +164,63 @@ class TestBlockIterators:
         assert np.array_equal(b, path[window:])
 
 
+class TestPerCellExports:
+    """The per-cell grid surfaces gained chunked paths (PR 6): the
+    exported arrays — not just the scalar metrics over them — must be
+    bit-for-bit the dense arrays, for any block size."""
+
+    @pytest.mark.parametrize("chunk", BLOCK_SIZES)
+    def test_stretch_grids_match_dense_2d(self, u2_8, chunk):
+        dense = MetricContext(ZCurve(u2_8))
+        ctx = MetricContext(ZCurve(u2_8), chunk_cells=chunk)
+        dense_sums, dense_counts = dense.per_cell_stretch_sums()
+        sums, counts = ctx.per_cell_stretch_sums()
+        assert np.array_equal(sums, dense_sums)
+        assert np.array_equal(counts, dense_counts)
+        assert np.array_equal(
+            ctx.per_cell_max_stretch(), dense.per_cell_max_stretch()
+        )
+        assert np.array_equal(
+            ctx.per_cell_avg_stretch(), dense.per_cell_avg_stretch()
+        )
+
+    @pytest.mark.parametrize("chunk", (1, 5, 64))
+    def test_stretch_grids_match_dense_3d(self, u3_4, chunk):
+        dense = MetricContext(ZCurve(u3_4))
+        ctx = MetricContext(ZCurve(u3_4), chunk_cells=chunk)
+        assert np.array_equal(
+            ctx.per_cell_avg_stretch(), dense.per_cell_avg_stretch()
+        )
+        assert np.array_equal(
+            ctx.per_cell_max_stretch(), dense.per_cell_max_stretch()
+        )
+
+    @pytest.mark.parametrize("chunk", BLOCK_SIZES)
+    def test_nn_distance_values_match_dense(self, u2_8, chunk):
+        dense = MetricContext(RandomCurve(u2_8, seed=11))
+        ctx = MetricContext(RandomCurve(u2_8, seed=11), chunk_cells=chunk)
+        assert np.array_equal(
+            ctx.nn_distance_values(), dense.nn_distance_values()
+        )
+
+    def test_neighbor_counts_match_dense(self, u3_4):
+        dense = MetricContext(ZCurve(u3_4)).neighbor_counts()
+        for chunk in (1, 7, 100):
+            ctx = MetricContext(ZCurve(u3_4), chunk_cells=chunk)
+            assert np.array_equal(ctx.neighbor_counts(), dense)
+
+    def test_awkward_blocks_larger_universe(self):
+        u = Universe(d=2, side=24)  # 576 cells, chunk 37 is a non-divisor
+        dense = MetricContext(SnakeCurve(u))
+        ctx = MetricContext(SnakeCurve(u), chunk_cells=37)
+        assert np.array_equal(
+            ctx.per_cell_avg_stretch(), dense.per_cell_avg_stretch()
+        )
+        assert np.array_equal(
+            ctx.nn_distance_values(), dense.nn_distance_values()
+        )
+
+
 class TestDenseOnlyGuards:
     def test_dense_arrays_raise_with_pointer_to_blocks(self, u2_8):
         ctx = MetricContext(ZCurve(u2_8), chunk_cells=8)
@@ -171,8 +228,6 @@ class TestDenseOnlyGuards:
             (ctx.key_grid, "iter_key_slabs"),
             (ctx.flat_keys, "iter_key_blocks"),
             (ctx.inverse_permutation, "iter_inverse_blocks"),
-            (ctx.per_cell_avg_stretch, "davg"),
-            (ctx.nn_distance_values, "nn_mean"),
         ):
             with pytest.raises(ValueError, match=hint):
                 method()

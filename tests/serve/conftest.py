@@ -1,0 +1,41 @@
+"""Serve-suite fixtures: one live in-process server per test."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import BackgroundServer, ServeConfig
+
+
+def http(url: str, payload: dict | None = None, timeout: float = 30.0):
+    """``(status, decoded_body)`` for one GET (payload None) or POST."""
+    if payload is None:
+        request = urllib.request.Request(url)
+    else:
+        request = urllib.request.Request(
+            url,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+@pytest.fixture
+def server():
+    """A warm in-process server on an ephemeral port (fast teardown)."""
+    config = ServeConfig(
+        port=0,
+        hot_set=(("hilbert", 2, 8),),
+        batch_window_s=0.001,
+    )
+    with BackgroundServer(config) as srv:
+        yield srv

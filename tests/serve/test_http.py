@@ -1,0 +1,151 @@
+"""HTTP-level tests against a live in-process server.
+
+The acceptance-critical ones: a sweep over HTTP is bit-for-bit the CLI
+sweep, and N concurrent identical requests compute each canonical cell
+exactly once (asserted through the engine's cache counters).
+"""
+
+import http.client
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.engine.sweep import Sweep
+from repro.serve import SweepResponse
+
+from tests.serve.conftest import http as fetch
+
+SWEEP_BODY = {"dims": [2], "sides": [8], "curves": ["hilbert", "z", "gray"]}
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        assert fetch(server.url + "/healthz") == (200, {"status": "ok"})
+
+    def test_stats_shape(self, server):
+        status, stats = fetch(server.url + "/stats")
+        assert status == 200
+        assert set(stats) >= {"cache", "counters", "inflight", "shm"}
+        assert stats["warm_pairs"] == ["hilbert@2x8"]
+        assert stats["shm"]["segments"]
+        assert stats["cache"]["computes"]["key_grid"] == 1
+
+    def test_unknown_route_404(self, server):
+        status, payload = fetch(server.url + "/nope")
+        assert status == 404
+        assert "no route" in payload["error"]
+
+    def test_wrong_method_405(self, server):
+        status, _ = fetch(server.url + "/stats", payload={})
+        assert status == 405
+        status, _ = fetch(server.url + "/healthz", payload={})
+        assert status == 405
+
+    def test_invalid_json_400(self, server):
+        connection = http.client.HTTPConnection("127.0.0.1", server.port)
+        try:
+            connection.request("POST", "/sweep", body=b"{not json")
+            response = connection.getresponse()
+            assert response.status == 400
+            assert "invalid JSON" in json.loads(response.read())["error"]
+        finally:
+            connection.close()
+
+    def test_unknown_field_400(self, server):
+        status, payload = fetch(
+            server.url + "/sweep", payload={"dims": [2], "side": [8]}
+        )
+        assert status == 400
+        assert "unknown request fields" in payload["error"]
+
+    def test_malformed_request_line_400(self, server):
+        import socket
+
+        with socket.create_connection(("127.0.0.1", server.port)) as sock:
+            sock.sendall(b"NONSENSE\r\n\r\n")
+            reply = sock.recv(4096)
+        assert b"400" in reply.split(b"\r\n", 1)[0]
+
+    def test_keep_alive_reuses_connection(self, server):
+        connection = http.client.HTTPConnection("127.0.0.1", server.port)
+        try:
+            for _ in range(3):
+                connection.request("GET", "/healthz")
+                response = connection.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            connection.close()
+
+
+class TestSweepParity:
+    def test_http_matches_cli_bit_for_bit(self, server):
+        status, payload = fetch(server.url + "/sweep", payload=SWEEP_BODY)
+        assert status == 200
+        response = SweepResponse.from_dict(payload)
+        cli = Sweep(
+            dims=[2], sides=[8], curves=SWEEP_BODY["curves"], reports=False
+        ).run()
+        assert not cli.skipped and not response.skipped
+        assert len(response.records) == len(cli.records)
+        for http_rec, cli_rec in zip(response.records, cli.records):
+            assert http_rec.spec == cli_rec.spec
+            assert http_rec.curve == cli_rec.curve_name
+            assert (http_rec.d, http_rec.side, http_rec.n) == (
+                cli_rec.d,
+                cli_rec.side,
+                cli_rec.n,
+            )
+            assert set(http_rec.values) == set(cli_rec.values)
+            for label, value in cli_rec.values.items():
+                expected = (
+                    list(value) if isinstance(value, tuple) else value
+                )
+                # == (not approx): JSON round-trips float64 exactly.
+                assert http_rec.values[label] == expected
+
+    def test_repeat_request_hits_caches(self, server):
+        fetch(server.url + "/sweep", payload=SWEEP_BODY)
+        _, before = fetch(server.url + "/stats")
+        fetch(server.url + "/sweep", payload=SWEEP_BODY)
+        _, after = fetch(server.url + "/stats")
+        # Second pass builds no new key grids; the scalar memos answer.
+        assert (
+            after["cache"]["computes"]["key_grid"]
+            == before["cache"]["computes"]["key_grid"]
+        )
+        assert after["cache"]["hits"] >= before["cache"]["hits"]
+
+
+class TestConcurrentDedup:
+    def test_identical_requests_compute_each_cell_once(self):
+        from repro.serve import BackgroundServer, ServeConfig
+
+        # A wide batch window guarantees all eight requests land while
+        # the first cell is still pending, so the single-flight numbers
+        # are exact (the engine-counter assertions hold regardless).
+        config = ServeConfig(
+            port=0, hot_set=(("hilbert", 2, 8),), batch_window_s=0.5
+        )
+        body = {"dims": [2], "sides": [8], "curves": ["z"]}
+        with BackgroundServer(config) as server:
+            _, before = fetch(server.url + "/stats")
+            assert before["cache"]["computes"]["key_grid"] == 1  # warm set
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                results = list(
+                    pool.map(
+                        lambda _: fetch(server.url + "/sweep", payload=body),
+                        range(8),
+                    )
+                )
+            assert [status for status, _ in results] == [200] * 8
+            values = {
+                payload["records"][0]["values"]["davg"]
+                for _, payload in results
+            }
+            assert len(values) == 1
+            _, after = fetch(server.url + "/stats")
+            # Eight requests, one z context, one key-grid build.
+            assert after["cache"]["computes"]["key_grid"] == 2
+            assert after["counters"]["cells_started"] == 1
+            assert after["counters"]["deduped_cells"] == 7
+            assert after["counters"]["requests"] >= 8

@@ -1,0 +1,100 @@
+"""Lifecycle tests: clean teardown of the serve stack.
+
+The hard requirement: every shared-memory segment the server created is
+unlinked on shutdown — both the in-process :class:`BackgroundServer`
+path and the real-process SIGTERM path the CLI smoke exercises.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import urllib.request
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import repro
+from repro.serve import BackgroundServer, ServeConfig
+
+from tests.serve.conftest import http as fetch
+
+
+def assert_unlinked(segment_names):
+    for name in segment_names:
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        segment.close()
+        raise AssertionError(f"shared-memory segment {name} still exists")
+
+
+class TestBackgroundServer:
+    def test_stop_unlinks_shared_memory(self):
+        config = ServeConfig(port=0, hot_set=(("hilbert", 2, 8),))
+        server = BackgroundServer(config)
+        try:
+            _, stats = fetch(server.url + "/stats")
+            segments = stats["shm"]["segments"]
+            assert segments  # warm start published grids
+        finally:
+            server.stop()
+        assert_unlinked(segments)
+
+    def test_context_manager_round_trip(self):
+        with BackgroundServer(ServeConfig(port=0)) as server:
+            status, _ = fetch(server.url + "/healthz")
+            assert status == 200
+            segments = fetch(server.url + "/stats")[1]["shm"]["segments"]
+        assert_unlinked(segments)
+
+    def test_ephemeral_ports_are_independent(self):
+        with BackgroundServer(ServeConfig(port=0)) as a:
+            with BackgroundServer(ServeConfig(port=0)) as b:
+                assert a.port != b.port
+                assert fetch(b.url + "/healthz")[0] == 200
+            assert fetch(a.url + "/healthz")[0] == 200
+
+
+class TestSigterm:
+    def test_sigterm_exits_cleanly_and_unlinks(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).parents[1])
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--hot-set",
+                "hilbert@2x8",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"http://([\d.]+):(\d+)", banner)
+            assert match, f"no address banner in {banner!r}"
+            url = f"http://{match.group(1)}:{match.group(2)}"
+            with urllib.request.urlopen(url + "/healthz", timeout=30) as r:
+                assert r.status == 200
+            with urllib.request.urlopen(url + "/stats", timeout=30) as r:
+                stats = json.loads(r.read())
+            segments = stats["shm"]["segments"]
+            assert segments
+            process.send_signal(signal.SIGTERM)
+            output, _ = process.communicate(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0
+        assert "shut down cleanly" in output
+        assert_unlinked(segments)
