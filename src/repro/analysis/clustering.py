@@ -60,7 +60,9 @@ def box_keys(ctx, lo: Sequence[int], hi: Sequence[int]) -> np.ndarray:
     lo_arr, hi_arr = box_bounds(ctx.universe, lo, hi)
     if ctx.chunked:
         cells = rectangle_cells(ctx.universe, lo_arr, hi_arr)
-        return np.sort(ctx.curve.index(cells), axis=None)
+        return np.sort(
+            ctx.curve.keys_of(cells, backend=ctx.backend), axis=None
+        )
     box = tuple(slice(int(a), int(b)) for a, b in zip(lo_arr, hi_arr))
     return np.sort(ctx.key_grid()[box], axis=None)
 

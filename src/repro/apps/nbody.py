@@ -45,14 +45,14 @@ class ParticleStore:
     """
 
     def __init__(self, curve, positions: np.ndarray) -> None:
-        from repro.grid.coords import coords_to_rank
-
         ctx = get_context(curve)
         self.curve = ctx.curve
         pos = ctx.universe.validate_coords(positions)
         if pos.ndim != 2:
             raise ValueError("positions must be a (m, d) array")
-        keys = ctx.flat_keys()[coords_to_rank(pos, ctx.universe)]
+        # Batch encode through the context's backend; identical keys to
+        # the historical flat_keys[coords_to_rank(...)] table lookup.
+        keys = ctx.curve.keys_of(pos, backend=ctx.backend)
         sort = np.argsort(keys, kind="stable")
         self.positions = pos[sort]
         self.keys = keys[sort]

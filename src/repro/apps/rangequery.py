@@ -71,17 +71,14 @@ class SFCIndex:
     ) -> list[tuple[int, int]]:
         """Inclusive key runs ``[(start, end), …]`` covering box ``[lo, hi)``."""
         keys = box_keys(self._ctx, lo, hi)
-        runs: list[tuple[int, int]] = []
-        start = prev = int(keys[0])
-        for key in keys[1:]:
-            key = int(key)
-            if key == prev + 1:
-                prev = key
-                continue
-            runs.append((start, prev))
-            start = prev = key
-        runs.append((start, prev))
-        return runs
+        # Vectorized run extraction: a run ends wherever the sorted key
+        # stream jumps by more than one.
+        breaks = np.flatnonzero(np.diff(keys) > 1)
+        starts = keys[np.concatenate(([0], breaks + 1))]
+        ends = keys[np.concatenate((breaks, [keys.size - 1]))]
+        return [
+            (int(a), int(b)) for a, b in zip(starts.tolist(), ends.tolist())
+        ]
 
     def query_cells(
         self, lo: Sequence[int], hi: Sequence[int]
@@ -96,7 +93,7 @@ class SFCIndex:
         if self._ctx.chunked:
             # No dense inverse in chunked mode; invert the run's keys
             # directly (O(cells read) for analytically invertible curves).
-            return self._ctx.curve.coords(keys)
+            return self._ctx.curve.coords_of(keys, backend=self._ctx.backend)
         ranks = self._ctx.inverse_permutation()[keys]
         return rank_to_coords(ranks, self._ctx.universe)
 

@@ -66,11 +66,8 @@ def drift_step_cost(
     """
     if n_particles < 1 or steps < 1:
         raise ValueError("need n_particles >= 1 and steps >= 1")
-    from repro.grid.coords import coords_to_rank
-
     ctx = get_context(curve)
     universe = ctx.universe
-    flat_keys = ctx.flat_keys()
     rng = np.random.default_rng(seed)
     positions = rng.integers(
         0, universe.side, size=(n_particles, universe.d), dtype=np.int64
@@ -79,7 +76,10 @@ def drift_step_cost(
     total_rank = 0.0
     worst_rank = 0
     for _ in range(steps):
-        keys_before = flat_keys[coords_to_rank(positions, universe)]
+        # Batch encode through the context's backend: identical keys to
+        # the historical flat_keys[coords_to_rank(...)] table lookup,
+        # without materializing the dense rank-ordered key array.
+        keys_before = ctx.curve.keys_of(positions, backend=ctx.backend)
         order_before = np.argsort(keys_before, kind="stable")
         ranks_before = np.empty(n_particles, dtype=np.int64)
         ranks_before[order_before] = np.arange(n_particles)
@@ -91,7 +91,7 @@ def drift_step_cost(
         in_bounds = universe.contains(moved)
         positions = np.where(in_bounds[:, None], moved, positions)
 
-        keys_after = flat_keys[coords_to_rank(positions, universe)]
+        keys_after = ctx.curve.keys_of(positions, backend=ctx.backend)
         order_after = np.argsort(keys_after, kind="stable")
         ranks_after = np.empty(n_particles, dtype=np.int64)
         ranks_after[order_after] = np.arange(n_particles)

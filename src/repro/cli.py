@@ -17,6 +17,9 @@ Subcommands
 * ``profile``   — stretch conditioned on grid distance, per curve.
 * ``optimal``   — adversarial search for a better curve (bound probe).
 * ``export``    — save a curve's key grid to a portable ``.npz``.
+* ``doctor``    — one-screen host report: native-backend availability
+  (compiler, cached ``.so``, build log), usable cores/threads, and
+  shared-memory status.
 """
 
 from __future__ import annotations
@@ -150,6 +153,16 @@ def build_parser() -> argparse.ArgumentParser:
         "'auto' sizes threads so processes x threads <= cores",
     )
     p_sweep.add_argument(
+        "--backend",
+        choices=("numpy", "native", "auto"),
+        default="auto",
+        help="compute backend for the hot block kernels: 'native' uses "
+        "the compiled C kernels (built on demand, cached per machine), "
+        "'numpy' forces the pure-NumPy reference, 'auto' (default) "
+        "picks native when available; results are bit-for-bit "
+        "identical either way",
+    )
+    p_sweep.add_argument(
         "--shared",
         dest="shared",
         action="store_true",
@@ -258,6 +271,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N|auto",
         help="default worker threads per cell for requests that do "
         "not choose their own",
+    )
+    p_serve.add_argument(
+        "--backend",
+        choices=("numpy", "native", "auto"),
+        default="auto",
+        help="default compute backend for requests that do not choose "
+        "their own (see 'sweep --backend')",
+    )
+
+    sub.add_parser(
+        "doctor",
+        help="host report: native backend, cores/threads, shared memory",
+        description=(
+            "One-screen report of what the engine can use on this "
+            "host: native compiled-kernel backend availability "
+            "(compiler, cached .so, build log path), usable CPU cores "
+            "and the resolved thread default, and shared-memory "
+            "segment support."
+        ),
     )
 
     p_metrics = sub.add_parser(
@@ -377,6 +409,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         chunk_cells=args.chunk_cells,
         shared=shared,
         threads=args.threads,
+        backend=args.backend,
     ).run()
     print(f"# sweep over dims={args.dims} sides={args.sides}")
     print(result.to_table())
@@ -393,6 +426,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print("engine cache: unavailable (process-pool sweep)")
         else:
             print(f"engine cache: {result.cache_stats!r}")
+            if result.cache_stats.backends:
+                served = ", ".join(
+                    f"{name}={count}"
+                    for name, count in sorted(
+                        result.cache_stats.backends.items()
+                    )
+                )
+                print(f"cells by backend: {served}")
     return 0
 
 
@@ -714,6 +755,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             else int(args.max_request_mib * 2**20)
         ),
         threads=args.threads,
+        backend=args.backend,
     )
     return run(config)
 
@@ -725,6 +767,61 @@ def _cmd_export(args: argparse.Namespace) -> int:
     curve = make_curve(args.curve, universe)
     path = save_curve(curve, args.out)
     print(f"saved {curve.name} on {universe} to {path}")
+    return 0
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.engine import native
+    from repro.engine.threads import resolve_threads
+
+    info = native.build_info()
+    print("# repro doctor — host capability report")
+    print()
+    print("[native backend]")
+    status = "available" if info["available"] else "unavailable"
+    print(f"  status:    {status}")
+    if not info["available"]:
+        print(f"  reason:    {info['reason']}")
+    print(
+        f"  disabled:  {'yes (REPRO_NATIVE=0)' if info['disabled'] else 'no'}"
+    )
+    print(f"  compiler:  {info['compiler'] or 'none found (cc/gcc/clang)'}")
+    print(f"  cache dir: {info['cache_dir']}")
+    so_path = info["so_path"]
+    built = so_path is not None and os.path.exists(so_path)
+    print(f"  kernels:   {so_path or 'n/a'}{'' if built else ' (not built)'}")
+    log = info["build_log"]
+    if log is not None and os.path.exists(log):
+        print(f"  build log: {log}")
+    print()
+    print("[cores and threads]")
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        usable = os.cpu_count() or 1
+    print(f"  usable cores:     {usable}")
+    print(f"  threads ('auto'): {resolve_threads('auto')}")
+    print()
+    print("[shared memory]")
+    try:
+        from multiprocessing import shared_memory
+
+        seg = shared_memory.SharedMemory(create=True, size=64)
+        seg.close()
+        seg.unlink()
+        print("  segments:  usable (create/attach/unlink ok)")
+    except Exception as exc:  # pragma: no cover - host-specific
+        print(f"  segments:  UNAVAILABLE ({exc})")
+    shm_dir = "/dev/shm"
+    if os.path.isdir(shm_dir):
+        leftovers = [
+            name
+            for name in os.listdir(shm_dir)
+            if name.startswith("psm_")
+        ]
+        print(f"  /dev/shm psm_ segments: {len(leftovers)}")
     return 0
 
 
@@ -752,6 +849,7 @@ _COMMANDS = {
     "optimal": _cmd_optimal,
     "export": _cmd_export,
     "heatmap": _cmd_heatmap,
+    "doctor": _cmd_doctor,
 }
 
 

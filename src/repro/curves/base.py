@@ -77,6 +77,47 @@ class SpaceFillingCurve(abc.ABC):
         return np.asarray(self._coords_impl(arr), dtype=np.int64)
 
     # ------------------------------------------------------------------
+    # Batch encode/decode (the app/engine hot path)
+    # ------------------------------------------------------------------
+    def keys_of(
+        self, points: np.ndarray, backend: str = "auto"
+    ) -> np.ndarray:
+        """Batch ``π``: keys for millions of points in one call.
+
+        Identical values to :meth:`index` (which stays the pure-NumPy
+        reference); ``backend="auto"``/``"native"`` additionally route
+        the analytically-coded curve families through the compiled
+        kernels of :mod:`repro.engine.native` when available.  Curves
+        without a native codec fall back to the NumPy implementation
+        transparently.
+        """
+        arr = self.universe.validate_coords(points)
+        codec = self._native_codec(backend)
+        if codec is not None:
+            return codec.encode(arr)
+        return np.asarray(self._index_impl(arr), dtype=np.int64)
+
+    def coords_of(
+        self, keys: np.ndarray, backend: str = "auto"
+    ) -> np.ndarray:
+        """Batch ``π^{-1}``: the inverse of :meth:`keys_of`."""
+        arr = self.universe.validate_ranks(keys)
+        codec = self._native_codec(backend)
+        if codec is not None:
+            return codec.decode(arr)
+        return np.asarray(self._coords_impl(arr), dtype=np.int64)
+
+    def _native_codec(self, backend: str):
+        """The native codec serving ``backend``, or ``None``."""
+        if backend == "numpy":
+            return None
+        from repro.engine import native
+
+        if native.resolve_backend(backend) != "native":
+            return None
+        return native.encoder_for(self)
+
+    # ------------------------------------------------------------------
     # Dense representations
     # ------------------------------------------------------------------
     def key_grid(self) -> np.ndarray:

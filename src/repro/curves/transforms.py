@@ -54,6 +54,16 @@ class AxisPermutedCurve(SpaceFillingCurve):
         out[..., self.perm] = inner_coords
         return out
 
+    def keys_of(self, points, backend: str = "auto") -> np.ndarray:
+        arr = self.universe.validate_coords(points)
+        return self.inner.keys_of(arr[..., self.perm], backend=backend)
+
+    def coords_of(self, keys, backend: str = "auto") -> np.ndarray:
+        inner_coords = self.inner.coords_of(keys, backend=backend)
+        out = np.empty_like(inner_coords)
+        out[..., self.perm] = inner_coords
+        return out
+
 
 class ReflectedCurve(SpaceFillingCurve):
     """Reflect selected axes (``x_i → side − 1 − x_i``) before indexing.
@@ -89,6 +99,13 @@ class ReflectedCurve(SpaceFillingCurve):
     def _coords_impl(self, index: np.ndarray) -> np.ndarray:
         return self._reflect(self.inner.coords(index))
 
+    def keys_of(self, points, backend: str = "auto") -> np.ndarray:
+        arr = self.universe.validate_coords(points)
+        return self.inner.keys_of(self._reflect(arr), backend=backend)
+
+    def coords_of(self, keys, backend: str = "auto") -> np.ndarray:
+        return self._reflect(self.inner.coords_of(keys, backend=backend))
+
 
 class ReversedCurve(SpaceFillingCurve):
     """Traverse the inner curve backwards: ``π'(x) = n − 1 − π(x)``.
@@ -110,3 +127,14 @@ class ReversedCurve(SpaceFillingCurve):
 
     def _coords_impl(self, index: np.ndarray) -> np.ndarray:
         return self.inner.coords(self.universe.n - 1 - index)
+
+    def keys_of(self, points, backend: str = "auto") -> np.ndarray:
+        return self.universe.n - 1 - self.inner.keys_of(
+            points, backend=backend
+        )
+
+    def coords_of(self, keys, backend: str = "auto") -> np.ndarray:
+        arr = self.universe.validate_ranks(keys)
+        return self.inner.coords_of(
+            self.universe.n - 1 - arr, backend=backend
+        )

@@ -22,6 +22,14 @@
   per *canonical curve spec* of a universe and deriving transform
   curves' arrays (dense) or blocks (chunked) from their inner curve's
   cache.
+* :mod:`repro.engine.native` — the compiled kernel backend: C
+  implementations of the hot block paths (NN pair fold, neighbor
+  counts, window maxima, batch curve encode/decode) built on demand
+  with the system compiler, loaded via ``ctypes``, and degrading
+  gracefully to the NumPy kernels when no compiler exists.
+  ``backend="numpy"|"native"|"auto"`` on :class:`MetricContext` /
+  :class:`ContextPool` / :class:`Sweep` selects it; values are
+  bit-for-bit identical across backends.
 * :mod:`repro.engine.shm` — :class:`SharedGridStore`, shared-memory
   segments holding one grid set (key grid, flat keys, inverse
   permutation, neighbor counts) per canonical spec, published by a

@@ -110,7 +110,7 @@ def pairwise_sum_stream(
 
 
 def slab_neighbor_counts(
-    universe, lo: int, hi: int, out: np.ndarray = None
+    universe, lo: int, hi: int, out: np.ndarray = None, kernels=None
 ) -> np.ndarray:
     """``|N(α)|`` for the cells with ``x_0 ∈ [lo, hi)``, as a slab.
 
@@ -118,7 +118,9 @@ def slab_neighbor_counts(
     without materializing the dense grid.  Boundary cells are handled
     by decrementing the edge hyperplanes in place, so the kernel is
     allocation-free when ``out`` (a reusable int64 buffer of the slab
-    shape) is supplied.
+    shape) is supplied.  ``kernels`` (a loaded
+    :class:`repro.engine.native.NativeKernels`) computes the identical
+    integers in one compiled pass.
     """
     d, side = universe.d, universe.side
     shape = (hi - lo,) + (side,) * (d - 1)
@@ -130,6 +132,8 @@ def slab_neighbor_counts(
                 f"out has shape {out.shape}, expected {shape}"
             )
         counts = out
+    if kernels is not None and counts.flags["C_CONTIGUOUS"]:
+        return kernels.neighbor_counts(d, side, lo, hi, counts)
     counts[...] = 2 * d
     if lo == 0:
         counts[:1] -= 1
@@ -174,6 +178,7 @@ def accumulate_block_pairs(
     best: np.ndarray,
     lambdas: list,
     scratch,
+    kernels=None,
 ) -> None:
     """Fold every *within-block* NN pair of ``body`` into the partials.
 
@@ -186,8 +191,20 @@ def accumulate_block_pairs(
     its adjacent boundary planes — so this single ufunc chain is the
     shared core of both, and a change here keeps them bit-for-bit
     aligned by construction.  Distance temporaries live in ``scratch``
-    (a :class:`repro.engine.threads.ScratchBuffers`).
+    (a :class:`repro.engine.threads.ScratchBuffers`).  When ``kernels``
+    (a loaded :class:`repro.engine.native.NativeKernels`) is given and
+    the arrays are contiguous, the whole fold runs as one compiled
+    pass — pure int64 arithmetic either way, so the partials are
+    bit-for-bit identical.
     """
+    if (
+        kernels is not None
+        and body.flags["C_CONTIGUOUS"]
+        and sums.flags["C_CONTIGUOUS"]
+        and best.flags["C_CONTIGUOUS"]
+    ):
+        kernels.nn_block_pairs(body, side, d, sums, best, lambdas)
+        return
     for axis in range(1, d):
         lo_s, hi_s = slab_axis_slices(d, side, axis)
         dist = scratch.take("pair_dist", body[hi_s].shape, np.int64)
@@ -250,7 +267,8 @@ def nn_block_reduction(ctx) -> dict:
             best = scratch.take("best", slab.shape, np.int64)
             best[...] = 0
             accumulate_block_pairs(
-                slab, d, side, sums, best, lambdas, scratch
+                slab, d, side, sums, best, lambdas, scratch,
+                kernels=ctx.kernels,
             )
             if plane_shape is None:
                 plane_shape = (1,) + slab.shape[1:]
@@ -268,6 +286,7 @@ def nn_block_reduction(ctx) -> dict:
                     pending_x0,
                     pending_x0 + 1,
                     out=scratch.take("plane_counts", plane_shape, np.int64),
+                    kernels=ctx.kernels,
                 )
                 state["max_total"] += int(pending_max.sum())
                 yield (pending_sums / counts).reshape(-1)
@@ -279,6 +298,7 @@ def nn_block_reduction(ctx) -> dict:
                     out=scratch.take(
                         "counts", sums[:-1].shape, np.int64
                     ),
+                    kernels=ctx.kernels,
                 )
                 state["max_total"] += int(best[:-1].sum())
                 yield (sums[:-1] / counts).reshape(-1)

@@ -53,6 +53,15 @@ bit-for-bit identical to the serial paths (the order-sensitive
 ``D^avg`` mean is merged in block order through the same pairwise-sum
 replication the chunked mode uses).
 
+**Native backend** (``backend="native"``/``"auto"``): the hot block
+kernels — the NN pair fold, neighbor counts, window max, batch curve
+encode/decode — dispatch to the compiled C library of
+:mod:`repro.engine.native` when it is available, falling back to the
+NumPy bodies otherwise.  Backend choice never changes values: integer
+kernels are exact and the float reductions (``D^avg`` division,
+pairwise mean) stay in Python, so every metric is bit-for-bit equal
+across ``{numpy, native}`` × ``{dense, chunked, threaded}``.
+
 **Shared mode** (process sweeps): a context wired to a
 :class:`repro.engine.shm.SharedGridStore` (via
 :class:`repro.engine.ContextPool`) resolves its key grid, flat keys,
@@ -123,6 +132,11 @@ class CacheStats:
     #: of a :class:`repro.engine.SharedGridStore` segment published by
     #: the sweep parent, instead of being computed in this process.
     shared: Dict[str, int] = field(default_factory=dict)
+    #: How many sweep cells each compute backend served (``"numpy"`` /
+    #: ``"native"``); recorded by :class:`repro.engine.Sweep` as each
+    #: cell finishes, so ``repro sweep --stats`` and the serve
+    #: ``/stats`` payload can report which backend actually ran.
+    backends: Dict[str, int] = field(default_factory=dict)
 
     def compute_count(self, key: str) -> int:
         """Times the named intermediate was materialized from scratch."""
@@ -171,6 +185,8 @@ class CacheStats:
                 out.derived[key] = out.derived.get(key, 0) + count
             for key, count in part.shared.items():
                 out.shared[key] = out.shared.get(key, 0) + count
+            for key, count in part.backends.items():
+                out.backends[key] = out.backends.get(key, 0) + count
         return out
 
     def __repr__(self) -> str:
@@ -349,7 +365,9 @@ class MetricContext:
         universe_store: Optional[_BoundedStore] = None,
         chunk_cells: Optional[int] = None,
         threads: Union[None, int, str] = None,
+        backend: str = "auto",
     ) -> None:
+        from repro.engine import native
         from repro.engine.threads import resolve_threads
 
         if chunk_cells is not None and chunk_cells < 1:
@@ -368,6 +386,21 @@ class MetricContext:
         #: results are bit-for-bit identical to the serial paths; see
         #: :mod:`repro.engine.threads`.
         self.threads = resolve_threads(threads)
+        #: The compute backend as requested (``"numpy"``/``"native"``/
+        #: ``"auto"``); kept for introspection and task replication.
+        self.backend_requested = backend
+        #: The backend actually serving this context: ``"native"`` when
+        #: the compiled kernels of :mod:`repro.engine.native` loaded,
+        #: else ``"numpy"``.  An explicit ``"native"`` request on a host
+        #: without the kernels warns once and degrades to ``"numpy"``;
+        #: results are bit-for-bit identical either way.
+        self.backend = native.resolve_backend(backend)
+        #: The loaded :class:`repro.engine.native.NativeKernels`, or
+        #: ``None`` on the NumPy backend.  Block kernels consult this
+        #: and fall back to their NumPy bodies when it is ``None``.
+        self.kernels = (
+            native.load_kernels() if self.backend == "native" else None
+        )
         self._scheduler = None
         self._scalar_lock = threading.RLock()
         self._store = _BoundedStore(max_bytes)
@@ -636,7 +669,13 @@ class MetricContext:
 
             counts = np.empty(self.universe.shape, dtype=np.int64)
             for lo, hi in self._slab_ranges():
-                slab_neighbor_counts(self.universe, lo, hi, out=counts[lo:hi])
+                slab_neighbor_counts(
+                    self.universe,
+                    lo,
+                    hi,
+                    out=counts[lo:hi],
+                    kernels=self.kernels,
+                )
             return counts
 
         return store.get_or_compute(
@@ -714,7 +753,7 @@ class MetricContext:
         axes += [np.arange(side, dtype=np.int64)] * (d - 1)
         mesh = np.meshgrid(*axes, indexing="ij")
         coords = np.stack([m.reshape(-1) for m in mesh], axis=-1)
-        keys = self.curve.index(coords)
+        keys = self.curve.keys_of(coords, backend=self.backend)
         return keys.reshape((hi - lo,) + (side,) * (d - 1))
 
     def _key_slab(self, lo: int, hi: int) -> np.ndarray:
@@ -734,7 +773,9 @@ class MetricContext:
             from repro.grid.coords import rank_to_coords
 
             ranks = np.arange(start, stop, dtype=np.int64)
-            return self.curve.index(rank_to_coords(ranks, self.universe))
+            return self.curve.keys_of(
+                rank_to_coords(ranks, self.universe), backend=self.backend
+            )
 
         return self._cached_block("key_block", start, stop, compute)
 
@@ -745,7 +786,10 @@ class MetricContext:
             from repro.grid.coords import coords_to_rank
 
             keys = np.arange(start, stop, dtype=np.int64)
-            return coords_to_rank(self.curve.coords(keys), self.universe)
+            return coords_to_rank(
+                self.curve.coords_of(keys, backend=self.backend),
+                self.universe,
+            )
 
         return self._cached_block("inverse_block", start, stop, compute)
 
@@ -811,8 +855,8 @@ class MetricContext:
         for t0 in range(0, n - window, step):
             t1 = min(n - window, t0 + step)
             idx = np.arange(t0, t1, dtype=np.int64)
-            a = self.curve.coords(idx)
-            b = self.curve.coords(idx + window)
+            a = self.curve.coords_of(idx, backend=self.backend)
+            b = self.curve.coords_of(idx + window, backend=self.backend)
             yield t0, t1, a, b
 
     def _chunked_nn_stats(self) -> dict:
@@ -840,18 +884,25 @@ class MetricContext:
     # ------------------------------------------------------------------
     # Per-cell grids
     # ------------------------------------------------------------------
-    def _per_cell_blockwise(self) -> tuple[np.ndarray, np.ndarray]:
+    def _per_cell_blockwise(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, list]:
         """One slab pass assembling the dense per-cell sum/max grids.
 
-        The chunked-mode backend of the per-cell exports.  The *results*
-        are inherently ``O(n)`` dense grids (the caller asked for them);
-        what the pass avoids is any dense *intermediate*: it walks key
-        slabs, folds within-slab NN pairs with
+        The chunked-mode backend of the per-cell exports, and the
+        native-backend fast path in dense mode too (there the single
+        slab is the whole key grid and the fused compiled kernel folds
+        every NN pair in one C pass).  The *results* are inherently
+        ``O(n)`` dense grids (the caller asked for them); what the pass
+        avoids is any dense *intermediate*: it walks key slabs, folds
+        within-slab NN pairs with
         :func:`repro.engine.chunked.accumulate_block_pairs` (the shared
         pair core of the serial and threaded NN reductions) and handles
         each axis-0 boundary pair against a carried plane.  All updates
         are integer scatter-adds and maxima — order-free — so both grids
-        equal the dense path bit-for-bit.
+        equal the dense path bit-for-bit.  The per-axis ``Λ`` tallies
+        fall out of the same pass (boundary pairs are folded into axis
+        0), so callers can seed ``lambda_sums`` for free.
         """
         from repro.engine.chunked import accumulate_block_pairs
         from repro.engine.threads import ScratchBuffers
@@ -860,18 +911,26 @@ class MetricContext:
         d, side = universe.d, universe.side
         sums = np.zeros(universe.shape, dtype=np.int64)
         best = np.zeros(universe.shape, dtype=np.int64)
-        lambdas = [0] * d  # discarded; the pair core also tallies these
+        lambdas = [0] * d
         scratch = ScratchBuffers()
         plane_shape = (1,) + (side,) * (d - 1)
         prev_keys = None
         for lo, hi, slab in self.iter_key_slabs():
             accumulate_block_pairs(
-                slab, d, side, sums[lo:hi], best[lo:hi], lambdas, scratch
+                slab,
+                d,
+                side,
+                sums[lo:hi],
+                best[lo:hi],
+                lambdas,
+                scratch,
+                kernels=self.kernels,
             )
             if prev_keys is not None:
                 boundary = scratch.take("boundary", plane_shape, np.int64)
                 np.subtract(slab[:1], prev_keys, out=boundary)
                 np.abs(boundary, out=boundary)
+                lambdas[0] += int(boundary.sum())
                 sums[lo - 1 : lo] += boundary
                 sums[lo : lo + 1] += boundary
                 np.maximum(
@@ -881,20 +940,31 @@ class MetricContext:
                     best[lo : lo + 1], boundary, out=best[lo : lo + 1]
                 )
             prev_keys = np.ascontiguousarray(slab[-1:])
-        return sums, best
+        return sums, best, lambdas
 
     def _per_cell_grids(self) -> tuple[np.ndarray, np.ndarray]:
-        """Cached ``(sums, best)`` grids from the chunked single pass.
+        """Cached ``(sums, best)`` grids from the blockwise single pass.
 
         Both grids come out of one slab walk, so they are computed (and
-        cached) together under their usual store keys.
+        cached) together under their usual store keys.  The pass also
+        yields the per-axis ``Λ`` sums; in dense mode they are seeded
+        into the store under ``lambda_sums`` so a later
+        :meth:`lambda_sums` call costs nothing extra.
         """
         sums = self._store.peek("per_cell_sums")
         best = self._store.peek("per_cell_max")
         if sums is None or best is None:
-            sums, best = self._per_cell_blockwise()
-            sums = self._store.get_or_compute("per_cell_sums", lambda: sums)
-            best = self._store.get_or_compute("per_cell_max", lambda: best)
+            sums, best, lambdas = self._per_cell_blockwise()
+            computed_sums, computed_best = sums, best
+            sums = self._store.get_or_compute(
+                "per_cell_sums", lambda: computed_sums
+            )
+            best = self._store.get_or_compute(
+                "per_cell_max", lambda: computed_best
+            )
+            if not self.chunked and self._store.peek("lambda_sums") is None:
+                lam = np.array(lambdas, dtype=np.int64)
+                self._store.get_or_compute("lambda_sums", lambda: lam)
         return sums, best
 
     def per_cell_stretch_sums(self) -> tuple[np.ndarray, np.ndarray]:
@@ -903,9 +973,12 @@ class MetricContext:
         Works in chunked mode as well — the grids are assembled slab by
         slab without dense intermediates (see :meth:`_per_cell_blockwise`
         for the parity argument); the returned arrays are inherently
-        ``O(n)``.
+        ``O(n)``.  On the native backend the dense mode takes the same
+        blockwise route: the fused compiled kernel folds every NN pair
+        of the whole grid in one C pass, replacing ``d`` vectorized
+        slice-subtract/scatter rounds, with bit-for-bit equal grids.
         """
-        if self.chunked:
+        if self.chunked or self.kernels is not None:
             return self._per_cell_grids()[0], self.neighbor_counts()
 
         def compute() -> np.ndarray:
@@ -941,9 +1014,11 @@ class MetricContext:
 
         Available in chunked mode via the slab-wise assembly (integer
         maxima are order-free, so the grid matches the dense path
-        bit-for-bit); the result is inherently ``O(n)``.
+        bit-for-bit); the result is inherently ``O(n)``.  The native
+        backend routes the dense mode through the same fused pass (see
+        :meth:`per_cell_stretch_sums`).
         """
-        if self.chunked:
+        if self.chunked or self.kernels is not None:
             return self._per_cell_grids()[1]
 
         def compute() -> np.ndarray:
@@ -1041,6 +1116,15 @@ class MetricContext:
                 )
 
             return self._store.get_or_compute("lambda_sums", compute)
+        if self.kernels is not None:
+            # Native dense path: the fused per-cell pass tallies the
+            # per-axis sums as it folds the pairs and seeds them into
+            # the store.  If the seed was evicted, fall through to the
+            # per-axis assembly below (identical values).
+            self._per_cell_grids()
+            seeded = self._store.peek("lambda_sums")
+            if seeded is not None:
+                return seeded
 
         def compute() -> np.ndarray:
             return np.array(
@@ -1109,6 +1193,20 @@ class MetricContext:
                 lambda: float(self._chunked_nn_stats()["nn_sum"])
                 / nn_pair_count(self.universe),
             )
+        if self.kernels is not None:
+            # Native dense path: the exact NN-pair sum is Σ_i Λ_i from
+            # the fused pass; dividing by the pair count equals the
+            # NumPy mean bit-for-bit (float64 pairwise summation of
+            # int64 values is exact while the total stays below 2^53,
+            # so both paths divide the same exact sum by the same
+            # count).
+            from repro.grid.neighbors import nn_pair_count
+
+            return self._scalar(
+                ("nn_mean",),
+                lambda: float(int(self.lambda_sums().sum()))
+                / nn_pair_count(self.universe),
+            )
         return self._scalar(
             ("nn_mean",), lambda: float(self.nn_distance_values().mean())
         )
@@ -1166,9 +1264,16 @@ class MetricContext:
             from repro.grid.metrics import euclidean, manhattan
 
             fn = manhattan if metric == "manhattan" else euclidean
+            kernels = self.kernels
             best = None
             for _, _, a, b in self.iter_window_pairs(window):
-                block_best = fn(a, b).max()
+                if kernels is not None:
+                    # Fused C max (integer distances; the euclidean
+                    # variant takes one sqrt of the max squared sum, a
+                    # monotone map — bit-identical to max-of-sqrts).
+                    block_best = kernels.window_max(a, b, metric)
+                else:
+                    block_best = fn(a, b).max()
                 best = (
                     block_best
                     if best is None

@@ -1,0 +1,383 @@
+"""The native compiled kernel backend: build, load, dispatch.
+
+The hot block paths of the metric engine — the NN pair fold, slab
+neighbor counts, window block maxima, and the registry curves'
+encode/decode — have C implementations in ``native_kernels.c`` (shipped
+in-tree next to this module).  The first use on a machine compiles them
+with the system C compiler into a shared library cached under a
+``sha256(source + compiler)`` key, so rebuilds happen only when the
+source or toolchain changes; the library is loaded through ``ctypes``
+and degrades gracefully to the NumPy kernels when no compiler exists.
+
+Backend selection (``resolve_backend``) accepts ``"numpy"``,
+``"native"`` and ``"auto"``: ``auto`` uses the native kernels whenever
+they are available, ``native`` additionally warns **once** per process
+when they are not (and still falls back — a missing compiler must never
+change results, only speed).  ``REPRO_NATIVE=0`` forces the NumPy path;
+``REPRO_NATIVE_CC`` overrides the compiler; ``REPRO_NATIVE_CACHE``
+relocates the build cache.  ``repro doctor`` renders :func:`build_info`.
+
+Only stdlib + NumPy are imported at module level: this module is
+imported lazily from both the curves and engine layers, and importing
+either here would cycle.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import threading
+import warnings
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "BACKENDS",
+    "available",
+    "build_info",
+    "cache_dir",
+    "compiler_path",
+    "encoder_for",
+    "load_kernels",
+    "native_disabled",
+    "reset_for_tests",
+    "resolve_backend",
+    "unavailable_reason",
+    "NativeKernels",
+]
+
+#: The backend values every ``backend=`` knob accepts.
+BACKENDS = ("numpy", "native", "auto")
+
+_SOURCE = Path(__file__).with_name("native_kernels.c")
+
+_lock = threading.Lock()
+_kernels: Optional["NativeKernels"] = None
+_load_attempted = False
+_load_error: Optional[str] = None
+_warned_unavailable = False
+
+_i64_array = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+_i64 = ctypes.c_int64
+
+
+def native_disabled() -> bool:
+    """True when ``REPRO_NATIVE=0`` forces the NumPy path."""
+    return os.environ.get("REPRO_NATIVE", "") == "0"
+
+
+def compiler_path() -> Optional[str]:
+    """Resolved path of the C compiler, or ``None`` when absent.
+
+    ``REPRO_NATIVE_CC`` (a name or path looked up on ``PATH``) wins;
+    otherwise the first of ``cc``/``gcc``/``clang`` found.
+    """
+    override = os.environ.get("REPRO_NATIVE_CC")
+    if override:
+        return shutil.which(override)
+    for name in ("cc", "gcc", "clang"):
+        found = shutil.which(name)
+        if found:
+            return found
+    return None
+
+
+def cache_dir() -> Path:
+    """Per-machine build cache root (``REPRO_NATIVE_CACHE`` overrides)."""
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-sfc"
+
+
+def _build_dir(cc: str) -> Path:
+    digest = hashlib.sha256()
+    digest.update(_SOURCE.read_bytes())
+    digest.update(cc.encode())
+    return cache_dir() / digest.hexdigest()[:16]
+
+
+def _build(cc: str) -> Path:
+    """Compile the kernels into the cache (idempotent, atomic publish)."""
+    out_dir = _build_dir(cc)
+    so_path = out_dir / "repro_kernels.so"
+    if so_path.exists():
+        return so_path
+    out_dir.mkdir(parents=True, exist_ok=True)
+    tmp = out_dir / f"repro_kernels.tmp.{os.getpid()}.so"
+    cmd = [cc, "-O2", "-fPIC", "-shared", "-o", str(tmp), str(_SOURCE)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    (out_dir / "build.log").write_text(
+        "$ " + " ".join(cmd) + "\n" + proc.stdout + proc.stderr
+        + f"exit status {proc.returncode}\n"
+    )
+    if proc.returncode != 0:
+        tmp.unlink(missing_ok=True)
+        raise RuntimeError(
+            f"native kernel build failed (see {out_dir / 'build.log'})"
+        )
+    # Atomic rename: concurrent builders race benignly to the same path.
+    os.replace(tmp, so_path)
+    return so_path
+
+
+class NativeKernels:
+    """ctypes facade over the compiled kernel library.
+
+    Every method takes/returns int64 NumPy arrays that must be
+    C-contiguous (the dispatch sites check before calling).  The C
+    calls release the GIL, so they compose with the engine's
+    thread-parallel block scheduler.
+    """
+
+    def __init__(self, so_path: Path) -> None:
+        self.so_path = so_path
+        lib = ctypes.CDLL(str(so_path))
+        lib.repro_nn_block_pairs.argtypes = [
+            _i64_array, _i64, _i64, _i64, _i64_array, _i64_array, _i64_array
+        ]
+        lib.repro_nn_block_pairs.restype = None
+        lib.repro_neighbor_counts.argtypes = [
+            _i64, _i64, _i64, _i64, _i64_array
+        ]
+        lib.repro_neighbor_counts.restype = None
+        for name in ("repro_window_max_manhattan",
+                     "repro_window_max_euclidean_sq"):
+            fn = getattr(lib, name)
+            fn.argtypes = [_i64_array, _i64_array, _i64, _i64]
+            fn.restype = _i64
+        for name in ("repro_z_encode", "repro_z_decode",
+                     "repro_gray_encode", "repro_gray_decode",
+                     "repro_hilbert_encode", "repro_hilbert_decode",
+                     "repro_snake_encode", "repro_snake_decode"):
+            fn = getattr(lib, name)
+            fn.argtypes = [_i64_array, _i64, _i64, _i64, _i64_array]
+            fn.restype = None
+        self._lib = lib
+
+    # -- block reductions ----------------------------------------------
+    def nn_block_pairs(
+        self,
+        body: np.ndarray,
+        side: int,
+        d: int,
+        sums: np.ndarray,
+        best: np.ndarray,
+        lambdas: list,
+    ) -> None:
+        """Fused within-slab NN pair fold (accumulate_block_pairs)."""
+        lam = np.zeros(d, dtype=np.int64)
+        self._lib.repro_nn_block_pairs(
+            body, body.shape[0], side, d, sums, best, lam
+        )
+        for axis in range(d):
+            lambdas[axis] += int(lam[axis])
+
+    def neighbor_counts(
+        self, d: int, side: int, lo: int, hi: int, out: np.ndarray
+    ) -> np.ndarray:
+        self._lib.repro_neighbor_counts(d, side, lo, hi, out)
+        return out
+
+    # -- window maxima -------------------------------------------------
+    def window_max(
+        self, a: np.ndarray, b: np.ndarray, metric: str
+    ) -> float:
+        """max distance over paired coordinate rows, as NumPy would."""
+        m, d = a.shape
+        if metric == "manhattan":
+            return float(
+                self._lib.repro_window_max_manhattan(a, b, m, d)
+            )
+        best_sq = self._lib.repro_window_max_euclidean_sq(a, b, m, d)
+        return float(np.sqrt(np.float64(best_sq)))
+
+    # -- curve encode/decode -------------------------------------------
+    def _codec(self, stem: str, arg: int):
+        encode = getattr(self._lib, f"repro_{stem}_encode")
+        decode = getattr(self._lib, f"repro_{stem}_decode")
+
+        def encode_fn(coords: np.ndarray) -> np.ndarray:
+            flat = np.ascontiguousarray(coords, dtype=np.int64)
+            m = flat.size // flat.shape[-1]
+            keys = np.empty(coords.shape[:-1], dtype=np.int64)
+            encode(flat, m, flat.shape[-1], arg, keys)
+            return keys
+
+        def decode_fn(keys: np.ndarray, d: int) -> np.ndarray:
+            flat = np.ascontiguousarray(keys, dtype=np.int64)
+            coords = np.empty(keys.shape + (d,), dtype=np.int64)
+            decode(flat, flat.size, d, arg, coords)
+            return coords
+
+        return encode_fn, decode_fn
+
+
+class _Codec:
+    """Batch encoder/decoder of one curve family on one universe."""
+
+    def __init__(self, encode_fn, decode_fn, d: int) -> None:
+        self._encode = encode_fn
+        self._decode = decode_fn
+        self._d = d
+
+    def encode(self, coords: np.ndarray) -> np.ndarray:
+        return self._encode(coords)
+
+    def decode(self, keys: np.ndarray) -> np.ndarray:
+        return self._decode(keys, self._d)
+
+
+def load_kernels() -> Optional[NativeKernels]:
+    """The process-wide kernel library, building it on first use.
+
+    Returns ``None`` when disabled, no compiler exists, or the build
+    failed; the failure reason is memoized for :func:`build_info` and
+    the warn-once message.
+    """
+    global _kernels, _load_attempted, _load_error
+    if native_disabled():
+        return None
+    with _lock:
+        if _load_attempted:
+            return _kernels
+        _load_attempted = True
+        cc = compiler_path()
+        if cc is None:
+            _load_error = (
+                "no C compiler found (checked $REPRO_NATIVE_CC, cc, "
+                "gcc, clang)"
+            )
+            return None
+        try:
+            _kernels = NativeKernels(_build(cc))
+        except (OSError, RuntimeError) as exc:
+            _load_error = str(exc)
+            _kernels = None
+        return _kernels
+
+
+def available() -> bool:
+    """True iff the native backend can serve this process."""
+    return load_kernels() is not None
+
+
+def unavailable_reason() -> Optional[str]:
+    """Why the native backend is off (``None`` when it is on)."""
+    if native_disabled():
+        return "REPRO_NATIVE=0 forces the NumPy backend"
+    if load_kernels() is not None:
+        return None
+    return _load_error
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Resolve a ``backend=`` knob to the backend that will serve.
+
+    ``"numpy"`` and an unavailable native library resolve to
+    ``"numpy"``; ``"native"``/``"auto"`` resolve to ``"native"`` when
+    the kernels load.  An explicit ``"native"`` request that cannot be
+    honored warns once per process (never per cell) and falls back —
+    values are identical either way.
+    """
+    global _warned_unavailable
+    if backend is None:
+        backend = "auto"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {list(BACKENDS)}, got {backend!r}"
+        )
+    if backend == "numpy":
+        return "numpy"
+    if available():
+        return "native"
+    if backend == "native" and not _warned_unavailable:
+        _warned_unavailable = True
+        warnings.warn(
+            "backend='native' requested but the compiled kernels are "
+            f"unavailable ({unavailable_reason()}); falling back to "
+            "the NumPy backend (identical results; run `repro doctor` "
+            "to diagnose)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return "numpy"
+
+
+def encoder_for(curve) -> Optional[_Codec]:
+    """A native batch codec for ``curve``, or ``None`` if unsupported.
+
+    Covers the four analytically-coded registry families (Z, Gray,
+    Hilbert, snake).  Universes the NumPy implementations reject
+    (``k*d > 62``) or degenerate ones (``side=1``) return ``None`` so
+    the NumPy path keeps raising/handling them consistently.
+    """
+    kernels = load_kernels()
+    if kernels is None:
+        return None
+    from repro.curves.gray import GrayCurve
+    from repro.curves.hilbert import HilbertCurve
+    from repro.curves.snake import SnakeCurve
+    from repro.curves.zcurve import ZCurve
+
+    universe = curve.universe
+    d, side = universe.d, universe.side
+    if type(curve) is SnakeCurve:
+        if side < 2 or universe.n > 2**62:
+            return None
+        encode_fn, decode_fn = kernels._codec("snake", side)
+        return _Codec(encode_fn, decode_fn, d)
+    # Exact types only: a subclass may change the mapping.
+    stem = {ZCurve: "z", GrayCurve: "gray", HilbertCurve: "hilbert"}.get(
+        type(curve)
+    )
+    if stem is not None:
+        try:
+            k = universe.k
+        except ValueError:
+            return None
+        if k < 1 or k * d > 62:
+            return None
+        encode_fn, decode_fn = kernels._codec(stem, k)
+        return _Codec(encode_fn, decode_fn, d)
+    return None
+
+
+def build_info() -> dict:
+    """Everything ``repro doctor`` reports about the native backend."""
+    cc = compiler_path()
+    info = {
+        "disabled": native_disabled(),
+        "compiler": cc,
+        "available": available(),
+        "reason": unavailable_reason(),
+        "cache_dir": str(cache_dir()),
+        "so_path": None,
+        "build_log": None,
+    }
+    kernels = _kernels
+    if kernels is not None:
+        info["so_path"] = str(kernels.so_path)
+        info["build_log"] = str(kernels.so_path.parent / "build.log")
+    elif cc is not None:
+        log = _build_dir(cc) / "build.log"
+        if log.exists():
+            info["build_log"] = str(log)
+    return info
+
+
+def reset_for_tests() -> None:
+    """Forget the load attempt and warn-once state (test isolation)."""
+    global _kernels, _load_attempted, _load_error, _warned_unavailable
+    with _lock:
+        _kernels = None
+        _load_attempted = False
+        _load_error = None
+        _warned_unavailable = False

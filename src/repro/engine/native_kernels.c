@@ -1,0 +1,331 @@
+/* Native kernels for the metric engine's hot block paths.
+ *
+ * Compiled on demand by repro.engine.native with the system C compiler
+ * into a per-machine cached shared library and loaded through ctypes.
+ * Every kernel mirrors one NumPy reference implementation *exactly*:
+ * all stretch arithmetic stays in int64 (order-free), float division
+ * and the order-sensitive pairwise mean remain on the Python side, so
+ * results are bit-for-bit identical to the NumPy backend (the parity
+ * argument is spelled out in docs/performance.md and enforced by
+ * tests/engine/test_native.py).
+ *
+ * Array layout contract: every array argument is a C-contiguous int64
+ * buffer.  A "slab" of t key planes has t * side^(d-1) cells, with
+ * grid axis a >= 1 at stride side^(d-1-a) — the layout of
+ * MetricContext.iter_key_slabs slabs.
+ */
+
+#include <stdint.h>
+
+#define EXPORT __attribute__((visibility("default")))
+
+static inline int64_t i64abs(int64_t v) { return v < 0 ? -v : v; }
+static inline int64_t i64max(int64_t a, int64_t b) { return a > b ? a : b; }
+
+/* ------------------------------------------------------------------ */
+/* NN block reduction                                                  */
+/* ------------------------------------------------------------------ */
+
+/* Fold every within-slab NN pair of `body` (t planes) into the
+ * per-cell partials, the single fused pass replacing the ufunc chain
+ * of repro.engine.chunked.accumulate_block_pairs: for each pair the
+ * absolute key difference is added to both endpoints' stretch sums,
+ * folded into both endpoints' maxima, and accumulated into the pair
+ * axis's lambda.  Axis-0 pairs with an endpoint outside the slab are
+ * the caller's carry, exactly as in the NumPy version. */
+EXPORT void repro_nn_block_pairs(
+    const int64_t *body, int64_t t, int64_t side, int64_t d,
+    int64_t *sums, int64_t *best, int64_t *lambdas)
+{
+    int64_t plane = 1;
+    for (int64_t i = 0; i < d - 1; ++i) plane *= side;
+
+    int64_t stride = plane;
+    for (int64_t axis = 1; axis < d; ++axis) {
+        stride /= side;
+        int64_t group = stride * side;
+        int64_t lam = 0;
+        for (int64_t row = 0; row < t; ++row) {
+            const int64_t *keys = body + row * plane;
+            int64_t *s = sums + row * plane;
+            int64_t *m = best + row * plane;
+            for (int64_t base = 0; base < plane; base += group) {
+                for (int64_t off = 0; off < group - stride; ++off) {
+                    int64_t i = base + off;
+                    int64_t j = i + stride;
+                    int64_t dist = i64abs(keys[j] - keys[i]);
+                    lam += dist;
+                    s[i] += dist;
+                    s[j] += dist;
+                    m[i] = i64max(m[i], dist);
+                    m[j] = i64max(m[j], dist);
+                }
+            }
+        }
+        lambdas[axis] += lam;
+    }
+
+    int64_t lam0 = 0;
+    for (int64_t row = 0; row + 1 < t; ++row) {
+        const int64_t *a = body + row * plane;
+        const int64_t *b = a + plane;
+        int64_t *sa = sums + row * plane;
+        int64_t *ma = best + row * plane;
+        for (int64_t c = 0; c < plane; ++c) {
+            int64_t dist = i64abs(b[c] - a[c]);
+            lam0 += dist;
+            sa[c] += dist;
+            sa[plane + c] += dist;
+            ma[c] = i64max(ma[c], dist);
+            ma[plane + c] = i64max(ma[plane + c], dist);
+        }
+    }
+    lambdas[0] += lam0;
+}
+
+/* |N(alpha)| for the cells with x_0 in [lo, hi), written into `out`
+ * (a (hi-lo) * side^(d-1) buffer) — the layout and boundary handling
+ * of repro.engine.chunked.slab_neighbor_counts. */
+EXPORT void repro_neighbor_counts(
+    int64_t d, int64_t side, int64_t lo, int64_t hi, int64_t *out)
+{
+    int64_t plane = 1;
+    for (int64_t i = 0; i < d - 1; ++i) plane *= side;
+    int64_t t = hi - lo;
+    int64_t total = t * plane;
+    for (int64_t i = 0; i < total; ++i) out[i] = 2 * d;
+    if (lo == 0)
+        for (int64_t c = 0; c < plane; ++c) out[c] -= 1;
+    if (hi == side)
+        for (int64_t c = 0; c < plane; ++c) out[(t - 1) * plane + c] -= 1;
+    int64_t stride = plane;
+    for (int64_t axis = 1; axis < d; ++axis) {
+        stride /= side;
+        int64_t group = stride * side;
+        for (int64_t row = 0; row < t; ++row) {
+            int64_t *o = out + row * plane;
+            for (int64_t base = 0; base < plane; base += group) {
+                for (int64_t off = 0; off < stride; ++off) {
+                    o[base + off] -= 1;
+                    o[base + group - stride + off] -= 1;
+                }
+            }
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Window dilation block maxima                                        */
+/* ------------------------------------------------------------------ */
+
+/* max over m coordinate rows of the L1 distance |a - b|. */
+EXPORT int64_t repro_window_max_manhattan(
+    const int64_t *a, const int64_t *b, int64_t m, int64_t d)
+{
+    int64_t best = 0;
+    for (int64_t r = 0; r < m; ++r) {
+        const int64_t *pa = a + r * d;
+        const int64_t *pb = b + r * d;
+        int64_t s = 0;
+        for (int64_t i = 0; i < d; ++i) s += i64abs(pa[i] - pb[i]);
+        best = i64max(best, s);
+    }
+    return best;
+}
+
+/* max over m rows of the *squared* L2 distance (exact int64; the
+ * caller takes one sqrt — monotone, so max-of-sqrt == sqrt-of-max and
+ * the float64 result is bit-identical to the NumPy chain). */
+EXPORT int64_t repro_window_max_euclidean_sq(
+    const int64_t *a, const int64_t *b, int64_t m, int64_t d)
+{
+    int64_t best = 0;
+    for (int64_t r = 0; r < m; ++r) {
+        const int64_t *pa = a + r * d;
+        const int64_t *pb = b + r * d;
+        int64_t s = 0;
+        for (int64_t i = 0; i < d; ++i) {
+            int64_t diff = pa[i] - pb[i];
+            s += diff * diff;
+        }
+        best = i64max(best, s);
+    }
+    return best;
+}
+
+/* ------------------------------------------------------------------ */
+/* Curve encode / decode                                               */
+/* ------------------------------------------------------------------ */
+
+/* The Python side guarantees k >= 1, k * d <= 62 for every bitwise
+ * kernel, so d <= 62 and keys fit in int64. */
+#define REPRO_MAX_D 62
+
+/* Morton interleave: coordinate bit b of axis i lands at key bit
+ * b*d + (d-1-i) — the layout of repro.curves.zcurve.interleave_bits. */
+static inline int64_t interleave_point(
+    const int64_t *x, int64_t d, int64_t k)
+{
+    int64_t key = 0;
+    for (int64_t b = 0; b < k; ++b)
+        for (int64_t i = 0; i < d; ++i)
+            key |= ((x[i] >> b) & 1) << (b * d + (d - 1 - i));
+    return key;
+}
+
+static inline void deinterleave_point(
+    int64_t key, int64_t d, int64_t k, int64_t *x)
+{
+    for (int64_t i = 0; i < d; ++i) x[i] = 0;
+    for (int64_t b = 0; b < k; ++b)
+        for (int64_t i = 0; i < d; ++i)
+            x[i] |= ((key >> (b * d + (d - 1 - i))) & 1) << b;
+}
+
+/* Inverse reflected-binary Gray code (prefix XOR); values are
+ * non-negative, so the arithmetic right shift is a logical one. */
+static inline int64_t gray_decode64(int64_t v)
+{
+    for (int64_t s = 1; s < 64; s <<= 1) v ^= v >> s;
+    return v;
+}
+
+EXPORT void repro_z_encode(
+    const int64_t *coords, int64_t m, int64_t d, int64_t k, int64_t *keys)
+{
+    for (int64_t r = 0; r < m; ++r)
+        keys[r] = interleave_point(coords + r * d, d, k);
+}
+
+EXPORT void repro_z_decode(
+    const int64_t *keys, int64_t m, int64_t d, int64_t k, int64_t *coords)
+{
+    for (int64_t r = 0; r < m; ++r)
+        deinterleave_point(keys[r], d, k, coords + r * d);
+}
+
+EXPORT void repro_gray_encode(
+    const int64_t *coords, int64_t m, int64_t d, int64_t k, int64_t *keys)
+{
+    for (int64_t r = 0; r < m; ++r)
+        keys[r] = gray_decode64(interleave_point(coords + r * d, d, k));
+}
+
+EXPORT void repro_gray_decode(
+    const int64_t *keys, int64_t m, int64_t d, int64_t k, int64_t *coords)
+{
+    for (int64_t r = 0; r < m; ++r) {
+        int64_t g = keys[r] ^ (keys[r] >> 1);
+        deinterleave_point(g, d, k, coords + r * d);
+    }
+}
+
+/* Skilling's AxestoTranspose (per point) — the scalar original of the
+ * vectorized port in repro.curves.hilbert. */
+static void axes_to_transpose_point(int64_t *X, int64_t d, int64_t k)
+{
+    int64_t M = (int64_t)1 << (k - 1);
+    for (int64_t Q = M; Q > 1; Q >>= 1) {
+        int64_t P = Q - 1;
+        for (int64_t i = 0; i < d; ++i) {
+            if (X[i] & Q) {
+                X[0] ^= P;
+            } else {
+                int64_t t = (X[0] ^ X[i]) & P;
+                X[0] ^= t;
+                X[i] ^= t;
+            }
+        }
+    }
+    for (int64_t i = 1; i < d; ++i) X[i] ^= X[i - 1];
+    int64_t t = 0;
+    for (int64_t Q = M; Q > 1; Q >>= 1)
+        if (X[d - 1] & Q) t ^= Q - 1;
+    for (int64_t i = 0; i < d; ++i) X[i] ^= t;
+}
+
+static void transpose_to_axes_point(int64_t *X, int64_t d, int64_t k)
+{
+    int64_t N = (int64_t)2 << (k - 1);
+    int64_t t = X[d - 1] >> 1;
+    for (int64_t i = d - 1; i > 0; --i) X[i] ^= X[i - 1];
+    X[0] ^= t;
+    for (int64_t Q = 2; Q != N; Q <<= 1) {
+        int64_t P = Q - 1;
+        for (int64_t i = d - 1; i >= 0; --i) {
+            if (X[i] & Q) {
+                X[0] ^= P;
+            } else {
+                int64_t t2 = (X[0] ^ X[i]) & P;
+                X[0] ^= t2;
+                X[i] ^= t2;
+            }
+        }
+    }
+}
+
+EXPORT void repro_hilbert_encode(
+    const int64_t *coords, int64_t m, int64_t d, int64_t k, int64_t *keys)
+{
+    int64_t X[REPRO_MAX_D];
+    for (int64_t r = 0; r < m; ++r) {
+        const int64_t *src = coords + r * d;
+        for (int64_t i = 0; i < d; ++i) X[i] = src[i];
+        axes_to_transpose_point(X, d, k);
+        keys[r] = interleave_point(X, d, k);
+    }
+}
+
+EXPORT void repro_hilbert_decode(
+    const int64_t *keys, int64_t m, int64_t d, int64_t k, int64_t *coords)
+{
+    int64_t X[REPRO_MAX_D];
+    for (int64_t r = 0; r < m; ++r) {
+        deinterleave_point(keys[r], d, k, X);
+        transpose_to_axes_point(X, d, k);
+        int64_t *dst = coords + r * d;
+        for (int64_t i = 0; i < d; ++i) dst[i] = X[i];
+    }
+}
+
+/* Boustrophedon scan for any side: the emitted digit of an axis flips
+ * direction with the parity of the higher original coordinates. */
+EXPORT void repro_snake_encode(
+    const int64_t *coords, int64_t m, int64_t d, int64_t side,
+    int64_t *keys)
+{
+    int64_t top = 1;
+    for (int64_t i = 0; i < d - 1; ++i) top *= side;
+    for (int64_t r = 0; r < m; ++r) {
+        const int64_t *x = coords + r * d;
+        int64_t key = 0, parity = 0, weight = top;
+        for (int64_t axis = d - 1; axis >= 0; --axis) {
+            int64_t digit = x[axis];
+            int64_t eff = (parity % 2 == 0) ? digit : side - 1 - digit;
+            key += eff * weight;
+            parity += digit;
+            weight /= side;
+        }
+        keys[r] = key;
+    }
+}
+
+EXPORT void repro_snake_decode(
+    const int64_t *keys, int64_t m, int64_t d, int64_t side,
+    int64_t *coords)
+{
+    int64_t top = 1;
+    for (int64_t i = 0; i < d - 1; ++i) top *= side;
+    for (int64_t r = 0; r < m; ++r) {
+        int64_t rest = keys[r], parity = 0, weight = top;
+        int64_t *x = coords + r * d;
+        for (int64_t axis = d - 1; axis >= 0; --axis) {
+            int64_t eff = rest / weight;
+            rest %= weight;
+            int64_t digit = (parity % 2 == 0) ? eff : side - 1 - eff;
+            x[axis] = digit;
+            parity += digit;
+            weight /= side;
+        }
+    }
+}

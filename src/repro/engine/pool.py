@@ -230,6 +230,7 @@ class ContextPool:
         chunk_cells: Optional[int] = None,
         shared_store: Optional[object] = None,
         threads: Union[None, int, str] = None,
+        backend: str = "auto",
     ) -> None:
         self.max_bytes = max_bytes
         self.derive_transforms = derive_transforms
@@ -238,6 +239,10 @@ class ContextPool:
         #: Worker-thread count handed to every member context (see
         #: :class:`MetricContext`); ``None`` keeps contexts serial.
         self.threads = threads
+        #: Compute backend handed to every member context
+        #: (``"numpy"``/``"native"``/``"auto"``; see
+        #: :mod:`repro.engine.native`).
+        self.backend = backend
         #: One scheduler shared by every member context: without it a
         #: threaded multi-curve sweep would hold threads-per-curve
         #: idle OS threads (each context lazily building its own
@@ -295,6 +300,7 @@ class ContextPool:
                 universe_store=self.universe_store(curve.universe),
                 chunk_cells=self.chunk_cells,
                 threads=self.threads,
+                backend=self.backend,
             )
             if ctx.threads > 1:
                 # All pooled contexts resolve the same thread count,

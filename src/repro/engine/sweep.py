@@ -563,6 +563,7 @@ _Task = Tuple[
     Optional[int],
     Optional[int],
     int,
+    str,
 ]
 
 #: Metric names whose evaluation walks the curve order / windowed
@@ -600,6 +601,7 @@ def _run_cell(
         chunk_cells,
         max_bytes,
         threads,
+        backend,
     ) = task
     universe = Universe(d=d, side=side)
     spec = CurveSpec.parse(spec_text)
@@ -631,6 +633,7 @@ def _run_cell(
             chunk_cells=chunk_cells,
             shared_store=shared_store,
             threads=threads,
+            backend=backend,
         )
         ctx = cell_pool.get(curve)
     else:
@@ -639,9 +642,16 @@ def _run_cell(
             max_bytes=max_bytes,
             chunk_cells=chunk_cells,
             threads=threads,
+            backend=backend,
         )
     if pool is None and cell_pool is None and stats_sink is not None:
         stats_sink.append(ctx.stats)
+    # Record which backend actually serves this cell (the *resolved*
+    # backend: an unavailable "native" request degrades to "numpy"), so
+    # --stats / the serve /stats payload can report it.
+    ctx.stats.backends[ctx.backend] = (
+        ctx.stats.backends.get(ctx.backend, 0) + 1
+    )
     values = {}
     for text in metrics:
         metric_spec = MetricSpec.parse(text)
@@ -891,6 +901,12 @@ class Sweep:
     #: Threaded results are bit-for-bit identical to serial runs; see
     #: :mod:`repro.engine.threads`.
     threads: Union[None, int, str] = None
+    #: Compute backend for every cell: ``"numpy"``, ``"native"`` (warn
+    #: once and fall back when the compiled kernels are unavailable) or
+    #: ``"auto"`` (native when available).  Backend choice never
+    #: changes values — see :mod:`repro.engine.native`.  The per-cell
+    #: resolution is recorded in :attr:`CacheStats.backends`.
+    backend: str = "auto"
 
     def resolve_thread_count(self) -> int:
         """The concrete per-cell worker-thread count of this sweep."""
@@ -951,6 +967,13 @@ class Sweep:
             )
         for spec in specs:  # validate params eagerly, before any work
             spec.bind()
+        from repro.engine.native import BACKENDS
+
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {list(BACKENDS)}, "
+                f"got {self.backend!r}"
+            )
         metric_texts = tuple(s.label for s in specs)
         thread_count = self.resolve_thread_count()
         tasks: List[_Task] = []
@@ -984,6 +1007,7 @@ class Sweep:
                         self.resolve_chunk_cells(universe),
                         self.max_bytes,
                         thread_count,
+                        self.backend,
                     )
                 )
         return tasks, skipped
@@ -1077,6 +1101,7 @@ class Sweep:
                         max_bytes=self.max_bytes,
                         chunk_cells=task[9],
                         threads=task[11],
+                        backend=task[12],
                     )
                     pool_universe = (task[0], task[1])
                 outcome_of[task] = _run_cell(

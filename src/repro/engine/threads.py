@@ -372,7 +372,9 @@ def _nn_range_kernel(ctx, lo: int, hi: int, scheduler: BlockScheduler):
     best = scratch.take("nn_best", shape, np.int64)
     best[...] = 0
     lambdas = [0] * d
-    accumulate_block_pairs(body, d, side, sums, best, lambdas, scratch)
+    accumulate_block_pairs(
+        body, d, side, sums, best, lambdas, scratch, kernels=ctx.kernels
+    )
     plane_shape = (1,) + shape[1:]
     if lo > 0:
         bdist = scratch.take("nn_bdist", plane_shape, np.int64)
@@ -388,7 +390,7 @@ def _nn_range_kernel(ctx, lo: int, hi: int, scheduler: BlockScheduler):
         sums[-1:] += udist
         np.maximum(best[-1:], udist, out=best[-1:])
     counts = scratch.take("nn_counts", shape, np.int64)
-    slab_neighbor_counts(universe, lo, hi, out=counts)
+    slab_neighbor_counts(universe, lo, hi, out=counts, kernels=ctx.kernels)
     avg = np.empty(shape, dtype=np.float64)
     np.divide(sums, counts, out=avg)
     return avg.reshape(-1), lambdas, int(best.sum())
@@ -439,15 +441,29 @@ def threaded_nn_reduction(ctx) -> dict:
 # The threaded window-dilation reduction
 # ----------------------------------------------------------------------
 def _block_max_distance(
-    a: np.ndarray, b: np.ndarray, metric: str, scratch: ScratchBuffers
+    a: np.ndarray,
+    b: np.ndarray,
+    metric: str,
+    scratch: ScratchBuffers,
+    kernels=None,
 ):
     """Max grid distance over one block of cell pairs, scratch-backed.
 
     Operation-for-operation identical to
     :func:`repro.grid.metrics.manhattan` / ``euclidean`` followed by
     ``.max()`` — only the temporaries' storage differs — so block
-    maxima merge to the dense value exactly (max is order-free).
+    maxima merge to the dense value exactly (max is order-free).  With
+    the native ``kernels`` the whole fold runs as one C call (integer
+    maxima; the euclidean variant maximizes the squared sum and takes a
+    single sqrt — a monotone map, hence bit-identical).
     """
+    if (
+        kernels is not None
+        and a.flags["C_CONTIGUOUS"]
+        and b.flags["C_CONTIGUOUS"]
+    ):
+        value = kernels.window_max(a, b, metric)
+        return int(value) if metric == "manhattan" else value
     m, d = a.shape
     diff = scratch.take("win_diff", (m, d), np.int64)
     np.subtract(a, b, out=diff)
@@ -492,11 +508,13 @@ def threaded_window_max(ctx, window: int, metric: str = "manhattan"):
         def run():
             if path is None:
                 idx = np.arange(t0, t1, dtype=np.int64)
-                a = ctx.curve.coords(idx)
-                b = ctx.curve.coords(idx + window)
+                a = ctx.curve.coords_of(idx, backend=ctx.backend)
+                b = ctx.curve.coords_of(idx + window, backend=ctx.backend)
             else:
                 a, b = path[t0:t1], path[t0 + window : t1 + window]
-            return _block_max_distance(a, b, metric, scheduler.scratch())
+            return _block_max_distance(
+                a, b, metric, scheduler.scratch(), kernels=ctx.kernels
+            )
 
         return run
 

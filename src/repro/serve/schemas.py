@@ -63,9 +63,9 @@ class SweepRequest:
     Mirrors the ``repro sweep`` surface: universes come from
     ``dims × sides`` and/or explicit ``universes`` pairs; ``curves`` and
     ``metrics`` take the registry spec grammar (``"gray"``,
-    ``"random:seed=3"``, ``"dilation:window=16"``); ``chunk_cells`` and
-    ``threads`` are the engine execution knobs.  ``timeout_s`` overrides
-    the server's default per-request timeout.
+    ``"random:seed=3"``, ``"dilation:window=16"``); ``chunk_cells``,
+    ``threads`` and ``backend`` are the engine execution knobs.
+    ``timeout_s`` overrides the server's default per-request timeout.
     """
 
     dims: Tuple[int, ...] = ()
@@ -75,6 +75,7 @@ class SweepRequest:
     metrics: Optional[Tuple[str, ...]] = None
     chunk_cells: Optional[int] = None
     threads: Union[None, int, str] = None
+    backend: Optional[str] = None
     strict: bool = False
     timeout_s: Optional[float] = None
 
@@ -86,6 +87,7 @@ class SweepRequest:
         "metrics",
         "chunk_cells",
         "threads",
+        "backend",
         "strict",
         "timeout_s",
     )
@@ -137,6 +139,11 @@ class SweepRequest:
                 raise ValueError('threads must be a positive int or "auto"')
             if threads < 1:
                 raise ValueError("threads must be >= 1")
+        backend = payload.get("backend")
+        if backend is not None and backend not in ("numpy", "native", "auto"):
+            raise ValueError(
+                'backend must be one of "numpy", "native", "auto"'
+            )
         strict = payload.get("strict", False)
         if not isinstance(strict, bool):
             raise ValueError("strict must be a boolean")
@@ -157,6 +164,7 @@ class SweepRequest:
             metrics=metrics,
             chunk_cells=chunk_cells,
             threads=threads,
+            backend=backend,
             strict=strict,
             timeout_s=timeout_s,
         )
@@ -171,6 +179,7 @@ class SweepRequest:
             "metrics": None if self.metrics is None else list(self.metrics),
             "chunk_cells": self.chunk_cells,
             "threads": self.threads,
+            "backend": self.backend,
             "strict": self.strict,
             "timeout_s": self.timeout_s,
         }
@@ -179,6 +188,7 @@ class SweepRequest:
         self,
         max_bytes: Optional[int],
         default_threads: Union[None, int, str] = None,
+        default_backend: str = "auto",
     ) -> Sweep:
         """The equivalent :class:`repro.engine.Sweep` declaration.
 
@@ -189,6 +199,7 @@ class SweepRequest:
         fail with exactly the CLI's error messages.
         """
         threads = self.threads if self.threads is not None else default_threads
+        backend = self.backend if self.backend is not None else default_backend
         return Sweep(
             dims=list(self.dims) or None,
             sides=list(self.sides) or None,
@@ -201,6 +212,7 @@ class SweepRequest:
             chunk_cells=self.chunk_cells,
             max_bytes=max_bytes,
             threads=threads,
+            backend=backend,
         )
 
 

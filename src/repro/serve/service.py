@@ -105,6 +105,9 @@ class ServeConfig:
     max_bytes: Optional[int] = DEFAULT_CACHE_BYTES
     #: Default worker threads per cell for requests that don't choose.
     threads: Union[None, int, str] = None
+    #: Default compute backend for requests that don't choose
+    #: (``"numpy"``, ``"native"``, or ``"auto"``).
+    backend: str = "auto"
 
 
 class SweepService:
@@ -143,10 +146,13 @@ class SweepService:
     # Engine state
     # ------------------------------------------------------------------
     def _pool_for(
-        self, chunk_cells: Optional[int], threads: Optional[int]
+        self,
+        chunk_cells: Optional[int],
+        threads: Optional[int],
+        backend: str = "auto",
     ) -> ContextPool:
         """The persistent pool of one execution mode (created once)."""
-        key = (chunk_cells, threads)
+        key = (chunk_cells, threads, backend)
         with self._pool_lock:
             pool = self._pools.get(key)
             if pool is None:
@@ -155,6 +161,7 @@ class SweepService:
                     chunk_cells=chunk_cells,
                     shared_store=self.store,
                     threads=threads,
+                    backend=backend,
                 )
                 self._pools[key] = pool
             return pool
@@ -170,7 +177,9 @@ class SweepService:
             universe = Universe(d=d, side=side)
             spec = CurveSpec.parse(spec_text)
             curve = spec.make(universe)
-            pool = self._pool_for(None, self._default_threads)
+            pool = self._pool_for(
+                None, self._default_threads, self.config.backend
+            )
             ctx = pool.get(curve)
             skey = shared_key(curve)
             if skey is not None and (skey, "key_grid") not in self.store:
@@ -201,7 +210,7 @@ class SweepService:
         outcomes = []
         for task in tasks:
             try:
-                pool = self._pool_for(task[9], task[11])
+                pool = self._pool_for(task[9], task[11], task[12])
                 outcomes.append(_run_cell(task, pool=pool))
             except Exception as exc:
                 outcomes.append(exc)
@@ -263,6 +272,7 @@ class SweepService:
             sweep = request.to_sweep(
                 max_bytes=self.config.max_bytes,
                 default_threads=self.config.threads,
+                default_backend=self.config.backend,
             )
             tasks, planned_skips = sweep._plan()
         except (ValueError, KeyError) as exc:
@@ -378,7 +388,9 @@ class SweepService:
                 "computes": dict(stats.computes),
                 "derived": dict(stats.derived),
                 "shared": dict(stats.shared),
+                "backends": dict(stats.backends),
             },
+            "backend": self.config.backend,
             "counters": counters,
             "inflight": len(self.flight),
             "pools": len(pools),

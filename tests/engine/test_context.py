@@ -33,7 +33,9 @@ class TestComputeOnce:
         assert ctx.stats.hits > 0
 
     def test_report_reuses_context_intermediates(self, u2_8):
-        ctx = MetricContext(ZCurve(u2_8))
+        # backend="numpy": the native backend serves the per-cell
+        # grids from one fused pass, so axis_dist never materializes.
+        ctx = MetricContext(ZCurve(u2_8), backend="numpy")
         ctx.stretch_report(include_allpairs=True)
         ctx.stretch_report(include_allpairs=True)
         for axis in range(u2_8.d):
@@ -111,7 +113,8 @@ class TestBoundedStore:
             arr[0] = 0
 
     def test_clear_cache(self, u2_8):
-        ctx = MetricContext(ZCurve(u2_8))
+        # backend="numpy": axis_dist exists only on the NumPy path.
+        ctx = MetricContext(ZCurve(u2_8), backend="numpy")
         ctx.davg()
         assert ctx.cache_bytes > 0
         ctx.clear_cache()

@@ -1,0 +1,305 @@
+"""The native compiled-kernel backend: parity, fallback, batch API.
+
+The backend contract is *bit-for-bit identity*: every metric value and
+every key computed through the C kernels must equal the pure-NumPy
+reference exactly (``==``, never ``approx``).  These tests exercise
+
+* encode/decode parity for **every** registry curve (including
+  non-power-of-two sides, degenerate ``side=1`` grids and transform
+  wrappers) against the independent :meth:`index`/:meth:`coords`
+  implementations;
+* the metric parity matrix {dense, chunked, threaded} x
+  {numpy, native};
+* backend resolution, ``REPRO_NATIVE=0``, and the warn-once fallback
+  when ``backend="native"`` cannot be honored.
+
+Native-only assertions skip cleanly on hosts without a C compiler —
+the degradation path itself is tested unconditionally.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.curves.registry import curves_for_universe
+from repro.engine import native
+from repro.engine.context import MetricContext
+from repro.engine.sweep import CurveSpec, Sweep
+from repro.grid.universe import Universe
+
+requires_native = pytest.mark.skipif(
+    not native.available(),
+    reason=f"native backend unavailable: {native.unavailable_reason()}",
+)
+
+
+@pytest.fixture
+def fresh_native(monkeypatch):
+    """Reset the module's memoized load/warn state around a test."""
+    native.reset_for_tests()
+    yield monkeypatch
+    native.reset_for_tests()
+
+
+# ----------------------------------------------------------------------
+# Backend resolution and graceful degradation
+# ----------------------------------------------------------------------
+class TestResolveBackend:
+    def test_numpy_always_resolves_to_numpy(self):
+        assert native.resolve_backend("numpy") == "numpy"
+
+    def test_none_means_auto(self):
+        assert native.resolve_backend(None) in ("numpy", "native")
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="backend must be one of"):
+            native.resolve_backend("fortran")
+
+    @requires_native
+    def test_auto_prefers_native_when_available(self):
+        assert native.resolve_backend("auto") == "native"
+        assert native.resolve_backend("native") == "native"
+
+    def test_repro_native_0_disables(self, fresh_native):
+        fresh_native.setenv("REPRO_NATIVE", "0")
+        assert not native.available()
+        assert "REPRO_NATIVE=0" in native.unavailable_reason()
+        assert native.resolve_backend("auto") == "numpy"
+
+    def test_missing_compiler_warns_once_not_per_cell(self, fresh_native):
+        fresh_native.setenv("REPRO_NATIVE_CC", "/nonexistent/compiler")
+        assert not native.available()
+        with pytest.warns(RuntimeWarning, match="repro doctor"):
+            assert native.resolve_backend("native") == "numpy"
+        # Every later resolution — e.g. one per sweep cell — is silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for _ in range(5):
+                assert native.resolve_backend("native") == "numpy"
+
+    def test_auto_never_warns_when_unavailable(self, fresh_native):
+        fresh_native.setenv("REPRO_NATIVE_CC", "/nonexistent/compiler")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert native.resolve_backend("auto") == "numpy"
+
+    def test_context_degrades_to_numpy(self, fresh_native, u2_8):
+        """A backend='native' context on a compilerless host computes
+        (NumPy) values instead of failing."""
+        fresh_native.setenv("REPRO_NATIVE_CC", "/nonexistent/compiler")
+        curve = CurveSpec.parse("hilbert").make(u2_8)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            ctx = MetricContext(curve, backend="native")
+        assert ctx.backend == "numpy"
+        assert ctx.kernels is None
+        reference = MetricContext(curve, backend="numpy")
+        assert ctx.davg() == reference.davg()
+
+    def test_build_info_is_reportable(self):
+        info = native.build_info()
+        assert set(info) >= {
+            "available",
+            "disabled",
+            "compiler",
+            "cache_dir",
+            "so_path",
+            "build_log",
+            "reason",
+        }
+        assert isinstance(info["available"], bool)
+
+
+# ----------------------------------------------------------------------
+# Batch encode/decode parity: every registry curve, awkward geometries
+# ----------------------------------------------------------------------
+PARITY_UNIVERSES = [
+    Universe(d=2, side=8),
+    Universe(d=3, side=4),
+    Universe(d=2, side=7),  # non-power-of-two
+    Universe(d=3, side=5),  # non-power-of-two, odd
+    Universe(d=2, side=1),  # degenerate single cell
+    Universe(d=1, side=16),
+]
+
+
+class TestBatchCodecParity:
+    @pytest.mark.parametrize(
+        "universe", PARITY_UNIVERSES, ids=lambda u: f"{u.d}x{u.side}"
+    )
+    def test_every_registry_curve_round_trips(self, universe):
+        """keys_of/coords_of equal index/coords for every curve that
+        instantiates on the universe — native codec or NumPy fallback,
+        the caller cannot tell."""
+        cells = universe.all_coords()
+        for name, curve in curves_for_universe(universe).items():
+            for backend in ("numpy", "native", "auto"):
+                keys = curve.keys_of(cells, backend=backend)
+                assert keys.dtype == np.int64, (name, backend)
+                np.testing.assert_array_equal(
+                    keys, curve.index(cells), err_msg=f"{name}/{backend}"
+                )
+                coords = curve.coords_of(keys, backend=backend)
+                np.testing.assert_array_equal(
+                    coords, cells, err_msg=f"{name}/{backend}"
+                )
+
+    @pytest.mark.parametrize(
+        "universe", PARITY_UNIVERSES, ids=lambda u: f"{u.d}x{u.side}"
+    )
+    def test_key_grid_parity(self, universe):
+        """The batch encoder reproduces the dense reference key grid."""
+        cells = universe.all_coords()
+        for name, curve in curves_for_universe(universe).items():
+            grid = np.ascontiguousarray(
+                curve.keys_of(cells, backend="native").reshape(
+                    universe.shape, order="F"
+                )
+            )
+            np.testing.assert_array_equal(
+                grid, curve.key_grid(), err_msg=name
+            )
+
+    def test_transform_curve_routes_through_inner(self, u2_8):
+        """A transform wrapper (no native codec of its own) batch-encodes
+        via its inner curve's codec and stays exact."""
+        curve = CurveSpec.parse("reversed:inner=hilbert").make(u2_8)
+        cells = u2_8.all_coords()
+        np.testing.assert_array_equal(
+            curve.keys_of(cells, backend="native"), curve.index(cells)
+        )
+        np.testing.assert_array_equal(
+            curve.coords_of(curve.index(cells), backend="native"), cells
+        )
+
+    @requires_native
+    def test_native_codec_actually_engages(self, u2_8):
+        """Guard against silently falling back everywhere: the four
+        analytic families do get a codec on a pow-2 grid."""
+        for spec in ("z", "gray", "hilbert", "snake"):
+            curve = CurveSpec.parse(spec).make(u2_8)
+            assert native.encoder_for(curve) is not None, spec
+
+    @requires_native
+    def test_degenerate_and_unsupported_get_no_codec(self):
+        u_one = Universe(d=2, side=1)
+        for name, curve in curves_for_universe(u_one).items():
+            assert native.encoder_for(curve) is None, name
+
+
+# ----------------------------------------------------------------------
+# Metric parity matrix: {dense, chunked, threaded} x {numpy, native}
+# ----------------------------------------------------------------------
+MATRIX_SPECS = ("hilbert", "z", "snake")
+MATRIX_UNIVERSES = [Universe(d=2, side=8), Universe(d=3, side=4)]
+
+
+def _metric_values(ctx: MetricContext) -> dict:
+    return {
+        "davg": ctx.davg(),
+        "dmax": ctx.dmax(),
+        "lambdas": ctx.lambda_sums().tolist(),
+        "nn_mean": ctx.nn_mean(),
+        "dilation3_man": ctx.window_dilation(3, metric="manhattan"),
+        "dilation3_euc": ctx.window_dilation(3, metric="euclidean"),
+    }
+
+
+@requires_native
+class TestMetricParityMatrix:
+    @pytest.mark.parametrize(
+        "universe", MATRIX_UNIVERSES, ids=lambda u: f"{u.d}x{u.side}"
+    )
+    @pytest.mark.parametrize("spec", MATRIX_SPECS)
+    @pytest.mark.parametrize(
+        "mode",
+        ["dense", "chunked", "threaded"],
+    )
+    def test_native_equals_numpy_exactly(self, universe, spec, mode):
+        kwargs = {}
+        if mode == "chunked":
+            kwargs["chunk_cells"] = 17  # awkward block size on purpose
+        elif mode == "threaded":
+            kwargs["chunk_cells"] = 17
+            kwargs["threads"] = 3
+        curve = CurveSpec.parse(spec).make(universe)
+        got = _metric_values(
+            MetricContext(curve, backend="native", **kwargs)
+        )
+        want = _metric_values(
+            MetricContext(curve, backend="numpy", **kwargs)
+        )
+        # Exact equality, floats included: the C kernels only produce
+        # int64 partials; float math stays in Python on both paths.
+        assert got == want
+
+    def test_dense_native_matches_dense_numpy_per_cell_grids(self, u2_8):
+        curve = CurveSpec.parse("hilbert").make(u2_8)
+        nat = MetricContext(curve, backend="native")
+        ref = MetricContext(curve, backend="numpy")
+        np.testing.assert_array_equal(
+            nat.per_cell_stretch_sums()[0], ref.per_cell_stretch_sums()[0]
+        )
+        np.testing.assert_array_equal(
+            nat.per_cell_max_stretch(), ref.per_cell_max_stretch()
+        )
+        np.testing.assert_array_equal(
+            nat.neighbor_counts(), ref.neighbor_counts()
+        )
+
+
+# ----------------------------------------------------------------------
+# Sweep integration: backend knob, per-cell backend accounting
+# ----------------------------------------------------------------------
+class TestSweepBackend:
+    def test_invalid_backend_fails_at_plan_time(self):
+        with pytest.raises(ValueError, match="backend"):
+            Sweep(dims=[2], sides=[4], backend="cuda").run()
+
+    def test_backend_parity_across_sweeps(self):
+        base = dict(
+            dims=[2],
+            sides=[8],
+            curves=["z", "hilbert", "reversed:inner=hilbert"],
+            metrics=["davg", "dmax", "nn_mean", "lambdas"],
+            reports=False,
+        )
+        numpy_run = Sweep(backend="numpy", **base).run()
+        native_run = Sweep(backend="native", **base).run()
+        for a, b in zip(numpy_run.records, native_run.records):
+            assert a.spec == b.spec
+            assert a.values == b.values  # exact, floats included
+
+    def test_stats_record_serving_backend(self):
+        result = Sweep(
+            dims=[2], sides=[8], curves=["z"], metrics=["davg"],
+            reports=False, backend="numpy",
+        ).run()
+        assert result.cache_stats.backends == {"numpy": 1}
+
+    @requires_native
+    def test_stats_record_native_cells(self):
+        result = Sweep(
+            dims=[2], sides=[8], curves=["z", "hilbert"],
+            metrics=["davg"], reports=False, backend="native",
+        ).run()
+        assert result.cache_stats.backends == {"native": 2}
+
+
+# ----------------------------------------------------------------------
+# Build pipeline hygiene
+# ----------------------------------------------------------------------
+@requires_native
+class TestBuildPipeline:
+    def test_so_and_build_log_exist(self):
+        info = native.build_info()
+        assert os.path.exists(info["so_path"])
+        assert os.path.exists(info["build_log"])
+
+    def test_cache_dir_override(self, fresh_native, tmp_path):
+        fresh_native.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+        assert native.available()
+        assert str(native.build_info()["so_path"]).startswith(str(tmp_path))

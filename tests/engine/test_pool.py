@@ -203,7 +203,9 @@ class TestTransformDerivation:
         )
 
     def test_derivations_not_counted_as_computes(self, u2_8):
-        pool = ContextPool()
+        # backend="numpy": axis_dist derivations exist only on the
+        # NumPy path (native serves per-cell grids from a fused pass).
+        pool = ContextPool(backend="numpy")
         rev = ReversedCurve(ZCurve(u2_8))
         ctx = pool.get(rev)
         ctx.davg()
@@ -212,7 +214,7 @@ class TestTransformDerivation:
             assert ctx.stats.derived_count(f"axis_dist[{axis}]") == 1
 
     def test_derivation_disabled(self, u2_8):
-        pool = ContextPool(derive_transforms=False)
+        pool = ContextPool(derive_transforms=False, backend="numpy")
         rev = ReversedCurve(ZCurve(u2_8))
         ctx = pool.get(rev)
         ctx.davg()

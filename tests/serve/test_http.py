@@ -149,3 +149,63 @@ class TestConcurrentDedup:
             assert after["counters"]["cells_started"] == 1
             assert after["counters"]["deduped_cells"] == 7
             assert after["counters"]["requests"] >= 8
+
+
+class TestBackendOverHTTP:
+    """`repro serve --backend native` stays bit-for-bit the CLI and
+    reports the serving backend in /stats (degrades to numpy cleanly
+    on compilerless hosts, so no skip guard)."""
+
+    def test_native_server_matches_cli_and_reports_backend(self):
+        from repro.serve import BackgroundServer, ServeConfig
+
+        config = ServeConfig(
+            port=0,
+            hot_set=(("hilbert", 2, 8),),
+            batch_window_s=0.001,
+            backend="native",
+        )
+        with BackgroundServer(config) as server:
+            status, payload = fetch(
+                server.url + "/sweep", payload=SWEEP_BODY
+            )
+            assert status == 200
+            response = SweepResponse.from_dict(payload)
+            cli = Sweep(
+                dims=[2],
+                sides=[8],
+                curves=SWEEP_BODY["curves"],
+                reports=False,
+            ).run()
+            assert len(response.records) == len(cli.records)
+            for http_rec, cli_rec in zip(response.records, cli.records):
+                for label, value in cli_rec.values.items():
+                    expected = (
+                        list(value) if isinstance(value, tuple) else value
+                    )
+                    assert http_rec.values[label] == expected
+            status, stats = fetch(server.url + "/stats")
+            assert status == 200
+            assert stats["backend"] == "native"
+            served = stats["cache"]["backends"]
+            # Which backend actually served depends on host compiler
+            # availability, but every cell must be accounted for.
+            assert sum(served.values()) == len(SWEEP_BODY["curves"])
+            assert set(served) <= {"numpy", "native"}
+
+    def test_per_request_backend_override(self, server):
+        body = dict(SWEEP_BODY, backend="numpy")
+        status, _ = fetch(server.url + "/sweep", payload=body)
+        assert status == 200
+        status, stats = fetch(server.url + "/stats")
+        assert stats["cache"]["backends"].get("numpy", 0) >= len(
+            SWEEP_BODY["curves"]
+        )
+
+    def test_bad_backend_400(self, server):
+        status, payload = fetch(
+            server.url + "/sweep",
+            payload=dict(SWEEP_BODY, backend="cuda"),
+        )
+        assert status == 400
+        assert "backend" in payload["error"]
