@@ -18,8 +18,11 @@ Subcommands
 * ``optimal``   — adversarial search for a better curve (bound probe).
 * ``export``    — save a curve's key grid to a portable ``.npz``.
 * ``doctor``    — one-screen host report: native-backend availability
-  (compiler, cached ``.so``, build log), usable cores/threads, and
-  shared-memory status.
+  (compiler, cached ``.so``, build log), sanitizer build mode, usable
+  cores/threads, shared-memory status, and the static-analysis
+  surface.
+* ``check``     — run the invariant lint rules (R001–R004) over the
+  source tree; exits 1 on findings (``--format=json`` for CI).
 """
 
 from __future__ import annotations
@@ -286,10 +289,54 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "One-screen report of what the engine can use on this "
             "host: native compiled-kernel backend availability "
-            "(compiler, cached .so, build log path), usable CPU cores "
-            "and the resolved thread default, and shared-memory "
-            "segment support."
+            "(compiler, cached .so, build log path), sanitizer build "
+            "mode (REPRO_NATIVE_SANITIZE, -fsanitize support, "
+            "clean-vs-sanitized cache dirs), usable CPU cores and the "
+            "resolved thread default, shared-memory segment support, "
+            "and the static-analysis rule surface behind "
+            "'repro check'."
         ),
+    )
+
+    p_check = sub.add_parser(
+        "check",
+        help="run the invariant lint rules over the source tree",
+        description=(
+            "Static analysis of the engine's hand-enforced invariants: "
+            "R001 float determinism (block reductions stream through "
+            "pairwise_sum_stream), R002 lock discipline (guarded "
+            "attributes stay behind their lock), R003 read-only "
+            "returns (public methods freeze shared arrays), R004 "
+            "allocation-free hot kernels.  Exits 1 when findings "
+            "remain after '# repro: allow[RULE]' suppressions; see "
+            "docs/static-analysis.md."
+        ),
+    )
+    p_check.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed "
+        "repro package source)",
+    )
+    p_check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="format",
+        help="findings as 'path:line:col: RULE message' lines (text, "
+        "default) or a machine-readable report (json)",
+    )
+    p_check.add_argument(
+        "--rules",
+        type=csv_specs,
+        default=None,
+        metavar="R001,R003",
+        help="run only these rule ids (default: all)",
+    )
+    p_check.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
     )
 
     p_metrics = sub.add_parser(
@@ -770,6 +817,35 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    import repro
+    from pathlib import Path
+
+    from repro.devtools import (
+        LINT_VERSION,
+        format_json,
+        format_text,
+        lint_paths,
+    )
+    from repro.devtools.rules import all_rules, rules_by_id
+
+    rules = all_rules() if args.rules is None else rules_by_id(args.rules)
+    if args.list_rules:
+        print(f"# repro check — rule catalogue (framework v{LINT_VERSION})")
+        for rule in rules:
+            print(f"  {rule.rule_id}  {rule.title}")
+            print(f"        scope: {', '.join(rule.scope)}")
+            print(f"        why:   {rule.rationale}")
+        return 0
+    paths = args.paths or [Path(repro.__file__).resolve().parent]
+    findings = lint_paths(paths, rules=rules)
+    if args.format == "json":
+        print(format_json(findings, rules=rules))
+    else:
+        print(format_text(findings))
+    return 1 if findings else 0
+
+
 def _cmd_doctor(args: argparse.Namespace) -> int:
     import os
 
@@ -795,6 +871,30 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
     log = info["build_log"]
     if log is not None and os.path.exists(log):
         print(f"  build log: {log}")
+    print()
+    print("[sanitizer builds]")
+    mode = info["sanitize"]
+    print(f"  REPRO_NATIVE_SANITIZE: {mode or '(off)'}")
+    supported = info["sanitize_supported"]
+    if supported is None:
+        print("  -fsanitize support:    unknown (no compiler)")
+    else:
+        print(
+            f"  -fsanitize support:    "
+            f"{'yes' if supported else 'NO (probe compile failed)'}"
+        )
+    if info["clean_dir"] is not None:
+        print(f"  clean cache:     {info['clean_dir']}")
+        print(f"  sanitized cache: {info['sanitized_dir']}")
+    print()
+    print("[static analysis]")
+    from repro.devtools import LINT_VERSION
+    from repro.devtools.rules import all_rules
+
+    rules = all_rules()
+    ids = ", ".join(rule.rule_id for rule in rules)
+    print(f"  lint rules: {len(rules)} ({ids}), framework v{LINT_VERSION}")
+    print("  run:        repro check [--format=json] [--list-rules]")
     print()
     print("[cores and threads]")
     try:
@@ -850,6 +950,7 @@ _COMMANDS = {
     "export": _cmd_export,
     "heatmap": _cmd_heatmap,
     "doctor": _cmd_doctor,
+    "check": _cmd_check,
 }
 
 

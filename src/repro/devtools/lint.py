@@ -1,0 +1,285 @@
+"""The lint framework behind ``repro check``.
+
+Zero-dependency (stdlib only, by design: the checker must run on the
+bare CI legs that have no NumPy).  It walks ``.py`` files, parses them
+with :mod:`ast`, runs every applicable :class:`LintRule` and filters
+findings through ``# repro: allow[RULE]`` suppression comments.
+
+Pieces
+------
+* :class:`Finding` — one structured violation (``rule``, ``path``,
+  ``line``, ``col``, ``message``) with a clickable ``path:line``
+  rendering and a JSON round trip.
+* :class:`LintRule` — per-rule visitor base class.  Rules declare a
+  ``scope`` of path patterns (suffix-matched, so the same rule works on
+  ``src/repro/engine/chunked.py`` and a bare ``chunked.py``); scoping
+  can be overridden with ``force=True`` so fixture tests can aim any
+  rule at any file.
+* :func:`suppressed_lines` — tokenize-based comment scan.  A
+  ``# repro: allow[R001]`` (or ``allow[R001,R003]``) comment suppresses
+  matching findings on its own line; when the comment stands alone on a
+  line, it suppresses the next code line below it (comment blocks and
+  blank lines are skipped over) instead.
+* :func:`lint_paths` / :func:`format_text` / :func:`format_json` — the
+  API the CLI uses.
+
+Suppressions are an audit trail, not an escape hatch: policy (see
+``docs/static-analysis.md``) is that every ``allow`` carries a reason
+after the bracket.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import asdict, dataclass
+from pathlib import Path, PurePath
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+__all__ = [
+    "LINT_VERSION",
+    "Finding",
+    "LintRule",
+    "format_json",
+    "format_text",
+    "iter_python_files",
+    "lint_paths",
+    "suppressed_lines",
+]
+
+#: Version of the lint framework + rule set, surfaced by ``repro
+#: doctor`` and embedded in ``--format=json`` output so CI artifacts
+#: are comparable across revisions.  Bump when rule semantics change.
+LINT_VERSION = "1"
+
+#: Rule id reserved for files the checker cannot parse.
+PARSE_RULE_ID = "PARSE"
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def location(self) -> str:
+        """``path:line`` — the clickable prefix of the text rendering."""
+        return f"{self.path}:{self.line}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Finding":
+        return cls(
+            rule=payload["rule"],
+            path=payload["path"],
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+            message=payload["message"],
+        )
+
+
+def path_matches(path: object, pattern: str) -> bool:
+    """Suffix-match ``pattern`` against a posix-normalized ``path``.
+
+    ``engine/chunked.py`` matches ``src/repro/engine/chunked.py``,
+    ``/abs/engine/chunked.py`` and ``engine/chunked.py`` itself, but
+    not ``tests/engine/chunked_fixtures.py``.
+    """
+    posix = PurePath(str(path)).as_posix()
+    return posix == pattern or posix.endswith("/" + pattern)
+
+
+class LintRule:
+    """Base class for one invariant check.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    returning findings for one parsed module.  ``scope`` limits which
+    files the rule sees by default; the framework applies a rule to a
+    file when any scope pattern suffix-matches it (or always, under
+    ``force=True``).
+    """
+
+    rule_id: str = "R000"
+    title: str = ""
+    rationale: str = ""
+    version: int = 1
+    #: Path patterns (see :func:`path_matches`) the rule applies to.
+    scope: Sequence[str] = ()
+
+    def applies_to(self, path: object) -> bool:
+        return any(path_matches(path, pattern) for pattern in self.scope)
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+    def describe(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "title": self.title,
+            "version": self.version,
+            "scope": list(self.scope),
+        }
+
+
+def suppressed_lines(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule ids suppressed there.
+
+    Built from ``# repro: allow[R001]`` comments via :mod:`tokenize`
+    (so ``allow`` text inside string literals never counts).  A
+    trailing comment suppresses its own line; a comment alone on a line
+    suppresses the next code line (skipping over the rest of the
+    comment block and blank lines), which is how multi-line statements
+    and long explanations are annotated.
+    """
+    suppressed: Dict[int, Set[str]] = {}
+    lines = source.splitlines()
+
+    def next_code_line(after: int) -> int:
+        """First 1-based line > ``after`` that is not blank/comment."""
+        for index in range(after, len(lines)):
+            stripped = lines[index].strip()
+            if stripped and not stripped.startswith("#"):
+                return index + 1
+        return after
+
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(tok.string)
+            if match is None:
+                continue
+            rules = {
+                part.strip()
+                for part in match.group(1).split(",")
+                if part.strip()
+            }
+            line = tok.start[0]
+            before = tok.line[: tok.start[1]]
+            target = next_code_line(line) if not before.strip() else line
+            suppressed.setdefault(target, set()).update(rules)
+    except tokenize.TokenError:
+        pass
+    return suppressed
+
+
+def iter_python_files(paths: Iterable[object]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` (dirs recursed, sorted;
+    hidden directories and ``__pycache__`` skipped)."""
+    seen: Set[Path] = set()
+    for entry in paths:
+        root = Path(entry)
+        if root.is_dir():
+            candidates = sorted(root.rglob("*.py"))
+        else:
+            candidates = [root]
+        for path in candidates:
+            if any(
+                part == "__pycache__" or part.startswith(".")
+                for part in path.parts[1:]  # allow a leading "./" or "../"
+            ):
+                continue
+            if path.suffix != ".py" or path in seen:
+                continue
+            seen.add(path)
+            yield path
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Sequence[LintRule],
+    force: bool = False,
+) -> List[Finding]:
+    """Run ``rules`` over one module's source text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=PARSE_RULE_ID,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                message=f"cannot parse file: {exc.msg}",
+            )
+        ]
+    findings: List[Finding] = []
+    for rule in rules:
+        if force or rule.applies_to(path):
+            findings.extend(rule.check(tree, path))
+    if not findings:
+        return []
+    allow = suppressed_lines(source)
+    kept = [f for f in findings if f.rule not in allow.get(f.line, ())]
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept
+
+
+def lint_paths(
+    paths: Iterable[object],
+    rules: Optional[Sequence[LintRule]] = None,
+    force: bool = False,
+) -> List[Finding]:
+    """Lint every python file under ``paths`` with ``rules``.
+
+    ``rules=None`` uses the full registered rule set.  ``force=True``
+    disregards rule scopes — fixture tests use it to aim a rule at a
+    file outside its declared scope.
+    """
+    if rules is None:
+        from repro.devtools.rules import all_rules
+
+        rules = all_rules()
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, str(path), rules, force=force))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def format_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: RULE message`` line per finding."""
+    lines = [f.render() for f in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"{len(findings)} {noun}")
+    return "\n".join(lines)
+
+
+def format_json(
+    findings: Sequence[Finding],
+    rules: Optional[Sequence[LintRule]] = None,
+) -> str:
+    """Machine-readable report: framework version, rule catalogue,
+    findings.  Round-trips through :meth:`Finding.from_dict`."""
+    payload = {
+        "version": LINT_VERSION,
+        "rules": [rule.describe() for rule in rules or ()],
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,42 @@
+"""The repro invariant rules, one module per rule.
+
+Each rule pins one hand-enforced engine invariant to a machine check;
+``docs/static-analysis.md`` carries the catalogue with the full *why*.
+"""
+
+from typing import List
+
+from repro.devtools.lint import LintRule
+from repro.devtools.rules.allocation_free import AllocationFreeRule
+from repro.devtools.rules.float_determinism import FloatDeterminismRule
+from repro.devtools.rules.lock_discipline import LockDisciplineRule
+from repro.devtools.rules.readonly_returns import ReadonlyReturnsRule
+
+__all__ = ["all_rules", "rules_by_id"]
+
+_RULE_CLASSES = (
+    FloatDeterminismRule,
+    LockDisciplineRule,
+    ReadonlyReturnsRule,
+    AllocationFreeRule,
+)
+
+
+def all_rules() -> List[LintRule]:
+    """Fresh instances of every registered rule, in R-number order."""
+    return [cls() for cls in _RULE_CLASSES]
+
+
+def rules_by_id(ids) -> List[LintRule]:
+    """The subset of rules named by ``ids`` (e.g. ``["R001"]``).
+
+    Unknown ids raise ``ValueError`` so a typoed ``--rules`` filter
+    fails loudly instead of silently checking nothing.
+    """
+    rules = {rule.rule_id: rule for rule in all_rules()}
+    missing = [rid for rid in ids if rid not in rules]
+    if missing:
+        raise ValueError(
+            f"unknown lint rule(s) {missing}; known: {sorted(rules)}"
+        )
+    return [rules[rid] for rid in ids]

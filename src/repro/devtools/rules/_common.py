@@ -1,0 +1,111 @@
+"""Shared AST helpers for the repro lint rules (stdlib only)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+#: Module-level spellings of a float dtype (``np.float64`` etc.).
+FLOAT_DTYPE_ATTRS = frozenset(
+    {"float64", "float32", "float16", "double", "single", "longdouble"}
+)
+
+
+def numpy_aliases(tree: ast.Module) -> Set[str]:
+    """Names the module binds to the ``numpy`` package.
+
+    Covers ``import numpy``, ``import numpy as np`` and nothing fancier
+    — the engine imports NumPy exactly one way, and a rule that guesses
+    beyond what it can see would lie about locations.
+    """
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "numpy":
+                    aliases.add(item.asname or "numpy")
+    return aliases
+
+
+def math_fsum_names(tree: ast.Module) -> Set[str]:
+    """Expressions that resolve to ``math.fsum`` (dotted or imported)."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "math":
+                    names.add(f"{item.asname or 'math'}.fsum")
+        elif isinstance(node, ast.ImportFrom) and node.module == "math":
+            for item in node.names:
+                if item.name == "fsum":
+                    names.add(item.asname or "fsum")
+    return names
+
+
+def is_np_attr(
+    node: ast.AST, aliases: Set[str], names: frozenset
+) -> bool:
+    """True for ``np.<name>`` where ``<name>`` is in ``names``."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr in names
+        and isinstance(node.value, ast.Name)
+        and node.value.id in aliases
+    )
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for pure attribute chains rooted at a Name, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def keyword_value(call: ast.Call, name: str) -> Optional[ast.AST]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def is_constant(node: Optional[ast.AST], value: object) -> bool:
+    return isinstance(node, ast.Constant) and node.value is value
+
+
+def is_self_attr(node: ast.AST, attr: Optional[str] = None) -> bool:
+    """True for ``self.<attr>`` (any attribute when ``attr`` is None)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+def walk_skipping_functions(body) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function bodies.
+
+    Used when a property (taint, lock state) does not transfer into a
+    nested ``def``/``lambda`` and the nested scope is analyzed on its
+    own terms.
+    """
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def function_defs(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -1,0 +1,235 @@
+"""R003 — public engine methods return read-only arrays.
+
+``MetricContext`` and ``SharedGridStore`` hand the *same* cached
+ndarray to every caller (that is the whole point of the bounded store
+and the shared-memory grids).  One in-place mutation by any consumer
+would corrupt every other consumer's results — silently, because the
+values stay plausible.  The engine's contract is therefore that every
+array crossing the public boundary is frozen:
+``arr.setflags(write=False)`` / ``arr.flags.writeable = False``, or a
+value produced by a store call that freezes on insert
+(``get_or_compute``/``peek``/``_cached``).
+
+The rule classifies each ``return`` expression of a public method by
+provenance:
+
+* **frozen** — store calls without ``freeze=False``, names the method
+  froze via ``setflags``/``flags.writeable``, calls through ``self.``
+  (the callee is checked at its own definition), tuple elements
+  thereof;
+* **mutable** — allocating NumPy constructors (``np.empty`` & co.),
+  ``.copy()``/``.astype()`` results, and store calls that *opt out*
+  with ``freeze=False``;
+* everything else — unknown, and deliberately not flagged: scalar
+  metrics (``davg``) return plain floats, and a rule that cried wolf
+  on those would be suppressed into uselessness.
+
+Only mutable returns are findings.  Generators are skipped (their
+yields feed internal folds, not the public array contract).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.devtools.lint import Finding, LintRule
+from repro.devtools.rules._common import (
+    is_constant,
+    is_np_attr,
+    is_self_attr,
+    keyword_value,
+    numpy_aliases,
+    walk_skipping_functions,
+)
+
+#: np.<name> calls that allocate a fresh writable array.
+ALLOCATORS = frozenset(
+    {
+        "empty", "zeros", "ones", "full", "array", "asarray",
+        "ascontiguousarray", "arange", "linspace", "concatenate",
+        "stack", "vstack", "hstack", "copy", "empty_like", "zeros_like",
+        "ones_like", "full_like", "meshgrid", "ndarray", "tile",
+        "repeat",
+    }
+)
+
+#: Store entry points that freeze on insert (unless freeze=False).
+_FREEZING_CALLS = frozenset({"_cached", "get_or_compute", "peek"})
+
+#: Classes whose public surface promises read-only arrays.
+CLASSES = frozenset({"MetricContext", "SharedGridStore"})
+
+_OK, _MUTABLE, _UNKNOWN = "ok", "mutable", "unknown"
+
+
+class ReadonlyReturnsRule(LintRule):
+    rule_id = "R003"
+    title = "public method returns a writable array"
+    rationale = (
+        "cached arrays are shared across every caller; a writable "
+        "return invites an in-place edit that silently corrupts all "
+        "later reads"
+    )
+    version = 1
+    scope = ("engine/context.py", "engine/shm.py")
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        self._aliases = numpy_aliases(tree)
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef) or node.name not in CLASSES:
+                continue
+            for item in node.body:
+                if not isinstance(
+                    item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if item.name.startswith("_"):
+                    continue
+                self._check_method(item, path, findings)
+        return findings
+
+    def _check_method(
+        self, fn: ast.AST, path: str, findings: List[Finding]
+    ) -> None:
+        own_body = list(walk_skipping_functions(fn.body))
+        if any(isinstance(n, (ast.Yield, ast.YieldFrom)) for n in own_body):
+            return  # generator: yields feed folds, not the array contract
+        frozen = self._frozen_names(own_body)
+        provenance = self._name_provenance(own_body, frozen)
+        for node in own_body:
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            for expr, reason in self._mutable_parts(
+                node.value, frozen, provenance
+            ):
+                findings.append(
+                    self.finding(
+                        path,
+                        node,
+                        f"returns a writable array ({reason}); freeze it "
+                        "with arr.setflags(write=False) or return the "
+                        "store's frozen copy",
+                    )
+                )
+
+    # -- provenance -----------------------------------------------------
+    @staticmethod
+    def _frozen_names(own_body) -> Set[str]:
+        """Names frozen via ``x.flags.writeable = False`` or
+        ``x.setflags(write=False)`` anywhere in the method."""
+        frozen: Set[str] = set()
+        for node in own_body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr == "writeable"
+                        and isinstance(target.value, ast.Attribute)
+                        and target.value.attr == "flags"
+                        and isinstance(target.value.value, ast.Name)
+                        and is_constant(node.value, False)
+                    ):
+                        frozen.add(target.value.value.id)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "setflags"
+                    and isinstance(func.value, ast.Name)
+                    and is_constant(keyword_value(node, "write"), False)
+                ):
+                    frozen.add(func.value.id)
+        return frozen
+
+    def _name_provenance(
+        self, own_body, frozen: Set[str]
+    ) -> Dict[str, str]:
+        """Worst-case classification of each locally assigned name."""
+        provenance: Dict[str, str] = {}
+        for node in own_body:
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                verdict = self._classify(node.value, frozen, provenance)
+                previous = provenance.get(target.id)
+                if verdict == _MUTABLE or previous == _MUTABLE:
+                    provenance[target.id] = _MUTABLE
+                elif verdict == _OK and previous in (None, _OK):
+                    provenance[target.id] = _OK
+                else:
+                    provenance[target.id] = _UNKNOWN
+        for name in frozen:  # an explicit freeze overrides provenance
+            provenance[name] = _OK
+        return provenance
+
+    def _classify(
+        self,
+        expr: ast.AST,
+        frozen: Set[str],
+        provenance: Dict[str, str],
+    ) -> str:
+        if isinstance(expr, ast.Name):
+            if expr.id in frozen:
+                return _OK
+            return provenance.get(expr.id, _UNKNOWN)
+        if isinstance(expr, ast.Call):
+            return self._classify_call(expr)
+        if isinstance(expr, ast.Subscript):
+            # element/slice of a trusted producer stays trusted only
+            # for indexing a tuple result; a slice of a frozen array is
+            # frozen anyway, so propagate the base verdict.
+            return self._classify(expr.value, frozen, provenance)
+        if isinstance(expr, ast.Constant):
+            return _OK
+        return _UNKNOWN
+
+    def _classify_call(self, call: ast.Call) -> str:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _FREEZING_CALLS:
+                freeze = keyword_value(call, "freeze")
+                if is_constant(freeze, False):
+                    return _MUTABLE
+                return _OK
+            if is_self_attr(func):
+                return _OK  # checked at its own definition
+            if is_np_attr(func, self._aliases, ALLOCATORS):
+                return _MUTABLE
+            if func.attr in ("copy", "astype") :
+                return _MUTABLE
+        return _UNKNOWN
+
+    def _mutable_parts(
+        self,
+        expr: ast.AST,
+        frozen: Set[str],
+        provenance: Dict[str, str],
+    ):
+        """Yield ``(node, reason)`` for each mutable component of a
+        return expression (tuples checked element-wise)."""
+        if isinstance(expr, ast.Tuple):
+            for element in expr.elts:
+                yield from self._mutable_parts(element, frozen, provenance)
+            return
+        verdict = self._classify(expr, frozen, provenance)
+        if verdict != _MUTABLE:
+            return
+        reason = self._reason(expr, provenance)
+        yield expr, reason
+
+    def _reason(
+        self, expr: ast.AST, provenance: Dict[str, str]
+    ) -> Optional[str]:
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in _FREEZING_CALLS:
+                    return f"{func.attr}(..., freeze=False) opts out of the store's freeze"
+                return f"fresh allocation via .{func.attr}(...)"
+        if isinstance(expr, ast.Name):
+            return f"'{expr.id}' was assigned a fresh writable array and never frozen"
+        return "mutable provenance"

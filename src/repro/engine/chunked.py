@@ -125,6 +125,8 @@ def slab_neighbor_counts(
     d, side = universe.d, universe.side
     shape = (hi - lo,) + (side,) * (d - 1)
     if out is None:
+        # repro: allow[R004] — documented fallback for callers outside
+        # the block loop that supply no reusable out= buffer
         counts = np.empty(shape, dtype=np.int64)
     else:
         if out.shape != shape:

@@ -235,7 +235,8 @@ class _BoundedStore:
     @property
     def nbytes(self) -> int:
         """Total bytes currently held (shared views excluded)."""
-        return self._bytes
+        with self._lock:
+            return self._bytes
 
     def get_or_compute(
         self,
@@ -447,7 +448,8 @@ class MetricContext:
     def clear_cache(self) -> None:
         """Drop every cached intermediate and memoized scalar."""
         self._store.clear()
-        self._scalars.clear()
+        with self._scalar_lock:
+            self._scalars.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"MetricContext({self.curve!r})"
@@ -525,12 +527,16 @@ class MetricContext:
     def key_grid(self) -> np.ndarray:
         """The curve's dense key grid (built once per curve).
 
-        Not frozen: the array is the curve's own cache, which predates
-        the engine and stays writable — freezing it here would flip the
-        curve's public ``key_grid()`` read-only as a side effect.
+        Returned frozen like every other cached array — but as a
+        read-only *view* of the curve's own cache, so the curve's
+        public ``key_grid()`` (which predates the engine and stays
+        writable) is untouched, no bytes are copied, and the store's
+        budget accounting is unchanged.
         """
         self._require_dense("key_grid", "iter_key_slabs()")
-        return self._cached("key_grid", self.curve.key_grid, freeze=False)
+        return self._cached(
+            "key_grid", lambda: self.curve.key_grid().view()
+        )
 
     def order(self) -> np.ndarray:
         """Cells in curve order, ``(n, d)``.
@@ -550,6 +556,7 @@ class MetricContext:
         # locally computed array is the curve's own cache, pinned for
         # the curve's lifetime — charging its (n, d) bytes against
         # max_bytes would evict reclaimable intermediates for nothing.
+        # repro: allow[R003] — curve.order() is frozen at the source
         return self._cached("order", self.curve.order, freeze=False, pin=True)
 
     def flat_keys(self) -> np.ndarray:

@@ -17,6 +17,17 @@ change results, only speed).  ``REPRO_NATIVE=0`` forces the NumPy path;
 ``REPRO_NATIVE_CC`` overrides the compiler; ``REPRO_NATIVE_CACHE``
 relocates the build cache.  ``repro doctor`` renders :func:`build_info`.
 
+**Sanitized builds.**  ``REPRO_NATIVE_SANITIZE=address,undefined``
+compiles the kernels with ``-fsanitize=address,undefined -g
+-fno-omit-frame-pointer`` so the CI parity job (and any developer) can
+run the full native test suite under ASan+UBSan.  The sanitizer config
+is part of the build-cache key: clean and instrumented ``.so``\\ s live
+in sibling cache directories and never overwrite each other.  Because
+the interpreter itself is uninstrumented, ASan runs need
+``LD_PRELOAD=$(gcc -print-file-name=libasan.so)`` and
+``ASAN_OPTIONS=detect_leaks=0`` — ``docs/static-analysis.md`` has the
+recipe, ``repro doctor`` reports the mode and both cache dirs.
+
 Only stdlib + NumPy are imported at module level: this module is
 imported lazily from both the curves and engine layers, and importing
 either here would cycle.
@@ -27,8 +38,10 @@ from __future__ import annotations
 import ctypes
 import hashlib
 import os
+import re
 import shutil
 import subprocess
+import tempfile
 import threading
 import warnings
 from pathlib import Path
@@ -46,8 +59,13 @@ __all__ = [
     "load_kernels",
     "native_disabled",
     "reset_for_tests",
+    "reset_warned",
     "resolve_backend",
+    "sanitize_flags",
+    "sanitize_spec",
+    "sanitizer_supported",
     "unavailable_reason",
+    "warned_once",
     "NativeKernels",
 ]
 
@@ -64,6 +82,13 @@ _warned_unavailable = False
 
 _i64_array = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
 _i64 = ctypes.c_int64
+
+#: Sentinel distinguishing "use the env config" from an explicit None.
+_UNSET = object()
+
+#: Memoized `compiler supports -fsanitize=<spec>` probes, keyed
+#: (compiler, spec) — probing runs the compiler once.
+_sanitize_probes: dict = {}
 
 
 def native_disabled() -> bool:
@@ -97,11 +122,58 @@ def cache_dir() -> Path:
     return base / "repro-sfc"
 
 
-def _build_dir(cc: str) -> Path:
+_SANITIZE_TOKEN = re.compile(r"^[a-z][a-z-]*$")
+
+
+def sanitize_spec() -> Optional[str]:
+    """Normalized ``REPRO_NATIVE_SANITIZE`` value, or ``None`` when off.
+
+    The value is a comma-separated ``-fsanitize`` list
+    (``address,undefined``); tokens are deduplicated and sorted so
+    ``undefined,address`` keys the same build cache.  Empty or ``0``
+    disables.  Tokens are restricted to ``[a-z-]`` — the value is
+    spliced into a compiler command line, so anything fancier is
+    rejected loudly rather than executed.
+    """
+    raw = os.environ.get("REPRO_NATIVE_SANITIZE", "").strip()
+    if not raw or raw == "0":
+        return None
+    tokens = sorted({part.strip() for part in raw.split(",") if part.strip()})
+    for token in tokens:
+        if not _SANITIZE_TOKEN.match(token):
+            raise ValueError(
+                f"invalid REPRO_NATIVE_SANITIZE token {token!r}: expected "
+                "a comma-separated -fsanitize list like 'address,undefined'"
+            )
+    return ",".join(tokens)
+
+
+def sanitize_flags(spec: Optional[str] = None) -> list:
+    """Extra compiler flags for ``spec`` (default: the env setting)."""
+    if spec is None:
+        spec = sanitize_spec()
+    if spec is None:
+        return []
+    return [f"-fsanitize={spec}", "-g", "-fno-omit-frame-pointer"]
+
+
+def _build_dir(cc: str, spec: Optional[str] = _UNSET) -> Path:
+    """Cache dir for one (source, compiler, sanitizer-config) triple.
+
+    The sanitizer spec is both hashed and appended to the directory
+    name, so clean and instrumented builds coexist and a human can tell
+    them apart in the cache.
+    """
+    if spec is _UNSET:
+        spec = sanitize_spec()
     digest = hashlib.sha256()
     digest.update(_SOURCE.read_bytes())
     digest.update(cc.encode())
-    return cache_dir() / digest.hexdigest()[:16]
+    stem = ""
+    if spec is not None:
+        digest.update(spec.encode())
+        stem = "-" + spec.replace(",", "-")
+    return cache_dir() / (digest.hexdigest()[:16] + stem)
 
 
 def _build(cc: str) -> Path:
@@ -112,7 +184,9 @@ def _build(cc: str) -> Path:
         return so_path
     out_dir.mkdir(parents=True, exist_ok=True)
     tmp = out_dir / f"repro_kernels.tmp.{os.getpid()}.so"
-    cmd = [cc, "-O2", "-fPIC", "-shared", "-o", str(tmp), str(_SOURCE)]
+    cmd = [cc, "-O2", "-fPIC", "-shared"]
+    cmd += sanitize_flags()
+    cmd += ["-o", str(tmp), str(_SOURCE)]
     proc = subprocess.run(cmd, capture_output=True, text=True)
     (out_dir / "build.log").write_text(
         "$ " + " ".join(cmd) + "\n" + proc.stdout + proc.stderr
@@ -350,9 +424,46 @@ def encoder_for(curve) -> Optional[_Codec]:
     return None
 
 
+def sanitizer_supported(
+    spec: str = "address,undefined", cc: Optional[str] = None
+) -> Optional[bool]:
+    """Whether the host compiler accepts ``-fsanitize=<spec>``.
+
+    Probes with one tiny test compile (memoized per compiler+spec);
+    ``None`` when there is no compiler to ask.  ``repro doctor`` uses
+    this so CI logs show *why* a sanitized leg would or would not run.
+    """
+    if cc is None:
+        cc = compiler_path()
+    if cc is None:
+        return None
+    key = (cc, spec)
+    cached = _sanitize_probes.get(key)
+    if cached is not None:
+        return cached
+    with tempfile.TemporaryDirectory(prefix="repro-sanprobe-") as tmp:
+        src = Path(tmp) / "probe.c"
+        src.write_text("int repro_sanitize_probe(void) { return 0; }\n")
+        cmd = (
+            [cc, "-fPIC", "-shared"]
+            + sanitize_flags(spec)
+            + ["-o", str(Path(tmp) / "probe.so"), str(src)]
+        )
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=60
+            )
+            supported = proc.returncode == 0
+        except (OSError, subprocess.TimeoutExpired):
+            supported = False
+    _sanitize_probes[key] = supported
+    return supported
+
+
 def build_info() -> dict:
     """Everything ``repro doctor`` reports about the native backend."""
     cc = compiler_path()
+    spec = sanitize_spec()
     info = {
         "disabled": native_disabled(),
         "compiler": cc,
@@ -361,7 +472,21 @@ def build_info() -> dict:
         "cache_dir": str(cache_dir()),
         "so_path": None,
         "build_log": None,
+        "sanitize": spec,
+        "sanitize_supported": None,
+        "clean_dir": None,
+        "sanitized_dir": None,
     }
+    if cc is not None:
+        info["sanitize_supported"] = sanitizer_supported(
+            spec or "address,undefined", cc=cc
+        )
+        info["clean_dir"] = str(_build_dir(cc, spec=None))
+        # The dir a sanitized build would use: the active spec, or the
+        # documented default mode when sanitizing is currently off.
+        info["sanitized_dir"] = str(
+            _build_dir(cc, spec=spec or "address,undefined")
+        )
     kernels = _kernels
     if kernels is not None:
         info["so_path"] = str(kernels.so_path)
@@ -373,6 +498,24 @@ def build_info() -> dict:
     return info
 
 
+def warned_once() -> bool:
+    """Whether the ``backend='native'`` fallback warning has fired."""
+    return _warned_unavailable
+
+
+def reset_warned() -> None:
+    """Re-arm the warn-once fallback warning.
+
+    Finer-grained than :func:`reset_for_tests`: the (possibly
+    expensive) load attempt stays memoized, only the warning state is
+    forgotten.  Tests use it so suite ordering can neither mask the
+    warning (an earlier test already spent it) nor duplicate it.
+    """
+    global _warned_unavailable
+    with _lock:
+        _warned_unavailable = False
+
+
 def reset_for_tests() -> None:
     """Forget the load attempt and warn-once state (test isolation)."""
     global _kernels, _load_attempted, _load_error, _warned_unavailable
@@ -381,3 +524,4 @@ def reset_for_tests() -> None:
         _load_attempted = False
         _load_error = None
         _warned_unavailable = False
+        _sanitize_probes.clear()

@@ -264,9 +264,12 @@ class ContextPool:
             return len(self._contexts)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            n_contexts = len(self._contexts)
+            n_universes = len(self._universe_stores)
         return (
-            f"ContextPool({len(self._contexts)} contexts, "
-            f"{len(self._universe_stores)} universes, {self.stats!r})"
+            f"ContextPool({n_contexts} contexts, "
+            f"{n_universes} universes, {self.stats!r})"
         )
 
     def universe_store(self, universe: Universe) -> _BoundedStore:

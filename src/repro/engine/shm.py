@@ -193,34 +193,40 @@ class SharedGridStore:
 
     def manifest(self) -> Dict[tuple, Tuple[str, tuple, str]]:
         """Picklable description of every entry (pass to workers)."""
-        return dict(self._entries)
+        with self._lock:
+            return dict(self._entries)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def segment_names(self) -> Tuple[str, ...]:
         """Names of every published segment (test / cleanup hook)."""
-        return tuple(name for name, _, _ in self._entries.values())
+        with self._lock:
+            return tuple(name for name, _, _ in self._entries.values())
 
     @property
     def nbytes(self) -> int:
         """Total bytes across all published arrays."""
-        return sum(
-            int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
-            for _, shape, dtype in self._entries.values()
-        )
+        with self._lock:
+            return sum(
+                int(np.prod(shape, dtype=np.int64))
+                * np.dtype(dtype).itemsize
+                for _, shape, dtype in self._entries.values()
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         role = "owner" if self.owner else "attached"
         return (
-            f"SharedGridStore({role}, {len(self._entries)} entries, "
+            f"SharedGridStore({role}, {len(self)} entries, "
             f"{self.nbytes / 2**20:.1f} MiB)"
         )
 

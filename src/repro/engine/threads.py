@@ -391,6 +391,9 @@ def _nn_range_kernel(ctx, lo: int, hi: int, scheduler: BlockScheduler):
         np.maximum(best[-1:], udist, out=best[-1:])
     counts = scratch.take("nn_counts", shape, np.int64)
     slab_neighbor_counts(universe, lo, hi, out=counts, kernels=ctx.kernels)
+    # repro: allow[R004] — the kernel's *result* array: it leaves the
+    # scratch arena and is merged by the scheduler, so it cannot reuse
+    # a per-thread buffer
     avg = np.empty(shape, dtype=np.float64)
     np.divide(sums, counts, out=avg)
     return avg.reshape(-1), lambdas, int(best.sum())

@@ -8,6 +8,30 @@ import pytest
 from repro import Universe
 from repro.curves.registry import curves_for_universe
 
+# The lint fixtures under tests/devtools/fixtures/ contain *seeded
+# violations* for `repro check`; they are lint input, never test code,
+# and --doctest-modules must not import them.
+collect_ignore_glob = ["devtools/fixtures/*"]
+
+
+@pytest.fixture(autouse=True)
+def _isolate_native_warn_once():
+    """Restore the native backend's warn-once state around every test.
+
+    ``resolve_backend("native")`` warns exactly once per process when
+    the kernels are unavailable.  Without isolation that single shot is
+    order-sensitive across the suite: whichever test triggers it first
+    spends it, and a reordering (or ``-k`` selection) can mask the
+    warning in one test or duplicate it in another.  Snapshot/restore
+    makes every test see the state it started with.
+    """
+    from repro.engine import native
+
+    fired_before = native.warned_once()
+    yield
+    if not fired_before and native.warned_once():
+        native.reset_warned()
+
 
 @pytest.fixture
 def u2_8() -> Universe:

@@ -1,0 +1,42 @@
+"""Seeded R002 violations: guarded attributes touched outside the lock.
+
+Lint input only — never imported.  The class name matches the guard
+registry entry for ``_BoundedStore`` (lock ``_lock``; guarded attrs
+include ``_items`` and ``_bytes``).
+"""
+
+import threading
+
+
+class _BoundedStore:
+    def __init__(self):
+        # __init__ is exempt: no other thread holds a reference yet.
+        self._lock = threading.Lock()
+        self._items = {}
+        self._bytes = 0
+
+    def locked_read(self):
+        with self._lock:
+            return len(self._items)
+
+    def unlocked_read(self):
+        return len(self._items)  # lint-expect: R002
+
+    def unlocked_write(self):
+        self._bytes = 0  # lint-expect: R002
+
+    def closure_escapes_the_lock(self):
+        with self._lock:
+            return lambda: self._items  # lint-expect: R002
+
+    def _evict(self):
+        # Declared held_method: the caller holds the lock.
+        self._items.clear()
+
+    def suppressed_relaxed_read(self):
+        return self._bytes  # repro: allow[R002] — demo suppression
+
+
+class Unregistered:
+    def not_checked(self):
+        return self._items

@@ -1,0 +1,47 @@
+"""Seeded R003 violations: public methods returning writable arrays.
+
+Lint input only — never imported.  The class name matches the rule's
+``MetricContext`` surface.
+"""
+
+import numpy as np
+
+
+class MetricContext:
+    def bad_fresh_allocation(self):
+        return np.zeros(4)  # lint-expect: R003
+
+    def bad_named_allocation(self):
+        out = np.empty(3)
+        return out  # lint-expect: R003
+
+    def bad_store_opt_out(self, compute):
+        return self._cached("k", compute, freeze=False)  # lint-expect: R003
+
+    def bad_tuple_element(self, compute):
+        return self.good_store(compute), np.ones(2)  # lint-expect: R003
+
+    def good_setflags(self):
+        out = np.empty(3)
+        out.setflags(write=False)
+        return out
+
+    def good_flags_assignment(self):
+        arr = np.zeros(2)
+        arr.flags.writeable = False
+        return arr
+
+    def good_store(self, compute):
+        return self._store.get_or_compute("k", compute)
+
+    def good_self_call(self, compute):
+        return self.good_store(compute)
+
+    def good_scalar(self):
+        return 1.0
+
+    def suppressed_is_silent(self):
+        return np.zeros(3)  # repro: allow[R003] — demo suppression
+
+    def _private_not_checked(self):
+        return np.zeros(3)

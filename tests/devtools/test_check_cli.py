@@ -1,0 +1,78 @@
+"""``repro check``: repo-clean at head, exit codes, CLI formats."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import repro
+from repro.cli import main
+from repro.devtools import format_text, lint_paths
+from repro.devtools.lint import Finding
+
+FIXTURES = Path(__file__).parent / "fixtures"
+PACKAGE = Path(repro.__file__).resolve().parent
+
+
+class TestRepoClean:
+    def test_repo_is_clean_at_head(self):
+        """The acceptance gate: the shipped source passes its own
+        checker.  On failure the findings are the error message."""
+        findings = lint_paths([PACKAGE])
+        assert findings == [], "\n" + format_text(findings)
+
+    def test_cli_default_run_exits_zero(self, capsys):
+        assert main(["check"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+
+class TestCliSeededViolations:
+    def test_findings_exit_nonzero_with_locations(self, capsys):
+        fixture = FIXTURES / "r002_lock_discipline.py"
+        # Fixture paths sit outside the rules' scopes, so aim the rule
+        # via its registry class name match — the R002 fixture class is
+        # in scope content-wise; pass the file directly and force
+        # nothing: scope patterns are path-based, so use --rules with
+        # the fixture through the API instead.
+        from repro.devtools.rules import rules_by_id
+
+        findings = lint_paths(
+            [fixture], rules=rules_by_id(["R002"]), force=True
+        )
+        assert findings, "seeded fixture produced no findings"
+        rendered = format_text(findings)
+        assert f"{fixture}:" in rendered
+
+    def test_json_format_round_trips(self, capsys):
+        rc = main(["check", "--format=json", str(PACKAGE)])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert [r["rule"] for r in payload["rules"]] == [
+            "R001", "R002", "R003", "R004",
+        ]
+        # Round trip: every reported finding reconstructs.
+        assert [
+            Finding.from_dict(f) for f in payload["findings"]
+        ] == []
+
+    def test_rules_filter_limits_the_run(self, capsys):
+        assert main(["check", "--rules", "R001", str(PACKAGE)]) == 0
+        # a bogus id fails loudly through the CLI error path
+        assert main(["check", "--rules", "R999"]) == 2
+
+    def test_list_rules_prints_catalogue(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R001", "R002", "R003", "R004"):
+            assert rule_id in out
+
+
+class TestDoctorSurface:
+    def test_doctor_reports_static_analysis_and_sanitizer(self, capsys):
+        assert main(["doctor"]) == 0
+        out = capsys.readouterr().out
+        assert "[static analysis]" in out
+        assert "lint rules: 4" in out
+        assert "[sanitizer builds]" in out
+        assert "REPRO_NATIVE_SANITIZE" in out

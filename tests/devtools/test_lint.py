@@ -1,0 +1,139 @@
+"""The lint framework: suppressions, walker, findings, output formats."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.devtools.lint import (
+    LINT_VERSION,
+    Finding,
+    format_json,
+    format_text,
+    iter_python_files,
+    lint_source,
+    path_matches,
+    suppressed_lines,
+)
+from repro.devtools.rules import all_rules, rules_by_id
+
+
+class TestSuppressions:
+    def test_same_line_comment_suppresses_its_line(self):
+        src = "x = 1  # repro: allow[R001] reason\n"
+        assert suppressed_lines(src) == {1: {"R001"}}
+
+    def test_standalone_comment_suppresses_next_code_line(self):
+        src = "# repro: allow[R002] reason\nx = 1\n"
+        assert suppressed_lines(src) == {2: {"R002"}}
+
+    def test_standalone_comment_skips_comment_block_and_blanks(self):
+        src = (
+            "# repro: allow[R004] — long rationale that\n"
+            "# continues on a second comment line\n"
+            "\n"
+            "x = 1\n"
+        )
+        assert suppressed_lines(src) == {4: {"R004"}}
+
+    def test_multiple_rules_in_one_bracket(self):
+        src = "x = 1  # repro: allow[R001, R003]\n"
+        assert suppressed_lines(src) == {1: {"R001", "R003"}}
+
+    def test_allow_text_inside_a_string_is_not_a_suppression(self):
+        src = 's = "# repro: allow[R001]"\n'
+        assert suppressed_lines(src) == {}
+
+    def test_suppression_filters_matching_rule_only(self):
+        src = (
+            "import numpy as np\n"
+            "def f(xs):\n"
+            "    return np.mean(xs)  # repro: allow[R002] wrong rule\n"
+        )
+        findings = lint_source(
+            src, "x.py", rules_by_id(["R001"]), force=True
+        )
+        assert [f.rule for f in findings] == ["R001"]
+
+
+class TestFindings:
+    def test_dict_round_trip(self):
+        finding = Finding(
+            rule="R001", path="a/b.py", line=7, col=3, message="m"
+        )
+        assert Finding.from_dict(finding.to_dict()) == finding
+
+    def test_location_and_render(self):
+        finding = Finding(
+            rule="R002", path="engine/shm.py", line=12, col=5, message="boom"
+        )
+        assert finding.location() == "engine/shm.py:12"
+        assert finding.render() == "engine/shm.py:12:5: R002 boom"
+
+    def test_parse_failure_is_a_finding_not_a_crash(self):
+        findings = lint_source("def f(:\n", "bad.py", all_rules())
+        assert len(findings) == 1
+        assert findings[0].rule == "PARSE"
+        assert "cannot parse" in findings[0].message
+
+
+class TestJsonFormat:
+    def test_round_trip_through_json(self):
+        findings = [
+            Finding(rule="R003", path="p.py", line=2, col=1, message="m1"),
+            Finding(rule="R004", path="q.py", line=9, col=5, message="m2"),
+        ]
+        payload = json.loads(format_json(findings, rules=all_rules()))
+        assert payload["version"] == LINT_VERSION
+        assert [r["rule"] for r in payload["rules"]] == [
+            "R001", "R002", "R003", "R004",
+        ]
+        assert [
+            Finding.from_dict(f) for f in payload["findings"]
+        ] == findings
+
+    def test_text_format_counts_findings(self):
+        assert format_text([]) == "0 findings"
+        one = [Finding(rule="R001", path="p", line=1, col=1, message="m")]
+        assert format_text(one).endswith("1 finding")
+
+
+class TestWalker:
+    def test_skips_pycache_and_hidden_dirs(self, tmp_path):
+        (tmp_path / "keep.py").write_text("x = 1\n")
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "skip.py").write_text("x = 1\n")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "skip.py").write_text("x = 1\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        found = [p.name for p in iter_python_files([tmp_path])]
+        assert found == ["keep.py"]
+
+    def test_explicit_file_and_dir_dedup(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        found = list(iter_python_files([target, tmp_path]))
+        assert found == [target]
+
+
+class TestScoping:
+    def test_path_matches_is_suffix_based(self):
+        assert path_matches("src/repro/engine/chunked.py", "engine/chunked.py")
+        assert path_matches("engine/chunked.py", "engine/chunked.py")
+        assert not path_matches(
+            "tests/engine/chunked_fixture.py", "engine/chunked.py"
+        )
+
+    def test_rules_skip_out_of_scope_files_unless_forced(self):
+        src = "import numpy as np\ndef f(xs):\n    return np.mean(xs)\n"
+        scoped = lint_source(src, "somewhere/else.py", rules_by_id(["R001"]))
+        forced = lint_source(
+            src, "somewhere/else.py", rules_by_id(["R001"]), force=True
+        )
+        assert scoped == []
+        assert [f.rule for f in forced] == ["R001"]
+
+    def test_unknown_rule_id_fails_loudly(self):
+        with pytest.raises(ValueError, match="R999"):
+            rules_by_id(["R999"])

@@ -1,0 +1,85 @@
+"""Each rule is proven live against its seeded-violation fixture.
+
+The fixtures under ``fixtures/`` mark every line that must fire with
+``# lint-expect: RXXX``; the tests assert the finding set matches the
+markers *exactly* — same rule, same line, nothing extra.  That keeps
+two failure modes visible: a rule that stops firing (markers without
+findings) and a rule that starts crying wolf (findings without
+markers).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import lint_paths
+from repro.devtools.rules import rules_by_id
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_EXPECT_RE = re.compile(r"#\s*lint-expect:\s*(R\d{3})")
+
+
+def expected_markers(path: Path):
+    """``(line, rule)`` pairs parsed from ``# lint-expect:`` markers."""
+    pairs = []
+    for lineno, text in enumerate(
+        path.read_text().splitlines(), start=1
+    ):
+        match = _EXPECT_RE.search(text)
+        if match:
+            pairs.append((lineno, match.group(1)))
+    return pairs
+
+
+CASES = [
+    ("R001", "r001_float_determinism.py"),
+    ("R002", "r002_lock_discipline.py"),
+    ("R003", "r003_readonly_returns.py"),
+    ("R004", "r004_allocation_free.py"),
+]
+
+
+@pytest.mark.parametrize("rule_id,fixture", CASES)
+def test_rule_fires_exactly_on_marked_lines(rule_id, fixture):
+    path = FIXTURES / fixture
+    expected = expected_markers(path)
+    assert expected, f"fixture {fixture} has no lint-expect markers"
+    findings = lint_paths([path], rules=rules_by_id([rule_id]), force=True)
+    assert [(f.line, f.rule) for f in findings] == expected
+    # Exact-location contract: the rendering carries path:line.
+    for finding, (line, _) in zip(findings, expected):
+        assert finding.location() == f"{path}:{line}"
+
+
+@pytest.mark.parametrize("rule_id,fixture", CASES)
+def test_fixture_suppressions_stay_silent(rule_id, fixture):
+    """Every fixture seeds one suppressed violation; prove the allow
+    comment (not luck) is what silences it by checking the suppressed
+    line is absent from the findings."""
+    path = FIXTURES / fixture
+    source = path.read_text().splitlines()
+    allowed = [
+        lineno
+        for lineno, text in enumerate(source, start=1)
+        if "repro: allow[" in text
+    ]
+    assert allowed, f"fixture {fixture} has no suppression demo"
+    findings = lint_paths([path], rules=rules_by_id([rule_id]), force=True)
+    flagged = {f.line for f in findings}
+    assert not flagged.intersection(allowed)
+
+
+def test_full_rule_set_on_all_fixtures_stays_per_rule():
+    """Running every rule over every fixture must not invent findings
+    beyond the per-rule markers (cross-rule false positives)."""
+    expected = set()
+    for rule_id, fixture in CASES:
+        for line, rule in expected_markers(FIXTURES / fixture):
+            expected.add((fixture, line, rule))
+    findings = lint_paths([FIXTURES], force=True)
+    got = {(Path(f.path).name, f.line, f.rule) for f in findings}
+    assert got == expected

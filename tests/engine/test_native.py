@@ -303,3 +303,37 @@ class TestBuildPipeline:
         fresh_native.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
         assert native.available()
         assert str(native.build_info()["so_path"]).startswith(str(tmp_path))
+
+
+# ----------------------------------------------------------------------
+# Warn-once state: observable, resettable, test-isolated
+# ----------------------------------------------------------------------
+class TestWarnOnceIsolation:
+    def test_warned_once_tracks_the_warning(self, fresh_native):
+        fresh_native.setenv("REPRO_NATIVE_CC", "/nonexistent/compiler")
+        assert native.warned_once() is False
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            native.resolve_backend("native")
+        assert native.warned_once() is True
+
+    def test_reset_warned_rearms_without_forgetting_load(self, fresh_native):
+        fresh_native.setenv("REPRO_NATIVE_CC", "/nonexistent/compiler")
+        with pytest.warns(RuntimeWarning):
+            native.resolve_backend("native")
+        native.reset_warned()
+        assert native.warned_once() is False
+        # The warning fires again; the memoized load attempt does not
+        # re-probe (reset_warned is narrower than reset_for_tests).
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            native.resolve_backend("native")
+
+    def test_suite_order_cannot_spend_the_warning(self, fresh_native):
+        """The autouse conftest fixture restores warn-once state, so a
+        test that triggers the warning cannot mask it for later tests.
+        Simulate two 'tests' back to back."""
+        fresh_native.setenv("REPRO_NATIVE_CC", "/nonexistent/compiler")
+        with pytest.warns(RuntimeWarning):
+            native.resolve_backend("native")
+        native.reset_warned()  # what the autouse fixture does on teardown
+        with pytest.warns(RuntimeWarning):
+            native.resolve_backend("native")

@@ -1,0 +1,158 @@
+"""Sanitizer-instrumented native builds (``REPRO_NATIVE_SANITIZE``).
+
+The compile-and-cache plumbing is tested end to end here; actually
+*running* under ASan/UBSan needs ``LD_PRELOAD`` of the sanitizer
+runtime around the whole interpreter, which the CI ``sanitize`` job
+does.  In-process we therefore stop at the ``.so`` on disk and never
+``dlopen`` an instrumented build.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.engine import native
+
+
+@pytest.fixture
+def fresh_native(monkeypatch):
+    native.reset_for_tests()
+    yield monkeypatch
+    native.reset_for_tests()
+
+
+class TestSanitizeSpec:
+    def test_unset_and_zero_mean_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NATIVE_SANITIZE", raising=False)
+        assert native.sanitize_spec() is None
+        monkeypatch.setenv("REPRO_NATIVE_SANITIZE", "0")
+        assert native.sanitize_spec() is None
+        monkeypatch.setenv("REPRO_NATIVE_SANITIZE", "  ")
+        assert native.sanitize_spec() is None
+
+    def test_tokens_sorted_and_deduplicated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_SANITIZE", "undefined,address")
+        assert native.sanitize_spec() == "address,undefined"
+        monkeypatch.setenv(
+            "REPRO_NATIVE_SANITIZE", "address, address ,undefined"
+        )
+        assert native.sanitize_spec() == "address,undefined"
+
+    def test_shell_metacharacters_rejected(self, monkeypatch):
+        """The spec lands on a compiler command line — anything outside
+        the [a-z-] token alphabet must raise, never execute."""
+        for bad in ("address;rm -rf /", "address,$(id)", "ADDRESS", "a b"):
+            monkeypatch.setenv("REPRO_NATIVE_SANITIZE", bad)
+            with pytest.raises(ValueError, match="REPRO_NATIVE_SANITIZE"):
+                native.sanitize_spec()
+
+
+class TestSanitizeFlags:
+    def test_off_means_no_flags(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NATIVE_SANITIZE", raising=False)
+        assert native.sanitize_flags() == []
+
+    def test_on_adds_instrumentation_flags(self):
+        flags = native.sanitize_flags("address,undefined")
+        assert flags == [
+            "-fsanitize=address,undefined",
+            "-g",
+            "-fno-omit-frame-pointer",
+        ]
+
+
+class TestBuildCacheKeying:
+    def test_sanitized_dir_differs_and_is_labelled(self, monkeypatch):
+        clean = native._build_dir("cc", spec=None)
+        sanitized = native._build_dir("cc", spec="address,undefined")
+        assert clean != sanitized
+        assert sanitized.name.endswith("-address-undefined")
+        assert not clean.name.endswith("-address-undefined")
+        # Same parent cache root: clean and instrumented coexist.
+        assert clean.parent == sanitized.parent
+
+    def test_keying_is_spec_normalized(self):
+        """Callers pass the normalized spec; the same spec always keys
+        the same directory, and different specs never collide."""
+        a = native._build_dir("cc", spec="address,undefined")
+        b = native._build_dir("cc", spec="address,undefined")
+        c = native._build_dir("cc", spec="address")
+        assert a == b
+        assert a != c
+
+    def test_default_spec_follows_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_SANITIZE", "address")
+        assert native._build_dir("cc") == native._build_dir(
+            "cc", spec="address"
+        )
+        monkeypatch.delenv("REPRO_NATIVE_SANITIZE", raising=False)
+        assert native._build_dir("cc") == native._build_dir("cc", spec=None)
+
+
+class TestBuildInfoSurface:
+    def test_build_info_reports_sanitizer_state(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NATIVE_SANITIZE", raising=False)
+        info = native.build_info()
+        assert set(info) >= {
+            "sanitize",
+            "sanitize_supported",
+            "clean_dir",
+            "sanitized_dir",
+        }
+        assert info["sanitize"] is None
+
+    def test_doctor_prints_sanitizer_and_lint_sections(self, capsys):
+        assert main(["doctor"]) == 0
+        out = capsys.readouterr().out
+        assert "[sanitizer builds]" in out
+        assert "[static analysis]" in out
+
+
+class TestSanitizedCompile:
+    """Compile-only e2e: the instrumented ``.so`` lands in its own
+    cache dir next to the clean one.  No ``dlopen`` — loading an
+    ASan build into an uninstrumented interpreter needs the CI job's
+    ``LD_PRELOAD`` recipe."""
+
+    @pytest.fixture
+    def cc(self):
+        cc = native.compiler_path()
+        if cc is None:
+            pytest.skip("no C compiler on this host")
+        if not native.sanitizer_supported("address,undefined", cc=cc):
+            pytest.skip("compiler lacks -fsanitize=address,undefined")
+        return cc
+
+    def test_sanitized_build_compiles_into_keyed_dir(
+        self, fresh_native, tmp_path, cc
+    ):
+        fresh_native.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+        fresh_native.setenv("REPRO_NATIVE_SANITIZE", "address,undefined")
+        so_path = native._build(cc)
+        assert so_path.exists()
+        assert so_path.parent.name.endswith("-address-undefined")
+        log = (so_path.parent / "build.log").read_text()
+        assert "-fsanitize=address,undefined" in log
+        assert "-fno-omit-frame-pointer" in log
+
+    def test_clean_and_sanitized_builds_coexist(
+        self, fresh_native, tmp_path, cc
+    ):
+        fresh_native.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+        fresh_native.setenv("REPRO_NATIVE_SANITIZE", "address,undefined")
+        sanitized = native._build(cc)
+        fresh_native.delenv("REPRO_NATIVE_SANITIZE")
+        clean = native._build(cc)
+        assert sanitized.exists() and clean.exists()
+        assert sanitized.parent != clean.parent
+        clean_log = (clean.parent / "build.log").read_text()
+        assert "-fsanitize" not in clean_log
+
+    def test_sanitizer_probe_memoizes(self, cc):
+        first = native.sanitizer_supported("address,undefined", cc=cc)
+        assert first is True
+        assert (cc, "address,undefined") in native._sanitize_probes
+        assert native.sanitizer_supported("address,undefined", cc=cc) is True
+
+    def test_probe_without_compiler_is_none(self, fresh_native):
+        fresh_native.setenv("REPRO_NATIVE_CC", "/nonexistent/compiler")
+        assert native.sanitizer_supported("address,undefined") is None
