@@ -3,6 +3,19 @@
 from __future__ import annotations
 
 
+def cache_stats_payload(stats) -> dict:
+    """A :class:`repro.engine.CacheStats` as a JSON-friendly dict."""
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "hit_rate": round(stats.hit_rate, 4),
+        "computes": stats.total_computes,
+        "derived": stats.total_derived,
+        "mmap": stats.total_mmap,
+        "evictions": stats.evictions,
+    }
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under the benchmark timer.
 

@@ -14,25 +14,41 @@ track cache effectiveness alongside wall-clock over time.
 
 from __future__ import annotations
 
+import os
 import time
 import tracemalloc
 from pathlib import Path
 
 import pytest
 
+from _bench_utils import cache_stats_payload  # noqa: F401  (re-export)
+
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
-def cache_stats_payload(stats) -> dict:
-    """A :class:`repro.engine.CacheStats` as a JSON-friendly dict."""
-    return {
-        "hits": stats.hits,
-        "misses": stats.misses,
-        "hit_rate": round(stats.hit_rate, 4),
-        "computes": stats.total_computes,
-        "derived": stats.total_derived,
-        "evictions": stats.evictions,
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_disk_caches(tmp_path_factory):
+    """Keep bench runs off the host's persistent caches (see
+    tests/conftest.py): native builds go to session tmp when no cache
+    is configured, and the store env defaults are cleared so every
+    bench that wants a store opts in with an explicit directory."""
+    preset = os.environ.get("REPRO_NATIVE_CACHE")
+    if not preset:
+        os.environ["REPRO_NATIVE_CACHE"] = str(
+            tmp_path_factory.mktemp("native-cache")
+        )
+    saved = {
+        name: os.environ.pop(name, None)
+        for name in ("REPRO_STORE", "REPRO_STORE_CRASH")
     }
+    try:
+        yield
+    finally:
+        if not preset:
+            del os.environ["REPRO_NATIVE_CACHE"]
+        for name, value in saved.items():
+            if value is not None:
+                os.environ[name] = value
 
 
 @pytest.fixture

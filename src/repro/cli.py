@@ -39,6 +39,7 @@ from repro.core.lower_bounds import (
     davg_lower_bound,
 )
 from repro.curves.registry import available_curves, make_curve
+from repro.engine.store import store_dir_from_env
 from repro.engine.sweep import METRICS, DEFAULT_METRICS, Sweep
 from repro.grid.universe import Universe
 from repro.viz.ascii_art import render_key_grid, render_path
@@ -205,6 +206,17 @@ def build_parser() -> argparse.ArgumentParser:
         "key grid would exceed the cache budget; chunked cells never "
         "use the shared grid store)",
     )
+    p_sweep.add_argument(
+        "--store",
+        default=store_dir_from_env(),
+        metavar="DIR",
+        help="persistent grid-store directory: computed key grids are "
+        "written through as checksummed .npy artifacts and later runs "
+        "memory-map them instead of recomputing (bit-for-bit "
+        "identical; counted as 'mmap' under --stats); chunked cells "
+        "spill table-backed grids there to stream beyond the cache "
+        "budget (default: $REPRO_STORE when set)",
+    )
 
     p_serve = sub.add_parser(
         "serve",
@@ -282,8 +294,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="default compute backend for requests that do not choose "
         "their own (see 'sweep --backend')",
     )
+    p_serve.add_argument(
+        "--store",
+        default=store_dir_from_env(),
+        metavar="DIR",
+        help="persistent grid-store directory: the warm start maps "
+        "previously computed hot-set grids from disk and fresh "
+        "computes are written through, so a restarted server comes "
+        "back warm (default: $REPRO_STORE when set)",
+    )
 
-    sub.add_parser(
+    p_doctor = sub.add_parser(
         "doctor",
         help="host report: native backend, cores/threads, shared memory",
         description=(
@@ -293,9 +314,17 @@ def build_parser() -> argparse.ArgumentParser:
             "mode (REPRO_NATIVE_SANITIZE, -fsanitize support, "
             "clean-vs-sanitized cache dirs), usable CPU cores and the "
             "resolved thread default, shared-memory segment support, "
-            "and the static-analysis rule surface behind "
-            "'repro check'."
+            "the persistent artifact store, and the static-analysis "
+            "rule surface behind 'repro check'."
         ),
+    )
+    p_doctor.add_argument(
+        "--store",
+        default=store_dir_from_env(),
+        metavar="DIR",
+        help="report on this persistent grid-store directory "
+        "(entries, bytes, quarantined artifacts; default: "
+        "$REPRO_STORE when set)",
     )
 
     p_check = sub.add_parser(
@@ -457,6 +486,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         shared=shared,
         threads=args.threads,
         backend=args.backend,
+        store_dir=args.store,
     ).run()
     print(f"# sweep over dims={args.dims} sides={args.sides}")
     print(result.to_table())
@@ -803,6 +833,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         threads=args.threads,
         backend=args.backend,
+        store_dir=args.store,
     )
     return run(config)
 
@@ -903,6 +934,21 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
         usable = os.cpu_count() or 1
     print(f"  usable cores:     {usable}")
     print(f"  threads ('auto'): {resolve_threads('auto')}")
+    print()
+    print("[artifact store]")
+    from repro.engine.store import FORMAT_VERSION, GridStore
+
+    print(f"  format version: {FORMAT_VERSION}")
+    if args.store is None:
+        print("  directory:      (not configured; pass --store or set "
+              "$REPRO_STORE)")
+    else:
+        store = GridStore(args.store)
+        entries = store.entries()
+        print(f"  directory:      {store.root}")
+        print(f"  entries:        {len(entries)}")
+        print(f"  payload bytes:  {store.nbytes}")
+        print(f"  quarantined:    {store.quarantined_count()}")
     print()
     print("[shared memory]")
     try:

@@ -66,6 +66,10 @@ GUARDS: Dict[str, GuardSpec] = {
         lock="_lock",
         attrs=frozenset({"_entries", "_segments", "_views"}),
     ),
+    "GridStore": GuardSpec(
+        lock="_lock",
+        attrs=frozenset({"counters", "_verified"}),
+    ),
 }
 
 
@@ -78,7 +82,12 @@ class LockDisciplineRule(LintRule):
         "segfault came from exactly this bug class"
     )
     version = 1
-    scope = ("engine/context.py", "engine/pool.py", "engine/shm.py")
+    scope = (
+        "engine/context.py",
+        "engine/pool.py",
+        "engine/shm.py",
+        "engine/store.py",
+    )
 
     def check(self, tree: ast.Module, path: str) -> List[Finding]:
         findings: List[Finding] = []

@@ -58,7 +58,7 @@ ALLOCATORS = frozenset(
 _FREEZING_CALLS = frozenset({"_cached", "get_or_compute", "peek"})
 
 #: Classes whose public surface promises read-only arrays.
-CLASSES = frozenset({"MetricContext", "SharedGridStore"})
+CLASSES = frozenset({"MetricContext", "SharedGridStore", "GridStore"})
 
 _OK, _MUTABLE, _UNKNOWN = "ok", "mutable", "unknown"
 
@@ -72,7 +72,7 @@ class ReadonlyReturnsRule(LintRule):
         "later reads"
     )
     version = 1
-    scope = ("engine/context.py", "engine/shm.py")
+    scope = ("engine/context.py", "engine/shm.py", "engine/store.py")
 
     def check(self, tree: ast.Module, path: str) -> List[Finding]:
         self._aliases = numpy_aliases(tree)

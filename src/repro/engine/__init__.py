@@ -35,6 +35,15 @@
   permutation, neighbor counts) per canonical spec, published by a
   process sweep's parent and attached by its workers as zero-copy
   read-only views (counted in :attr:`CacheStats.shared`).
+* :mod:`repro.engine.store` — :class:`GridStore`, the *persistent*
+  tier: content-addressed ``.npy`` artifacts (format-version + dtype/
+  shape/SHA-256 headers, temp-file + atomic-rename publish) memory-
+  mapped read-only across processes, slotted into the resolution order
+  as shared → **mmap** → derived → compute (counted in
+  :attr:`CacheStats.mmap`) and doubling as the out-of-core spill
+  target for chunked table-backed curves.  ``store_dir=`` on
+  :class:`MetricContext` / :class:`ContextPool` / :class:`Sweep`
+  (``repro sweep/serve --store``) wires it in.
 * :mod:`repro.engine.sweep` — :class:`Sweep`, the declarative
   curve × universe × metric runner (curve/metric spec strings with
   plan-time parameter validation, capability-based applicability,
@@ -62,6 +71,12 @@ from repro.engine.shm import (
     SharedGridStore,
     shared_key,
     universe_key,
+)
+from repro.engine.store import (
+    FORMAT_VERSION,
+    GridStore,
+    canonical_key,
+    render_key,
 )
 from repro.engine.threads import (
     BlockScheduler,
@@ -98,6 +113,10 @@ __all__ = [
     "SharedGridStore",
     "shared_key",
     "universe_key",
+    "GridStore",
+    "FORMAT_VERSION",
+    "canonical_key",
+    "render_key",
     "Sweep",
     "SweepRecord",
     "SweepResult",

@@ -72,6 +72,18 @@ views are retained outside the ``max_bytes`` budget (their pages are
 mapped once machine-wide, not owned by this process).  See
 ``docs/memory-model.md`` for the full retention / materialization /
 duplication picture.
+
+**Persistent store** (``store_dir=...`` / ``repro sweep --store``): a
+context wired to a :class:`repro.engine.store.GridStore` resolves the
+same grid intermediates as read-only ``np.memmap`` views of
+checksummed on-disk artifacts — resolution order **shared → mmap →
+derived → compute**, counted in :attr:`CacheStats.mmap` — and writes
+freshly computed ones through, so a later process (a sweep rerun, a
+``repro serve`` restart) starts warm from disk.  In chunked mode the
+same store backs out-of-core spill: table-backed curves publish their
+key grid once and every slab then streams from the mapping, so blocks
+evicted from the LRU re-resolve from disk bit-for-bit instead of being
+recomputed.  See ``docs/persistence.md``.
 """
 
 from __future__ import annotations
@@ -137,6 +149,12 @@ class CacheStats:
     #: cell finishes, so ``repro sweep --stats`` and the serve
     #: ``/stats`` payload can report which backend actually ran.
     backends: Dict[str, int] = field(default_factory=dict)
+    #: How many times an intermediate was resolved as a read-only
+    #: memory-mapped view of a persistent
+    #: :class:`repro.engine.store.GridStore` artifact (``--store``)
+    #: instead of being computed in this process.  Chunked spill reads
+    #: land here too, under their block keys (``key_slab[lo:hi]``).
+    mmap: Dict[str, int] = field(default_factory=dict)
 
     def compute_count(self, key: str) -> int:
         """Times the named intermediate was materialized from scratch."""
@@ -149,6 +167,10 @@ class CacheStats:
     def shared_count(self, key: str) -> int:
         """Times the named intermediate was attached from shared memory."""
         return self.shared.get(key, 0)
+
+    def mmap_count(self, key: str) -> int:
+        """Times the named intermediate was mapped from the grid store."""
+        return self.mmap.get(key, 0)
 
     @property
     def total_computes(self) -> int:
@@ -164,6 +186,11 @@ class CacheStats:
     def total_shared(self) -> int:
         """Total shared-memory attachments across all intermediates."""
         return sum(self.shared.values())
+
+    @property
+    def total_mmap(self) -> int:
+        """Total persistent-store mappings across all intermediates."""
+        return sum(self.mmap.values())
 
     @property
     def hit_rate(self) -> float:
@@ -187,6 +214,8 @@ class CacheStats:
                 out.shared[key] = out.shared.get(key, 0) + count
             for key, count in part.backends.items():
                 out.backends[key] = out.backends.get(key, 0) + count
+            for key, count in part.mmap.items():
+                out.mmap[key] = out.mmap.get(key, 0) + count
         return out
 
     def __repr__(self) -> str:
@@ -196,6 +225,7 @@ class CacheStats:
             f"computes={self.total_computes}, "
             f"derived={self.total_derived}, "
             f"shared={self.total_shared}, "
+            f"mmap={self.total_mmap}, "
             f"evictions={self.evictions})"
         )
 
@@ -209,10 +239,12 @@ class _BoundedStore:
     are shared across all metrics of the context.
 
     Arrays resolved through a ``shared`` factory (zero-copy views of a
-    :class:`repro.engine.shm.SharedGridStore` segment) are retained in
-    a side table that does **not** count against ``max_bytes``: their
-    pages belong to a machine-wide shared mapping, not to this
-    process's private budget, and evicting a view would save nothing.
+    :class:`repro.engine.shm.SharedGridStore` segment) or an ``mmap``
+    factory (read-only maps of :class:`repro.engine.store.GridStore`
+    artifacts) are retained in a side table that does **not** count
+    against ``max_bytes``: their pages belong to a machine-wide shared
+    mapping or to the kernel page cache, not to this process's private
+    budget, and evicting a view would save nothing.
 
     The store is **thread-safe**: dict state and counters mutate under
     a lock, while compute/derive factories run outside it so worker
@@ -245,6 +277,8 @@ class _BoundedStore:
         freeze: bool = True,
         derive: Optional[Callable[[], np.ndarray]] = None,
         shared: Optional[Callable[[], Optional[np.ndarray]]] = None,
+        mmap: Optional[Callable[[], Optional[np.ndarray]]] = None,
+        persist: Optional[Callable[[np.ndarray], object]] = None,
         pin: bool = False,
     ) -> np.ndarray:
         with self._lock:
@@ -278,18 +312,45 @@ class _BoundedStore:
                     if self.max_bytes != 0:
                         self._views[key] = value
                 return value
+        if mmap is not None:
+            # Read-only map of a verified persistent-store artifact:
+            # the disk tier between shared memory and derivation.  The
+            # factory returning None means "not on disk" (or rejected
+            # by its checksum) and falls through to derive / compute.
+            value = mmap()
+            if value is not None:
+                with self._lock:
+                    existing = self._views.get(key)
+                    if existing is not None:
+                        # Same provisional-miss reclassification as the
+                        # shared tier above.
+                        self.stats.misses -= 1
+                        self.stats.hits += 1
+                        return existing
+                    self.stats.mmap[key] = self.stats.mmap.get(key, 0) + 1
+                    if self.max_bytes != 0:
+                        self._views[key] = value
+                return value
         if derive is not None:
             value = np.asarray(derive())
+            computed = False
             with self._lock:
                 self.stats.derived[key] = self.stats.derived.get(key, 0) + 1
         else:
             value = np.asarray(compute())
+            computed = True
             with self._lock:
                 self.stats.computes[key] = (
                     self.stats.computes.get(key, 0) + 1
                 )
         if freeze:
             value.flags.writeable = False
+        if persist is not None and computed:
+            # Write-through to the persistent store, only for genuinely
+            # computed arrays (derived ones are cheap transforms that a
+            # warm restart re-derives from their mapped base).  Best
+            # effort: the store swallows I/O errors.
+            persist(value)
         with self._lock:
             if self.max_bytes != 0:
                 if pin:
@@ -367,6 +428,8 @@ class MetricContext:
         chunk_cells: Optional[int] = None,
         threads: Union[None, int, str] = None,
         backend: str = "auto",
+        store: Optional[object] = None,
+        store_dir: Optional[str] = None,
     ) -> None:
         from repro.engine import native
         from repro.engine.threads import resolve_threads
@@ -430,7 +493,90 @@ class MetricContext:
         self._shared_sources: Dict[
             str, Callable[[], Optional[np.ndarray]]
         ] = {}
+        #: Intermediate key → zero-arg factory resolving the array as a
+        #: read-only memmap of a persistent
+        #: :class:`repro.engine.store.GridStore` artifact.  Consulted
+        #: after the shared tier, before derivation; a factory
+        #: returning ``None`` (absent or checksum-rejected entry) falls
+        #: through.  Resolutions are counted in :attr:`CacheStats.mmap`.
+        self._mmap_sources: Dict[
+            str, Callable[[], Optional[np.ndarray]]
+        ] = {}
+        #: Intermediate key → write-through sink persisting a genuinely
+        #: computed array to the grid store (best effort).
+        self._persist_sinks: Dict[str, Callable[[np.ndarray], object]] = {}
+        #: ``(GridStore, spec key)`` backing the chunked out-of-core
+        #: spill, or ``None``.  See :meth:`_spill_grid_view`.
+        self._spill = None
+        self._spill_grid: object = False  # False = unresolved memo
+        #: The wired :class:`repro.engine.store.GridStore`, or ``None``.
+        if store is None and store_dir is not None:
+            from repro.engine.store import GridStore
+
+            store = GridStore(store_dir)
+        self.grid_store = store
+        if store is not None:
+            self._wire_store(store)
         self._scalars: Dict[Tuple, object] = {}
+
+    def _wire_store(self, store) -> None:
+        """Point this context at a persistent grid store.
+
+        Dense contexts with a process-stable spec key get an mmap
+        source and a write-through sink per shared kind; chunked
+        contexts instead arm the out-of-core spill (dense mappings are
+        exactly what chunked mode exists to avoid materializing — the
+        spill hands out ``O(block)`` slices of the same artifact).
+        Instance-keyed curves have no stable key and stay store-exempt;
+        the curve-independent neighbor counts are wired in every mode.
+        """
+        from repro.engine.shm import SHARED_KINDS, shared_key, universe_key
+
+        skey = shared_key(self.curve)
+        if skey is not None:
+            if not self.chunked:
+                for kind in SHARED_KINDS:
+                    self._mmap_sources[kind] = (
+                        lambda k=skey, kd=kind: store.get(k, kd)
+                    )
+                    self._persist_sinks[kind] = (
+                        lambda arr, k=skey, kd=kind: store.put(k, kd, arr)
+                    )
+            else:
+                self._spill = (store, skey)
+        ukey = universe_key(self.universe)
+        self._mmap_sources["neighbor_counts"] = (
+            lambda: store.get(ukey, "neighbor_counts")
+        )
+        self._persist_sinks["neighbor_counts"] = (
+            lambda arr: store.put(ukey, "neighbor_counts", arr)
+        )
+
+    def _spill_grid_view(self) -> Optional[np.ndarray]:
+        """Memmapped key grid backing the chunked spill, or ``None``.
+
+        Resolved once per context: the store's committed grid if one
+        exists, else — for curves whose defining dense table is already
+        resident (``PermutationCurve`` subclasses build it in
+        ``__init__``) — the table is published first and mapped back,
+        so every later slab (and every later process) streams from
+        disk.  Procedural curves are never forced to materialize a
+        dense grid here; absent an artifact they stay on the
+        ``O(block)`` compute path.
+        """
+        if self._spill is None:
+            return None
+        with self._scalar_lock:
+            if self._spill_grid is False:
+                grid_store, skey = self._spill
+                view = grid_store.get(skey, "key_grid")
+                if view is None:
+                    table = getattr(self.curve, "_key_grid_cache", None)
+                    if table is not None:
+                        grid_store.put(skey, "key_grid", table)
+                        view = grid_store.get(skey, "key_grid")
+                self._spill_grid = view
+            return self._spill_grid
 
     # ------------------------------------------------------------------
     # Introspection
@@ -507,10 +653,12 @@ class MetricContext:
         """Store lookup honoring pool-installed shared/derivation rules.
 
         Resolution order is cheapest-first: an already-cached array,
-        then a zero-copy shared-memory view, then a derivation from a
-        base context, then local compute.  ``pin`` retains a locally
-        computed array outside the LRU budget (for arrays whose memory
-        is owned elsewhere, e.g. the curve's own caches).
+        then a zero-copy shared-memory view, then a persistent-store
+        memmap, then a derivation from a base context, then local
+        compute (persisted back to the store when one is wired).
+        ``pin`` retains a locally computed array outside the LRU budget
+        (for arrays whose memory is owned elsewhere, e.g. the curve's
+        own caches).
         """
         return self._store.get_or_compute(
             key,
@@ -518,6 +666,8 @@ class MetricContext:
             freeze=freeze,
             derive=self._derivations.get(key),
             shared=self._shared_sources.get(key),
+            mmap=self._mmap_sources.get(key),
+            persist=self._persist_sinks.get(key),
             pin=pin,
         )
 
@@ -689,6 +839,8 @@ class MetricContext:
             "neighbor_counts",
             compute,
             shared=self._shared_sources.get("neighbor_counts"),
+            mmap=self._mmap_sources.get("neighbor_counts"),
+            persist=self._persist_sinks.get("neighbor_counts"),
         )
 
     # ------------------------------------------------------------------
@@ -736,11 +888,24 @@ class MetricContext:
     def _cached_block(
         self, kind: str, lo: int, hi: int, compute: Callable[[], np.ndarray]
     ) -> np.ndarray:
-        """LRU-cached block, honoring pool-installed block derivations."""
+        """LRU-cached block, honoring pool-installed block derivations.
+
+        With the out-of-core spill armed, key-grid slabs resolve as
+        ``O(block)`` slices of the store's memmapped grid before any
+        derivation or compute — so a block evicted under ``max_bytes``
+        streams back from disk bit-for-bit instead of being rebuilt.
+        """
         derive_fn = self._chunk_derivations.get(kind)
         derive = None if derive_fn is None else (lambda: derive_fn(lo, hi))
+        mmap = None
+        if kind == "key_slab" and self._spill is not None:
+
+            def mmap() -> Optional[np.ndarray]:
+                grid = self._spill_grid_view()
+                return None if grid is None else grid[lo:hi]
+
         return self._store.get_or_compute(
-            f"{kind}[{lo}:{hi}]", compute, derive=derive
+            f"{kind}[{lo}:{hi}]", compute, derive=derive, mmap=mmap
         )
 
     def _key_slab_values(self, lo: int, hi: int) -> np.ndarray:
@@ -755,6 +920,9 @@ class MetricContext:
         derive = self._chunk_derivations.get("key_slab")
         if derive is not None:
             return derive(lo, hi)
+        spilled = self._spill_grid_view()
+        if spilled is not None:
+            return spilled[lo:hi]
         side, d = self.universe.side, self.universe.d
         axes = [np.arange(lo, hi, dtype=np.int64)]
         axes += [np.arange(side, dtype=np.int64)] * (d - 1)

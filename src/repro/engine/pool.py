@@ -212,6 +212,13 @@ class ContextPool:
     :attr:`repro.engine.CacheStats.shared`.  Chunked contexts ignore the
     store — they exist precisely to avoid dense ``O(n)`` arrays.
 
+    ``store``/``store_dir`` additionally wires every member context to
+    one persistent :class:`repro.engine.store.GridStore`: dense
+    contexts resolve (and write through) their grid intermediates as
+    checksummed on-disk memmaps, counted under
+    :attr:`repro.engine.CacheStats.mmap`, and chunked contexts use the
+    same artifacts for out-of-core spill (see ``docs/persistence.md``).
+
     The pool holds strong references to its curves: its lifetime should
     be scoped to a unit of work (one sweep, one report), not global.
 
@@ -231,11 +238,22 @@ class ContextPool:
         shared_store: Optional[object] = None,
         threads: Union[None, int, str] = None,
         backend: str = "auto",
+        store: Optional[object] = None,
+        store_dir: Optional[str] = None,
     ) -> None:
         self.max_bytes = max_bytes
         self.derive_transforms = derive_transforms
         self.chunk_cells = chunk_cells
         self.shared_store = shared_store
+        #: One persistent :class:`repro.engine.store.GridStore` shared
+        #: by every member context (``store_dir`` constructs it), so
+        #: per-process verification state and counters aggregate in one
+        #: place.  ``None`` leaves contexts purely in-memory.
+        if store is None and store_dir is not None:
+            from repro.engine.store import GridStore
+
+            store = GridStore(store_dir)
+        self.grid_store = store
         #: Worker-thread count handed to every member context (see
         #: :class:`MetricContext`); ``None`` keeps contexts serial.
         self.threads = threads
@@ -304,6 +322,7 @@ class ContextPool:
                 chunk_cells=self.chunk_cells,
                 threads=self.threads,
                 backend=self.backend,
+                store=self.grid_store,
             )
             if ctx.threads > 1:
                 # All pooled contexts resolve the same thread count,

@@ -1,0 +1,582 @@
+"""Persistent grid store: content-addressed, memory-mapped artifacts.
+
+Every other tier of the cache hierarchy dies with the process — the
+LRU store, the :class:`repro.engine.pool.ContextPool`, the
+shared-memory segments of :mod:`repro.engine.shm`.  The
+:class:`GridStore` promotes the hierarchy to disk: one ``.npy``-backed
+artifact per ``(spec key, kind)`` entry, written once and memory-mapped
+read-only by every later process, so a sweep rerun (or a ``repro
+serve`` restart) resolves its key grids from the page cache instead of
+re-evaluating curves.  Contexts consult it between the shared-memory
+and derivation tiers — resolution order **shared → mmap → derived →
+compute** — and resolutions are counted in
+:attr:`repro.engine.CacheStats.mmap`.
+
+Keys are the process-stable :func:`repro.engine.shm.shared_key`
+renderings (instance-keyed curves return ``None`` there and are
+store-exempt), serialized by :func:`canonical_key` — an injective,
+length-prefixed rendering — and addressed on disk through
+:func:`render_key`, a filesystem-safe ``slug-sha256`` directory name.
+
+Durability contract (what the crash/corruption test harness asserts):
+
+* **Atomic publish** — payload and header are written to ``tmp/`` and
+  ``os.replace``\\ d into place, payload first, header last.  The
+  header rename is the commit point: readers require a valid header,
+  so a writer killed at *any* instant leaves either the old state or
+  the complete new entry, never a torn artifact.
+* **Checksummed reads** — :meth:`get` verifies the header's format
+  version, dtype, shape and the payload's SHA-256 before handing out a
+  mapping.  Truncation, bit flips, stale formats and header mismatches
+  are all treated as a cache miss: the entry is quarantined and the
+  caller recomputes (and rewrites) it.  A corrupt store can cost time,
+  never correctness.
+* **Best-effort writes** — :meth:`put` swallows ``OSError`` (full or
+  read-only disk) and reports it in :attr:`counters`; persistence is
+  an optimization, so a failing disk degrades to the compute path.
+
+>>> import numpy as np, shutil, tempfile
+>>> root = tempfile.mkdtemp()
+>>> store = GridStore(root)
+>>> store.put(("demo",), "key_grid", np.arange(4, dtype=np.int64))
+True
+>>> twin = GridStore(root)   # a later process reopening the store
+>>> view = twin.get(("demo",), "key_grid")
+>>> bool((view == np.arange(4)).all()) and not view.flags.writeable
+True
+>>> twin.get(("demo",), "flat_keys") is None   # absent kind -> compute
+True
+>>> shutil.rmtree(root)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import signal
+import threading
+import uuid
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "FORMAT_VERSION",
+    "GridStore",
+    "canonical_key",
+    "render_key",
+    "store_dir_from_env",
+]
+
+#: On-disk header format version.  Bump on any incompatible layout
+#: change: readers treat a mismatched version as a miss (the entry is
+#: quarantined and rewritten), so old stores degrade to cold caches
+#: instead of serving misinterpreted bytes.
+FORMAT_VERSION = 1
+
+#: Environment variable naming a default store directory for the CLI
+#: (``repro sweep/serve --store`` override it; ``repro doctor`` reports
+#: it).  The engine itself never reads it — tests stay hermetic.
+STORE_ENV = "REPRO_STORE"
+
+#: Crash-injection hook for the consistency test harness: when this
+#: variable names one of the publish failpoints (``before-temp``,
+#: ``after-temp``, ``before-rename``, ``before-commit``), the writer
+#: SIGKILLs itself at that exact point.  Two env lookups per publish;
+#: unset (the only production state) they cost nothing measurable.
+CRASH_ENV = "REPRO_STORE_CRASH"
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9._-]+")
+_KIND_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+_HASH_CHUNK = 1 << 20
+
+
+def _crash_point(point: str) -> None:
+    """SIGKILL the process if the harness armed this failpoint."""
+    if os.environ.get(CRASH_ENV) == point:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def canonical_key(key: object) -> str:
+    """``key`` rendered as an injective, process-stable string.
+
+    The domain is the value space of
+    :func:`repro.engine.shm.shared_key`: ``None``, ``bool``, ``int``,
+    ``float``, ``str`` and tuples thereof.  Distinct keys always render
+    distinctly — scalars carry a type tag, strings are length-prefixed
+    (netstring style, so embedded ``,)(`` cannot forge structure), and
+    tuples parenthesize — which is what makes the on-disk address of
+    :func:`render_key` collision-free across curve specs.
+
+    >>> canonical_key(("universe", 2, 64))
+    '(s8:universe,i2,i64)'
+    >>> canonical_key(1) != canonical_key(True) != canonical_key("1")
+    True
+    """
+    if key is None:
+        return "~"
+    if isinstance(key, bool):  # before int: bool subclasses int
+        return "T" if key else "F"
+    if isinstance(key, int):
+        return f"i{key}"
+    if isinstance(key, float):
+        # repr round-trips float64 exactly and is stable across
+        # processes, unlike hash()-derived renderings.
+        return f"f{key!r}"
+    if isinstance(key, str):
+        return f"s{len(key.encode('utf-8'))}:{key}"
+    if isinstance(key, tuple):
+        return "(" + ",".join(canonical_key(part) for part in key) + ")"
+    raise TypeError(
+        f"store keys are tuples of str/int/float/bool/None, "
+        f"got {type(key).__name__}"
+    )
+
+
+def _slug(key: object) -> str:
+    """Short human-readable prefix for an entry directory name."""
+    if (
+        isinstance(key, tuple)
+        and len(key) == 3
+        and key[0] == "universe"
+        and isinstance(key[1], int)
+        and isinstance(key[2], int)
+    ):
+        return f"universe-{key[1]}x{key[2]}"
+
+    def strings(part: object) -> Iterator[str]:
+        if isinstance(part, str):
+            yield part
+        elif isinstance(part, tuple):
+            for item in part:
+                yield from strings(item)
+
+    for text in strings(key):
+        if "." in text:  # a qualified type name from shm._stable
+            tail = _SLUG_RE.sub("-", text.rsplit(".", 1)[1]).strip("-")
+            if tail:
+                return tail.lower()[:40]
+    return "entry"
+
+
+def render_key(key: object) -> str:
+    """Filesystem-safe directory name addressing ``key``.
+
+    ``<slug>-<sha256 of canonical_key(key)>`` — stable across
+    processes (no ``id()``/``hash()`` state), injective because the
+    pre-hash rendering is (see :func:`canonical_key`), and matching
+    ``[A-Za-z0-9._-]+`` so it is portable across filesystems.
+
+    >>> name = render_key(("universe", 2, 64))
+    >>> name.startswith("universe-2x64-") and len(name) < 128
+    True
+    >>> render_key(("universe", 2, 64)) == render_key(("universe", 2, 64))
+    True
+    """
+    canon = canonical_key(key)
+    digest = hashlib.sha256(canon.encode("utf-8")).hexdigest()
+    return f"{_slug(key)}-{digest}"
+
+
+def store_dir_from_env() -> Optional[str]:
+    """The :data:`STORE_ENV` default store directory, or ``None``."""
+    value = os.environ.get(STORE_ENV, "").strip()
+    return value or None
+
+
+class GridStore:
+    """Content-addressed ``.npy`` artifacts under one root directory.
+
+    Layout::
+
+        root/
+          tmp/                  in-flight writes (never read)
+          quarantine/           rejected artifacts, kept for forensics
+          <slug>-<sha256>/      one directory per spec key
+              <kind>.npy        payload (NumPy format, memory-mapped)
+              <kind>.json       header: format/dtype/shape/sha256
+
+    A store object is cheap (no I/O until first use) and **thread-safe**:
+    counters and the per-process verification memo mutate under a lock,
+    while payload I/O runs outside it.  Concurrent writers of one entry
+    are benign — publishes are atomic renames of identical bytes (every
+    artifact is deterministic), so last-write-wins is a no-op.
+
+    Unlike :class:`repro.engine.shm.SharedGridStore` there is no
+    owner/attached split and no cleanup obligation: entries persist by
+    design, and a store directory can be deleted wholesale between runs.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self._tmp = self.root / "tmp"
+        self._quarantine = self.root / "quarantine"
+        #: Lifetime I/O counters of this store object (``gets``,
+        #: ``hits``, ``misses``, ``puts``, ``put_skipped``,
+        #: ``rejected``, ``quarantined``, ``io_errors``).
+        self.counters: Dict[str, int] = {}
+        #: ``payload path -> (size, mtime_ns)`` of entries this process
+        #: already checksummed, so repeated ``get``\\ s of a hot entry
+        #: pay the SHA-256 once; a rewritten or truncated file changes
+        #: its stat signature and is re-verified.
+        self._verified: Dict[str, Tuple[int, int]] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GridStore({str(self.root)!r})"
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + delta
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of :attr:`counters` (JSON-ready)."""
+        with self._lock:
+            return dict(self.counters)
+
+    def entries(self) -> list:
+        """Header metadata of every committed entry (doctor surface)."""
+        out = []
+        if not self.root.is_dir():
+            return out
+        for entry_dir in sorted(self.root.iterdir()):
+            if not entry_dir.is_dir() or entry_dir.name in (
+                "tmp",
+                "quarantine",
+            ):
+                continue
+            for meta_path in sorted(entry_dir.glob("*.json")):
+                meta = self._read_meta(meta_path)
+                if meta is None:
+                    continue
+                out.append(
+                    {
+                        "dir": entry_dir.name,
+                        "kind": meta.get("kind", meta_path.stem),
+                        "key": meta.get("key", ""),
+                        "dtype": meta.get("dtype", "?"),
+                        "shape": tuple(meta.get("shape", ())),
+                        "nbytes": int(meta.get("nbytes", 0)),
+                    }
+                )
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes across committed entries."""
+        return sum(entry["nbytes"] for entry in self.entries())
+
+    def quarantined_count(self) -> int:
+        """Number of artifacts parked in ``quarantine/``."""
+        if not self._quarantine.is_dir():
+            return 0
+        return sum(1 for _ in self._quarantine.iterdir())
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_kind(kind: str) -> None:
+        if not _KIND_RE.match(kind):
+            raise ValueError(
+                f"store kind {kind!r} must match [A-Za-z0-9._-]+"
+            )
+
+    def _paths(self, spec_key: tuple, kind: str) -> Tuple[Path, Path]:
+        entry_dir = self.root / render_key(spec_key)
+        return entry_dir / f"{kind}.npy", entry_dir / f"{kind}.json"
+
+    # ------------------------------------------------------------------
+    # Reader side
+    # ------------------------------------------------------------------
+    def get(self, spec_key: Optional[tuple], kind: str) -> Optional[np.ndarray]:
+        """Verified read-only memmap of an entry, or ``None`` (a miss).
+
+        Every rejection path — missing files, unparsable or stale
+        header, dtype/shape mismatch, checksum failure — quarantines
+        the artifact and returns ``None``, so callers fall through to
+        compute and :meth:`put` repairs the entry with fresh bytes.
+        """
+        if spec_key is None:
+            return None
+        self._check_kind(kind)
+        self._count("gets")
+        payload, meta_path = self._paths(spec_key, kind)
+        meta = self._load_valid_meta(meta_path, payload, kind)
+        if meta is None:
+            self._count("misses")
+            return None
+        try:
+            array = np.load(payload, mmap_mode="r", allow_pickle=False)
+        except (OSError, ValueError):
+            self._reject(payload, meta_path)
+            self._count("misses")
+            return None
+        if (
+            array.dtype.str != meta["dtype"]
+            or tuple(array.shape) != tuple(meta["shape"])
+        ):
+            # The .npy header disagrees with the committed header: one
+            # of them was tampered with or half-written.
+            del array
+            self._reject(payload, meta_path)
+            self._count("misses")
+            return None
+        if not self._checksum_ok(payload, meta["sha256"]):
+            del array
+            self._reject(payload, meta_path)
+            self._count("misses")
+            return None
+        self._count("hits")
+        return array
+
+    def contains(self, spec_key: Optional[tuple], kind: str) -> bool:
+        """Whether a committed, plausibly-valid entry exists (cheap).
+
+        Checks header validity and payload size only — the checksum is
+        deferred to :meth:`get`, which is the boundary that must never
+        serve wrong bytes.
+        """
+        if spec_key is None:
+            return False
+        self._check_kind(kind)
+        payload, meta_path = self._paths(spec_key, kind)
+        return self._load_valid_meta(meta_path, payload, kind) is not None
+
+    def _read_meta(self, meta_path: Path) -> Optional[dict]:
+        try:
+            with open(meta_path, "r", encoding="utf-8") as fh:
+                meta = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        return meta if isinstance(meta, dict) else None
+
+    def _load_valid_meta(
+        self, meta_path: Path, payload: Path, kind: str
+    ) -> Optional[dict]:
+        """Parse + structurally validate a header, quarantining junk."""
+        if not meta_path.exists():
+            return None
+        meta = self._read_meta(meta_path)
+        if meta is None:
+            self._reject(payload, meta_path)
+            return None
+        ok = (
+            meta.get("format") == FORMAT_VERSION
+            and meta.get("kind") == kind
+            and isinstance(meta.get("dtype"), str)
+            and isinstance(meta.get("shape"), list)
+            and isinstance(meta.get("sha256"), str)
+            and isinstance(meta.get("nbytes"), int)
+        )
+        if not ok:
+            self._reject(payload, meta_path)
+            return None
+        try:
+            size = payload.stat().st_size
+        except OSError:
+            self._reject(payload, meta_path)
+            return None
+        if size != meta["nbytes"]:  # truncated or torn payload
+            self._reject(payload, meta_path)
+            return None
+        return meta
+
+    def _checksum_ok(self, payload: Path, expected: str) -> bool:
+        try:
+            stat = payload.stat()
+            signature = (stat.st_size, stat.st_mtime_ns)
+            with self._lock:
+                if self._verified.get(str(payload)) == signature:
+                    return True
+            digest = hashlib.sha256()
+            with open(payload, "rb") as fh:
+                while True:
+                    block = fh.read(_HASH_CHUNK)
+                    if not block:
+                        break
+                    digest.update(block)
+        except OSError:
+            return False
+        if digest.hexdigest() != expected:
+            return False
+        with self._lock:
+            self._verified[str(payload)] = signature
+        return True
+
+    def _reject(self, payload: Path, meta_path: Path) -> None:
+        """Quarantine a rejected artifact pair (best effort)."""
+        self._count("rejected")
+        for path in (payload, meta_path):
+            if not path.exists():
+                continue
+            with self._lock:
+                self._verified.pop(str(path), None)
+            try:
+                self._quarantine.mkdir(parents=True, exist_ok=True)
+                target = self._quarantine / (
+                    f"{path.parent.name}.{path.name}.{uuid.uuid4().hex[:8]}"
+                )
+                os.replace(path, target)
+                self._count("quarantined")
+            except OSError:
+                self._count("io_errors")
+
+    # ------------------------------------------------------------------
+    # Writer side
+    # ------------------------------------------------------------------
+    def put(
+        self, spec_key: Optional[tuple], kind: str, array: np.ndarray
+    ) -> bool:
+        """Atomically publish ``array``; ``True`` if bytes were written.
+
+        ``False`` means the entry already exists intact (the common
+        warm-path no-op), the key is instance-scoped (``None``), or the
+        filesystem failed — counted under ``io_errors`` and otherwise
+        ignored, because a broken disk must degrade to the compute
+        path, not crash a sweep.
+        """
+        if spec_key is None:
+            return False
+        self._check_kind(kind)
+        arr = np.asarray(array)
+        payload, meta_path = self._paths(spec_key, kind)
+        if self._load_valid_meta(meta_path, payload, kind) is not None:
+            self._count("put_skipped")
+            return False
+        try:
+            self._publish(spec_key, kind, arr, payload, meta_path)
+        except OSError:
+            self._count("io_errors")
+            return False
+        self._count("puts")
+        return True
+
+    def _publish(
+        self,
+        spec_key: tuple,
+        kind: str,
+        arr: np.ndarray,
+        payload: Path,
+        meta_path: Path,
+    ) -> None:
+        """The atomic publish protocol (see the module docstring)."""
+        _crash_point("before-temp")
+        self._tmp.mkdir(parents=True, exist_ok=True)
+        token = f"{kind}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        tmp_payload = self._tmp / f"{token}.npy"
+        tmp_meta = self._tmp / f"{token}.json"
+        try:
+            with open(tmp_payload, "wb") as fh:
+                np.lib.format.write_array(fh, arr, allow_pickle=False)
+                fh.flush()
+                os.fsync(fh.fileno())
+            digest = hashlib.sha256()
+            with open(tmp_payload, "rb") as fh:
+                while True:
+                    block = fh.read(_HASH_CHUNK)
+                    if not block:
+                        break
+                    digest.update(block)
+            _crash_point("after-temp")
+            meta = {
+                "format": FORMAT_VERSION,
+                "kind": kind,
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "nbytes": tmp_payload.stat().st_size,
+                "sha256": digest.hexdigest(),
+                "key": canonical_key(spec_key),
+            }
+            with open(tmp_meta, "w", encoding="utf-8") as fh:
+                json.dump(meta, fh, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
+            payload.parent.mkdir(parents=True, exist_ok=True)
+            _crash_point("before-rename")
+            os.replace(tmp_payload, payload)
+            # The commit point: a reader only believes an entry whose
+            # header exists and matches, so dying between these two
+            # renames leaves an invisible (and reclaimable) payload.
+            _crash_point("before-commit")
+            os.replace(tmp_meta, meta_path)
+            self._fsync_dir(payload.parent)
+        finally:
+            for leftover in (tmp_payload, tmp_meta):
+                try:
+                    leftover.unlink()
+                except OSError:
+                    pass
+
+    @staticmethod
+    def _fsync_dir(path: Path) -> None:
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-specific
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def clean(self) -> Dict[str, int]:
+        """Quarantine publish debris; safe any time, returns counts.
+
+        Two kinds of debris can survive a killed writer: files left in
+        ``tmp/`` (never visible to readers, but they accumulate) and
+        *orphan payloads* — a ``.npy`` whose writer died between the
+        payload and header renames, so no header commits it.  Both are
+        moved to ``quarantine/``.  Live entries are untouched, so
+        running this concurrently with readers is safe; concurrent
+        *writers* may see their in-flight temp swept, which the publish
+        protocol already tolerates (the rename simply fails and the
+        write is retried by the next compute).
+        """
+        swept = {"tmp": 0, "orphans": 0}
+        if self._tmp.is_dir():
+            for path in sorted(self._tmp.iterdir()):
+                self._quarantine.mkdir(parents=True, exist_ok=True)
+                try:
+                    os.replace(
+                        path,
+                        self._quarantine
+                        / f"tmp.{path.name}.{uuid.uuid4().hex[:8]}",
+                    )
+                    swept["tmp"] += 1
+                    self._count("quarantined")
+                except OSError:
+                    self._count("io_errors")
+        if self.root.is_dir():
+            for entry_dir in sorted(self.root.iterdir()):
+                if not entry_dir.is_dir() or entry_dir.name in (
+                    "tmp",
+                    "quarantine",
+                ):
+                    continue
+                for payload in sorted(entry_dir.glob("*.npy")):
+                    if payload.with_suffix(".json").exists():
+                        continue
+                    self._quarantine.mkdir(parents=True, exist_ok=True)
+                    try:
+                        os.replace(
+                            payload,
+                            self._quarantine
+                            / (
+                                f"{entry_dir.name}.{payload.name}"
+                                f".{uuid.uuid4().hex[:8]}"
+                            ),
+                        )
+                        swept["orphans"] += 1
+                        self._count("quarantined")
+                    except OSError:
+                        self._count("io_errors")
+        return swept

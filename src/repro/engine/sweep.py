@@ -564,6 +564,7 @@ _Task = Tuple[
     Optional[int],
     int,
     str,
+    Optional[str],
 ]
 
 #: Metric names whose evaluation walks the curve order / windowed
@@ -602,6 +603,7 @@ def _run_cell(
         max_bytes,
         threads,
         backend,
+        store_dir,
     ) = task
     universe = Universe(d=d, side=side)
     spec = CurveSpec.parse(spec_text)
@@ -634,6 +636,7 @@ def _run_cell(
             shared_store=shared_store,
             threads=threads,
             backend=backend,
+            store_dir=store_dir,
         )
         ctx = cell_pool.get(curve)
     else:
@@ -643,6 +646,7 @@ def _run_cell(
             chunk_cells=chunk_cells,
             threads=threads,
             backend=backend,
+            store_dir=store_dir,
         )
     if pool is None and cell_pool is None and stats_sink is not None:
         stats_sink.append(ctx.stats)
@@ -710,7 +714,11 @@ def _run_cell_with_stats(task: _Task):
     return outcome, stats
 
 
-def _publish_shared(tasks: List[_Task], max_bytes: Optional[int]):
+def _publish_shared(
+    tasks: List[_Task],
+    max_bytes: Optional[int],
+    store_dir: Optional[str] = None,
+):
     """Precompute one grid set per canonical spec into shared memory.
 
     Returns ``(store, stats)``: the owning
@@ -744,6 +752,12 @@ def _publish_shared(tasks: List[_Task], max_bytes: Optional[int]):
     :func:`repro.engine.pool.transform_derivations`), so workers
     derive it from the base's zero-copy view instead of the parent
     shipping one ``(n, d)`` segment per family member.
+
+    With a ``store_dir`` the publishing pool is additionally wired to
+    the persistent :class:`repro.engine.store.GridStore`: a warm parent
+    *maps* each grid from disk instead of evaluating curves before
+    copying it into shared memory, and a cold parent's computes are
+    written through for the next run.
     """
     from repro.engine.shm import SharedGridStore, shared_key, universe_key
 
@@ -766,7 +780,7 @@ def _publish_shared(tasks: List[_Task], max_bytes: Optional[int]):
             if pool is None or pool_universe != (d, side):
                 if pool is not None:
                     stats.append(pool.stats)
-                pool = ContextPool(max_bytes=max_bytes)
+                pool = ContextPool(max_bytes=max_bytes, store_dir=store_dir)
                 pool_universe = (d, side)
             try:
                 curve = CurveSpec.parse(spec_text).make(universe)
@@ -907,6 +921,14 @@ class Sweep:
     #: changes values — see :mod:`repro.engine.native`.  The per-cell
     #: resolution is recorded in :attr:`CacheStats.backends`.
     backend: str = "auto"
+    #: Directory of a persistent :class:`repro.engine.store.GridStore`
+    #: (``repro sweep --store``), or ``None``.  Every execution mode
+    #: threads it through: serial pools, shared-mode publishing parents
+    #: and process workers all resolve grid intermediates from (and
+    #: write them through to) the same on-disk artifacts, counted in
+    #: :attr:`CacheStats.mmap`.  Values are bit-for-bit identical with
+    #: and without a store; only where the bytes come from changes.
+    store_dir: Optional[str] = None
 
     def resolve_thread_count(self) -> int:
         """The concrete per-cell worker-thread count of this sweep."""
@@ -976,6 +998,9 @@ class Sweep:
             )
         metric_texts = tuple(s.label for s in specs)
         thread_count = self.resolve_thread_count()
+        # Normalized to str (accepts Path) so tasks stay hashable and
+        # picklable for the dedup dict and the process executor.
+        store_dir = None if self.store_dir is None else str(self.store_dir)
         tasks: List[_Task] = []
         skipped: List[SkippedCell] = []
         for universe in self.resolved_universes():
@@ -1008,6 +1033,7 @@ class Sweep:
                         self.max_bytes,
                         thread_count,
                         self.backend,
+                        store_dir,
                     )
                 )
         return tasks, skipped
@@ -1050,7 +1076,12 @@ class Sweep:
             initargs = ()
             if shared_active:
                 store, publish_stats = _publish_shared(
-                    unique_tasks, self.max_bytes
+                    unique_tasks,
+                    self.max_bytes,
+                    store_dir=(
+                        None if self.store_dir is None
+                        else str(self.store_dir)
+                    ),
                 )
                 parent_stats.append(publish_stats)
                 initializer = _worker_attach_shared
@@ -1102,6 +1133,7 @@ class Sweep:
                         chunk_cells=task[9],
                         threads=task[11],
                         backend=task[12],
+                        store_dir=task[13],
                     )
                     pool_universe = (task[0], task[1])
                 outcome_of[task] = _run_cell(

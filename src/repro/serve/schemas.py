@@ -189,6 +189,7 @@ class SweepRequest:
         max_bytes: Optional[int],
         default_threads: Union[None, int, str] = None,
         default_backend: str = "auto",
+        store_dir: Optional[str] = None,
     ) -> Sweep:
         """The equivalent :class:`repro.engine.Sweep` declaration.
 
@@ -213,6 +214,7 @@ class SweepRequest:
             max_bytes=max_bytes,
             threads=threads,
             backend=backend,
+            store_dir=store_dir,
         )
 
 

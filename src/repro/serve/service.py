@@ -108,6 +108,14 @@ class ServeConfig:
     #: Default compute backend for requests that don't choose
     #: (``"numpy"``, ``"native"``, or ``"auto"``).
     backend: str = "auto"
+    #: Directory of a persistent :class:`repro.engine.store.GridStore`
+    #: (``repro serve --store``), or ``None``.  With a store the warm
+    #: start *maps* previously computed hot-set grids from disk instead
+    #: of evaluating curves, every pool writes fresh grids through, and
+    #: a server restart comes back warm — persistence across restarts,
+    #: which ``--hot-set`` alone (shared memory dies with the process)
+    #: cannot provide.
+    store_dir: Optional[str] = None
 
 
 class SweepService:
@@ -123,6 +131,12 @@ class SweepService:
     def __init__(self, config: ServeConfig) -> None:
         self.config = config
         self.store = SharedGridStore.create()
+        #: The persistent grid store behind every pool, or ``None``.
+        self.grid_store = None
+        if config.store_dir is not None:
+            from repro.engine.store import GridStore
+
+            self.grid_store = GridStore(config.store_dir)
         self.flight = SingleFlight()
         self.counters: Dict[str, int] = {
             "requests": 0,
@@ -162,6 +176,7 @@ class SweepService:
                     shared_store=self.store,
                     threads=threads,
                     backend=backend,
+                    store=self.grid_store,
                 )
                 self._pools[key] = pool
             return pool
@@ -172,6 +187,12 @@ class SweepService:
         A hot entry that fails to parse or construct raises — a typo'd
         hot set should stop the server at startup, not surface as
         mysteriously cold requests later.
+
+        With a persistent store configured the pools are already wired
+        to it, so a restarted server *maps* previously computed grids
+        from disk here (counted in ``cache.mmap``) instead of
+        re-evaluating the curves, and first-boot computes are written
+        through for the next restart.
         """
         for spec_text, d, side in self.config.hot_set:
             universe = Universe(d=d, side=side)
@@ -273,6 +294,7 @@ class SweepService:
                 max_bytes=self.config.max_bytes,
                 default_threads=self.config.threads,
                 default_backend=self.config.backend,
+                store_dir=self.config.store_dir,
             )
             tasks, planned_skips = sweep._plan()
         except (ValueError, KeyError) as exc:
@@ -388,6 +410,7 @@ class SweepService:
                 "computes": dict(stats.computes),
                 "derived": dict(stats.derived),
                 "shared": dict(stats.shared),
+                "mmap": dict(stats.mmap),
                 "backends": dict(stats.backends),
             },
             "backend": self.config.backend,
@@ -402,6 +425,14 @@ class SweepService:
                 "nbytes": self.store.nbytes,
             },
         }
+        if self.grid_store is not None:
+            payload["store"] = {
+                "dir": str(self.grid_store.root),
+                "entries": len(self.grid_store.entries()),
+                "nbytes": self.grid_store.nbytes,
+                "quarantined": self.grid_store.quarantined_count(),
+                "counters": self.grid_store.stats(),
+            }
         if self.batcher is not None:
             payload["counters"]["batches"] = self.batcher.batches
             payload["counters"]["batched_cells"] = self.batcher.batched_cells

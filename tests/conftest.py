@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -12,6 +15,56 @@ from repro.curves.registry import curves_for_universe
 # violations* for `repro check`; they are lint input, never test code,
 # and --doctest-modules must not import them.
 collect_ignore_glob = ["devtools/fixtures/*"]
+
+
+def _default_native_cache() -> Path:
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-sfc"
+
+
+def _tree_snapshot(root: Path):
+    if not root.is_dir():
+        return None
+    return sorted(str(p.relative_to(root)) for p in root.rglob("*"))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_disk_caches(tmp_path_factory):
+    """Route every on-disk cache the suite can touch into session tmp.
+
+    Two subsystems persist outside the repo: the native build cache
+    (``REPRO_NATIVE_CACHE`` → ``~/.cache/repro-sfc``) and the artifact
+    store (``$REPRO_STORE`` as the CLI default).  A test run must leave
+    neither fingerprint on the host — compiled kernels land in a
+    session-scoped temp dir, the store/crash-injection variables are
+    cleared so CLI-default behavior is hermetic, and a before/after
+    snapshot of the *real* default cache dir asserts nothing leaked.
+    """
+    preset = os.environ.get("REPRO_NATIVE_CACHE")
+    if not preset:
+        os.environ["REPRO_NATIVE_CACHE"] = str(
+            tmp_path_factory.mktemp("native-cache")
+        )
+    saved = {
+        name: os.environ.pop(name, None)
+        for name in ("REPRO_STORE", "REPRO_STORE_CRASH")
+    }
+    default_cache = _default_native_cache()
+    before = _tree_snapshot(default_cache)
+    try:
+        yield
+    finally:
+        after = _tree_snapshot(default_cache)
+        if not preset:
+            del os.environ["REPRO_NATIVE_CACHE"]
+            assert after == before, (
+                f"test run leaked into {default_cache}: "
+                f"{set(after or []) ^ set(before or [])}"
+            )
+        for name, value in saved.items():
+            if value is not None:
+                os.environ[name] = value
 
 
 @pytest.fixture(autouse=True)

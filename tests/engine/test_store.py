@@ -1,0 +1,208 @@
+"""Tests for the persistent mmap grid store and its engine wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Universe
+from repro.curves.base import PermutationCurve
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.zcurve import ZCurve
+from repro.engine import (
+    SHARED_KINDS,
+    ContextPool,
+    GridStore,
+    MetricContext,
+    Sweep,
+    shared_key,
+    universe_key,
+)
+
+
+class TestGridStore:
+    def test_put_get_roundtrip_readonly_mmap(self, tmp_path):
+        store = GridStore(tmp_path)
+        grid = np.arange(12, dtype=np.int64).reshape(3, 4)
+        assert store.put(("spec",), "key_grid", grid) is True
+        view = store.get(("spec",), "key_grid")
+        assert view.shape == (3, 4) and view.dtype == np.int64
+        np.testing.assert_array_equal(view, grid)
+        assert not view.flags.writeable
+        assert isinstance(view, np.memmap)
+
+    def test_reopen_in_fresh_store_object(self, tmp_path):
+        GridStore(tmp_path).put(("spec",), "order", np.arange(9))
+        twin = GridStore(tmp_path)  # models a later process
+        np.testing.assert_array_equal(
+            twin.get(("spec",), "order"), np.arange(9)
+        )
+
+    def test_absent_entries_miss(self, tmp_path):
+        store = GridStore(tmp_path)
+        store.put(("spec",), "key_grid", np.arange(4))
+        assert store.get(("spec",), "flat_keys") is None
+        assert store.get(("other",), "key_grid") is None
+        assert store.counters["misses"] == 2
+
+    def test_none_key_is_exempt(self, tmp_path):
+        store = GridStore(tmp_path)
+        assert store.put(None, "key_grid", np.arange(4)) is False
+        assert store.get(None, "key_grid") is None
+        assert store.contains(None, "key_grid") is False
+        assert not any(tmp_path.iterdir())  # no I/O happened at all
+
+    def test_duplicate_put_is_skipped(self, tmp_path):
+        store = GridStore(tmp_path)
+        assert store.put(("spec",), "key_grid", np.arange(4)) is True
+        assert store.put(("spec",), "key_grid", np.arange(4)) is False
+        assert store.counters["put_skipped"] == 1
+
+    def test_bad_kind_rejected(self, tmp_path):
+        store = GridStore(tmp_path)
+        with pytest.raises(ValueError, match="kind"):
+            store.put(("spec",), "../escape", np.arange(4))
+        with pytest.raises(ValueError, match="kind"):
+            store.get(("spec",), "a/b")
+
+    def test_entries_and_nbytes(self, tmp_path):
+        store = GridStore(tmp_path)
+        store.put(("spec",), "key_grid", np.arange(8, dtype=np.int64))
+        store.put(universe_key(Universe(d=2, side=4)), "neighbor_counts",
+                  np.ones((4, 4), dtype=np.int64))
+        entries = store.entries()
+        assert {e["kind"] for e in entries} == {
+            "key_grid", "neighbor_counts"
+        }
+        assert store.nbytes == sum(e["nbytes"] for e in entries)
+        assert store.nbytes >= 8 * 8 + 16 * 8
+
+    def test_unwritable_disk_degrades_to_compute(self, tmp_path, u2_8):
+        # a root nested under a regular *file* fails every mkdir/write
+        # with OSError, which models a dead disk portably (chmod-based
+        # denial is a no-op when the suite runs as root)
+        (tmp_path / "blocker").write_text("")
+        store = GridStore(tmp_path / "blocker" / "store")
+        assert store.put(("spec",), "key_grid", np.arange(4)) is False
+        assert store.counters["io_errors"] == 1
+        ctx = MetricContext(ZCurve(u2_8), store=store)
+        assert ctx.davg() == MetricContext(ZCurve(u2_8)).davg()
+
+
+class TestContextWiring:
+    def test_cold_run_writes_through(self, tmp_path, u2_8):
+        store = GridStore(tmp_path)
+        curve = ZCurve(u2_8)
+        ctx = MetricContext(curve, store=store)
+        ctx.davg()
+        ctx.order()
+        ctx.flat_keys()
+        ctx.inverse_permutation()
+        skey = shared_key(curve)
+        for kind in SHARED_KINDS:
+            assert store.contains(skey, kind), kind
+        assert store.contains(universe_key(u2_8), "neighbor_counts")
+        assert ctx.stats.total_mmap == 0  # nothing to map on a cold run
+
+    def test_warm_context_resolves_from_mmap(self, tmp_path, u2_8):
+        cold = MetricContext(ZCurve(u2_8), store_dir=tmp_path)
+        baseline = (cold.davg(), cold.dmax(), cold.davg_ratio())
+        warm = MetricContext(ZCurve(u2_8), store_dir=tmp_path)
+        assert (warm.davg(), warm.dmax(), warm.davg_ratio()) == baseline
+        assert warm.stats.total_mmap > 0
+        assert warm.stats.mmap_count("key_grid") == 1
+        assert warm.stats.compute_count("key_grid") == 0
+        # a mapped value is cached: the second read is a plain hit
+        warm.davg()
+        assert warm.stats.mmap_count("key_grid") == 1
+
+    def test_warm_values_equal_storeless(self, tmp_path, u2_8):
+        MetricContext(HilbertCurve(u2_8), store_dir=tmp_path).davg()
+        warm = MetricContext(HilbertCurve(u2_8), store_dir=tmp_path)
+        plain = MetricContext(HilbertCurve(u2_8))
+        assert warm.davg() == plain.davg()
+        assert warm.dmax() == plain.dmax()
+        np.testing.assert_array_equal(
+            warm.nn_distance_values(), plain.nn_distance_values()
+        )
+
+    def test_instance_keyed_curve_is_store_exempt(self, tmp_path, u2_8):
+        table = PermutationCurve(u2_8, order=u2_8.all_coords())
+        assert shared_key(table) is None
+        store = GridStore(tmp_path)
+        ctx = MetricContext(table, store=store)
+        ctx.davg()
+        kinds = {e["kind"] for e in store.entries()}
+        # only the curve-independent universe artifact may be stored
+        assert kinds <= {"neighbor_counts"}
+        assert ctx.stats.compute_count("key_grid") == 1
+
+    def test_pool_contexts_share_one_store(self, tmp_path, u2_8):
+        ContextPool(store_dir=tmp_path).get(ZCurve(u2_8)).davg()
+        pool = ContextPool(store_dir=tmp_path)
+        ctx = pool.get(ZCurve(u2_8))
+        assert ctx.grid_store is pool.grid_store
+        ctx.davg()
+        assert pool.stats.total_mmap > 0
+
+
+class TestSweepWiring:
+    def test_cold_then_warm_sweep_identical(self, tmp_path):
+        kwargs = dict(
+            dims=[2],
+            sides=[8],
+            curves=["z", "hilbert"],
+            metrics=("davg", "dmax"),
+            reports=False,
+        )
+        plain = Sweep(**kwargs).run()
+        cold = Sweep(store_dir=tmp_path, **kwargs).run()
+        warm = Sweep(store_dir=tmp_path, **kwargs).run()
+        assert cold.cache_stats.total_mmap == 0
+        assert warm.cache_stats.total_mmap > 0
+        for a, b in ((cold, plain), (warm, plain)):
+            assert [
+                (r.spec, r.d, r.side, r.values) for r in a.records
+            ] == [(r.spec, r.d, r.side, r.values) for r in b.records]
+
+    def test_chunked_sweep_spills_and_matches_dense(self, tmp_path, u2_8):
+        kwargs = dict(
+            universes=[Universe(d=2, side=16)],
+            curves=["random:seed=7"],
+            metrics=("davg", "dmax"),
+            reports=False,
+        )
+        dense = Sweep(**kwargs).run()
+        spilled = Sweep(
+            store_dir=tmp_path, chunk_cells=64, max_bytes=4096, **kwargs
+        ).run()
+        assert [r.values for r in spilled.records] == [
+            r.values for r in dense.records
+        ]
+        store = GridStore(tmp_path)
+        assert any(e["kind"] == "key_grid" for e in store.entries())
+        warm = Sweep(
+            store_dir=tmp_path, chunk_cells=64, max_bytes=4096, **kwargs
+        ).run()
+        assert warm.cache_stats.total_mmap > 0
+        assert [r.values for r in warm.records] == [
+            r.values for r in dense.records
+        ]
+
+    def test_process_sweep_warm_start_maps_grids(self, tmp_path):
+        kwargs = dict(
+            dims=[2],
+            sides=[8],
+            curves=["z", "hilbert"],
+            metrics=("davg",),
+            reports=False,
+            processes=2,
+        )
+        plain = Sweep(**kwargs).run()
+        cold = Sweep(store_dir=tmp_path, **kwargs).run()
+        warm = Sweep(store_dir=tmp_path, **kwargs).run()
+        assert warm.cache_stats.total_mmap > 0
+        for result in (cold, warm):
+            assert [r.values for r in result.records] == [
+                r.values for r in plain.records
+            ]

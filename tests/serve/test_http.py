@@ -209,3 +209,41 @@ class TestBackendOverHTTP:
         )
         assert status == 400
         assert "backend" in payload["error"]
+
+
+class TestPersistentStore:
+    """`--store`: grids survive server restarts as mmap artifacts."""
+
+    def test_restart_warm_starts_from_store(self, tmp_path):
+        from repro.serve import BackgroundServer, ServeConfig
+
+        config = ServeConfig(
+            port=0, batch_window_s=0.001, store_dir=str(tmp_path)
+        )
+        with BackgroundServer(config) as server:
+            status, first = fetch(
+                server.url + "/sweep", payload=SWEEP_BODY
+            )
+            assert status == 200
+            _, cold = fetch(server.url + "/stats")
+        assert cold["store"]["dir"] == str(tmp_path)
+        assert cold["store"]["entries"] > 0
+        assert cold["store"]["quarantined"] == 0
+        assert cold["cache"]["computes"]["key_grid"] >= 1
+
+        # a second server lifetime over the same directory: identical
+        # records, and the grids come back as mmap hits, not computes
+        with BackgroundServer(config) as server:
+            status, second = fetch(
+                server.url + "/sweep", payload=SWEEP_BODY
+            )
+            assert status == 200
+            _, warm = fetch(server.url + "/stats")
+        assert second["records"] == first["records"]
+        assert sum(warm["cache"]["mmap"].values()) > 0
+        assert warm["cache"]["computes"].get("key_grid", 0) == 0
+
+    def test_stats_has_no_store_section_when_unconfigured(self, server):
+        _, stats = fetch(server.url + "/stats")
+        assert "store" not in stats
+        assert stats["cache"]["mmap"] == {}
