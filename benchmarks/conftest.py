@@ -123,6 +123,28 @@ def peak_memory(request):
 
 
 @pytest.fixture
+def workload_shape(request):
+    """Record a dynamic workload's shape into the benchmark JSON.
+
+    Call ``workload_shape(n_points=..., batch_size=..., **extra)`` once
+    per bench; everything lands under ``extra_info["workload"]`` so
+    ``--benchmark-json`` runs can compare incremental-update timings at
+    like-for-like ``k`` (move-batch size) and ``N`` (universe
+    population) across revisions.
+    """
+
+    def record(n_points: int, batch_size: int, **extra):
+        payload = {"n_points": int(n_points), "batch_size": int(batch_size)}
+        payload.update(extra)
+        if "benchmark" in request.fixturenames:
+            bench = request.getfixturevalue("benchmark")
+            bench.extra_info["workload"] = payload
+        return payload
+
+    return record
+
+
+@pytest.fixture
 def results_writer():
     """Write a named experiment table under benchmarks/results/."""
 

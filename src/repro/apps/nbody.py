@@ -35,6 +35,13 @@ __all__ = [
 class ParticleStore:
     """Particles on grid cells, stored in curve order.
 
+    The store rides on a :class:`repro.engine.dynamic.DynamicUniverse`
+    (exposed as :attr:`dynamic`): construction is one bulk load, and
+    :meth:`apply_moves` mutates the ensemble incrementally — O(k·d)
+    for k ops — while keeping :attr:`positions`/:attr:`keys` in the
+    maintained (key, pid) order, which is exactly the historical
+    ``np.argsort(keys, kind="stable")`` layout.
+
     Parameters
     ----------
     curve:
@@ -45,17 +52,38 @@ class ParticleStore:
     """
 
     def __init__(self, curve, positions: np.ndarray) -> None:
+        from repro.engine.dynamic import DynamicUniverse
+
         ctx = get_context(curve)
         self.curve = ctx.curve
         pos = ctx.universe.validate_coords(positions)
         if pos.ndim != 2:
             raise ValueError("positions must be a (m, d) array")
-        # Batch encode through the context's backend; identical keys to
-        # the historical flat_keys[coords_to_rank(...)] table lookup.
-        keys = ctx.curve.keys_of(pos, backend=ctx.backend)
-        sort = np.argsort(keys, kind="stable")
-        self.positions = pos[sort]
-        self.keys = keys[sort]
+        #: The incremental engine owning the population.
+        self.dynamic = DynamicUniverse(ctx)
+        self.dynamic.bulk_load(pos)
+        self._refresh()
+
+    def _refresh(self) -> None:
+        self.positions = self.dynamic.sorted_positions()
+        self.keys = self.dynamic.sorted_keys()
+
+    def pids(self) -> np.ndarray:
+        """Particle ids in store (curve) order, aligned with
+        :attr:`positions` rows — the handles :meth:`apply_moves` takes."""
+        return self.dynamic.sorted_pids()
+
+    def apply_moves(self, moves):
+        """Apply one ``DynamicUniverse`` move batch and re-sync the store.
+
+        ``moves`` is a sequence of ``("insert", coords)``,
+        ``("delete", pid)`` and ``("move", pid, coords)`` tuples; the
+        population metrics are maintained incrementally and the updated
+        :class:`~repro.engine.dynamic.DynamicMetrics` is returned.
+        """
+        metrics = self.dynamic.apply(moves)
+        self._refresh()
+        return metrics
 
     def __len__(self) -> int:
         return self.positions.shape[0]

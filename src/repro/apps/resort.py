@@ -11,7 +11,12 @@ the paper studies:
 :func:`drift_step_cost` simulates the process and measures both key
 displacement and *rank* displacement (the number of array slots a
 particle must travel — the actual resort work for insertion-style
-repair).
+repair).  The simulation rides on
+:class:`repro.engine.dynamic.DynamicUniverse`: each step is one move
+batch, keys come from the incremental store instead of re-encoding the
+whole ensemble, and ranks from the maintained (key, pid) order —
+values bit-for-bit identical to the historical full
+re-encode + stable-argsort loop.
 """
 
 from __future__ import annotations
@@ -57,13 +62,21 @@ def drift_step_cost(
     """Simulate random unit drift and measure resort work per step.
 
     ``curve`` may be a curve or a :class:`repro.engine.MetricContext`;
-    key lookups go through the context's cached rank-ordered key array.
+    the ensemble lives in a :class:`~repro.engine.dynamic.DynamicUniverse`
+    whose incremental (key, pid) order supplies both key and rank
+    arrays.  Particle keys are encoded once per *move batch* (only the
+    movers), not once per step per particle; ranks come from the
+    maintained order, which reproduces ``np.argsort(keys,
+    kind="stable")`` exactly, so every reported number matches the
+    historical full-re-encode loop bit for bit.
 
     Each step every particle moves to a uniformly chosen grid neighbor
     (staying put if the move would leave the box).  After each step the
     key array is re-sorted; rank displacement is the total distance
     particles travel in the sorted array.
     """
+    from repro.engine.dynamic import DynamicUniverse
+
     if n_particles < 1 or steps < 1:
         raise ValueError("need n_particles >= 1 and steps >= 1")
     ctx = get_context(curve)
@@ -72,17 +85,14 @@ def drift_step_cost(
     positions = rng.integers(
         0, universe.side, size=(n_particles, universe.d), dtype=np.int64
     )
+    dyn = DynamicUniverse(ctx)
+    dyn.bulk_load(positions)
     total_key = 0.0
     total_rank = 0.0
     worst_rank = 0
     for _ in range(steps):
-        # Batch encode through the context's backend: identical keys to
-        # the historical flat_keys[coords_to_rank(...)] table lookup,
-        # without materializing the dense rank-ordered key array.
-        keys_before = ctx.curve.keys_of(positions, backend=ctx.backend)
-        order_before = np.argsort(keys_before, kind="stable")
-        ranks_before = np.empty(n_particles, dtype=np.int64)
-        ranks_before[order_before] = np.arange(n_particles)
+        keys_before = dyn.keys_by_pid()
+        ranks_before = dyn.particle_ranks()
 
         axes = rng.integers(0, universe.d, size=n_particles)
         signs = rng.choice(np.array([-1, 1]), size=n_particles)
@@ -91,10 +101,15 @@ def drift_step_cost(
         in_bounds = universe.contains(moved)
         positions = np.where(in_bounds[:, None], moved, positions)
 
-        keys_after = ctx.curve.keys_of(positions, backend=ctx.backend)
-        order_after = np.argsort(keys_after, kind="stable")
-        ranks_after = np.empty(n_particles, dtype=np.int64)
-        ranks_after[order_after] = np.arange(n_particles)
+        movers = np.nonzero(in_bounds)[0]
+        dyn.apply(
+            [
+                ("move", int(pid), tuple(positions[pid].tolist()))
+                for pid in movers
+            ]
+        )
+        keys_after = dyn.keys_by_pid()
+        ranks_after = dyn.particle_ranks()
 
         key_shift = np.abs(keys_after - keys_before)
         rank_shift = np.abs(ranks_after - ranks_before)

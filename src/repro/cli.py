@@ -304,6 +304,88 @@ def build_parser() -> argparse.ArgumentParser:
         "back warm (default: $REPRO_STORE when set)",
     )
 
+    p_dyn = sub.add_parser(
+        "dynamic",
+        help="incremental metric engine under a live move workload",
+        description=(
+            "Bulk-load a random point population onto a curve, then "
+            "drive batches of insert/move/delete ops through the "
+            "incremental DynamicUniverse engine (O(k*d) per batch of "
+            "k ops) and report the maintained population metrics.  "
+            "--verify asserts bit-for-bit parity of the incremental "
+            "aggregates against a full recompute after every batch; "
+            "--reselect-threshold turns on online curve re-selection.  "
+            "See docs/dynamic.md."
+        ),
+    )
+    p_dyn.add_argument("-d", type=int, default=2, help="dimensions")
+    p_dyn.add_argument("--side", type=int, default=64, help="cells per side")
+    p_dyn.add_argument(
+        "--curve", default="hilbert", help="starting curve spec"
+    )
+    p_dyn.add_argument(
+        "--points",
+        type=int,
+        default=2000,
+        metavar="N",
+        help="points bulk-loaded at start (default 2000)",
+    )
+    p_dyn.add_argument(
+        "--steps",
+        type=int,
+        default=10,
+        metavar="T",
+        help="move batches applied (default 10)",
+    )
+    p_dyn.add_argument(
+        "--batch",
+        type=int,
+        default=64,
+        metavar="K",
+        help="ops per batch (default 64)",
+    )
+    p_dyn.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    p_dyn.add_argument(
+        "--parts",
+        type=int,
+        default=8,
+        metavar="P",
+        help="partition count for the per-part load counters",
+    )
+    p_dyn.add_argument(
+        "--window",
+        type=int,
+        default=1,
+        metavar="W",
+        help="dilation window over occupied cells in key order",
+    )
+    p_dyn.add_argument(
+        "--verify",
+        action="store_true",
+        help="assert incremental == recompute parity after every batch",
+    )
+    p_dyn.add_argument(
+        "--reselect-threshold",
+        type=float,
+        default=None,
+        metavar="R",
+        help="relative D^avg drift that triggers online curve "
+        "re-selection (off by default)",
+    )
+    p_dyn.add_argument(
+        "--candidates",
+        type=csv_specs,
+        default=None,
+        metavar="SPECS",
+        help="comma-separated candidate curve specs for re-selection",
+    )
+    p_dyn.add_argument(
+        "--backend",
+        choices=("numpy", "native", "auto"),
+        default="auto",
+        help="compute backend for key encoding and recompute passes",
+    )
+
     p_doctor = sub.add_parser(
         "doctor",
         help="host report: native backend, cores/threads, shared memory",
@@ -838,6 +920,105 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return run(config)
 
 
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.engine.dynamic import DynamicUniverse
+    from repro.engine.pool import ContextPool
+
+    if args.points < 0 or args.steps < 0 or args.batch < 1:
+        raise ValueError("need points >= 0, steps >= 0, batch >= 1")
+    universe = Universe(d=args.d, side=args.side)
+    pool = ContextPool(backend=args.backend)
+    dyn = DynamicUniverse(
+        args.curve,
+        universe=universe,
+        pool=pool,
+        parts=args.parts,
+        window=args.window,
+        reselect_threshold=args.reselect_threshold,
+        candidates=args.candidates,
+    )
+    rng = np.random.default_rng(args.seed)
+    start = time.perf_counter()
+    dyn.bulk_load(
+        rng.integers(
+            0, args.side, size=(args.points, args.d), dtype=np.int64
+        )
+    )
+    load_s = time.perf_counter() - start
+    snapshot = dyn.metrics()
+    print(f"# repro dynamic — {dyn.spec} on {universe}")
+    print(
+        f"bulk-load: {len(dyn)} points in {load_s * 1e3:.1f} ms "
+        f"(D^avg {snapshot.davg:.4f}, dilation {snapshot.dilation}, "
+        f"{snapshot.n_cells} cells)"
+    )
+    total_ops = 0
+    start = time.perf_counter()
+    for step in range(args.steps):
+        moves = []
+        used: set = set()
+        pids = dyn.pids()
+        for _ in range(args.batch):
+            roll = rng.random()
+            target = None
+            if roll >= 0.25 and len(pids):
+                candidate = int(pids[int(rng.integers(0, len(pids)))])
+                if candidate not in used:
+                    target = candidate
+                    used.add(candidate)
+            if target is None:
+                coords = rng.integers(0, args.side, size=args.d)
+                moves.append(("insert", tuple(int(c) for c in coords)))
+            elif roll < 0.5:
+                moves.append(("delete", target))
+            else:
+                coords = rng.integers(0, args.side, size=args.d)
+                moves.append(
+                    ("move", target, tuple(int(c) for c in coords))
+                )
+        metrics = dyn.apply(moves)
+        total_ops += len(moves)
+        if args.verify and metrics != dyn.recompute():
+            print(
+                f"error: incremental/recompute parity violated at "
+                f"step {step + 1}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"step {step + 1:>3}: {len(moves)} ops -> "
+            f"{metrics.n_points} points, D^avg {metrics.davg:.4f}, "
+            f"dilation {metrics.dilation}, drift {dyn.drift():.3f}"
+        )
+    elapsed = time.perf_counter() - start
+    if args.steps:
+        rate = total_ops / elapsed if elapsed > 0 else float("inf")
+        print(
+            f"applied {total_ops} ops in {args.steps} batches "
+            f"({elapsed * 1e3:.1f} ms, {rate:,.0f} ops/s incremental)"
+        )
+    if args.verify:
+        print("parity: incremental == recompute at every step")
+    for event in dyn.reselections:
+        scores = ", ".join(
+            f"{spec}={davg:.4f}" for spec, davg in event.scores.items()
+        )
+        action = (
+            f"switched {event.from_spec} -> {event.to_spec}"
+            if event.switched
+            else f"kept {event.from_spec}"
+        )
+        print(
+            f"reselect @ step {event.step}: drift {event.drift:.3f}, "
+            f"{action} ({scores})"
+        )
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.io import save_curve
 
@@ -985,6 +1166,7 @@ _COMMANDS = {
     "survey": _cmd_survey,
     "sweep": _cmd_sweep,
     "serve": _cmd_serve,
+    "dynamic": _cmd_dynamic,
     "metrics": _cmd_metrics,
     "curves": _cmd_curves,
     "bounds": _cmd_bounds,

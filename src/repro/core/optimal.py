@@ -31,9 +31,13 @@ from repro.grid.universe import Universe
 __all__ = [
     "rank_space_pairs",
     "davg_of_keys",
+    "delta_fold",
+    "population_stretch",
+    "select_curve",
     "exhaustive_optimum",
     "local_search",
     "Optimum",
+    "PopulationStretch",
     "SearchResult",
 ]
 
@@ -81,6 +85,125 @@ def davg_of_keys(
     arr = np.asarray(keys, dtype=np.int64)
     diffs = np.abs(arr[..., i_ranks] - arr[..., j_ranks])
     return (diffs * weights).sum(axis=-1)
+
+
+def delta_fold(a: np.ndarray, b: np.ndarray, kernels=None) -> int:
+    """``Σ |a_i − b_i|`` over paired int64 key arrays, as a Python int.
+
+    The integer fold behind every population-stretch evaluation.  With
+    ``kernels`` (a loaded :class:`repro.engine.native.NativeKernels`)
+    the sum folds in one C pass; the NumPy path produces the identical
+    integer (int64 addition is order-free), so backends stay
+    bit-for-bit interchangeable.
+    """
+    if a.size == 0:
+        return 0
+    if kernels is not None and hasattr(kernels, "delta_fold"):
+        return kernels.delta_fold(
+            np.ascontiguousarray(a, dtype=np.int64),
+            np.ascontiguousarray(b, dtype=np.int64),
+        )
+    return int(np.abs(a - b).sum())
+
+
+@dataclass(frozen=True)
+class PopulationStretch:
+    """From-scratch stretch aggregates of one point population.
+
+    ``davg = stretch_sum / edge_count`` is the mean ``∆π`` over the
+    *occupied* NN cell pairs — the population analogue of
+    ``nn_distance_values().mean()`` (and exactly equal to it when every
+    cell is occupied).  Both integer fields are Python ints so
+    incremental maintainers can assert ``==`` against them.
+    """
+
+    stretch_sum: int
+    edge_count: int
+
+    @property
+    def davg(self) -> float:
+        if not self.edge_count:
+            return 0.0
+        return self.stretch_sum / self.edge_count
+
+
+def population_stretch(
+    curve,
+    positions: np.ndarray,
+    backend=None,
+    kernels=None,
+) -> PopulationStretch:
+    """Stretch aggregates over the cells occupied by ``positions``.
+
+    Vectorized and from scratch: one ``keys_of`` batch encode, one
+    ``unique`` to collapse multiplicity to occupied cells, one sorted
+    membership probe per axis to enumerate occupied NN edges (each
+    unordered edge once, via its +1 endpoint).  ``O(m·d + m log m)``
+    for m points — the recompute cost that
+    :class:`repro.engine.dynamic.DynamicUniverse` beats with O(k·d)
+    incremental deltas, and the reference those deltas are verified
+    against bit-for-bit.
+    """
+    universe = curve.universe
+    pos = np.asarray(positions, dtype=np.int64)
+    if pos.ndim != 2 or pos.shape[1] != universe.d:
+        raise ValueError("positions must be a (m, d) array")
+    if len(pos) == 0:
+        return PopulationStretch(stretch_sum=0, edge_count=0)
+    if backend is None:
+        keys = curve.keys_of(pos)
+    else:
+        keys = curve.keys_of(pos, backend=backend)
+    strides = np.array(
+        [universe.side**axis for axis in range(universe.d)], dtype=np.int64
+    )
+    ranks = pos @ strides
+    cell_ranks, first = np.unique(ranks, return_index=True)
+    cell_keys = keys[first]
+    cell_pos = pos[first]
+    stretch_sum = 0
+    edge_count = 0
+    for axis in range(universe.d):
+        has_next = cell_pos[:, axis] + 1 < universe.side
+        next_ranks = cell_ranks[has_next] + int(strides[axis])
+        idx = np.searchsorted(cell_ranks, next_ranks)
+        idx = np.minimum(idx, len(cell_ranks) - 1)
+        found = cell_ranks[idx] == next_ranks
+        a = cell_keys[has_next][found]
+        b = cell_keys[idx[found]]
+        edge_count += int(found.sum())
+        stretch_sum += delta_fold(a, b, kernels=kernels)
+    return PopulationStretch(stretch_sum=stretch_sum, edge_count=edge_count)
+
+
+def select_curve(
+    candidates,
+    positions: np.ndarray,
+    backend=None,
+) -> tuple:
+    """``(best_index, davgs)`` over candidate curves for one population.
+
+    ``candidates`` is a sequence of curves (or objects with ``.curve``
+    /``.backend``/``.kernels``, i.e. metric contexts — the pooled
+    re-selection path hands contexts in so cached grids are reused).
+    Ties break toward the earliest candidate, so the selection is
+    deterministic.
+    """
+    candidates = list(candidates)
+    if not candidates:
+        raise ValueError("select_curve needs at least one candidate")
+    davgs = []
+    for cand in candidates:
+        curve = getattr(cand, "curve", cand)
+        cand_backend = getattr(cand, "backend", backend)
+        kernels = getattr(cand, "kernels", None)
+        davgs.append(
+            population_stretch(
+                curve, positions, backend=cand_backend, kernels=kernels
+            ).davg
+        )
+    best = min(range(len(davgs)), key=lambda i: davgs[i])
+    return best, davgs
 
 
 @dataclass(frozen=True)

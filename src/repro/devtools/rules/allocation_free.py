@@ -42,6 +42,7 @@ HOT_KERNELS: Dict[str, FrozenSet[str]] = {
     "engine/threads.py": frozenset(
         {"_nn_range_kernel", "_block_max_distance"}
     ),
+    "engine/context.py": frozenset({"_nn_values_blockwise"}),
 }
 
 

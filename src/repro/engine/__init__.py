@@ -55,6 +55,11 @@
 """
 
 from repro.engine.chunked import DEFAULT_CHUNK_CELLS
+from repro.engine.dynamic import (
+    DynamicMetrics,
+    DynamicUniverse,
+    ReselectionEvent,
+)
 from repro.engine.context import (
     DEFAULT_CACHE_BYTES,
     CacheStats,
@@ -107,6 +112,9 @@ __all__ = [
     "ScratchBuffers",
     "resolve_threads",
     "ContextPool",
+    "DynamicMetrics",
+    "DynamicUniverse",
+    "ReselectionEvent",
     "transform_derivations",
     "chunked_transform_derivations",
     "SHARED_KINDS",

@@ -1234,34 +1234,61 @@ class MetricContext:
         return self._store.get_or_compute("nn_values", compute)
 
     def _nn_values_blockwise(self) -> np.ndarray:
-        """Chunked assembly behind :meth:`nn_distance_values`."""
+        """Chunked assembly behind :meth:`nn_distance_values`.
+
+        Allocation-free per block (R004): the flat result is allocated
+        once up front and every per-axis slab distance lands in a
+        reshaped *view* of it through ``subtract``/``abs`` with
+        ``out=`` targets, so the slab walk does zero allocator traffic
+        no matter how many blocks stream through.  The axis-0 boundary
+        carry plane lives in a :class:`ScratchBuffers` slot reused
+        across slabs.  The per-axis segments occupy the same flat
+        offsets the dense path's ``concatenate`` would give them, so
+        the result stays bit-for-bit the dense array.
+        """
         from repro.engine.chunked import slab_axis_slices
+        from repro.engine.threads import ScratchBuffers
 
         universe = self.universe
         d, side = universe.d, universe.side
+        per_axis = (side - 1) * side ** (d - 1)
+        # The one sanctioned allocation: the O(n·d) result itself,
+        # made before the slab walk starts.
+        # repro: allow[R004] — single up-front result, not per-block
+        values = np.empty(d * per_axis, dtype=np.int64)
         parts = []
         for axis in range(d):
             shape = tuple(
                 side - 1 if i == axis else side for i in range(d)
             )
-            parts.append(np.empty(shape, dtype=np.int64))
+            parts.append(
+                values[axis * per_axis : (axis + 1) * per_axis].reshape(
+                    shape
+                )
+            )
+        scratch = ScratchBuffers()
+        plane_shape = (1,) + (side,) * (d - 1)
         prev_keys = None
         for lo, hi, slab in self.iter_key_slabs():
             for axis in range(1, d):
                 lo_s, hi_s = slab_axis_slices(d, side, axis)
-                np.abs(
-                    slab[hi_s] - slab[lo_s], out=parts[axis][lo:hi]
-                )
+                out = parts[axis][lo:hi]
+                np.subtract(slab[hi_s], slab[lo_s], out=out)
+                np.abs(out, out=out)
             if hi - lo > 1:
-                np.abs(
-                    slab[1:] - slab[:-1], out=parts[0][lo : hi - 1]
-                )
+                out = parts[0][lo : hi - 1]
+                np.subtract(slab[1:], slab[:-1], out=out)
+                np.abs(out, out=out)
             if prev_keys is not None:
-                np.abs(
-                    slab[:1] - prev_keys, out=parts[0][lo - 1 : lo]
+                out = parts[0][lo - 1 : lo]
+                np.subtract(slab[:1], prev_keys, out=out)
+                np.abs(out, out=out)
+            else:
+                prev_keys = scratch.take(
+                    "nn_values_carry", plane_shape, np.int64
                 )
-            prev_keys = np.ascontiguousarray(slab[-1:])
-        return np.concatenate([part.reshape(-1) for part in parts])
+            np.copyto(prev_keys, slab[-1:])
+        return values
 
     # ------------------------------------------------------------------
     # Scalar metrics

@@ -227,6 +227,8 @@ class NativeKernels:
             fn = getattr(lib, name)
             fn.argtypes = [_i64_array, _i64_array, _i64, _i64]
             fn.restype = _i64
+        lib.repro_delta_fold.argtypes = [_i64_array, _i64_array, _i64]
+        lib.repro_delta_fold.restype = _i64
         for name in ("repro_z_encode", "repro_z_decode",
                      "repro_gray_encode", "repro_gray_decode",
                      "repro_hilbert_encode", "repro_hilbert_decode",
@@ -272,6 +274,19 @@ class NativeKernels:
             )
         best_sq = self._lib.repro_window_max_euclidean_sq(a, b, m, d)
         return float(np.sqrt(np.float64(best_sq)))
+
+    # -- delta fold ----------------------------------------------------
+    def delta_fold(self, a: np.ndarray, b: np.ndarray) -> int:
+        """``Σ |a_i − b_i|`` over paired int64 key arrays (one C pass).
+
+        The edge-delta fold of population-stretch evaluation
+        (:func:`repro.core.optimal.delta_fold` dispatches here when the
+        kernels are loaded); bit-for-bit equal to the NumPy reduction
+        because int64 addition is order-free.
+        """
+        if a.shape != b.shape:
+            raise ValueError("delta_fold needs equal-length key arrays")
+        return int(self._lib.repro_delta_fold(a, b, a.size))
 
     # -- curve encode/decode -------------------------------------------
     def _codec(self, stem: str, arg: int):

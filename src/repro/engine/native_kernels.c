@@ -154,6 +154,23 @@ EXPORT int64_t repro_window_max_euclidean_sq(
 }
 
 /* ------------------------------------------------------------------ */
+/* Delta fold                                                          */
+/* ------------------------------------------------------------------ */
+
+/* sum over m paired keys of |a - b| — the integer edge-delta fold
+ * behind population-stretch evaluation (repro.core.optimal.delta_fold)
+ * and the DynamicUniverse recompute/re-selection passes.  int64
+ * addition is associative, so the fold order cannot change the result
+ * vs the NumPy reduction. */
+EXPORT int64_t repro_delta_fold(
+    const int64_t *a, const int64_t *b, int64_t m)
+{
+    int64_t s = 0;
+    for (int64_t r = 0; r < m; ++r) s += i64abs(a[r] - b[r]);
+    return s;
+}
+
+/* ------------------------------------------------------------------ */
 /* Curve encode / decode                                               */
 /* ------------------------------------------------------------------ */
 

@@ -29,6 +29,9 @@ from repro.serve.app import BackgroundServer, HttpServer, run, start_server
 from repro.serve.schemas import (
     CellRecord,
     CellSkip,
+    DynamicCreate,
+    DynamicStepRequest,
+    DynamicStepResponse,
     SweepRequest,
     SweepResponse,
 )
@@ -41,6 +44,9 @@ __all__ = [
     "start_server",
     "CellRecord",
     "CellSkip",
+    "DynamicCreate",
+    "DynamicStepRequest",
+    "DynamicStepResponse",
     "SweepRequest",
     "SweepResponse",
     "ServeConfig",

@@ -8,6 +8,13 @@ framework's worth of routing:
   returns the :class:`repro.serve.schemas.SweepResponse` (200) or an
   ``{"error": ...}`` body with 400/413/429/504 per the service's
   admission and timeout rules.
+* ``POST /dynamic/step`` — a
+  :class:`repro.serve.schemas.DynamicStepRequest` body applying one
+  move batch to a named
+  :class:`repro.engine.dynamic.DynamicUniverse` session (creating it
+  through the single-flight table when a ``create`` block rides
+  along); returns the
+  :class:`repro.serve.schemas.DynamicStepResponse`.
 * ``GET /stats``   — aggregated engine cache counters + service
   counters (see :meth:`repro.serve.service.SweepService.stats_payload`).
 * ``GET /healthz`` — liveness.
@@ -29,7 +36,7 @@ import signal
 import threading
 from typing import Optional, Tuple
 
-from repro.serve.schemas import SweepRequest
+from repro.serve.schemas import DynamicStepRequest, SweepRequest
 from repro.serve.service import ServeConfig, SweepService
 
 __all__ = ["HttpServer", "BackgroundServer", "start_server", "run"]
@@ -153,6 +160,18 @@ class HttpServer:
             except ValueError as exc:
                 return 400, {"error": str(exc)}
             return await self.service.handle_sweep(request)
+        if path == "/dynamic/step":
+            if method != "POST":
+                return 405, {"error": "POST /dynamic/step"}
+            try:
+                payload = json.loads(body.decode("utf-8") or "{}")
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return 400, {"error": f"invalid JSON body: {exc}"}
+            try:
+                request = DynamicStepRequest.from_dict(payload)
+            except ValueError as exc:
+                return 400, {"error": str(exc)}
+            return await self.service.handle_dynamic(request)
         return 404, {"error": f"no route {method} {path}"}
 
     @staticmethod

@@ -30,6 +30,9 @@ __all__ = [
     "CellRecord",
     "CellSkip",
     "SweepResponse",
+    "DynamicCreate",
+    "DynamicStepRequest",
+    "DynamicStepResponse",
     "jsonable",
 ]
 
@@ -295,6 +298,235 @@ class CellSkip:
             "side": self.side,
             "reason": self.reason,
         }
+
+
+@dataclass(frozen=True)
+class DynamicCreate:
+    """Session geometry of a ``POST /dynamic/step`` ``create`` block."""
+
+    d: int
+    side: int
+    curve: str = "hilbert"
+    parts: int = 8
+    window: int = 1
+    reselect_threshold: Optional[float] = None
+    candidates: Optional[Tuple[str, ...]] = None
+    #: Random points bulk-loaded at creation (0 starts empty).
+    seed_points: int = 0
+    seed: int = 0
+
+    _FIELDS = (
+        "d",
+        "side",
+        "curve",
+        "parts",
+        "window",
+        "reselect_threshold",
+        "candidates",
+        "seed_points",
+        "seed",
+    )
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "DynamicCreate":
+        if not isinstance(payload, dict):
+            raise ValueError("create must be a JSON object")
+        unknown = sorted(set(payload) - set(cls._FIELDS))
+        if unknown:
+            raise ValueError(
+                f"unknown create fields {unknown}; "
+                f"accepted: {sorted(cls._FIELDS)}"
+            )
+        values = {}
+        for name, minimum in (
+            ("d", 1),
+            ("side", 1),
+            ("parts", 1),
+            ("window", 1),
+        ):
+            value = payload.get(name, getattr(cls, name, None))
+            if value is None:
+                raise ValueError(f"create requires {name}")
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValueError(f"create.{name} must be an integer")
+            if value < minimum:
+                raise ValueError(f"create.{name} must be >= {minimum}")
+            values[name] = int(value)
+        curve = payload.get("curve", cls.curve)
+        if not isinstance(curve, str) or not curve:
+            raise ValueError("create.curve must be a non-empty string")
+        threshold = payload.get("reselect_threshold")
+        if threshold is not None:
+            if isinstance(threshold, bool) or not isinstance(
+                threshold, (int, float)
+            ):
+                raise ValueError(
+                    "create.reselect_threshold must be a number"
+                )
+            if threshold <= 0:
+                raise ValueError(
+                    "create.reselect_threshold must be positive"
+                )
+            threshold = float(threshold)
+        candidates = payload.get("candidates")
+        if candidates is not None:
+            candidates = _str_tuple(candidates, "create.candidates")
+        for name in ("seed_points", "seed"):
+            value = payload.get(name, 0)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValueError(f"create.{name} must be an integer")
+            if value < 0:
+                raise ValueError(f"create.{name} must be >= 0")
+            values[name] = int(value)
+        return cls(
+            d=values["d"],
+            side=values["side"],
+            curve=curve,
+            parts=values["parts"],
+            window=values["window"],
+            reselect_threshold=threshold,
+            candidates=candidates,
+            seed_points=values["seed_points"],
+            seed=values["seed"],
+        )
+
+
+def _parse_moves(raw: object) -> Tuple[tuple, ...]:
+    """Wire move objects -> the ``DynamicUniverse.apply`` op tuples."""
+    if not isinstance(raw, (list, tuple)):
+        raise ValueError("moves must be a list of op objects")
+    ops = []
+    for item in raw:
+        if not isinstance(item, dict) or "op" not in item:
+            raise ValueError('each move needs an "op" field')
+        kind = item["op"]
+        if kind not in ("insert", "delete", "move"):
+            raise ValueError(
+                f'move op {kind!r} is not "insert", "delete" or "move"'
+            )
+        extra = sorted(set(item) - {"op", "id", "coords"})
+        if extra:
+            raise ValueError(f"unknown move fields {extra}")
+        if kind in ("delete", "move"):
+            pid = item.get("id")
+            if isinstance(pid, bool) or not isinstance(pid, int):
+                raise ValueError(f'{kind} moves need an integer "id"')
+        if kind in ("insert", "move"):
+            coords = item.get("coords")
+            if not isinstance(coords, (list, tuple)) or not all(
+                isinstance(c, int) and not isinstance(c, bool)
+                for c in coords
+            ):
+                raise ValueError(
+                    f'{kind} moves need integer-list "coords"'
+                )
+            coords = tuple(int(c) for c in coords)
+        if kind == "insert":
+            ops.append(("insert", coords))
+        elif kind == "delete":
+            ops.append(("delete", int(pid)))
+        else:
+            ops.append(("move", int(pid), coords))
+    return tuple(ops)
+
+
+@dataclass(frozen=True)
+class DynamicStepRequest:
+    """One ``POST /dynamic/step`` body, validated.
+
+    Names a session and applies one batch of moves to it; a ``create``
+    block makes the request self-bootstrapping (idempotent when the
+    session already exists).  ``verify`` asks the server for an exact
+    incremental-vs-recompute parity check on the updated state.
+    """
+
+    session: str
+    create: Optional[DynamicCreate] = None
+    moves: Tuple[tuple, ...] = ()
+    verify: bool = False
+    timeout_s: Optional[float] = None
+
+    _FIELDS = ("session", "create", "moves", "verify", "timeout_s")
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "DynamicStepRequest":
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        unknown = sorted(set(payload) - set(cls._FIELDS))
+        if unknown:
+            raise ValueError(
+                f"unknown request fields {unknown}; "
+                f"accepted: {sorted(cls._FIELDS)}"
+            )
+        session = payload.get("session")
+        if not isinstance(session, str) or not session:
+            raise ValueError("session must be a non-empty string")
+        create = payload.get("create")
+        if create is not None:
+            create = DynamicCreate.from_dict(create)
+        moves = _parse_moves(payload.get("moves", []))
+        verify = payload.get("verify", False)
+        if not isinstance(verify, bool):
+            raise ValueError("verify must be a boolean")
+        timeout_s = payload.get("timeout_s")
+        if timeout_s is not None:
+            if isinstance(timeout_s, bool) or not isinstance(
+                timeout_s, (int, float)
+            ):
+                raise ValueError("timeout_s must be a number")
+            if timeout_s <= 0:
+                raise ValueError("timeout_s must be positive")
+            timeout_s = float(timeout_s)
+        return cls(
+            session=session,
+            create=create,
+            moves=moves,
+            verify=verify,
+            timeout_s=timeout_s,
+        )
+
+
+@dataclass(frozen=True)
+class DynamicStepResponse:
+    """One ``POST /dynamic/step`` 200 body."""
+
+    session: str
+    spec: str
+    step: int
+    metrics: Dict[str, object]
+    drift: float
+    reselections: int
+    created: bool = False
+    #: Present only when the request asked ``verify``; ``True`` means
+    #: the incremental aggregates matched a full recompute with ``==``.
+    parity: Optional[bool] = None
+
+    def to_dict(self) -> dict:
+        payload = {
+            "session": self.session,
+            "spec": self.spec,
+            "step": self.step,
+            "metrics": dict(self.metrics),
+            "drift": self.drift,
+            "reselections": self.reselections,
+            "created": self.created,
+        }
+        if self.parity is not None:
+            payload["parity"] = self.parity
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DynamicStepResponse":
+        return cls(
+            session=payload["session"],
+            spec=payload["spec"],
+            step=int(payload["step"]),
+            metrics=dict(payload["metrics"]),
+            drift=float(payload["drift"]),
+            reselections=int(payload["reselections"]),
+            created=bool(payload.get("created", False)),
+            parity=payload.get("parity"),
+        )
 
 
 @dataclass(frozen=True)

@@ -39,6 +39,8 @@ from repro.serve.batching import MicroBatcher
 from repro.serve.schemas import (
     CellRecord,
     CellSkip,
+    DynamicStepRequest,
+    DynamicStepResponse,
     SweepRequest,
     SweepResponse,
 )
@@ -108,6 +110,9 @@ class ServeConfig:
     #: Default compute backend for requests that don't choose
     #: (``"numpy"``, ``"native"``, or ``"auto"``).
     backend: str = "auto"
+    #: Bound on live ``/dynamic/step`` sessions (each holds a point
+    #: population and its incremental aggregates resident).
+    max_sessions: int = 16
     #: Directory of a persistent :class:`repro.engine.store.GridStore`
     #: (``repro serve --store``), or ``None``.  With a store the warm
     #: start *maps* previously computed hot-set grids from disk instead
@@ -116,6 +121,20 @@ class ServeConfig:
     #: which ``--hot-set`` alone (shared memory dies with the process)
     #: cannot provide.
     store_dir: Optional[str] = None
+
+
+class _DynamicSession:
+    """One live :class:`repro.engine.dynamic.DynamicUniverse` + its lock.
+
+    The lock serializes step batches per session on the event loop;
+    the universe itself is only ever touched from the compute thread.
+    """
+
+    __slots__ = ("universe", "lock")
+
+    def __init__(self, universe) -> None:
+        self.universe = universe
+        self.lock = asyncio.Lock()
 
 
 class SweepService:
@@ -146,7 +165,12 @@ class SweepService:
             "timeouts": 0,
             "rejected": 0,
             "errors": 0,
+            "dynamic_requests": 0,
+            "dynamic_steps": 0,
+            "dynamic_moves": 0,
         }
+        #: Live dynamic sessions by name; see :meth:`handle_dynamic`.
+        self._sessions: Dict[str, "_DynamicSession"] = {}
         self._pools: Dict[Tuple, ContextPool] = {}
         self._pool_lock = threading.Lock()
         self._warm_pairs: set = set()
@@ -392,6 +416,197 @@ class SweepService:
         return 200, response.to_dict()
 
     # ------------------------------------------------------------------
+    # Dynamic sessions
+    # ------------------------------------------------------------------
+    async def handle_dynamic(
+        self, request: DynamicStepRequest
+    ) -> Tuple[int, dict]:
+        """``(status, payload)`` for one validated dynamic-step request.
+
+        Session creation goes through the single-flight table (keyed
+        ``("dynamic", name)``), so concurrent self-bootstrapping
+        requests build the universe once and share it.  Steps run on
+        the *same* single compute thread as sweep micro-batches and are
+        serialized per session by an :class:`asyncio.Lock` — concurrent
+        batches against one session compose sequentially, never
+        interleave.
+        """
+        self.counters["dynamic_requests"] += 1
+        timeout = (
+            request.timeout_s
+            if request.timeout_s is not None
+            else self.config.timeout_s
+        )
+        name = request.session
+        created = False
+        session = self._sessions.get(name)
+        if session is None:
+            if request.create is None:
+                self.counters["errors"] += 1
+                return 404, {
+                    "error": (
+                        f"no dynamic session {name!r}; include a "
+                        '"create" block to bootstrap it'
+                    )
+                }
+            if len(self._sessions) >= self.config.max_sessions:
+                self.counters["rejected"] += 1
+                return 429, {
+                    "error": (
+                        "server is at its dynamic session bound "
+                        f"({self.config.max_sessions}); retry shortly"
+                    ),
+                    "retry_after_s": 1.0,
+                }
+            key = ("dynamic", name)
+            future, opened = self.flight.admit(key, self._loop)
+            if opened:
+                created = True
+
+                def build() -> object:
+                    try:
+                        return self._build_session(request.create)
+                    except Exception as exc:
+                        return exc
+
+                handle = self._loop.run_in_executor(self._executor, build)
+
+                def publish(done_future) -> None:
+                    outcome = done_future.result()
+                    if not isinstance(outcome, BaseException):
+                        self._sessions[name] = outcome
+                    self.flight.resolve(key, outcome)
+
+                handle.add_done_callback(publish)
+            done, pending = await asyncio.wait({future}, timeout=timeout)
+            if pending:
+                self.counters["timeouts"] += 1
+                return 504, {
+                    "error": (
+                        f"session bootstrap timed out after {timeout}s; "
+                        "it continues server-side and a retry will "
+                        "attach to it"
+                    )
+                }
+            exc = future.exception()
+            if exc is not None:
+                self.counters["errors"] += 1
+                if isinstance(exc, (ValueError, KeyError)):
+                    return 400, {"error": str(exc).strip("'\"")}
+                return 500, {"error": f"{type(exc).__name__}: {exc}"}
+            session = future.result()
+        # The step task owns the session lock for its full compute, so
+        # a request timeout returns 504 without breaking serialization
+        # (the in-flight batch finishes before the next one starts).
+        task = self._loop.create_task(
+            self._step_session(session, request)
+        )
+        done, pending = await asyncio.wait({task}, timeout=timeout)
+        if pending:
+            self.counters["timeouts"] += 1
+            return 504, {
+                "error": (
+                    f"dynamic step timed out after {timeout}s; the "
+                    "batch continues server-side"
+                )
+            }
+        exc = task.exception()
+        if exc is not None:
+            self.counters["errors"] += 1
+            if isinstance(exc, (ValueError, KeyError)):
+                return 400, {"error": str(exc).strip("'\"")}
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+        response: DynamicStepResponse = task.result()
+        if created:
+            response = DynamicStepResponse(
+                session=response.session,
+                spec=response.spec,
+                step=response.step,
+                metrics=response.metrics,
+                drift=response.drift,
+                reselections=response.reselections,
+                created=True,
+                parity=response.parity,
+            )
+        return 200, response.to_dict()
+
+    def _build_session(self, create) -> "_DynamicSession":
+        """Construct one dynamic universe on the compute thread.
+
+        The universe rides on the service's default pool, so its key
+        grids (and any re-selection candidates') are the same cached
+        contexts sweep requests resolve.
+        """
+        import numpy as np
+
+        from repro.engine.dynamic import DynamicUniverse
+
+        universe = Universe(d=create.d, side=create.side)
+        pool = self._pool_for(
+            None, self._default_threads, self.config.backend
+        )
+        dyn = DynamicUniverse(
+            create.curve,
+            universe=universe,
+            pool=pool,
+            parts=create.parts,
+            window=create.window,
+            reselect_threshold=create.reselect_threshold,
+            candidates=create.candidates,
+        )
+        if create.seed_points:
+            rng = np.random.default_rng(create.seed)
+            dyn.bulk_load(
+                rng.integers(
+                    0,
+                    create.side,
+                    size=(create.seed_points, create.d),
+                    dtype=np.int64,
+                )
+            )
+        return _DynamicSession(dyn)
+
+    async def _step_session(
+        self, session: "_DynamicSession", request: DynamicStepRequest
+    ) -> DynamicStepResponse:
+        """Apply one batch under the session lock, on the compute thread."""
+        async with session.lock:
+            def compute() -> DynamicStepResponse:
+                dyn = session.universe
+                if request.moves:
+                    metrics = dyn.apply(list(request.moves))
+                else:
+                    metrics = dyn.metrics()
+                parity = None
+                if request.verify:
+                    parity = metrics == dyn.recompute()
+                return DynamicStepResponse(
+                    session=request.session,
+                    spec=dyn.spec,
+                    step=dyn.steps,
+                    metrics={
+                        "n_points": metrics.n_points,
+                        "n_cells": metrics.n_cells,
+                        "edge_count": metrics.edge_count,
+                        "stretch_sum": metrics.stretch_sum,
+                        "davg": metrics.davg,
+                        "dilation": metrics.dilation,
+                        "loads": list(metrics.loads),
+                    },
+                    drift=dyn.drift(),
+                    reselections=len(dyn.reselections),
+                    parity=parity,
+                )
+
+            response = await self._loop.run_in_executor(
+                self._executor, compute
+            )
+            if request.moves:
+                self.counters["dynamic_steps"] += 1
+                self.counters["dynamic_moves"] += len(request.moves)
+            return response
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def stats_payload(self) -> dict:
@@ -423,6 +638,20 @@ class SweepService:
             "shm": {
                 "segments": list(self.store.segment_names),
                 "nbytes": self.store.nbytes,
+            },
+            "dynamic": {
+                "sessions": {
+                    name: {
+                        "points": len(session.universe),
+                        "spec": session.universe.spec,
+                        "steps": session.universe.steps,
+                        "reselections": len(
+                            session.universe.reselections
+                        ),
+                    }
+                    for name, session in sorted(self._sessions.items())
+                },
+                "max_sessions": self.config.max_sessions,
             },
         }
         if self.grid_store is not None:

@@ -139,3 +139,43 @@ class TestWindowForTargetRecall:
         w_h = window_for_target_recall(HilbertCurve(u2_8), 0.9)
         w_r = window_for_target_recall(RandomCurve(u2_8), 0.9)
         assert w_h < w_r
+
+
+class TestDynamicRebase:
+    """The DynamicUniverse-backed store matches the historical
+    encode + stable-argsort construction bit for bit, and moves keep
+    it sorted with exact metric parity."""
+
+    def test_construction_bit_for_bit(self, u2_8):
+        from repro.engine.context import get_context
+
+        curve = HilbertCurve(u2_8)
+        ctx = get_context(curve)
+        rng = np.random.default_rng(3)
+        pos = rng.integers(0, u2_8.side, size=(150, 2), dtype=np.int64)
+        store = ParticleStore(curve, pos)
+        keys = ctx.curve.keys_of(pos, backend=ctx.backend)
+        sort = np.argsort(keys, kind="stable")
+        assert np.array_equal(store.positions, pos[sort])
+        assert np.array_equal(store.keys, keys[sort])
+
+    def test_apply_moves_keeps_order_and_parity(self, u2_8):
+        store = ParticleStore.uniform_random(ZCurve(u2_8), 60, seed=4)
+        pids = store.pids()
+        metrics = store.apply_moves(
+            [
+                ("move", int(pids[0]), (0, 0)),
+                ("insert", (7, 7)),
+                ("delete", int(pids[10])),
+            ]
+        )
+        assert len(store) == 60
+        assert np.array_equal(store.keys, np.sort(store.keys))
+        assert metrics == store.dynamic.recompute()
+
+    def test_empty_store(self, u2_8):
+        store = ParticleStore(
+            ZCurve(u2_8), np.empty((0, 2), dtype=np.int64)
+        )
+        assert len(store) == 0
+        assert store.positions.shape == (0, 2)

@@ -77,3 +77,68 @@ class TestDriftStepCost:
             drift_step_cost(ZCurve(u2_8), 0, 1)
         with pytest.raises(ValueError):
             drift_step_cost(ZCurve(u2_8), 10, 0)
+
+
+class TestDynamicRebase:
+    """The DynamicUniverse-backed loop matches the historical
+    full-re-encode + stable-argsort implementation bit for bit."""
+
+    @staticmethod
+    def _reference_drift(curve, n_particles, steps, seed):
+        """Verbatim pre-rebase drift_step_cost (the regression oracle)."""
+        from repro.engine.context import get_context
+
+        ctx = get_context(curve)
+        universe = ctx.universe
+        rng = np.random.default_rng(seed)
+        positions = rng.integers(
+            0, universe.side, size=(n_particles, universe.d), dtype=np.int64
+        )
+        total_key = 0.0
+        total_rank = 0.0
+        worst_rank = 0
+        for _ in range(steps):
+            keys_before = ctx.curve.keys_of(positions, backend=ctx.backend)
+            order_before = np.argsort(keys_before, kind="stable")
+            ranks_before = np.empty(n_particles, dtype=np.int64)
+            ranks_before[order_before] = np.arange(n_particles)
+            axes = rng.integers(0, universe.d, size=n_particles)
+            signs = rng.choice(np.array([-1, 1]), size=n_particles)
+            moved = positions.copy()
+            moved[np.arange(n_particles), axes] += signs
+            in_bounds = universe.contains(moved)
+            positions = np.where(in_bounds[:, None], moved, positions)
+            keys_after = ctx.curve.keys_of(positions, backend=ctx.backend)
+            order_after = np.argsort(keys_after, kind="stable")
+            ranks_after = np.empty(n_particles, dtype=np.int64)
+            ranks_after[order_after] = np.arange(n_particles)
+            key_shift = np.abs(keys_after - keys_before)
+            rank_shift = np.abs(ranks_after - ranks_before)
+            total_key += float(key_shift.mean())
+            total_rank += float(rank_shift.mean())
+            worst_rank = max(worst_rank, int(rank_shift.max()))
+        return (
+            total_key / steps,
+            total_rank / steps,
+            worst_rank,
+        )
+
+    @pytest.mark.parametrize("curve_cls", [ZCurve, HilbertCurve])
+    def test_bit_for_bit_vs_reference(self, u2_8, curve_cls):
+        curve = curve_cls(u2_8)
+        cost = drift_step_cost(curve, 120, 5, seed=7)
+        assert (
+            cost.mean_key_displacement,
+            cost.mean_rank_displacement,
+            cost.max_rank_displacement,
+        ) == self._reference_drift(curve, 120, 5, seed=7)
+
+    def test_bit_for_bit_3d(self):
+        u = Universe(d=3, side=8)
+        curve = ZCurve(u)
+        cost = drift_step_cost(curve, 80, 4, seed=9)
+        assert (
+            cost.mean_key_displacement,
+            cost.mean_rank_displacement,
+            cost.max_rank_displacement,
+        ) == self._reference_drift(curve, 80, 4, seed=9)
